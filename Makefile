@@ -1,0 +1,37 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test race bench experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/hier/ ./internal/eval/ ./internal/gpusim/ ./internal/kernels/ .
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper (scaled defaults;
+# see EXPERIMENTS.md for the recorded level-7 run).
+experiments:
+	$(GO) run ./cmd/sgbench all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/boundarydemo
+	$(GO) run ./examples/uq
+	$(GO) run ./examples/finance
+	$(GO) run ./examples/explorer
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,68 @@
+package compactsg
+
+import (
+	"fmt"
+
+	"compactsg/internal/adaptive"
+)
+
+// AdaptiveGrid is a spatially adaptive sparse grid: instead of the fixed
+// regular point set of Grid, it grows points where the target function's
+// hierarchical surpluses are large. This is the flexibility the paper's
+// compact layout deliberately trades away (Sec. 7) — the adaptive grid
+// pays the hash-container memory cost per point, but can resolve
+// localized features with far fewer points. Points are keyed by gp2idx
+// within an enclosing regular grid of MaxLevel.
+type AdaptiveGrid struct {
+	g *adaptive.Grid
+}
+
+// NewAdaptive creates an adaptive grid for f, seeded with the regular
+// grid of initialLevel and refinable down to maxLevel.
+func NewAdaptive(dim, initialLevel, maxLevel int, f func(x []float64) float64) (*AdaptiveGrid, error) {
+	g, err := adaptive.New(dim, initialLevel, maxLevel, f)
+	if err != nil {
+		return nil, err
+	}
+	return &AdaptiveGrid{g: g}, nil
+}
+
+// Dim returns the dimensionality.
+func (a *AdaptiveGrid) Dim() int { return a.g.Dim() }
+
+// Points returns the current number of grid points.
+func (a *AdaptiveGrid) Points() int { return a.g.Points() }
+
+// MemoryBytes returns the modeled storage footprint.
+func (a *AdaptiveGrid) MemoryBytes() int64 { return a.g.MemoryBytes() }
+
+// Refine inserts children of points whose |surplus| exceeds eps, at most
+// maxNew new points, and returns the number added (0 = converged).
+func (a *AdaptiveGrid) Refine(eps float64, maxNew int) int { return a.g.Refine(eps, maxNew) }
+
+// RefineToTolerance refines until the largest refinable surplus is below
+// eps or the point budget is exhausted; it returns the final point count.
+func (a *AdaptiveGrid) RefineToTolerance(eps float64, maxPoints int) int {
+	for a.g.Points() < maxPoints {
+		budget := maxPoints - a.g.Points()
+		if a.g.Refine(eps, budget) == 0 {
+			break
+		}
+	}
+	return a.g.Points()
+}
+
+// Coarsen removes leaf points with |surplus| ≤ eps (the inverse of
+// Refine); it returns the number removed and the L∞ error bound of the
+// removal.
+func (a *AdaptiveGrid) Coarsen(eps float64) (removed int, errorBound float64) {
+	return a.g.Coarsen(eps)
+}
+
+// Evaluate interpolates at x ∈ [0,1]^d.
+func (a *AdaptiveGrid) Evaluate(x []float64) (float64, error) {
+	if len(x) != a.g.Dim() {
+		return 0, fmt.Errorf("compactsg: point has %d coordinates, grid has %d dimensions", len(x), a.g.Dim())
+	}
+	return a.g.Evaluate(x), nil
+}

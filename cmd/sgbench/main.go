@@ -1,0 +1,145 @@
+// Command sgbench regenerates every table and figure of the paper's
+// evaluation section (see DESIGN.md §4 for the experiment index):
+//
+//	sgbench table1              Table 1  — access cost per data structure
+//	sgbench fig8                Fig. 8   — memory consumption vs d
+//	sgbench fig9a | fig9b       Fig. 9   — sequential hierarchization / evaluation runtime
+//	sgbench fig10a | fig10b     Fig. 10  — GPU + multicore speedups vs d
+//	sgbench fig11a | fig11b     Fig. 11  — multicore scalability per structure
+//	sgbench ablation-sharedl    §5.3     — block-shared vs per-thread level vector
+//	sgbench ablation-binmat     §5.3     — binmat placement (const/shared/on-the-fly)
+//	sgbench ablation-blocking   §4.3     — cache-blocked batch evaluation
+//	sgbench combi               §7       — combination-technique replication overhead
+//	sgbench fermi               §8       — future work: Fermi's cache hierarchy (modeled)
+//	sgbench adaptive            §7       — extension: adaptive refinement on the hash layout
+//	sgbench threshold           ext.     — lossy compression via surplus truncation
+//	sgbench ablation-decomp     ext.     — GPU work decomposition study
+//	sgbench paperscale          §1/§6    — the full d=10, level-11, 127.5M-point grid end to end
+//	sgbench all                 everything above with default parameters
+//
+// Defaults are scaled to finish on a laptop-class host (level 6 instead
+// of the paper's level 11); raise -level and -points to approach the
+// paper's configuration. GPU numbers come from the gpusim cost model and
+// are labeled modeled.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+type params struct {
+	level      int
+	memLevel   int
+	dims       []int
+	speedDims  []int
+	points     int
+	gpuPoints  int
+	reps       int
+	seed       int64
+	fn         string
+	maxWorkers int
+	csv        bool
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sgbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sgbench", flag.ContinueOnError)
+	p := params{}
+	var dims, speedDims string
+	fs.IntVar(&p.level, "level", 6, "sparse grid refinement level for timed runs (paper: 11)")
+	fs.IntVar(&p.memLevel, "memlevel", 11, "refinement level for the Fig. 8 memory comparison (analytic, any size)")
+	fs.StringVar(&dims, "dims", "5,6,7,8,9,10", "dimensionalities for Figs. 8 and 9")
+	fs.StringVar(&speedDims, "speeddims", "1,2,3,4,5,6,7,8,9,10", "dimensionalities for Fig. 10")
+	fs.IntVar(&p.points, "points", 200, "evaluation query points for CPU runs (paper: 1e5)")
+	fs.IntVar(&p.gpuPoints, "gpupoints", 256, "evaluation query points for the GPU simulator")
+	fs.IntVar(&p.reps, "reps", 3, "repetitions per measurement (best-of)")
+	fs.Int64Var(&p.seed, "seed", 42, "query point generator seed")
+	fs.StringVar(&p.fn, "fn", "parabola", "workload function (parabola|sinprod|gaussian|oscillatory)")
+	fs.IntVar(&p.maxWorkers, "workers", runtime.NumCPU(), "maximum measured worker count for Figs. 10/11")
+	fs.BoolVar(&p.csv, "csv", false, "emit CSV instead of aligned tables")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: sgbench [flags] <experiment>")
+		fmt.Fprintln(fs.Output(), "experiments: table1 fig8 fig9a fig9b fig10a fig10b fig11a fig11b")
+		fmt.Fprintln(fs.Output(), "             ablation-sharedl ablation-binmat ablation-blocking ablation-decomp combi fermi adaptive threshold paperscale all")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var err error
+	if p.dims, err = parseDims(dims); err != nil {
+		return err
+	}
+	if p.speedDims, err = parseDims(speedDims); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected exactly one experiment, got %d", fs.NArg())
+	}
+
+	exps := map[string]func(params) error{
+		"table1":            runTable1,
+		"fig8":              runFig8,
+		"fig9a":             runFig9a,
+		"fig9b":             runFig9b,
+		"fig10a":            runFig10a,
+		"fig10b":            runFig10b,
+		"fig11a":            runFig11a,
+		"fig11b":            runFig11b,
+		"ablation-sharedl":  runAblationSharedL,
+		"ablation-binmat":   runAblationBinmat,
+		"ablation-blocking": runAblationBlocking,
+		"combi":             runCombi,
+		"fermi":             runFermi,
+		"adaptive":          runAdaptive,
+		"threshold":         runThreshold,
+		"ablation-decomp":   runDecomp,
+		"paperscale":        runPaperScale,
+	}
+	name := fs.Arg(0)
+	if name == "all" {
+		order := []string{
+			"table1", "fig8", "fig9a", "fig9b", "fig10a", "fig10b",
+			"fig11a", "fig11b", "ablation-sharedl", "ablation-binmat",
+			"ablation-blocking", "ablation-decomp", "combi", "fermi", "adaptive", "threshold",
+		}
+		for _, n := range order {
+			fmt.Printf("### %s\n", n)
+			if err := exps[n](p); err != nil {
+				return fmt.Errorf("%s: %w", n, err)
+			}
+		}
+		return nil
+	}
+	exp, ok := exps[name]
+	if !ok {
+		fs.Usage()
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return exp(p)
+}
+
+func parseDims(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, part := range parts {
+		d, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || d < 1 {
+			return nil, fmt.Errorf("bad dimension list %q", s)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}

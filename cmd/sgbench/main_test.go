@@ -1,0 +1,129 @@
+package main
+
+import (
+	"testing"
+
+	"compactsg/internal/core"
+)
+
+func mustDesc(t *testing.T, dim, level int) *core.Descriptor {
+	t.Helper()
+	d, err := core.NewDescriptor(dim, level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// tiny returns parameters that make every experiment finish in
+// milliseconds — these tests exercise the harness plumbing, not the
+// measurements.
+func tiny() params {
+	return params{
+		level:      3,
+		memLevel:   4,
+		dims:       []int{2, 3},
+		speedDims:  []int{2},
+		points:     8,
+		gpuPoints:  8,
+		reps:       1,
+		seed:       1,
+		fn:         "parabola",
+		maxWorkers: 2,
+	}
+}
+
+func TestParseDims(t *testing.T) {
+	got, err := parseDims("1, 2,10")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 10 {
+		t.Fatalf("parseDims: %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "a", "0", "1,,2", "-3"} {
+		if _, err := parseDims(bad); err == nil {
+			t.Errorf("parseDims(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("no experiment accepted")
+	}
+	if err := run([]string{"nonsense"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-dims", "x", "table1"}); err == nil {
+		t.Error("bad dims accepted")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestAllExperimentsTiny(t *testing.T) {
+	p := tiny()
+	exps := map[string]func(params) error{
+		"table1":            runTable1,
+		"fig8":              runFig8,
+		"fig9a":             runFig9a,
+		"fig9b":             runFig9b,
+		"fig10a":            runFig10a,
+		"fig10b":            runFig10b,
+		"fig11a":            runFig11a,
+		"fig11b":            runFig11b,
+		"ablation-sharedl":  runAblationSharedL,
+		"ablation-binmat":   runAblationBinmat,
+		"ablation-blocking": runAblationBlocking,
+		"combi":             runCombi,
+		"fermi":             runFermi,
+		"adaptive":          runAdaptive,
+		"threshold":         runThreshold,
+		"ablation-decomp":   runDecomp,
+	}
+	for name, fn := range exps {
+		if err := fn(p); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	// CSV mode too.
+	p.csv = true
+	if err := runTable1(p); err != nil {
+		t.Errorf("table1 csv: %v", err)
+	}
+}
+
+func TestExperimentsRejectBadFunction(t *testing.T) {
+	p := tiny()
+	p.fn = "no-such-function"
+	for name, fn := range map[string]func(params) error{
+		"table1": runTable1, "fig9a": runFig9a, "fig9b": runFig9b,
+		"fig10a": runFig10a, "fig10b": runFig10b,
+		"fig11a": runFig11a, "fig11b": runFig11b,
+		"ablation-sharedl": runAblationSharedL, "combi": runCombi,
+	} {
+		if err := fn(p); err == nil {
+			t.Errorf("%s accepted unknown workload function", name)
+		}
+	}
+}
+
+func TestCompactWorkloadShapes(t *testing.T) {
+	// The modeled traffic must grow with the grid and the barrier count
+	// must be d·groups.
+	p := tiny()
+	_ = p
+	descSmall := mustDesc(t, 3, 4)
+	descBig := mustDesc(t, 3, 6)
+	ws := compactHierWorkload(descSmall, 1)
+	wb := compactHierWorkload(descBig, 1)
+	if wb.Bytes <= ws.Bytes {
+		t.Error("hier traffic must grow with the grid")
+	}
+	if ws.Syncs != 3*4 || wb.Syncs != 3*6 {
+		t.Errorf("syncs: %d, %d", ws.Syncs, wb.Syncs)
+	}
+	we := compactEvalWorkload(descSmall, 100, 1)
+	if we.Syncs != 0 || we.Bytes <= 0 {
+		t.Errorf("eval workload: %+v", we)
+	}
+}

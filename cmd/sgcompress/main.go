@@ -1,0 +1,112 @@
+// Command sgcompress is the compression step of the paper's pipeline
+// (Fig. 1: Simulation → Compress → Storage): it samples a workload
+// function ("the simulation") on a full grid, selects the sparse grid
+// subset, hierarchizes it in parallel, and writes the compressed grid to
+// a .sg file that sgeval and the examples can decompress.
+//
+//	sgcompress -dim 5 -level 7 -fn gaussian -o field.sg
+//
+// With -direct the full grid stage is skipped and the function is
+// sampled at the sparse grid points only (necessary for shapes whose
+// full grid would not fit in memory).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"compactsg"
+	"compactsg/internal/fullgrid"
+	"compactsg/internal/report"
+	"compactsg/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sgcompress:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sgcompress", flag.ContinueOnError)
+	dim := fs.Int("dim", 3, "dimensionality")
+	level := fs.Int("level", 6, "refinement level")
+	fnName := fs.String("fn", "parabola", "workload function to compress")
+	out := fs.String("o", "grid.sg", "output file")
+	direct := fs.Bool("direct", false, "sample sparse grid points directly (skip the full grid stage)")
+	workers := fs.Int("workers", runtime.NumCPU(), "hierarchization workers")
+	threshold := fs.Float64("threshold", 0, "drop coefficients with |α| ≤ threshold (lossy, 0 = off)")
+	sparse := fs.Bool("sparse", false, "write the sparse (nonzeros-only) container")
+	quiet := fs.Bool("q", false, "suppress the summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fn, err := workload.ByName(*fnName)
+	if err != nil {
+		return err
+	}
+	if !fn.ZeroBoundary {
+		return fmt.Errorf("function %q does not vanish on the boundary; the compact grid forces zero boundary values", fn.Name)
+	}
+	g, err := compactsg.New(*dim, *level, compactsg.WithWorkers(*workers))
+	if err != nil {
+		return err
+	}
+
+	timer := report.StartTimer()
+	var fullBytes int64
+	if *direct {
+		g.Compress(fn.F)
+	} else {
+		full, err := fullgrid.NewIsotropic(*dim, *level)
+		if err != nil {
+			return fmt.Errorf("full grid stage: %w (use -direct for large shapes)", err)
+		}
+		full.Fill(fn.F)
+		fullBytes = full.MemoryBytes()
+		sg, err := full.ToSparse(g.Raw().Desc())
+		if err != nil {
+			return err
+		}
+		copy(g.Raw().Data, sg.Data)
+		if err := g.CompressValues(); err != nil {
+			return err
+		}
+	}
+	var kept int64
+	var bound float64
+	if *threshold > 0 {
+		if kept, bound, err = g.Threshold(*threshold); err != nil {
+			return err
+		}
+	}
+	sec := timer.Seconds()
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if *sparse {
+		err = g.SaveSparse(f)
+	} else {
+		err = g.Save(f)
+	}
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		fmt.Printf("compressed %q: d=%d level=%d, %d points, %s", fn.Name, *dim, *level, g.Points(), report.Bytes(g.MemoryBytes()))
+		if fullBytes > 0 {
+			fmt.Printf(" (full grid %s, ratio %.1f×)", report.Bytes(fullBytes), float64(fullBytes)/float64(g.MemoryBytes()))
+		}
+		if *threshold > 0 {
+			fmt.Printf(", thresholded to %d nonzeros (L∞ error ≤ %.2e)", kept, bound)
+		}
+		fmt.Printf(" in %s → %s\n", report.Seconds(sec), *out)
+	}
+	return f.Sync()
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"compactsg"
+)
+
+func TestCompressFullGridPipeline(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.sg")
+	if err := run([]string{"-dim", "2", "-level", "5", "-fn", "parabola", "-o", out, "-q"}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := compactsg.Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Compressed() || g.Dim() != 2 || g.Level() != 5 {
+		t.Fatalf("loaded grid: compressed=%v dim=%d level=%d", g.Compressed(), g.Dim(), g.Level())
+	}
+	y, err := g.Evaluate([]float64{0.5, 0.5})
+	if err != nil || y != 1 {
+		t.Errorf("center value %g, %v (want 1)", y, err)
+	}
+}
+
+func TestCompressDirectMatchesFullGrid(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.sg")
+	b := filepath.Join(dir, "b.sg")
+	if err := run([]string{"-dim", "3", "-level", "4", "-fn", "sinprod", "-o", a, "-q"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-dim", "3", "-level", "4", "-fn", "sinprod", "-o", b, "-direct", "-q"}); err != nil {
+		t.Fatal(err)
+	}
+	fa, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fa) != string(fb) {
+		t.Error("full-grid and direct compression paths produced different files")
+	}
+}
+
+func TestCompressErrors(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.sg")
+	if err := run([]string{"-fn", "nope", "-o", out}); err == nil {
+		t.Error("unknown function accepted")
+	}
+	if err := run([]string{"-fn", "linear", "-o", out}); err == nil {
+		t.Error("non-zero-boundary function accepted")
+	}
+	if err := run([]string{"-dim", "0", "-o", out}); err == nil {
+		t.Error("dim 0 accepted")
+	}
+	if err := run([]string{"-o", "/no/such/dir/g.sg", "-dim", "2", "-level", "3", "-q"}); err == nil {
+		t.Error("unwritable output accepted")
+	}
+	// Full grid too large without -direct.
+	if err := run([]string{"-dim", "8", "-level", "8", "-o", out, "-q"}); err == nil {
+		t.Error("oversized full grid accepted without -direct")
+	}
+}
+
+func TestThresholdedSparseOutput(t *testing.T) {
+	dir := t.TempDir()
+	dense := filepath.Join(dir, "dense.sg")
+	sparse := filepath.Join(dir, "sparse.sgs")
+	if err := run([]string{"-dim", "3", "-level", "7", "-fn", "gaussian", "-direct", "-o", dense, "-q"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-dim", "3", "-level", "7", "-fn", "gaussian", "-direct",
+		"-threshold", "1e-3", "-sparse", "-o", sparse, "-q"}); err != nil {
+		t.Fatal(err)
+	}
+	di, err := os.Stat(dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	si, err := os.Stat(sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if si.Size() >= di.Size() {
+		t.Errorf("thresholded sparse file (%d B) not smaller than dense (%d B)", si.Size(), di.Size())
+	}
+	f, err := os.Open(sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := compactsg.LoadSparse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The truncated interpolant still approximates the function.
+	got, err := g.Evaluate([]float64{0.5, 0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 0.9 || got > 1.1 {
+		t.Errorf("peak value %g want ≈ 1", got)
+	}
+}

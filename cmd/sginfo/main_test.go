@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"compactsg"
+)
+
+func TestShapeMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-dim", "10", "-level", "11"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"points: 127574017",       // the paper's headline grid
+		"Our Data Structure",      // Fig. 8 table present
+		"Standard STL Map",        // all structures listed
+		"full grid with the same", // curse-of-dimensionality line
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestFileMode(t *testing.T) {
+	g, err := compactsg.New(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Compress(func(x []float64) float64 { return x[0] * x[1] * x[2] })
+	path := filepath.Join(t.TempDir(), "g.sg")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var out bytes.Buffer
+	if err := run([]string{"-i", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "hierarchical coefficients") {
+		t.Errorf("file mode output missing state: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "d=3, level=4") {
+		t.Errorf("file mode output missing shape: %s", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("no arguments accepted")
+	}
+	if err := run([]string{"-dim", "3"}, &out); err == nil {
+		t.Error("missing level accepted")
+	}
+	if err := run([]string{"-dim", "0", "-level", "3"}, &out); err == nil {
+		t.Error("invalid shape accepted")
+	}
+	if err := run([]string{"-i", "/nonexistent.sg"}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"compactsg"
+)
+
+func writeGrid(t *testing.T, dim int) string {
+	t.Helper()
+	g, err := compactsg.New(dim, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Compress(func(x []float64) float64 {
+		p := 1.0
+		for _, v := range x {
+			p *= 4 * v * (1 - v)
+		}
+		return p
+	})
+	path := filepath.Join(t.TempDir(), "g.sg")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := g.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRenderPNGWithIsolines(t *testing.T) {
+	grid := writeGrid(t, 3)
+	out := filepath.Join(t.TempDir(), "slice.png")
+	var stdout bytes.Buffer
+	err := run([]string{
+		"-i", grid, "-o", out, "-x", "0", "-y", "2",
+		"-anchor", "0.5,0.5,0.5", "-w", "64", "-h", "48",
+		"-iso", "0.25,0.5", "-colormap", "diverging",
+	}, &stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(data, []byte("\x89PNG")) {
+		t.Error("output is not a PNG")
+	}
+	if !strings.Contains(stdout.String(), "64x48") {
+		t.Errorf("summary missing: %q", stdout.String())
+	}
+}
+
+func TestASCIIMode(t *testing.T) {
+	grid := writeGrid(t, 2)
+	var stdout bytes.Buffer
+	if err := run([]string{"-i", grid, "-ascii"}, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
+	if len(lines) != 28 {
+		t.Fatalf("ASCII heatmap has %d rows want 28", len(lines))
+	}
+	// The bump's peak should render as the brightest shade somewhere.
+	if !strings.Contains(stdout.String(), "@") {
+		t.Error("heatmap missing peak shade")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	grid := writeGrid(t, 3)
+	var sb bytes.Buffer
+	cases := [][]string{
+		{"-i", "/nonexistent.sg"},
+		{"-i", grid, "-anchor", "0.5"},           // wrong anchor arity
+		{"-i", grid, "-anchor", "a,b,c"},         // unparsable anchor
+		{"-i", grid, "-x", "0", "-y", "0"},       // same axes
+		{"-i", grid, "-colormap", "nope"},        // unknown colormap
+		{"-i", grid, "-iso", "x"},                // unparsable isoline
+		{"-i", grid, "-o", "/no/such/dir/a.png"}, // unwritable output
+		{"-i", grid, "-x", "7", "-y", "1"},       // axis out of range
+	}
+	for k, args := range cases {
+		if err := run(args, &sb); err == nil {
+			t.Errorf("case %d (%v) accepted", k, args)
+		}
+	}
+}

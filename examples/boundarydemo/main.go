@@ -1,0 +1,75 @@
+// Boundarydemo exercises the paper's extendable context (Sec. 4.4):
+// representing a function that does NOT vanish on the domain boundary.
+// The extended grid decomposes the boundary into 3^d − 1 lower-
+// dimensional sparse grids around the interior grid, each reusing the
+// compact gp2idx layout; a multilinear function is then reproduced
+// exactly everywhere, including on faces, edges and corners.
+//
+//	go run ./examples/boundarydemo
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"compactsg"
+)
+
+func main() {
+	// f(x,y,z) = (1+x)(1+2y)(1+3z): multilinear, nowhere zero.
+	f := func(x []float64) float64 {
+		p := 1.0
+		for t, v := range x {
+			p *= 1 + float64(t+1)*v
+		}
+		return p
+	}
+
+	g, err := compactsg.NewWithBoundary(3, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g.Compress(f)
+	fmt.Printf("extended 3-d grid, level 5: %d stored coefficients (%d faces incl. interior)\n",
+		g.Points(), 27)
+
+	probes := [][]float64{
+		{0, 0, 0},          // corner
+		{1, 1, 1},          // corner
+		{1, 0.5, 0},        // edge midpoint
+		{0.5, 0.5, 1},      // face center
+		{0.3, 0.8, 0.6},    // interior
+		{0.99, 0.01, 0.37}, // near-boundary interior
+	}
+	fmt.Println("\npoint                value       exact       error")
+	maxErr := 0.0
+	for _, x := range probes {
+		y, err := g.Evaluate(x)
+		if err != nil {
+			log.Fatal(err)
+		}
+		e := math.Abs(y - f(x))
+		if e > maxErr {
+			maxErr = e
+		}
+		fmt.Printf("%-20v %-11.6f %-11.6f %.1e\n", x, y, f(x), e)
+	}
+	if maxErr > 1e-10 {
+		log.Fatalf("multilinear function not reproduced exactly (max error %g)", maxErr)
+	}
+	fmt.Println("\nmultilinear function reproduced exactly — the extended context works.")
+
+	// Contrast: the plain zero-boundary grid cannot represent f near the
+	// boundary.
+	plain, err := compactsg.New(3, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plain.Compress(f)
+	x := []float64{0.999, 0.999, 0.999}
+	yPlain, _ := plain.Evaluate(x)
+	yExt, _ := g.Evaluate(x)
+	fmt.Printf("\nnear the corner %v: exact %.4f, extended grid %.4f, zero-boundary grid %.4f\n",
+		x, f(x), yExt, yPlain)
+}

@@ -1,0 +1,3 @@
+module compactsg
+
+go 1.22

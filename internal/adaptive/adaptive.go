@@ -1,0 +1,326 @@
+// Package adaptive implements spatially adaptive sparse grids — the
+// flexibility the paper's compact structure deliberately trades away
+// (Sec. 7: hash-based structures "keep the access structures as flexible
+// as possible and suitable for adaptive refinement"). It is built in the
+// spirit of the paper's "enhanced" containers: grid points are keyed by
+// gp2idx within an enclosing regular grid of the maximum refinement
+// level, so keys stay integers and no coordinate vectors are stored.
+//
+// The grid maintains the classic invariants of adaptive sparse grids:
+//
+//   - hierarchical closure: every point's hierarchical ancestors (in
+//     every dimension) are present, which makes the recursive descent
+//     evaluation complete;
+//   - surplus semantics: each point stores its hierarchical surplus
+//     α_p = f(x_p) − I_coarser(x_p), assigned in ascending level-group
+//     order (same-group basis functions vanish at each other's centers).
+//
+// Refinement is surplus-driven: points whose |α| exceeds a threshold
+// get their 2d hierarchical children inserted, cap-limited.
+package adaptive
+
+import (
+	"fmt"
+	"sort"
+
+	"compactsg/internal/basis"
+	"compactsg/internal/core"
+)
+
+// Grid is a spatially adaptive sparse grid for a fixed target function.
+type Grid struct {
+	desc *core.Descriptor // enclosing regular grid (defines gp2idx keys)
+	dim  int
+	max  int // deepest usable level group = desc.Level()-1
+	f    func(x []float64) float64
+
+	// surplus maps gp2idx keys to hierarchical surpluses.
+	surplus map[int64]float64
+	// nodal holds f(x_p) for points whose surplus is not yet assigned.
+	pending map[int64]float64
+}
+
+// New creates an adaptive grid for f with an initial regular level and
+// a maximum refinement level (the key space bound).
+func New(dim, initialLevel, maxLevel int, f func(x []float64) float64) (*Grid, error) {
+	if initialLevel < 1 || initialLevel > maxLevel {
+		return nil, fmt.Errorf("adaptive: initial level %d out of range [1, %d]", initialLevel, maxLevel)
+	}
+	desc, err := core.NewDescriptor(dim, maxLevel)
+	if err != nil {
+		return nil, err
+	}
+	g := &Grid{
+		desc:    desc,
+		dim:     dim,
+		max:     maxLevel - 1,
+		f:       f,
+		surplus: make(map[int64]float64),
+		pending: make(map[int64]float64),
+	}
+	// Seed with the regular grid of the initial level.
+	init, err := core.NewDescriptor(dim, initialLevel)
+	if err != nil {
+		return nil, err
+	}
+	init.VisitPoints(func(_ int64, l, i []int32) {
+		g.insert(l, i)
+	})
+	g.commit()
+	return g, nil
+}
+
+// Points returns the number of grid points.
+func (g *Grid) Points() int { return len(g.surplus) + len(g.pending) }
+
+// Dim returns the dimensionality.
+func (g *Grid) Dim() int { return g.dim }
+
+// MaxLevel returns the deepest admissible refinement level.
+func (g *Grid) MaxLevel() int { return g.max + 1 }
+
+// MemoryBytes models the storage: hash entries of key+value plus
+// container overhead, as in the paper's enhanced hash table.
+func (g *Grid) MemoryBytes() int64 {
+	const perEntry = 8 + 8 + 16 // key, value, chain/metadata overhead
+	return int64(g.Points()) * (perEntry + 16)
+}
+
+// insert adds the point (l, i) with its nodal value, recursively adding
+// missing hierarchical ancestors first (closure). Existing points are
+// left untouched.
+func (g *Grid) insert(l, i []int32) {
+	key := g.desc.GP2Idx(l, i)
+	if _, ok := g.surplus[key]; ok {
+		return
+	}
+	if _, ok := g.pending[key]; ok {
+		return
+	}
+	for t := 0; t < g.dim; t++ {
+		for _, dir := range []core.ParentDir{core.LeftParent, core.RightParent} {
+			pl, pi, ok := core.Parent1D(l[t], i[t], dir)
+			if !ok {
+				continue
+			}
+			sl, si := l[t], i[t]
+			l[t], i[t] = pl, pi
+			g.insert(l, i)
+			l[t], i[t] = sl, si
+		}
+	}
+	x := make([]float64, g.dim)
+	core.Coords(l, i, x)
+	g.pending[key] = g.f(x)
+}
+
+// commit assigns surpluses to all pending points in ascending
+// level-group order: α_p = f(x_p) − I(x_p), where I already contains
+// every coarser point (including same-batch ones).
+func (g *Grid) commit() {
+	if len(g.pending) == 0 {
+		return
+	}
+	keys := make([]int64, 0, len(g.pending))
+	for k := range g.pending {
+		keys = append(keys, k)
+	}
+	// gp2idx orders by level group first, so key order is group order.
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	l := make([]int32, g.dim)
+	i := make([]int32, g.dim)
+	x := make([]float64, g.dim)
+	for _, key := range keys {
+		g.desc.Idx2GP(key, l, i)
+		core.Coords(l, i, x)
+		g.surplus[key] = g.pending[key] - g.Evaluate(x)
+		delete(g.pending, key)
+	}
+}
+
+// Refine inserts the hierarchical children of every point whose |α|
+// exceeds eps, stopping once maxNew new points were created (closure
+// parents count). It returns the number of points added; zero means
+// the grid is converged for this threshold.
+func (g *Grid) Refine(eps float64, maxNew int) int {
+	type cand struct {
+		key int64
+		mag float64
+	}
+	var cands []cand
+	for key, a := range g.surplus {
+		if a < 0 {
+			a = -a
+		}
+		if a > eps {
+			cands = append(cands, cand{key, a})
+		}
+	}
+	// Largest surpluses first: spend the point budget where it matters.
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].mag != cands[b].mag {
+			return cands[a].mag > cands[b].mag
+		}
+		return cands[a].key < cands[b].key
+	})
+	before := g.Points()
+	l := make([]int32, g.dim)
+	i := make([]int32, g.dim)
+	for _, c := range cands {
+		if g.Points()-before >= maxNew {
+			break
+		}
+		g.desc.Idx2GP(c.key, l, i)
+		if core.LevelSum(l) >= g.max {
+			continue // at the level cap
+		}
+		for t := 0; t < g.dim; t++ {
+			for _, dir := range []core.ParentDir{core.LeftParent, core.RightParent} {
+				cl, ci := core.Child1D(l[t], i[t], dir)
+				sl, si := l[t], i[t]
+				l[t], i[t] = cl, ci
+				g.insert(l, i)
+				l[t], i[t] = sl, si
+			}
+		}
+	}
+	g.commit()
+	return g.Points() - before
+}
+
+// Evaluate interpolates the adaptive grid at x: a recursive descent per
+// dimension over the existing points. Closure guarantees that a chain
+// prefix exists whenever any of its descendants does, so pruning on a
+// missing root-completion is exact.
+func (g *Grid) Evaluate(x []float64) float64 {
+	l := make([]int32, g.dim)
+	i := make([]int32, g.dim)
+	for t := range i {
+		i[t] = 1
+	}
+	return g.evalRec(l, i, x, 0, 1.0)
+}
+
+func (g *Grid) evalRec(l, i []int32, x []float64, t int, prod float64) float64 {
+	// Start the dimension-t chain at its root.
+	l[t], i[t] = 0, 1
+	res := 0.0
+	for {
+		// Prune: if the prefix completed with roots does not exist, no
+		// descendant of this prefix exists either (closure).
+		if !g.prefixExists(l, i, t) {
+			break
+		}
+		phi := basis.Eval1D(l[t], i[t], x[t])
+		p := prod * phi
+		if p != 0 {
+			if t == g.dim-1 {
+				if a, ok := g.surplus[g.desc.GP2Idx(l, i)]; ok {
+					res += p * a
+				}
+			} else {
+				res += g.evalRec(l, i, x, t+1, p)
+			}
+		}
+		if int(l[t]) >= g.max {
+			break
+		}
+		if x[t] < core.Coord(l[t], i[t]) {
+			l[t], i[t] = core.Child1D(l[t], i[t], core.LeftParent)
+		} else {
+			l[t], i[t] = core.Child1D(l[t], i[t], core.RightParent)
+		}
+	}
+	l[t], i[t] = 0, 1
+	return res
+}
+
+// prefixExists reports whether the point formed by dims 0..t of (l, i)
+// and roots elsewhere is present.
+func (g *Grid) prefixExists(l, i []int32, t int) bool {
+	saveL := make([]int32, g.dim-t-1)
+	saveI := make([]int32, g.dim-t-1)
+	for k := t + 1; k < g.dim; k++ {
+		saveL[k-t-1], saveI[k-t-1] = l[k], i[k]
+		l[k], i[k] = 0, 1
+	}
+	_, ok := g.surplus[g.desc.GP2Idx(l, i)]
+	for k := t + 1; k < g.dim; k++ {
+		l[k], i[k] = saveL[k-t-1], saveI[k-t-1]
+	}
+	return ok
+}
+
+// Coarsen removes leaf points (no hierarchical children present) whose
+// |surplus| ≤ eps — the inverse of Refine, used to shrink a grid after
+// the target function's rough region moved. Only leaves are removed so
+// the closure invariant survives; repeated calls peel deeper. It
+// returns the number of removed points and the L∞ error bound of the
+// removal (Σ of removed |α|).
+func (g *Grid) Coarsen(eps float64) (removed int, errorBound float64) {
+	l := make([]int32, g.dim)
+	i := make([]int32, g.dim)
+	var victims []int64
+	for key, a := range g.surplus {
+		if a < 0 {
+			a = -a
+		}
+		if a > eps {
+			continue
+		}
+		g.desc.Idx2GP(key, l, i)
+		if core.LevelSum(l) == 0 {
+			continue // keep the root point
+		}
+		if g.hasChild(l, i) {
+			continue
+		}
+		victims = append(victims, key)
+		errorBound += a
+	}
+	for _, key := range victims {
+		delete(g.surplus, key)
+	}
+	return len(victims), errorBound
+}
+
+// hasChild reports whether any hierarchical child of (l, i) is present.
+func (g *Grid) hasChild(l, i []int32) bool {
+	for t := 0; t < g.dim; t++ {
+		if int(l[t]) >= g.max {
+			continue
+		}
+		for _, dir := range []core.ParentDir{core.LeftParent, core.RightParent} {
+			cl, ci := core.Child1D(l[t], i[t], dir)
+			sl, si := l[t], i[t]
+			l[t], i[t] = cl, ci
+			_, ok := g.surplus[g.desc.GP2Idx(l, i)]
+			l[t], i[t] = sl, si
+			if ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// MaxSurplusAboveLevel returns the largest |α| among points with
+// |l|₁ ≥ group — a convergence indicator for refinement loops.
+func (g *Grid) MaxSurplusAboveLevel(group int) float64 {
+	l := make([]int32, g.dim)
+	i := make([]int32, g.dim)
+	max := 0.0
+	for key, a := range g.surplus {
+		g.desc.Idx2GP(key, l, i)
+		if core.LevelSum(l) < group {
+			continue
+		}
+		if a < 0 {
+			a = -a
+		}
+		if a > max {
+			max = a
+		}
+	}
+	return max
+}

@@ -1,0 +1,76 @@
+// Package basis provides the piecewise-linear (hat) basis functions of
+// the sparse grid technique (paper Sec. 2.1): the mother hat
+// φ(x) = max(1-|x|, 0), its dilated/translated 1d family φ_{l,i}, and the
+// d-dimensional tensor products. Levels are 0-based as everywhere in this
+// module: the 1d basis on level l has 2^l functions with odd indices
+// i ∈ [1, 2^(l+1)-1], centered at i/2^(l+1) with support width 2^(-l).
+package basis
+
+// Hat is the standard one-dimensional mother hat function
+// φ(x) = max(1 - |x|, 0).
+func Hat(x float64) float64 {
+	if x < 0 {
+		x = -x
+	}
+	if x >= 1 {
+		return 0
+	}
+	return 1 - x
+}
+
+// Eval1D evaluates φ_{l,i}(x) = φ(2^(l+1)·x − i) for the 0-based level l
+// and odd index i.
+func Eval1D(level, index int32, x float64) float64 {
+	scale := float64(int64(1) << uint32(level+1))
+	return Hat(scale*x - float64(index))
+}
+
+// EvalInterval evaluates the hat spanning [left, right] centered at the
+// midpoint, as the iterative GPU evaluation kernel does (paper Alg. 7,
+// line 13): the support boundaries are derived from the cell the query
+// point falls into, so no index arithmetic is needed.
+func EvalInterval(left, right, x float64) float64 {
+	mid := 0.5 * (left + right)
+	half := 0.5 * (right - left)
+	return Hat((x - mid) / half)
+}
+
+// EvalTensor evaluates the d-dimensional tensor-product basis function
+// φ_{l,i}(x) = Π_t φ_{l_t,i_t}(x_t). It short-circuits to 0 as soon as
+// one factor vanishes.
+func EvalTensor(l, i []int32, x []float64) float64 {
+	p := 1.0
+	for t := range l {
+		f := Eval1D(l[t], i[t], x[t])
+		if f == 0 {
+			return 0
+		}
+		p *= f
+	}
+	return p
+}
+
+// Support1D returns the support interval [lo, hi] of φ_{l,i}.
+func Support1D(level, index int32) (lo, hi float64) {
+	h := 1.0 / float64(int64(1)<<uint32(level+1))
+	c := float64(index) * h
+	return c - h, c + h
+}
+
+// InSupport reports whether x lies inside the (closed) support of φ_{l,i}.
+func InSupport(level, index int32, x float64) bool {
+	lo, hi := Support1D(level, index)
+	return x >= lo && x <= hi
+}
+
+// Boundary basis for the extended (non-zero boundary) context, paper
+// Sec. 4.4: level 0 gains the two linear functions attached to the
+// domain endpoints.
+
+// EvalBoundaryLeft evaluates φ_{0,0}(x) = 1 - x, the basis function of
+// the left boundary point.
+func EvalBoundaryLeft(x float64) float64 { return Hat(x) }
+
+// EvalBoundaryRight evaluates φ_{0,1}... the right boundary hat
+// φ(x-1) = x on [0,1].
+func EvalBoundaryRight(x float64) float64 { return Hat(x - 1) }

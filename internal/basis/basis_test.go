@@ -1,0 +1,131 @@
+package basis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"compactsg/internal/core"
+)
+
+func TestHat(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 1}, {0.5, 0.5}, {-0.5, 0.5}, {1, 0}, {-1, 0}, {2, 0}, {-3, 0}, {0.25, 0.75},
+	}
+	for _, c := range cases {
+		if got := Hat(c.x); got != c.want {
+			t.Errorf("Hat(%g)=%g want %g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestEval1DCenterAndSupport(t *testing.T) {
+	for level := int32(0); level < 8; level++ {
+		for index := int32(1); index < 2<<uint32(level); index += 2 {
+			c := core.Coord(level, index)
+			if got := Eval1D(level, index, c); got != 1 {
+				t.Fatalf("φ_{%d,%d} at its center = %g, want 1", level, index, got)
+			}
+			lo, hi := Support1D(level, index)
+			if Eval1D(level, index, lo) != 0 || Eval1D(level, index, hi) != 0 {
+				t.Fatalf("φ_{%d,%d} nonzero at support edge", level, index)
+			}
+			if !InSupport(level, index, c) || InSupport(level, index, hi+1e-9) {
+				t.Fatalf("InSupport inconsistent for (%d,%d)", level, index)
+			}
+		}
+	}
+}
+
+func TestEval1DMidpoints(t *testing.T) {
+	// Halfway between center and support edge the hat is 1/2.
+	if got := Eval1D(1, 3, 0.625); got != 0.5 {
+		t.Errorf("φ_{1,3}(0.625)=%g want 0.5", got)
+	}
+	if got := Eval1D(2, 1, 0.0625); got != 0.5 {
+		t.Errorf("φ_{2,1}(0.0625)=%g want 0.5", got)
+	}
+}
+
+func TestSameLevelDisjointSupports(t *testing.T) {
+	// Basis functions of one subspace have pairwise disjoint supports
+	// (paper Sec. 2.1): at any x at most one function of a level is
+	// nonzero (interior of supports).
+	f := func(xr float64) bool {
+		if math.IsNaN(xr) || math.IsInf(xr, 0) {
+			return true
+		}
+		x := math.Abs(math.Mod(xr, 1))
+		for level := int32(0); level < 7; level++ {
+			nonzero := 0
+			for index := int32(1); index < 2<<uint32(level); index += 2 {
+				if Eval1D(level, index, x) > 0 {
+					nonzero++
+				}
+			}
+			if nonzero > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalIntervalMatchesEval1D(t *testing.T) {
+	f := func(raw uint16, xr float64) bool {
+		if math.IsNaN(xr) || math.IsInf(xr, 0) {
+			return true
+		}
+		level := int32(raw % 9)
+		n := int32(1) << uint32(level)
+		index := int32(2*(int(raw/16)%int(n)) + 1)
+		x := math.Abs(math.Mod(xr, 1))
+		lo, hi := Support1D(level, index)
+		a := Eval1D(level, index, x)
+		b := EvalInterval(lo, hi, x)
+		return math.Abs(a-b) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalTensor(t *testing.T) {
+	// Paper Fig. 2 (right): φ_{(2,1),(1,1)}(x,y) = φ_{2,1}(x)·φ_{1,1}(y)
+	// in the paper's 1-based levels, i.e. 0-based (1,0).
+	l := []int32{1, 0}
+	i := []int32{1, 1}
+	x := []float64{0.25, 0.5}
+	if got := EvalTensor(l, i, x); got != 1 {
+		t.Errorf("tensor at center = %g want 1", got)
+	}
+	x = []float64{0.125, 0.25}
+	want := Eval1D(1, 1, 0.125) * Eval1D(0, 1, 0.25)
+	if got := EvalTensor(l, i, x); math.Abs(got-want) > 1e-15 {
+		t.Errorf("tensor = %g want %g", got, want)
+	}
+	// Zero short-circuit.
+	x = []float64{0.75, 0.5} // outside φ_{1,1} support
+	if got := EvalTensor(l, i, x); got != 0 {
+		t.Errorf("tensor outside support = %g want 0", got)
+	}
+}
+
+func TestBoundaryBasis(t *testing.T) {
+	if EvalBoundaryLeft(0) != 1 || EvalBoundaryLeft(1) != 0 || EvalBoundaryLeft(0.25) != 0.75 {
+		t.Error("left boundary basis wrong")
+	}
+	if EvalBoundaryRight(1) != 1 || EvalBoundaryRight(0) != 0 || EvalBoundaryRight(0.75) != 0.75 {
+		t.Error("right boundary basis wrong")
+	}
+	// Partition of unity on level 0 extended: φ_{0,0} + φ_{0,1} + ... the
+	// two boundary hats alone sum to 1 everywhere on [0,1].
+	for _, x := range []float64{0, 0.1, 0.5, 0.9, 1} {
+		if s := EvalBoundaryLeft(x) + EvalBoundaryRight(x); math.Abs(s-1) > 1e-15 {
+			t.Errorf("boundary hats at %g sum to %g", x, s)
+		}
+	}
+}

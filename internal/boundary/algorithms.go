@@ -1,0 +1,241 @@
+package boundary
+
+import (
+	"sync"
+
+	"compactsg/internal/core"
+	"compactsg/internal/eval"
+)
+
+// Hierarchize transforms the extended grid's nodal values into
+// hierarchical coefficients in place. It is the dimension-by-dimension
+// update of package hier generalized to non-zero boundaries: when a
+// point's 1d ancestor in the working dimension falls on the domain
+// boundary, the ancestor's value is read from the corresponding boundary
+// face instead of being zero. Faces where the working dimension is fixed
+// are read-only in that dimension's pass, so within a pass the usual
+// descending level-group order suffices.
+func (g *Grid) Hierarchize() {
+	for t := 0; t < g.dim; t++ {
+		for k := range g.faces {
+			f := &g.faces[k]
+			if f.FixedMask&(1<<uint(t)) != 0 {
+				continue // t pinned: no hierarchization along t here
+			}
+			g.hierFaceDim(f, t, false)
+		}
+	}
+}
+
+// HierarchizeParallel distributes each dimension pass's faces over
+// workers. Faces with the working dimension free update only their own
+// slots and read only faces where that dimension is fixed (untouched in
+// the pass), so the faces of one pass are independent. Results are
+// bit-identical to Hierarchize.
+func (g *Grid) HierarchizeParallel(workers int) {
+	if workers <= 1 {
+		g.Hierarchize()
+		return
+	}
+	for t := 0; t < g.dim; t++ {
+		g.parallelPass(t, false, workers)
+	}
+}
+
+// DehierarchizeParallel is the parallel inverse transform.
+func (g *Grid) DehierarchizeParallel(workers int) {
+	if workers <= 1 {
+		g.Dehierarchize()
+		return
+	}
+	for t := g.dim - 1; t >= 0; t-- {
+		g.parallelPass(t, true, workers)
+	}
+}
+
+func (g *Grid) parallelPass(t int, inverse bool, workers int) {
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for k := range g.faces {
+		f := &g.faces[k]
+		if f.FixedMask&(1<<uint(t)) != 0 {
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(f *Face) {
+			defer wg.Done()
+			g.hierFaceDim(f, t, inverse)
+			<-sem
+		}(f)
+	}
+	wg.Wait()
+}
+
+// Dehierarchize inverts Hierarchize in place.
+func (g *Grid) Dehierarchize() {
+	for t := g.dim - 1; t >= 0; t-- {
+		for k := range g.faces {
+			f := &g.faces[k]
+			if f.FixedMask&(1<<uint(t)) != 0 {
+				continue
+			}
+			g.hierFaceDim(f, t, true)
+		}
+	}
+}
+
+// hierFaceDim applies the dimension-t (de)hierarchization to one face.
+func (g *Grid) hierFaceDim(f *Face, t int, inverse bool) {
+	desc := f.Desc
+	tf := 0
+	for p, dim := range f.free {
+		if dim == t {
+			tf = p
+		}
+	}
+	// Neighbouring boundary faces that carry the out-of-domain ancestors.
+	fL, err := g.Face(f.FixedMask|1<<uint(t), f.SideBits)
+	if err != nil {
+		panic(err)
+	}
+	fR, err := g.Face(f.FixedMask|1<<uint(t), f.SideBits|1<<uint(t))
+	if err != nil {
+		panic(err)
+	}
+
+	i := make([]int32, desc.Dim())
+	subL := make([]int32, desc.Dim()-1)
+	subI := make([]int32, desc.Dim()-1)
+	it := core.NewSubspaceIter(desc)
+	groups := make([]int, 0, desc.Groups())
+	for grp := 0; grp < desc.Groups(); grp++ {
+		groups = append(groups, grp)
+	}
+	if !inverse {
+		// Descending for hierarchization, ascending for the inverse.
+		for a, b := 0, len(groups)-1; a < b; a, b = a+1, b-1 {
+			groups[a], groups[b] = groups[b], groups[a]
+		}
+	}
+	for _, grp := range groups {
+		it.SeekGroup(grp)
+		for it.Valid() && it.Group() == grp {
+			l := it.Level()
+			n := it.Points()
+			start := it.Start()
+			for p := int64(0); p < n; p++ {
+				core.DecodeIndex1(p, l, i)
+				lv := g.ancestorValue(f, fL, desc, l, i, tf, core.LeftParent, subL, subI)
+				rv := g.ancestorValue(f, fR, desc, l, i, tf, core.RightParent, subL, subI)
+				if inverse {
+					g.Data[f.Offset+start+p] += (lv + rv) / 2
+				} else {
+					g.Data[f.Offset+start+p] -= (lv + rv) / 2
+				}
+			}
+			it.Advance()
+		}
+	}
+}
+
+// ancestorValue reads the value of the 1d hierarchical ancestor of
+// (l, i) in face-local dimension tf on the given side: from the same
+// face if the ancestor is an interior point of the 1d hierarchy, from
+// the boundary face fB otherwise.
+func (g *Grid) ancestorValue(f, fB *Face, desc *core.Descriptor, l, i []int32, tf int, dir core.ParentDir, subL, subI []int32) float64 {
+	if idx, ok := desc.ParentIdx(l, i, tf, dir); ok {
+		return g.Data[f.Offset+idx]
+	}
+	// Ancestor on the boundary: drop dimension tf, index into fB.
+	if fB.Desc == nil {
+		return g.Data[fB.Offset]
+	}
+	k := 0
+	for p := range l {
+		if p == tf {
+			continue
+		}
+		subL[k] = l[p]
+		subI[k] = i[p]
+		k++
+	}
+	return g.Data[fB.Offset+fB.Desc.GP2Idx(subL, subI)]
+}
+
+// Evaluate interpolates the hierarchized extended grid at x ∈ [0,1]^d:
+// the interior contribution plus, for every boundary face, the face's
+// sparse grid interpolant weighted by the boundary basis factors
+// Π (1-x_t) or x_t of its fixed dimensions.
+func (g *Grid) Evaluate(x []float64) float64 {
+	res := 0.0
+	sub := make([]float64, g.dim)
+	for k := range g.faces {
+		f := &g.faces[k]
+		w := 1.0
+		for t := 0; t < g.dim; t++ {
+			if f.FixedMask&(1<<uint(t)) == 0 {
+				continue
+			}
+			if f.SideBits&(1<<uint(t)) != 0 {
+				w *= x[t] // right-side boundary hat φ_{0,1}
+			} else {
+				w *= 1 - x[t] // left-side boundary hat φ_{0,0}
+			}
+		}
+		if w == 0 {
+			continue
+		}
+		if f.Desc == nil {
+			res += w * g.Data[f.Offset]
+			continue
+		}
+		xs := sub[:len(f.free)]
+		for p, t := range f.free {
+			xs[p] = x[t]
+		}
+		res += w * eval.Iterative(g.faceView(f), xs)
+	}
+	return res
+}
+
+// MemoryBytes returns the coefficient storage footprint.
+func (g *Grid) MemoryBytes() int64 { return int64(len(g.Data)) * 8 }
+
+// Integrate computes ∫_{[0,1]^d} of the hierarchized extended grid in
+// closed form: every face contributes its interior-style integral over
+// the free dimensions (each basis function integrates to 2^-(|l|₁+d_free))
+// times 1/2 per fixed dimension (the boundary hats integrate to 1/2).
+func (g *Grid) Integrate() float64 {
+	res := 0.0
+	for k := range g.faces {
+		f := &g.faces[k]
+		j := 0
+		for t := 0; t < g.dim; t++ {
+			if f.FixedMask&(1<<uint(t)) != 0 {
+				j++
+			}
+		}
+		w := 1.0 / float64(int64(1)<<uint(j))
+		if f.Desc == nil {
+			res += w * g.Data[f.Offset]
+			continue
+		}
+		sub := 0.0
+		d := f.Desc.Dim()
+		it := core.NewSubspaceIter(f.Desc)
+		for it.Valid() {
+			sw := 1.0 / float64(int64(1)<<uint(it.Group()+d))
+			sum := 0.0
+			lo := f.Offset + it.Start()
+			hi := lo + it.Points()
+			for _, v := range g.Data[lo:hi] {
+				sum += v
+			}
+			sub += sw * sum
+			it.Advance()
+		}
+		res += w * sub
+	}
+	return res
+}

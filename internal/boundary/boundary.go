@@ -1,0 +1,271 @@
+// Package boundary implements the paper's extendable context (Sec. 4.4):
+// sparse grids for functions that do NOT vanish on the domain boundary.
+//
+// The observation: the boundary of a d-dimensional sparse grid decomposes
+// into lower-dimensional zero-boundary sparse grids — fix any non-empty
+// subset of j dimensions to a side of the domain and the points with the
+// remaining d-j dimensions free form a (d-j)-dimensional sparse grid.
+// There are 2^j · C(d, j) such faces of co-dimension j (Fig. 7: a 3d grid
+// has 6 2d-projections, 12 1d-projections and 8 corners), and together
+// with the interior grid the pieces number 3^d.
+//
+// Every face reuses the compact gp2idx layout of package core over its
+// free dimensions; faces are stored back to back in one flat array,
+// grouped by co-dimension with an arithmetic ordering function inside
+// each group — exactly the scheme the paper sketches.
+package boundary
+
+import (
+	"fmt"
+	"math/bits"
+
+	"compactsg/internal/core"
+)
+
+// Face describes one piece of the decomposition.
+type Face struct {
+	// FixedMask has bit t set iff dimension t is pinned to the boundary.
+	FixedMask uint32
+	// SideBits: for every fixed dimension t, bit t set means x_t = 1
+	// (right side); clear means x_t = 0. Bits of free dimensions are 0.
+	SideBits uint32
+	// Desc is the compact descriptor over the free dimensions; nil for
+	// corners (all dimensions fixed), which store a single value.
+	Desc *core.Descriptor
+	// Offset is the face's first slot in the shared coefficient array.
+	Offset int64
+	// free lists the free dimensions in ascending order.
+	free []int
+}
+
+// Size returns the number of grid points on the face.
+func (f *Face) Size() int64 {
+	if f.Desc == nil {
+		return 1
+	}
+	return f.Desc.Size()
+}
+
+// FreeDims returns the face's free dimensions in ascending order.
+func (f *Face) FreeDims() []int { return f.free }
+
+// Grid is a sparse grid with non-zero boundary support: the interior
+// zero-boundary grid plus all boundary faces, sharing one flat array.
+type Grid struct {
+	dim   int
+	level int
+	faces []Face
+	// rank maps (FixedMask, SideBits) to the position in faces.
+	rank map[uint64]int
+	// groupStart[j] is the index in faces of the first co-dimension-j
+	// face; groupOffset[j] its slot offset in Data.
+	groupStart  []int
+	groupOffset []int64
+	Data        []float64
+}
+
+// New builds the extended grid for dimension dim (≤ 30, the face count
+// is 3^dim) and refinement level.
+func New(dim, level int) (*Grid, error) {
+	if dim < 1 || dim > 30 {
+		return nil, fmt.Errorf("boundary: dimension %d out of range [1, 30]", dim)
+	}
+	// Shared descriptors per free-dimension count.
+	descs := make([]*core.Descriptor, dim+1)
+	for fd := 1; fd <= dim; fd++ {
+		d, err := core.NewDescriptor(fd, level)
+		if err != nil {
+			return nil, err
+		}
+		descs[fd] = d
+	}
+	g := &Grid{
+		dim:         dim,
+		level:       level,
+		rank:        make(map[uint64]int),
+		groupStart:  make([]int, dim+2),
+		groupOffset: make([]int64, dim+2),
+	}
+	var offset int64
+	// Co-dimension groups in ascending order; within a group, subset
+	// masks in numeric (= colexicographic) order, then side bits.
+	for j := 0; j <= dim; j++ {
+		g.groupStart[j] = len(g.faces)
+		g.groupOffset[j] = offset
+		for mask := uint32(0); mask < 1<<uint(dim); mask++ {
+			if bits.OnesCount32(mask) != j {
+				continue
+			}
+			free := make([]int, 0, dim-j)
+			for t := 0; t < dim; t++ {
+				if mask&(1<<uint(t)) == 0 {
+					free = append(free, t)
+				}
+			}
+			for sides := uint32(0); sides < 1<<uint(j); sides++ {
+				f := Face{
+					FixedMask: mask,
+					SideBits:  spreadBits(sides, mask),
+					Desc:      descs[dim-j],
+					Offset:    offset,
+					free:      free,
+				}
+				g.rank[faceKey(f.FixedMask, f.SideBits)] = len(g.faces)
+				g.faces = append(g.faces, f)
+				offset += f.Size()
+			}
+		}
+	}
+	g.groupStart[dim+1] = len(g.faces)
+	g.groupOffset[dim+1] = offset
+	g.Data = make([]float64, offset)
+	return g, nil
+}
+
+// spreadBits distributes the low bits of packed onto the set bit
+// positions of mask, lowest mask bit first.
+func spreadBits(packed, mask uint32) uint32 {
+	var out uint32
+	k := 0
+	for t := 0; t < 32; t++ {
+		if mask&(1<<uint(t)) != 0 {
+			if packed&(1<<uint(k)) != 0 {
+				out |= 1 << uint(t)
+			}
+			k++
+		}
+	}
+	return out
+}
+
+// packBits inverts spreadBits: collects the bits of spread at the set
+// positions of mask into a dense low-bit integer.
+func packBits(spread, mask uint32) uint32 {
+	var out uint32
+	k := 0
+	for t := 0; t < 32; t++ {
+		if mask&(1<<uint(t)) != 0 {
+			if spread&(1<<uint(t)) != 0 {
+				out |= 1 << uint(k)
+			}
+			k++
+		}
+	}
+	return out
+}
+
+func faceKey(mask, sides uint32) uint64 {
+	return uint64(mask)<<32 | uint64(sides)
+}
+
+// Dim returns the dimensionality.
+func (g *Grid) Dim() int { return g.dim }
+
+// Level returns the refinement level.
+func (g *Grid) Level() int { return g.level }
+
+// Size returns the total number of stored coefficients.
+func (g *Grid) Size() int64 { return int64(len(g.Data)) }
+
+// Faces returns all pieces in storage order (interior first).
+func (g *Grid) Faces() []Face { return g.faces }
+
+// FacesOfCodim returns the faces with exactly j fixed dimensions.
+func (g *Grid) FacesOfCodim(j int) []Face {
+	return g.faces[g.groupStart[j]:g.groupStart[j+1]]
+}
+
+// Interior returns the interior (zero-boundary) face.
+func (g *Grid) Interior() *Face { return &g.faces[0] }
+
+// Face returns the face with the given fixed mask and side bits.
+func (g *Grid) Face(mask, sides uint32) (*Face, error) {
+	k, ok := g.rank[faceKey(mask, sides&mask)]
+	if !ok {
+		return nil, fmt.Errorf("boundary: no face for mask %b", mask)
+	}
+	return &g.faces[k], nil
+}
+
+// FaceOffset is the arithmetic ordering function of Sec. 4.4: it
+// computes a face's storage offset from (mask, sides) alone, without
+// consulting the face table. Faces of co-dimension j all have equal
+// size, so the offset is groupOffset[j] + rank·size, where the rank
+// interleaves the colexicographic subset rank with the packed side bits.
+func (g *Grid) FaceOffset(mask, sides uint32) int64 {
+	j := bits.OnesCount32(mask)
+	size := int64(1)
+	if j < g.dim {
+		size = g.faces[g.groupStart[j]].Desc.Size()
+	}
+	rank := int64(subsetColexRank(mask))<<uint(j) + int64(packBits(sides&mask, mask))
+	return g.groupOffset[j] + rank*size
+}
+
+// subsetColexRank ranks a bitmask among all masks with the same
+// popcount, in numeric (colexicographic) order: Σ C(c_k, k) over the
+// set bit positions c_1 < c_2 < … .
+func subsetColexRank(mask uint32) int64 {
+	var rank int64
+	k := 1
+	for m := mask; m != 0; m &= m - 1 {
+		c := bits.TrailingZeros32(m)
+		b, _ := binom(c, k)
+		rank += b
+		k++
+	}
+	return rank
+}
+
+// binom is a small exact binomial for subset ranking (arguments ≤ 32).
+func binom(n, k int) (int64, bool) {
+	if k < 0 || k > n {
+		return 0, true
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := int64(1)
+	for j := 1; j <= k; j++ {
+		r = r * int64(n-k+j) / int64(j)
+	}
+	return r, true
+}
+
+// faceView wraps a face's slots as a compact grid (shared storage).
+func (g *Grid) faceView(f *Face) *core.Grid {
+	v, err := core.GridFromData(f.Desc, g.Data[f.Offset:f.Offset+f.Desc.Size()])
+	if err != nil {
+		panic(err) // sizes are consistent by construction
+	}
+	return v
+}
+
+// Fill samples fn at every grid point of every face (nodal values).
+func (g *Grid) Fill(fn func(x []float64) float64) {
+	x := make([]float64, g.dim)
+	for k := range g.faces {
+		f := &g.faces[k]
+		for t := 0; t < g.dim; t++ {
+			if f.FixedMask&(1<<uint(t)) != 0 {
+				if f.SideBits&(1<<uint(t)) != 0 {
+					x[t] = 1
+				} else {
+					x[t] = 0
+				}
+			}
+		}
+		if f.Desc == nil {
+			g.Data[f.Offset] = fn(x)
+			continue
+		}
+		sub := make([]float64, len(f.free))
+		f.Desc.VisitPoints(func(idx int64, l, i []int32) {
+			core.Coords(l, i, sub)
+			for p, t := range f.free {
+				x[t] = sub[p]
+			}
+			g.Data[f.Offset+idx] = fn(x)
+		})
+	}
+}

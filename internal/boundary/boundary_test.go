@@ -1,0 +1,373 @@
+package boundary
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"compactsg/internal/core"
+	"compactsg/internal/workload"
+)
+
+func TestFaceCounts(t *testing.T) {
+	// Paper Sec. 4.4 / Fig. 7: the number of (d-j)-dimensional pieces is
+	// 2^j · C(d, j); a 3d grid has 1 interior, 6 2d faces, 12 1d edges
+	// and 8 corners — 27 = 3^3 pieces in total.
+	g, err := New(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 6, 12, 8}
+	for j := 0; j <= 3; j++ {
+		if got := len(g.FacesOfCodim(j)); got != want[j] {
+			t.Errorf("codim %d: %d faces want %d", j, got, want[j])
+		}
+	}
+	if got := len(g.Faces()); got != 27 {
+		t.Errorf("total faces %d want 27", got)
+	}
+	for _, d := range []int{1, 2, 4, 5} {
+		g, err := New(d, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 1
+		for j := 0; j <= d; j++ {
+			b, _ := binom(d, j)
+			if got := len(g.FacesOfCodim(j)); got != (1<<uint(j))*int(b) {
+				t.Errorf("d=%d codim %d: %d faces want %d", d, j, got, (1<<uint(j))*int(b))
+			}
+			total *= 3
+		}
+		if len(g.Faces()) != pow3(d) {
+			t.Errorf("d=%d: %d faces want 3^d=%d", d, len(g.Faces()), pow3(d))
+		}
+	}
+}
+
+func pow3(d int) int {
+	r := 1
+	for k := 0; k < d; k++ {
+		r *= 3
+	}
+	return r
+}
+
+func TestTotalSizeClosedForm(t *testing.T) {
+	// Σ_j 2^j C(d,j) S_{d-j}(n) with S_0 = 1.
+	for _, c := range []struct{ d, n int }{{1, 4}, {2, 3}, {3, 3}, {4, 2}} {
+		g, err := New(c.d, c.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want int64
+		for j := 0; j <= c.d; j++ {
+			b, _ := binom(c.d, j)
+			sz := int64(1)
+			if j < c.d {
+				sz = core.MustDescriptor(c.d-j, c.n).Size()
+			}
+			want += (int64(1) << uint(j)) * b * sz
+		}
+		if g.Size() != want {
+			t.Errorf("d=%d n=%d: size %d want %d", c.d, c.n, g.Size(), want)
+		}
+	}
+}
+
+func TestFaceOffsetMatchesTable(t *testing.T) {
+	// The arithmetic ordering function must agree with the construction
+	// order for every face.
+	g, err := New(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range g.Faces() {
+		f := &g.Faces()[k]
+		if got := g.FaceOffset(f.FixedMask, f.SideBits); got != f.Offset {
+			t.Errorf("face mask=%04b sides=%04b: FaceOffset=%d want %d", f.FixedMask, f.SideBits, got, f.Offset)
+		}
+	}
+}
+
+func TestFaceLookup(t *testing.T) {
+	g, err := New(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := g.Face(0b101, 0b100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.FixedMask != 0b101 || f.SideBits != 0b100 {
+		t.Errorf("Face returned mask=%b sides=%b", f.FixedMask, f.SideBits)
+	}
+	if len(f.FreeDims()) != 1 || f.FreeDims()[0] != 1 {
+		t.Errorf("free dims = %v want [1]", f.FreeDims())
+	}
+	if _, err := g.Face(1<<3, 0); err == nil {
+		t.Error("Face with out-of-range mask must fail")
+	}
+	if g.Interior().FixedMask != 0 {
+		t.Error("Interior is not the mask-0 face")
+	}
+}
+
+func TestSpreadPackBitsRoundTrip(t *testing.T) {
+	masks := []uint32{0, 0b1, 0b1010, 0b1111, 0b10011}
+	for _, mask := range masks {
+		n := uint32(1) << uint(popcount(mask))
+		for packed := uint32(0); packed < n; packed++ {
+			spread := spreadBits(packed, mask)
+			if spread&^mask != 0 {
+				t.Fatalf("spreadBits(%b,%b) leaked outside mask: %b", packed, mask, spread)
+			}
+			if got := packBits(spread, mask); got != packed {
+				t.Fatalf("packBits(spreadBits(%b,%b)) = %b", packed, mask, got)
+			}
+		}
+	}
+}
+
+func popcount(m uint32) int {
+	c := 0
+	for ; m != 0; m &= m - 1 {
+		c++
+	}
+	return c
+}
+
+func TestFillStoresNodalValues(t *testing.T) {
+	g, err := New(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := workload.Linear.F
+	g.Fill(f)
+	// Corners.
+	for _, c := range []struct {
+		sides uint32
+		x     []float64
+	}{
+		{0b00, []float64{0, 0}}, {0b01, []float64{1, 0}}, {0b10, []float64{0, 1}}, {0b11, []float64{1, 1}},
+	} {
+		face, err := g.Face(0b11, c.sides)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := g.Data[face.Offset]; got != f(c.x) {
+			t.Errorf("corner %v: %g want %g", c.x, got, f(c.x))
+		}
+	}
+	// An edge midpoint: face with dim 1 fixed at side 1, free dim 0 at 0.5.
+	face, err := g.Face(0b10, 0b10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Data[face.Offset]; got != f([]float64{0.5, 1}) {
+		t.Errorf("edge point (0.5,1): %g want %g", got, f([]float64{0.5, 1}))
+	}
+}
+
+func TestEvaluateReproducesNodalValues(t *testing.T) {
+	for _, c := range []struct{ d, n int }{{1, 4}, {2, 3}, {3, 3}} {
+		g, err := New(c.d, c.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fn := workload.Multilinear.F
+		g.Fill(fn)
+		nodal := append([]float64(nil), g.Data...)
+		g.Hierarchize()
+		// Every stored point — interior and boundary — must be
+		// reproduced by the interpolant.
+		x := make([]float64, c.d)
+		for k := range g.Faces() {
+			f := &g.Faces()[k]
+			for t := 0; t < c.d; t++ {
+				if f.FixedMask&(1<<uint(t)) != 0 {
+					if f.SideBits&(1<<uint(t)) != 0 {
+						x[t] = 1
+					} else {
+						x[t] = 0
+					}
+				}
+			}
+			if f.Desc == nil {
+				if got := g.Evaluate(x); math.Abs(got-nodal[f.Offset]) > 1e-12 {
+					t.Fatalf("d=%d corner %v: eval %g want %g", c.d, x, got, nodal[f.Offset])
+				}
+				continue
+			}
+			sub := make([]float64, len(f.FreeDims()))
+			f.Desc.VisitPoints(func(idx int64, l, i []int32) {
+				core.Coords(l, i, sub)
+				for p, t := range f.FreeDims() {
+					x[t] = sub[p]
+				}
+				if got := g.Evaluate(x); math.Abs(got-nodal[f.Offset+idx]) > 1e-12 {
+					t.Fatalf("d=%d face %04b point %v: eval %g want %g", c.d, f.FixedMask, x, got, nodal[f.Offset+idx])
+				}
+			})
+		}
+	}
+}
+
+func TestMultilinearExactEverywhere(t *testing.T) {
+	// A multilinear function lies in the extended sparse grid space at
+	// any level: interpolation must be exact at arbitrary points.
+	rng := rand.New(rand.NewSource(13))
+	for _, c := range []struct{ d, n int }{{1, 3}, {2, 3}, {3, 2}} {
+		g, err := New(c.d, c.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fn := workload.Multilinear.F
+		g.Fill(fn)
+		g.Hierarchize()
+		for k := 0; k < 100; k++ {
+			x := make([]float64, c.d)
+			for t := range x {
+				x[t] = rng.Float64()
+			}
+			if got := g.Evaluate(x); math.Abs(got-fn(x)) > 1e-12 {
+				t.Fatalf("d=%d n=%d at %v: %g want %g", c.d, c.n, x, got, fn(x))
+			}
+		}
+	}
+}
+
+func TestDehierarchizeInverts(t *testing.T) {
+	g, err := New(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Fill(workload.Linear.F)
+	orig := append([]float64(nil), g.Data...)
+	g.Hierarchize()
+	changed := false
+	for k := range g.Data {
+		if g.Data[k] != orig[k] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("hierarchization was a no-op; inverse test vacuous")
+	}
+	g.Dehierarchize()
+	for k := range g.Data {
+		if math.Abs(g.Data[k]-orig[k]) > 1e-12 {
+			t.Fatalf("dehierarchize∘hierarchize ≠ id at slot %d: %g vs %g", k, g.Data[k], orig[k])
+		}
+	}
+}
+
+func TestZeroBoundaryFunctionMatchesInteriorGrid(t *testing.T) {
+	// For a zero-boundary function all boundary coefficients vanish and
+	// the extended interpolant coincides with the plain compact grid's.
+	g, err := New(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := workload.Parabola.F
+	g.Fill(fn)
+	g.Hierarchize()
+	for k := range g.Faces() {
+		f := &g.Faces()[k]
+		if f.FixedMask == 0 {
+			continue
+		}
+		for s := f.Offset; s < f.Offset+f.Size(); s++ {
+			if g.Data[s] != 0 {
+				t.Fatalf("boundary face %04b holds nonzero coefficient %g", f.FixedMask, g.Data[s])
+			}
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 3); err == nil {
+		t.Error("dim 0 accepted")
+	}
+	if _, err := New(31, 3); err == nil {
+		t.Error("dim 31 accepted")
+	}
+	if _, err := New(2, 0); err == nil {
+		t.Error("level 0 accepted")
+	}
+}
+
+func TestSubsetColexRank(t *testing.T) {
+	// Among 2-subsets of 4 elements, numeric mask order is
+	// {0,1}<{0,2}<{1,2}<{0,3}<{1,3}<{2,3} with ranks 0..5.
+	masks := []uint32{0b0011, 0b0101, 0b0110, 0b1001, 0b1010, 0b1100}
+	for want, m := range masks {
+		if got := subsetColexRank(m); got != int64(want) {
+			t.Errorf("colex rank of %04b = %d want %d", m, got, want)
+		}
+	}
+}
+
+func TestIntegrateExtendedGrid(t *testing.T) {
+	// ∫ Π (1 + (t+1)x_t) = Π (1 + (t+1)/2): multilinear, exact at any
+	// level on the extended grid.
+	for _, d := range []int{1, 2, 3} {
+		bg, err := New(d, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bg.Fill(workload.Multilinear.F)
+		bg.Hierarchize()
+		want := 1.0
+		for t2 := 0; t2 < d; t2++ {
+			want *= 1 + float64(t2+1)/2
+		}
+		if got := bg.Integrate(); math.Abs(got-want) > 1e-12 {
+			t.Errorf("d=%d: boundary integral %g want %g", d, got, want)
+		}
+	}
+	// Constant function f ≡ 1: integral exactly 1 (pure boundary data).
+	bg, err := New(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg.Fill(func(x []float64) float64 { return 1 })
+	bg.Hierarchize()
+	if got := bg.Integrate(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("∫1 = %g want 1", got)
+	}
+}
+
+func TestParallelTransformsBitIdentical(t *testing.T) {
+	ref, err := New(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Fill(workload.Multilinear.F)
+	ref.Hierarchize()
+	for _, workers := range []int{1, 2, 4, 9} {
+		g, err := New(3, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Fill(workload.Multilinear.F)
+		g.HierarchizeParallel(workers)
+		for k := range g.Data {
+			if g.Data[k] != ref.Data[k] {
+				t.Fatalf("workers=%d: hierarchize differs at %d", workers, k)
+			}
+		}
+		g.DehierarchizeParallel(workers)
+		nodal, err := New(3, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodal.Fill(workload.Multilinear.F)
+		for k := range g.Data {
+			if math.Abs(g.Data[k]-nodal.Data[k]) > 1e-12 {
+				t.Fatalf("workers=%d: inverse differs at %d", workers, k)
+			}
+		}
+	}
+}

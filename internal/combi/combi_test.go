@@ -1,0 +1,139 @@
+package combi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"compactsg/internal/core"
+	"compactsg/internal/eval"
+	"compactsg/internal/hier"
+	"compactsg/internal/workload"
+)
+
+func TestComponentStructure(t *testing.T) {
+	// d=2, level 3 (n=2): diagonal |ℓ|=2 with +1 (3 grids), |ℓ|=1 with
+	// -1 (2 grids).
+	s, err := New(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plus, minus := 0, 0
+	for _, c := range s.Components() {
+		sum := 0
+		for _, l := range c.Levels {
+			sum += int(l)
+		}
+		switch c.Coeff {
+		case 1:
+			plus++
+			if sum != 2 {
+				t.Errorf("+1 component %v has |ℓ|=%d want 2", c.Levels, sum)
+			}
+		case -1:
+			minus++
+			if sum != 1 {
+				t.Errorf("-1 component %v has |ℓ|=%d want 1", c.Levels, sum)
+			}
+		default:
+			t.Errorf("unexpected coefficient %g", c.Coeff)
+		}
+	}
+	if plus != 3 || minus != 2 {
+		t.Errorf("components: %d plus, %d minus; want 3, 2", plus, minus)
+	}
+}
+
+func TestOneDimensionDegenerates(t *testing.T) {
+	s, err := New(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Components()) != 1 || s.Components()[0].Coeff != 1 {
+		t.Fatalf("1d combination must be the single full grid, got %d components", len(s.Components()))
+	}
+	if s.Components()[0].Grid.Size() != 31 {
+		t.Errorf("component size %d want 31", s.Components()[0].Grid.Size())
+	}
+}
+
+func TestCombinationEqualsDirectSparseGrid(t *testing.T) {
+	// For interpolation the combination technique reproduces the direct
+	// sparse grid interpolant exactly (up to roundoff).
+	rng := rand.New(rand.NewSource(17))
+	for _, c := range []struct{ d, n int }{{1, 4}, {2, 4}, {3, 3}, {4, 3}} {
+		s, err := New(c.d, c.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := workload.Parabola.F
+		s.Fill(f, 1)
+		g := core.NewGrid(core.MustDescriptor(c.d, c.n))
+		g.Fill(f)
+		hier.Iterative(g)
+		for k := 0; k < 100; k++ {
+			x := make([]float64, c.d)
+			for t2 := range x {
+				x[t2] = rng.Float64()
+			}
+			a := s.Evaluate(x)
+			b := eval.Iterative(g, x)
+			if math.Abs(a-b) > 1e-12 {
+				t.Fatalf("d=%d n=%d at %v: combination %.15g vs direct %.15g", c.d, c.n, x, a, b)
+			}
+		}
+	}
+}
+
+func TestParallelFillIdentical(t *testing.T) {
+	a, err := New(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Fill(workload.Gaussian.F, 1)
+	b.Fill(workload.Gaussian.F, 4)
+	for k := range a.Components() {
+		ga, gb := a.Components()[k].Grid, b.Components()[k].Grid
+		for j := range ga.Data {
+			if ga.Data[j] != gb.Data[j] {
+				t.Fatalf("component %d differs at %d", k, j)
+			}
+		}
+	}
+}
+
+func TestReplicationFactor(t *testing.T) {
+	// The combination technique stores strictly more values than the
+	// compact sparse grid, and the overhead grows with d.
+	r2, err := New(2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := New(4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, f4 := r2.ReplicationFactor(), r4.ReplicationFactor()
+	if f2 <= 1 || f4 <= 1 {
+		t.Errorf("replication factors must exceed 1: %g, %g", f2, f4)
+	}
+	if f4 <= f2 {
+		t.Errorf("replication should grow with d: d=2 %g, d=4 %g", f2, f4)
+	}
+	if r2.MemoryBytes() != r2.TotalPoints()*8 {
+		t.Error("MemoryBytes inconsistent with TotalPoints")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 3); err == nil {
+		t.Error("dim 0 accepted")
+	}
+	if _, err := New(2, 0); err == nil {
+		t.Error("level 0 accepted")
+	}
+}

@@ -1,0 +1,187 @@
+// Package core implements the compact data structure for regular sparse
+// grids from Murarasu et al., "Compact Data Structure and Scalable
+// Algorithms for the Sparse Grid Technique" (PPoPP 2011).
+//
+// The central object is a bijection gp2idx between the grid points of a
+// regular d-dimensional sparse grid of refinement level n and the integers
+// 0..N-1, which lets all hierarchical coefficients live in a single flat
+// []float64 with no structural overhead (no keys, no pointers).
+//
+// Conventions (paper, Sec. 4): levels are 0-based. A level vector
+// l ∈ N₀^d with |l|₁ = g identifies a subspace holding 2^g points; the 1d
+// index i_t is odd in [1, 2^(l_t+1)-1]; the coordinate in dimension t is
+// x_t = i_t / 2^(l_t+1). A grid of refinement level n contains the level
+// groups g = 0..n-1. Functions are zero on the domain boundary; package
+// boundary lifts that restriction.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// MaxDim is the largest supported dimensionality. The limit is generous:
+// the paper evaluates d ≤ 10 and the combinatorial sizes explode far
+// before 64 dimensions.
+const MaxDim = 64
+
+// MaxLevel is the largest supported refinement level. Index arithmetic
+// uses int64 throughout; level 50 in one dimension alone would already
+// exceed 2^50 points.
+const MaxLevel = 50
+
+// A Descriptor fixes the shape of a regular sparse grid (dimensionality and
+// refinement level) and precomputes the combinatorial tables the index maps
+// need: the binomial lookup matrix binmat (paper Sec. 4.2) and per-group
+// point counts and offsets. A Descriptor is immutable and safe for
+// concurrent use.
+type Descriptor struct {
+	dim   int
+	level int
+
+	// binom[t][s] = C(t+s, t). t ranges over 0..dim, s over 0..level+dim.
+	// This is the paper's binmat; it is tiny (n·d entries) and hot, which
+	// is why the GPU implementation stages it in constant memory.
+	binom [][]int64
+
+	// subspaces[g] = C(dim-1+g, dim-1), the number of subspaces in level
+	// group g (paper Eq. 2).
+	subspaces []int64
+
+	// groupSize[g] = subspaces[g] * 2^g, the number of grid points whose
+	// level vector sums to g.
+	groupSize []int64
+
+	// groupStart[g] = Σ_{j<g} groupSize[j]; this is index3 for |l|₁ = g
+	// (paper Sec. 4.2). groupStart[level] is the total point count.
+	groupStart []int64
+}
+
+// NewDescriptor validates (dim, level) and builds the lookup tables.
+// level counts refinement levels: the grid contains the level groups
+// 0..level-1, matching the paper's "sparse grid of level n" (their level-11
+// grids in d=1..10 hold 2047 .. 127,574,017 points).
+func NewDescriptor(dim, level int) (*Descriptor, error) {
+	if dim < 1 || dim > MaxDim {
+		return nil, fmt.Errorf("core: dimension %d out of range [1, %d]", dim, MaxDim)
+	}
+	if level < 1 || level > MaxLevel {
+		return nil, fmt.Errorf("core: level %d out of range [1, %d]", level, MaxLevel)
+	}
+	d := &Descriptor{dim: dim, level: level}
+
+	// binmat needs t ≤ dim-1 and s ≤ level-1 (index map arguments); keep a
+	// small safety margin for derived descriptors.
+	smax := level + 2
+	d.binom = make([][]int64, dim+1)
+	for t := 0; t <= dim; t++ {
+		d.binom[t] = make([]int64, smax)
+		for s := 0; s < smax; s++ {
+			v, ok := safeBinomial(t+s, t)
+			if !ok {
+				return nil, fmt.Errorf("core: binomial C(%d,%d) overflows int64 (dim=%d level=%d)", t+s, t, dim, level)
+			}
+			d.binom[t][s] = v
+		}
+	}
+
+	d.subspaces = make([]int64, level)
+	d.groupSize = make([]int64, level)
+	d.groupStart = make([]int64, level+1)
+	var total int64
+	for g := 0; g < level; g++ {
+		d.subspaces[g] = d.binom[dim-1][g]
+		if g >= 63 {
+			return nil, fmt.Errorf("core: level group %d too large (2^%d points per subspace)", g, g)
+		}
+		sz := d.subspaces[g]
+		if sz > math.MaxInt64>>uint(g) {
+			return nil, fmt.Errorf("core: grid size overflows int64 at level group %d", g)
+		}
+		sz <<= uint(g)
+		d.groupSize[g] = sz
+		d.groupStart[g] = total
+		if total > math.MaxInt64-sz {
+			return nil, fmt.Errorf("core: grid size overflows int64 at level group %d", g)
+		}
+		total += sz
+	}
+	d.groupStart[level] = total
+	return d, nil
+}
+
+// MustDescriptor is NewDescriptor for parameters known to be valid; it
+// panics on error. Intended for tests and examples.
+func MustDescriptor(dim, level int) *Descriptor {
+	d, err := NewDescriptor(dim, level)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Dim returns the dimensionality d.
+func (d *Descriptor) Dim() int { return d.dim }
+
+// Level returns the refinement level n; level groups run 0..n-1.
+func (d *Descriptor) Level() int { return d.level }
+
+// Size returns the total number of grid points N.
+func (d *Descriptor) Size() int64 { return d.groupStart[d.level] }
+
+// Groups returns the number of level groups (== Level()).
+func (d *Descriptor) Groups() int { return d.level }
+
+// GroupSize returns the number of grid points in level group g.
+func (d *Descriptor) GroupSize(g int) int64 { return d.groupSize[g] }
+
+// GroupStart returns the flat index of the first point of level group g;
+// this is the paper's index3 for |l|₁ = g. GroupStart(Level()) == Size().
+func (d *Descriptor) GroupStart(g int) int64 { return d.groupStart[g] }
+
+// Subspaces returns the number of subspaces in level group g,
+// C(dim-1+g, dim-1) (paper Eq. 2).
+func (d *Descriptor) Subspaces(g int) int64 { return d.subspaces[g] }
+
+// TotalSubspaces returns the number of subspaces across all level groups.
+func (d *Descriptor) TotalSubspaces() int64 {
+	var s int64
+	for g := 0; g < d.level; g++ {
+		s += d.subspaces[g]
+	}
+	return s
+}
+
+// Binomial returns C(t+s, t) from the precomputed binmat lookup table.
+// It panics if the arguments fall outside the precomputed range, which
+// cannot happen for level vectors belonging to this descriptor.
+func (d *Descriptor) Binomial(t, s int) int64 { return d.binom[t][s] }
+
+// safeBinomial computes C(n, k) exactly with int64 overflow detection.
+// The running value r after step j equals C(n-k+j, j), so the 128-bit
+// intermediate r·(n-k+j) is always exactly divisible by j.
+func safeBinomial(n, k int) (int64, bool) {
+	if k < 0 || k > n {
+		return 0, true
+	}
+	if k > n-k {
+		k = n - k
+	}
+	var r uint64 = 1
+	for j := 1; j <= k; j++ {
+		hi, lo := bits.Mul64(r, uint64(n-k+j))
+		if hi >= uint64(j) {
+			return 0, false
+		}
+		q, rem := bits.Div64(hi, lo, uint64(j))
+		if rem != 0 {
+			return 0, false
+		}
+		r = q
+	}
+	if r > math.MaxInt64 {
+		return 0, false
+	}
+	return int64(r), true
+}

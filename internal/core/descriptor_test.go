@@ -1,0 +1,169 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestNewDescriptorValidation(t *testing.T) {
+	cases := []struct {
+		dim, level int
+		wantErr    bool
+	}{
+		{1, 1, false},
+		{1, 11, false},
+		{10, 11, false},
+		{0, 5, true},
+		{-1, 5, true},
+		{MaxDim + 1, 5, true},
+		{5, 0, true},
+		{5, -3, true},
+		{5, MaxLevel + 1, true},
+		{MaxDim, 1, false},
+	}
+	for _, c := range cases {
+		_, err := NewDescriptor(c.dim, c.level)
+		if (err != nil) != c.wantErr {
+			t.Errorf("NewDescriptor(%d, %d): err=%v, wantErr=%v", c.dim, c.level, err, c.wantErr)
+		}
+	}
+}
+
+func TestDescriptorSize1D(t *testing.T) {
+	// In one dimension a grid of level n holds 2^n - 1 points.
+	for n := 1; n <= 20; n++ {
+		d := MustDescriptor(1, n)
+		want := int64(1)<<uint(n) - 1
+		if d.Size() != want {
+			t.Errorf("d=1 n=%d: Size=%d want %d", n, d.Size(), want)
+		}
+	}
+}
+
+func TestDescriptorSizePaperFigures(t *testing.T) {
+	// The paper (Sec. 6) uses level-11 grids with 2047 .. 127,574,017
+	// points for d = 1..10.
+	if got := MustDescriptor(1, 11).Size(); got != 2047 {
+		t.Errorf("d=1 level=11: Size=%d want 2047", got)
+	}
+	if got := MustDescriptor(10, 11).Size(); got != 127574017 {
+		t.Errorf("d=10 level=11: Size=%d want 127574017", got)
+	}
+}
+
+func TestGroupAccounting(t *testing.T) {
+	d := MustDescriptor(4, 7)
+	var total int64
+	for g := 0; g < d.Groups(); g++ {
+		if d.GroupStart(g) != total {
+			t.Errorf("GroupStart(%d)=%d want %d", g, d.GroupStart(g), total)
+		}
+		wantSub, _ := safeBinomial(d.Dim()-1+g, d.Dim()-1)
+		if d.Subspaces(g) != wantSub {
+			t.Errorf("Subspaces(%d)=%d want %d", g, d.Subspaces(g), wantSub)
+		}
+		if d.GroupSize(g) != wantSub<<uint(g) {
+			t.Errorf("GroupSize(%d)=%d want %d", g, d.GroupSize(g), wantSub<<uint(g))
+		}
+		total += d.GroupSize(g)
+	}
+	if d.Size() != total {
+		t.Errorf("Size=%d want %d", d.Size(), total)
+	}
+	if d.GroupStart(d.Groups()) != total {
+		t.Errorf("GroupStart(Groups())=%d want %d", d.GroupStart(d.Groups()), total)
+	}
+}
+
+func TestTotalSubspaces(t *testing.T) {
+	// Σ_{g=0}^{n-1} C(d-1+g, d-1) = C(d+n-1, d).
+	for _, c := range []struct{ dim, level int }{{1, 5}, {2, 3}, {3, 6}, {5, 4}, {10, 11}} {
+		d := MustDescriptor(c.dim, c.level)
+		want, _ := safeBinomial(c.dim+c.level-1, c.dim)
+		if got := d.TotalSubspaces(); got != want {
+			t.Errorf("d=%d n=%d: TotalSubspaces=%d want %d", c.dim, c.level, got, want)
+		}
+	}
+}
+
+func TestSafeBinomial(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want int64
+	}{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {10, 3, 120},
+		{19, 9, 92378}, {52, 5, 2598960}, {61, 30, 232714176627630544},
+		{4, 7, 0}, // k > n
+	}
+	for _, c := range cases {
+		got, ok := safeBinomial(c.n, c.k)
+		if !ok {
+			t.Errorf("safeBinomial(%d,%d): unexpected overflow", c.n, c.k)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("safeBinomial(%d,%d)=%d want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestSafeBinomialOverflow(t *testing.T) {
+	if _, ok := safeBinomial(128, 64); ok {
+		t.Error("safeBinomial(128,64) should overflow int64")
+	}
+	// C(66,33) = 7219428434016265740 < 2^63, must still succeed.
+	v, ok := safeBinomial(66, 33)
+	if !ok || v != 7219428434016265740 {
+		t.Errorf("safeBinomial(66,33)=(%d,%v) want (7219428434016265740,true)", v, ok)
+	}
+}
+
+func TestBinomialTableMatchesDirect(t *testing.T) {
+	d := MustDescriptor(6, 9)
+	for tt := 0; tt <= 6; tt++ {
+		for s := 0; s <= 9; s++ {
+			want, _ := safeBinomial(tt+s, tt)
+			if got := d.Binomial(tt, s); got != want {
+				t.Errorf("Binomial(%d,%d)=%d want %d", tt, s, got, want)
+			}
+		}
+	}
+}
+
+func TestSafeBinomialSymmetry(t *testing.T) {
+	// C(n, k) == C(n, n-k) wherever both succeed.
+	for n := 0; n <= 40; n++ {
+		for k := 0; k <= n; k++ {
+			a, okA := safeBinomial(n, k)
+			b, okB := safeBinomial(n, n-k)
+			if okA != okB || a != b {
+				t.Fatalf("symmetry violated at C(%d,%d): (%d,%v) vs (%d,%v)", n, k, a, okA, b, okB)
+			}
+		}
+	}
+}
+
+func TestSafeBinomialPascal(t *testing.T) {
+	// Pascal's rule C(n,k) = C(n-1,k-1) + C(n-1,k) on a safe range.
+	for n := 1; n <= 50; n++ {
+		for k := 1; k < n; k++ {
+			c, _ := safeBinomial(n, k)
+			a, _ := safeBinomial(n-1, k-1)
+			b, _ := safeBinomial(n-1, k)
+			if c != a+b {
+				t.Fatalf("Pascal violated at C(%d,%d): %d != %d + %d", n, k, c, a, b)
+			}
+		}
+	}
+}
+
+func TestGroupOf(t *testing.T) {
+	d := MustDescriptor(3, 6)
+	for g := 0; g < d.Groups(); g++ {
+		lo, hi := d.GroupStart(g), d.GroupStart(g+1)
+		for _, idx := range []int64{lo, (lo + hi) / 2, hi - 1} {
+			if got := d.GroupOf(idx); got != g {
+				t.Errorf("GroupOf(%d)=%d want %d", idx, got, g)
+			}
+		}
+	}
+}

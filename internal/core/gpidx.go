@@ -1,0 +1,83 @@
+package core
+
+// The composite index map gp2idx (paper Alg. 5) and its inverse.
+//
+// gp2idx(l, i) = index1 + index2 + index3 where
+//
+//	index1 — position of i inside the regular subgrid of subspace l
+//	         (mixed-radix number with radices 2^l[t]; dimension 0 is the
+//	         LEAST significant digit, matching the paper's Fig. 6 worked
+//	         example, where l=(1,2), i=(3,1) lands on position 34 —
+//	         note Alg. 5 as printed iterates the other way, which would
+//	         give 37; we follow the concrete example),
+//	index2 — points in preceding subspaces of the same level group:
+//	         SubspaceIndex(l) · 2^|l|₁,
+//	index3 — points in all lower level groups: GroupStart(|l|₁).
+
+// GP2Idx maps the grid point (l, i) to its flat storage index in
+// [0, Size()). l must satisfy |l|₁ < Level() and each i[t] must be odd in
+// [1, 2^(l[t]+1)-1]; the map is a bijection on that domain.
+func (d *Descriptor) GP2Idx(l, i []int32) int64 {
+	var index1 int64
+	for t := d.dim - 1; t >= 0; t-- {
+		index1 = index1<<uint32(l[t]) + int64(i[t]>>1) // (i-1)/2 for odd i
+	}
+	sum := int(l[0])
+	var index2 int64
+	for t := 1; t < d.dim; t++ {
+		index2 -= d.binom[t][sum]
+		sum += int(l[t])
+		index2 += d.binom[t][sum]
+	}
+	return index1 + index2<<uint(sum) + d.groupStart[sum]
+}
+
+// Idx2GP inverts GP2Idx, filling l and i (both of length Dim()) for the
+// grid point stored at flat index idx. It runs in O(d + level).
+func (d *Descriptor) Idx2GP(idx int64, l, i []int32) {
+	g := d.GroupOf(idx)
+	off := idx - d.groupStart[g]
+	s := off >> uint(g)
+	pos := off & (int64(1)<<uint(g) - 1)
+	d.SubspaceFromIndex(g, s, l)
+	DecodeIndex1(pos, l, i)
+}
+
+// GroupOf returns the level group g containing flat index idx, i.e. the
+// unique g with GroupStart(g) ≤ idx < GroupStart(g+1).
+func (d *Descriptor) GroupOf(idx int64) int {
+	// Level counts are small (≤ MaxLevel), so a linear scan beats binary
+	// search in practice; keep it branch-cheap.
+	g := 0
+	for g+1 < len(d.groupStart) && d.groupStart[g+1] <= idx {
+		g++
+	}
+	return g
+}
+
+// EncodeIndex1 computes index1 for (l, i): the mixed-radix position of the
+// point inside its subspace, dimension 0 least significant (Fig. 6 order).
+func EncodeIndex1(l, i []int32) int64 {
+	var index1 int64
+	for t := len(l) - 1; t >= 0; t-- {
+		index1 = index1<<uint32(l[t]) + int64(i[t]>>1)
+	}
+	return index1
+}
+
+// DecodeIndex1 inverts EncodeIndex1 for the subspace l, writing the odd
+// 1d indices into i.
+func DecodeIndex1(pos int64, l, i []int32) {
+	for t := 0; t < len(l); t++ {
+		digit := pos & (int64(1)<<uint32(l[t]) - 1)
+		pos >>= uint32(l[t])
+		i[t] = int32(digit<<1 | 1)
+	}
+}
+
+// SubspaceStart returns the flat index of the first point of subspace l,
+// i.e. GP2Idx(l, (1,...,1)).
+func (d *Descriptor) SubspaceStart(l []int32) int64 {
+	g := LevelSum(l)
+	return d.groupStart[g] + d.SubspaceIndex(l)<<uint(g)
+}

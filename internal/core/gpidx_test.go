@@ -1,0 +1,207 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestGP2IdxBijection(t *testing.T) {
+	// Enumerating every grid point must hit each flat index exactly once.
+	for _, c := range []struct{ d, n int }{{1, 6}, {2, 5}, {3, 5}, {4, 4}, {5, 4}, {7, 3}} {
+		desc := MustDescriptor(c.d, c.n)
+		seen := make([]bool, desc.Size())
+		desc.VisitPoints(func(idx int64, l, i []int32) {
+			got := desc.GP2Idx(l, i)
+			if got != idx {
+				t.Fatalf("d=%d n=%d: GP2Idx(%v,%v)=%d, iterator says %d", c.d, c.n, l, i, got, idx)
+			}
+			if got < 0 || got >= desc.Size() {
+				t.Fatalf("d=%d n=%d: GP2Idx out of range: %d", c.d, c.n, got)
+			}
+			if seen[got] {
+				t.Fatalf("d=%d n=%d: flat index %d hit twice", c.d, c.n, got)
+			}
+			seen[got] = true
+		})
+		for k, s := range seen {
+			if !s {
+				t.Fatalf("d=%d n=%d: flat index %d never produced", c.d, c.n, k)
+			}
+		}
+	}
+}
+
+func TestIdx2GPInvertsGP2Idx(t *testing.T) {
+	for _, c := range []struct{ d, n int }{{1, 6}, {2, 5}, {3, 5}, {5, 4}} {
+		desc := MustDescriptor(c.d, c.n)
+		l := make([]int32, c.d)
+		i := make([]int32, c.d)
+		for idx := int64(0); idx < desc.Size(); idx++ {
+			desc.Idx2GP(idx, l, i)
+			if !desc.Contains(l, i) {
+				t.Fatalf("d=%d n=%d: Idx2GP(%d) gave invalid point %v %v", c.d, c.n, idx, l, i)
+			}
+			if back := desc.GP2Idx(l, i); back != idx {
+				t.Fatalf("d=%d n=%d: GP2Idx(Idx2GP(%d)) = %d", c.d, c.n, idx, back)
+			}
+		}
+	}
+}
+
+func TestPaperFig6WorkedExample(t *testing.T) {
+	// Fig. 6: the value at grid point l=(1,2), i=(3,1) (the paper's
+	// caption already uses the 0-based level convention of Sec. 4:
+	// coordinates x_t = i_t/2^(l_t+1) = (0.75, 0.125)) is stored at
+	// position 34 = index1 + index2 + index3.
+	//
+	// Decomposition: |l|₁ = 3, so index3 = 1 + 2·2 + 3·4 = 17 (groups
+	// 0..2); the enumeration order of L²₃ is (3,0),(2,1),(1,2),(0,3), so
+	// subspaceidx = 2 and index2 = 2·2³ = 16; index1 = 1 with dimension 0
+	// as the least significant mixed-radix digit. 17+16+1 = 34.
+	desc := MustDescriptor(2, 4)
+	l := []int32{1, 2}
+	i := []int32{3, 1}
+	x := make([]float64, 2)
+	Coords(l, i, x)
+	if x[0] != 0.75 || x[1] != 0.125 {
+		t.Fatalf("coordinates = %v, want (0.75, 0.125)", x)
+	}
+	if got := desc.GP2Idx(l, i); got != 34 {
+		t.Errorf("GP2Idx(l=(1,2), i=(3,1)) = %d, paper Fig. 6 says 34", got)
+	}
+	if g := desc.GroupOf(34); g != 3 {
+		t.Errorf("GroupOf(34) = %d, want 3", g)
+	}
+	if got := desc.SubspaceIndex(l); got != 2 {
+		t.Errorf("SubspaceIndex((1,2)) = %d, want 2", got)
+	}
+	// index3 only depends on lower groups, so a deeper descriptor agrees.
+	if got := MustDescriptor(2, 6).GP2Idx(l, i); got != 34 {
+		t.Errorf("level-6 descriptor: GP2Idx = %d, want 34", got)
+	}
+}
+
+func TestGP2IdxStorageOrderIsGroupMajor(t *testing.T) {
+	// Storage order: level groups ascending; within a group, subspaces in
+	// enumeration order; within a subspace, mixed-radix positions.
+	desc := MustDescriptor(3, 4)
+	prevGroup := -1
+	var prevSub int64 = -1
+	desc.VisitPoints(func(idx int64, l, i []int32) {
+		g := LevelSum(l)
+		s := desc.SubspaceIndex(l)
+		if g < prevGroup {
+			t.Fatalf("group order violated at idx %d", idx)
+		}
+		if g > prevGroup {
+			prevGroup = g
+			prevSub = -1
+		}
+		if s < prevSub {
+			t.Fatalf("subspace order violated at idx %d", idx)
+		}
+		prevSub = s
+	})
+}
+
+func TestEncodeDecodeIndex1(t *testing.T) {
+	l := []int32{2, 0, 3, 1}
+	n := int64(1) << 6 // 2^(2+0+3+1)
+	i := make([]int32, 4)
+	for p := int64(0); p < n; p++ {
+		DecodeIndex1(p, l, i)
+		for t2, v := range i {
+			if v&1 == 0 || v < 1 || int64(v) >= int64(2)<<uint32(l[t2]) {
+				t.Fatalf("DecodeIndex1(%d) produced invalid index %d in dim %d", p, v, t2)
+			}
+		}
+		if back := EncodeIndex1(l, i); back != p {
+			t.Fatalf("EncodeIndex1(DecodeIndex1(%d)) = %d", p, back)
+		}
+	}
+}
+
+func TestSubspaceStart(t *testing.T) {
+	desc := MustDescriptor(4, 5)
+	i := make([]int32, 4)
+	desc.VisitSubspaces(func(l []int32, group int, start int64) {
+		if got := desc.SubspaceStart(l); got != start {
+			t.Fatalf("SubspaceStart(%v)=%d want %d", l, got, start)
+		}
+		// First point of the subspace is (1,1,...,1).
+		for t2 := range i {
+			i[t2] = 1
+		}
+		if got := desc.GP2Idx(l, i); got != start {
+			t.Fatalf("GP2Idx(%v, ones)=%d want %d", l, got, start)
+		}
+	})
+}
+
+func TestGP2IdxQuickRandomPoints(t *testing.T) {
+	desc := MustDescriptor(8, 6)
+	rng := rand.New(rand.NewSource(42))
+	f := func() bool {
+		l := make([]int32, 8)
+		i := make([]int32, 8)
+		budget := 5
+		for t2 := range l {
+			v := rng.Intn(budget + 1)
+			l[t2] = int32(v)
+			budget -= v
+			i[t2] = int32(2*rng.Intn(1<<uint(v)) + 1)
+		}
+		idx := desc.GP2Idx(l, i)
+		if idx < 0 || idx >= desc.Size() {
+			return false
+		}
+		l2 := make([]int32, 8)
+		i2 := make([]int32, 8)
+		desc.Idx2GP(idx, l2, i2)
+		return reflect.DeepEqual(l, l2) && reflect.DeepEqual(i, i2)
+	}
+	if err := quick.Check(func() bool { return f() }, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVisitPointsCountsAndOrder(t *testing.T) {
+	desc := MustDescriptor(3, 5)
+	var count int64
+	next := int64(0)
+	desc.VisitPoints(func(idx int64, l, i []int32) {
+		if idx != next {
+			t.Fatalf("VisitPoints out of order: got %d want %d", idx, next)
+		}
+		next++
+		count++
+	})
+	if count != desc.Size() {
+		t.Errorf("VisitPoints visited %d points, Size=%d", count, desc.Size())
+	}
+}
+
+func TestSubspaceIterSeekGroup(t *testing.T) {
+	desc := MustDescriptor(3, 6)
+	it := NewSubspaceIter(desc)
+	for g := 0; g < desc.Groups(); g++ {
+		it.SeekGroup(g)
+		if !it.Valid() || it.Group() != g || it.Start() != desc.GroupStart(g) {
+			t.Fatalf("SeekGroup(%d): group=%d start=%d valid=%v", g, it.Group(), it.Start(), it.Valid())
+		}
+		var n int64
+		for it.Valid() && it.Group() == g {
+			n += it.Points()
+			it.Advance()
+		}
+		if n != desc.GroupSize(g) {
+			t.Errorf("group %d: iterated %d points want %d", g, n, desc.GroupSize(g))
+		}
+	}
+	it.SeekGroup(desc.Groups())
+	if it.Valid() {
+		t.Error("SeekGroup past the last group must invalidate the iterator")
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func prodParabola(x []float64) float64 {
+	p := 1.0
+	for _, v := range x {
+		p *= 4 * v * (1 - v)
+	}
+	return p
+}
+
+func TestGridFillStoresNodalValues(t *testing.T) {
+	desc := MustDescriptor(3, 4)
+	g := NewGrid(desc)
+	g.Fill(prodParabola)
+	x := make([]float64, 3)
+	desc.VisitPoints(func(idx int64, l, i []int32) {
+		Coords(l, i, x)
+		want := prodParabola(x)
+		if g.Data[idx] != want {
+			t.Fatalf("Fill: point %v %v stored %g want %g", l, i, g.Data[idx], want)
+		}
+	})
+}
+
+func TestGridAtSetAt(t *testing.T) {
+	desc := MustDescriptor(2, 3)
+	g := NewGrid(desc)
+	l := []int32{1, 1}
+	i := []int32{3, 1}
+	g.SetAt(l, i, 2.5)
+	if got := g.At(l, i); got != 2.5 {
+		t.Errorf("At after SetAt = %g want 2.5", got)
+	}
+	if g.Data[desc.GP2Idx(l, i)] != 2.5 {
+		t.Error("SetAt wrote to the wrong slot")
+	}
+}
+
+func TestGridClone(t *testing.T) {
+	desc := MustDescriptor(2, 3)
+	g := NewGrid(desc)
+	g.Fill(prodParabola)
+	c := g.Clone()
+	c.Data[0] = -1
+	if g.Data[0] == -1 {
+		t.Error("Clone must not share storage")
+	}
+	if c.Desc() != g.Desc() {
+		t.Error("Clone shares the immutable descriptor")
+	}
+}
+
+func TestGridMemoryBytes(t *testing.T) {
+	desc := MustDescriptor(2, 4)
+	g := NewGrid(desc)
+	if g.MemoryBytes() != desc.Size()*8 {
+		t.Errorf("MemoryBytes = %d want %d", g.MemoryBytes(), desc.Size()*8)
+	}
+}
+
+func TestGridSerializationRoundTrip(t *testing.T) {
+	desc := MustDescriptor(3, 5)
+	g := NewGrid(desc)
+	g.Fill(prodParabola)
+	g.Data[7] = math.Inf(1)
+	g.Data[8] = math.NaN()
+	var buf bytes.Buffer
+	n, err := g.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	back, err := ReadGrid(&buf)
+	if err != nil {
+		t.Fatalf("ReadGrid: %v", err)
+	}
+	if back.Dim() != 3 || back.Level() != 5 {
+		t.Fatalf("round trip shape: dim=%d level=%d", back.Dim(), back.Level())
+	}
+	for k := range g.Data {
+		a, b := g.Data[k], back.Data[k]
+		if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+			t.Fatalf("value %d: %g != %g", k, a, b)
+		}
+	}
+}
+
+func TestReadGridRejectsGarbage(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", []byte("NOPE aaaaaaaaaaaaaaaaaaaa")},
+		{"truncated header", []byte("SGC1\x01\x00")},
+	}
+	for _, c := range cases {
+		if _, err := ReadGrid(bytes.NewReader(c.data)); err == nil {
+			t.Errorf("%s: ReadGrid accepted invalid input", c.name)
+		}
+	}
+	// Header promising the wrong count.
+	var buf bytes.Buffer
+	g := NewGrid(MustDescriptor(2, 2))
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[12]++ // bump count
+	if _, err := ReadGrid(bytes.NewReader(raw)); err == nil || !strings.Contains(err.Error(), "descriptor expects") {
+		t.Errorf("ReadGrid accepted inconsistent count: %v", err)
+	}
+	// Truncated payload.
+	buf.Reset()
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadGrid(bytes.NewReader(buf.Bytes()[:buf.Len()-3])); err == nil {
+		t.Error("ReadGrid accepted truncated payload")
+	}
+}

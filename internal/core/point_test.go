@@ -1,0 +1,204 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCoord(t *testing.T) {
+	cases := []struct {
+		level, index int32
+		want         float64
+	}{
+		{0, 1, 0.5},
+		{1, 1, 0.25},
+		{1, 3, 0.75},
+		{2, 1, 0.125},
+		{2, 7, 0.875},
+		{3, 5, 0.3125},
+	}
+	for _, c := range cases {
+		if got := Coord(c.level, c.index); got != c.want {
+			t.Errorf("Coord(%d,%d)=%g want %g", c.level, c.index, got, c.want)
+		}
+	}
+}
+
+func TestParent1D(t *testing.T) {
+	// Level-0 point (0,1) at x=0.5: both parents are the boundary.
+	if _, _, ok := Parent1D(0, 1, LeftParent); ok {
+		t.Error("left parent of (0,1) must be boundary")
+	}
+	if _, _, ok := Parent1D(0, 1, RightParent); ok {
+		t.Error("right parent of (0,1) must be boundary")
+	}
+	// (1,1) at x=0.25: left parent boundary, right parent (0,1) at 0.5.
+	if _, _, ok := Parent1D(1, 1, LeftParent); ok {
+		t.Error("left parent of (1,1) must be boundary")
+	}
+	pl, pi, ok := Parent1D(1, 1, RightParent)
+	if !ok || pl != 0 || pi != 1 {
+		t.Errorf("right parent of (1,1) = (%d,%d,%v) want (0,1,true)", pl, pi, ok)
+	}
+	// (2,5) at x=0.625: left parent (0,1) at 0.5, right parent (1,3) at 0.75.
+	pl, pi, ok = Parent1D(2, 5, LeftParent)
+	if !ok || pl != 0 || pi != 1 {
+		t.Errorf("left parent of (2,5) = (%d,%d,%v) want (0,1,true)", pl, pi, ok)
+	}
+	pl, pi, ok = Parent1D(2, 5, RightParent)
+	if !ok || pl != 1 || pi != 3 {
+		t.Errorf("right parent of (2,5) = (%d,%d,%v) want (1,3,true)", pl, pi, ok)
+	}
+}
+
+func TestParent1DProperties(t *testing.T) {
+	// For every point: a parent, when it exists, is the nearest coarser
+	// grid line on that side — strictly lower level, coordinate adjacent
+	// within support.
+	f := func(rawLevel, rawIndex uint16, side bool) bool {
+		level := int32(rawLevel % 12)
+		n := int32(1) << uint32(level)
+		index := int32(2*(int(rawIndex)%int(n)) + 1)
+		dir := LeftParent
+		if side {
+			dir = RightParent
+		}
+		pl, pi, ok := Parent1D(level, index, dir)
+		if !ok {
+			// Boundary cases: leftmost point going left, rightmost going right.
+			c := Coord(level, index)
+			h := 1.0 / float64(int64(1)<<uint32(level+1))
+			if dir == LeftParent {
+				return c-h == 0
+			}
+			return c+h == 1
+		}
+		if pl >= level || pl < 0 {
+			return false
+		}
+		if pi&1 == 0 || pi < 1 || int64(pi) >= int64(2)<<uint32(pl) {
+			return false
+		}
+		// Parent must sit exactly one mesh width of the child's level away.
+		pc, cc := Coord(pl, pi), Coord(level, index)
+		h := 1.0 / float64(int64(1)<<uint32(level+1))
+		return (dir == LeftParent && pc == cc-h) || (dir == RightParent && pc == cc+h)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChild1D(t *testing.T) {
+	cl, ci := Child1D(0, 1, LeftParent)
+	if cl != 1 || ci != 1 {
+		t.Errorf("left child of (0,1) = (%d,%d) want (1,1)", cl, ci)
+	}
+	cl, ci = Child1D(0, 1, RightParent)
+	if cl != 1 || ci != 3 {
+		t.Errorf("right child of (0,1) = (%d,%d) want (1,3)", cl, ci)
+	}
+	// Parent of a child is the original point.
+	for _, dir := range []ParentDir{LeftParent, RightParent} {
+		cl, ci = Child1D(2, 5, dir)
+		pl, pi, ok := Parent1D(cl, ci, -dir)
+		if !ok || pl != 2 || pi != 5 {
+			t.Errorf("Parent1D(Child1D((2,5),%d)) = (%d,%d,%v)", dir, pl, pi, ok)
+		}
+	}
+}
+
+func TestParentIdx(t *testing.T) {
+	desc := MustDescriptor(3, 4)
+	l := []int32{1, 0, 1}
+	i := []int32{3, 1, 1}
+	lSave := append([]int32(nil), l...)
+	iSave := append([]int32(nil), i...)
+	// Point (1,3) in dim 0 sits at x=0.75: its left parent is (0,1) at
+	// x=0.5 (the right parent is the domain boundary x=1).
+	idx, ok := desc.ParentIdx(l, i, 0, LeftParent)
+	if !ok {
+		t.Fatal("expected left parent in dim 0")
+	}
+	want := desc.GP2Idx([]int32{0, 0, 1}, []int32{1, 1, 1})
+	if idx != want {
+		t.Errorf("ParentIdx = %d want %d", idx, want)
+	}
+	for k := range l {
+		if l[k] != lSave[k] || i[k] != iSave[k] {
+			t.Fatal("ParentIdx must restore l and i")
+		}
+	}
+	// Dim 1 is level 0: both parents boundary.
+	if _, ok := desc.ParentIdx(l, i, 1, LeftParent); ok {
+		t.Error("dim-1 left parent should be boundary")
+	}
+}
+
+func TestContains(t *testing.T) {
+	desc := MustDescriptor(2, 3)
+	valid := [][2][]int32{
+		{{0, 0}, {1, 1}},
+		{{2, 0}, {7, 1}},
+		{{1, 1}, {3, 3}},
+	}
+	for _, v := range valid {
+		if !desc.Contains(v[0], v[1]) {
+			t.Errorf("Contains(%v,%v) = false, want true", v[0], v[1])
+		}
+	}
+	invalid := [][2][]int32{
+		{{2, 1}, {1, 1}},    // |l|₁ = 3 ≥ level
+		{{0, 0}, {2, 1}},    // even index
+		{{0, 0}, {1, 3}},    // index out of level range
+		{{-1, 0}, {1, 1}},   // negative level
+		{{0, 0}, {1, -1}},   // negative index
+		{{0}, {1}},          // wrong dim
+		{{0, 0, 0}, {1, 1}}, // mismatched lengths
+	}
+	for _, v := range invalid {
+		if desc.Contains(v[0], v[1]) {
+			t.Errorf("Contains(%v,%v) = true, want false", v[0], v[1])
+		}
+	}
+}
+
+func TestPointAt(t *testing.T) {
+	l := []int32{2, 0}
+	i := make([]int32, 2)
+	// x = 0.3 on level 2: cell ⌊0.3·4⌋ = 1 → index 3 (center 0.375).
+	PointAt(l, []float64{0.3, 0.5}, i)
+	if i[0] != 3 || i[1] != 1 {
+		t.Errorf("PointAt = %v want [3 1]", i)
+	}
+	// Clamping: x = 1.0 goes to the last cell, x < 0 to the first.
+	PointAt(l, []float64{1.0, -0.2}, i)
+	if i[0] != 7 || i[1] != 1 {
+		t.Errorf("PointAt clamp = %v want [7 1]", i)
+	}
+	// The chosen basis function's support must contain x.
+	f := func(raw uint16, xr float64) bool {
+		lv := []int32{int32(raw % 10)}
+		if math.IsNaN(xr) || math.IsInf(xr, 0) {
+			return true
+		}
+		x := math.Abs(math.Mod(xr, 1))
+		iv := make([]int32, 1)
+		PointAt(lv, []float64{x}, iv)
+		h := 1.0 / float64(int64(1)<<uint32(lv[0]+1))
+		c := Coord(lv[0], iv[0])
+		return x >= c-h-1e-15 && x <= c+h+1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatPoint(t *testing.T) {
+	s := FormatPoint([]int32{1, 0}, []int32{3, 1})
+	if !strings.Contains(s, "0.75") || !strings.Contains(s, "0.5") {
+		t.Errorf("FormatPoint output %q missing coordinates", s)
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Lossy compression on top of the structural one: hierarchical
+// surpluses decay rapidly for smooth functions (the basis is a
+// multilevel splitting), so dropping coefficients below a threshold
+// shrinks the stored set further at a controlled interpolation error —
+// the classic surplus-truncation scheme. The truncated grid is stored
+// as (flat index, value) pairs; evaluation and dehierarchization
+// rehydrate it into the dense compact layout.
+
+// Threshold zeroes every coefficient with |α| ≤ eps and returns the
+// number of surviving nonzeros. The L∞ interpolation error introduced
+// is bounded by the sum of the dropped |α| (each basis function has
+// max 1).
+func (g *Grid) Threshold(eps float64) (kept int64, errorBound float64) {
+	for k, v := range g.Data {
+		a := math.Abs(v)
+		if a <= eps {
+			if v != 0 {
+				errorBound += a
+			}
+			g.Data[k] = 0
+			continue
+		}
+		kept++
+	}
+	return kept, errorBound
+}
+
+// Nonzeros returns the number of nonzero coefficients.
+func (g *Grid) Nonzeros() int64 {
+	var n int64
+	for _, v := range g.Data {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Sparse container:
+//
+//	magic "SGS1" | uint32 dim | uint32 level | uint64 nnz |
+//	nnz × (uint64 index, float64 value), indices ascending
+const sparseMagic = "SGS1"
+
+// WriteSparse serializes only the nonzero coefficients. For thresholded
+// grids this is the compact storage format of the pipeline; the
+// break-even with the dense format is at 50% density (16 vs 8 bytes per
+// entry).
+func (g *Grid) WriteSparse(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var n int64
+	m, err := bw.WriteString(sparseMagic)
+	n += int64(m)
+	if err != nil {
+		return n, err
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(g.desc.dim))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(g.desc.level))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(g.Nonzeros()))
+	m, err = bw.Write(hdr[:])
+	n += int64(m)
+	if err != nil {
+		return n, err
+	}
+	var rec [16]byte
+	for k, v := range g.Data {
+		if v == 0 {
+			continue
+		}
+		binary.LittleEndian.PutUint64(rec[0:], uint64(k))
+		binary.LittleEndian.PutUint64(rec[8:], math.Float64bits(v))
+		m, err = bw.Write(rec[:])
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadSparse deserializes a grid written by WriteSparse into a dense
+// compact grid (absent coefficients are zero).
+func ReadSparse(r io.Reader) (*Grid, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: reading sparse magic: %w", err)
+	}
+	if string(magic) != sparseMagic {
+		return nil, fmt.Errorf("core: bad sparse magic %q", magic)
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("core: reading sparse header: %w", err)
+	}
+	desc, err := NewDescriptor(int(binary.LittleEndian.Uint32(hdr[0:])), int(binary.LittleEndian.Uint32(hdr[4:])))
+	if err != nil {
+		return nil, err
+	}
+	nnz := binary.LittleEndian.Uint64(hdr[8:])
+	if nnz > uint64(desc.Size()) {
+		return nil, fmt.Errorf("core: sparse container claims %d nonzeros for a %d-point grid", nnz, desc.Size())
+	}
+	g := NewGrid(desc)
+	var rec [16]byte
+	prev := int64(-1)
+	for k := uint64(0); k < nnz; k++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("core: reading sparse record %d: %w", k, err)
+		}
+		idx := int64(binary.LittleEndian.Uint64(rec[0:]))
+		if idx <= prev || idx >= desc.Size() {
+			return nil, fmt.Errorf("core: sparse record %d has invalid index %d", k, idx)
+		}
+		prev = idx
+		g.Data[idx] = math.Float64frombits(binary.LittleEndian.Uint64(rec[8:]))
+	}
+	return g, nil
+}
+
+// TopCoefficients returns the flat indices of the k largest-|α|
+// coefficients (diagnostics for adaptive thresholding choices).
+func (g *Grid) TopCoefficients(k int) []int64 {
+	if k <= 0 {
+		return nil
+	}
+	idx := make([]int64, len(g.Data))
+	for j := range idx {
+		idx[j] = int64(j)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		va, vb := math.Abs(g.Data[idx[a]]), math.Abs(g.Data[idx[b]])
+		if va != vb {
+			return va > vb
+		}
+		return idx[a] < idx[b]
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}

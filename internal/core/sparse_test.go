@@ -1,0 +1,160 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestThreshold(t *testing.T) {
+	desc := MustDescriptor(2, 4)
+	g := NewGrid(desc)
+	g.Data[0] = 1.0
+	g.Data[5] = 0.001
+	g.Data[9] = -0.002
+	g.Data[11] = -2.0
+	kept, bound := g.Threshold(0.01)
+	if kept != 2 {
+		t.Errorf("kept=%d want 2", kept)
+	}
+	if math.Abs(bound-0.003) > 1e-15 {
+		t.Errorf("error bound %g want 0.003", bound)
+	}
+	if g.Data[5] != 0 || g.Data[9] != 0 || g.Data[0] != 1 || g.Data[11] != -2 {
+		t.Error("threshold zeroed/kept the wrong slots")
+	}
+	if g.Nonzeros() != 2 {
+		t.Errorf("Nonzeros=%d want 2", g.Nonzeros())
+	}
+}
+
+func TestThresholdErrorBoundHolds(t *testing.T) {
+	// After thresholding, |fs - fs_truncated| ≤ Σ dropped |α| everywhere.
+	desc := MustDescriptor(2, 5)
+	g := NewGrid(desc)
+	rng := rand.New(rand.NewSource(55))
+	for k := range g.Data {
+		g.Data[k] = rng.NormFloat64() * math.Pow(0.5, float64(desc.GroupOf(int64(k))))
+	}
+	trunc := g.Clone()
+	_, bound := trunc.Threshold(0.01)
+	evalAt := func(gr *Grid, x []float64) float64 {
+		res := 0.0
+		gr.Desc().VisitPoints(func(idx int64, l, i []int32) {
+			if gr.Data[idx] == 0 {
+				return
+			}
+			p := 1.0
+			for t2 := range l {
+				scale := float64(int64(1) << uint32(l[t2]+1))
+				v := math.Abs(scale*x[t2] - float64(i[t2]))
+				if v >= 1 {
+					p = 0
+					return
+				}
+				p *= 1 - v
+			}
+			res += p * gr.Data[idx]
+		})
+		return res
+	}
+	for k := 0; k < 100; k++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		diff := math.Abs(evalAt(g, x) - evalAt(trunc, x))
+		if diff > bound+1e-12 {
+			t.Fatalf("at %v: truncation error %g exceeds bound %g", x, diff, bound)
+		}
+	}
+}
+
+func TestSparseRoundTrip(t *testing.T) {
+	desc := MustDescriptor(3, 4)
+	g := NewGrid(desc)
+	rng := rand.New(rand.NewSource(56))
+	for k := 0; k < 20; k++ {
+		g.Data[rng.Int63n(desc.Size())] = rng.NormFloat64()
+	}
+	var buf bytes.Buffer
+	n, err := g.WriteSparse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteSparse reported %d bytes, wrote %d", n, buf.Len())
+	}
+	wantBytes := 4 + 16 + g.Nonzeros()*16
+	if int64(buf.Len()) != wantBytes {
+		t.Errorf("sparse container %d bytes want %d", buf.Len(), wantBytes)
+	}
+	back, err := ReadSparse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range g.Data {
+		if back.Data[k] != g.Data[k] {
+			t.Fatalf("round trip differs at %d", k)
+		}
+	}
+}
+
+func TestReadSparseRejectsGarbage(t *testing.T) {
+	if _, err := ReadSparse(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+	if _, err := ReadSparse(bytes.NewReader([]byte("NOPE0000000000000000"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Valid header, out-of-range index.
+	g := NewGrid(MustDescriptor(2, 2))
+	g.Data[0] = 1
+	var buf bytes.Buffer
+	if _, err := g.WriteSparse(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Corrupt the record's index to something huge.
+	raw[len(raw)-16] = 0xFF
+	raw[len(raw)-12] = 0xFF
+	if _, err := ReadSparse(bytes.NewReader(raw)); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	// Truncated payload.
+	buf.Reset()
+	g.Data[3] = 2
+	if _, err := g.WriteSparse(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSparse(bytes.NewReader(buf.Bytes()[:buf.Len()-5])); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	// Claimed nnz larger than the grid.
+	var big bytes.Buffer
+	big.WriteString("SGS1")
+	var hdr [16]byte
+	hdr[0] = 2
+	hdr[4] = 2
+	hdr[8] = 0xFF
+	hdr[9] = 0xFF
+	big.Write(hdr[:])
+	if _, err := ReadSparse(&big); err == nil {
+		t.Error("oversized nnz accepted")
+	}
+}
+
+func TestTopCoefficients(t *testing.T) {
+	g := NewGrid(MustDescriptor(1, 3))
+	g.Data[2] = -5
+	g.Data[4] = 3
+	g.Data[6] = 1
+	top := g.TopCoefficients(2)
+	if len(top) != 2 || top[0] != 2 || top[1] != 4 {
+		t.Errorf("TopCoefficients = %v want [2 4]", top)
+	}
+	if got := g.TopCoefficients(0); got != nil {
+		t.Error("k=0 must return nil")
+	}
+	if got := g.TopCoefficients(100); len(got) != 7 {
+		t.Errorf("k beyond size must clamp: %d", len(got))
+	}
+}

@@ -1,0 +1,259 @@
+// Package eval implements sparse grid evaluation (interpolation) — the
+// decompression step of the technique (paper Sec. 3.2, Alg. 2 and
+// Sec. 4.3, Alg. 7): fs(x) = Σ α_{l,i} · φ_{l,i}(x), where at most one
+// basis function per subspace is nonzero at x.
+//
+// Two families mirror the hierarchization package:
+//
+//   - Recursive (Alg. 2 generalized): descends the 1d hierarchy of each
+//     dimension along the path of supports containing x, recursing across
+//     dimensions to build the tensor-product basis values. Runs on any
+//     grids.Store; this is the paper's baseline.
+//   - Iterative (Alg. 7): walks every subspace with the next iterator,
+//     locates the one contributing point per subspace by direct index
+//     arithmetic, and accumulates — no recursion, no idx2gp/gp2idx calls,
+//     perfectly suited to one-thread-per-query parallelization.
+package eval
+
+import (
+	"sync"
+
+	"compactsg/internal/basis"
+	"compactsg/internal/core"
+	"compactsg/internal/grids"
+)
+
+// Iterative evaluates the hierarchized compact grid at x (paper Alg. 7).
+// x must lie in [0,1]^d; coordinates are clamped into the domain.
+func Iterative(g *core.Grid, x []float64) float64 {
+	desc := g.Desc()
+	l := make([]int32, desc.Dim())
+	return iterativeInto(g, x, l)
+}
+
+// iterativeInto is Iterative with a caller-provided level scratch buffer,
+// so batch drivers do not allocate per query.
+func iterativeInto(g *core.Grid, x []float64, l []int32) float64 {
+	desc := g.Desc()
+	d := desc.Dim()
+	res := 0.0
+	var index2 int64 // running offset of the current subspace (index2+index3)
+	for grp := 0; grp < desc.Groups(); grp++ {
+		core.First(l, grp)
+		nsub := desc.Subspaces(grp)
+		sz := int64(1) << uint(grp)
+		for k := int64(0); k < nsub; k++ {
+			prod := 1.0
+			var index1 int64
+			for t := d - 1; t >= 0; t-- {
+				cells := int64(1) << uint32(l[t])
+				c := int64(x[t] * float64(cells))
+				if c < 0 {
+					c = 0
+				} else if c >= cells {
+					c = cells - 1
+				}
+				index1 = index1<<uint32(l[t]) + c
+				div := 1.0 / float64(cells)
+				left := float64(c) * div
+				prod *= basis.EvalInterval(left, left+div, x[t])
+			}
+			res += prod * g.Data[index1+index2]
+			core.Next(l)
+			index2 += sz
+		}
+	}
+	return res
+}
+
+// Recursive evaluates a hierarchized store at x (paper Alg. 2 generalized
+// to d dimensions): within dimension t it follows the 1d chain of basis
+// functions whose supports contain x_t, and at every chain node it recurses
+// into dimension t+1 carrying the partial tensor product.
+func Recursive(s grids.Store, x []float64) float64 {
+	desc := s.Desc()
+	d := desc.Dim()
+	l := make([]int32, d)
+	i := make([]int32, d)
+	return evalRec(s, l, i, x, 0, int32(desc.Level()-1), 1.0)
+}
+
+func evalRec(s grids.Store, l, i []int32, x []float64, t int, budget int32, partial float64) float64 {
+	res := 0.0
+	l[t], i[t] = 0, 1
+	for {
+		phi := basis.Eval1D(l[t], i[t], x[t])
+		p := partial * phi
+		if t == len(l)-1 {
+			if p != 0 {
+				res += p * s.Get(l, i)
+			}
+		} else {
+			res += evalRec(s, l, i, x, t+1, budget-l[t], p)
+		}
+		if l[t] >= budget {
+			break
+		}
+		// Descend towards x: pick the child whose support contains x_t
+		// (paper Alg. 2 line 4: "if x left of gp").
+		if x[t] < core.Coord(l[t], i[t]) {
+			l[t], i[t] = core.Child1D(l[t], i[t], core.LeftParent)
+		} else {
+			l[t], i[t] = core.Child1D(l[t], i[t], core.RightParent)
+		}
+	}
+	return res
+}
+
+// RecursiveBatch evaluates a hierarchized store at every query point
+// with the classic recursive algorithm, distributing points over
+// workers (the store-based counterpart of Batch, used by the
+// scalability experiments). Store access counting must be disabled
+// when workers > 1.
+func RecursiveBatch(s grids.Store, xs [][]float64, out []float64, workers int) []float64 {
+	if out == nil {
+		out = make([]float64, len(xs))
+	}
+	if workers <= 1 {
+		for k, x := range xs {
+			out[k] = Recursive(s, x)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	chunk := (len(xs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(xs))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for k := lo; k < hi; k++ {
+				out[k] = Recursive(s, xs[k])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// Options configures batch evaluation.
+type Options struct {
+	// Workers is the number of goroutines evaluating query points
+	// (static decomposition, paper Sec. 5.3); ≤ 1 means sequential.
+	Workers int
+	// BlockSize switches on the paper's cache-blocking optimization
+	// (Sec. 4.3): the subspace loop becomes the outer loop and each
+	// subspace is applied to BlockSize query points while its
+	// coefficients are cache-resident. 0 disables blocking.
+	BlockSize int
+}
+
+// Batch evaluates the grid at every point of xs (each of length d),
+// writing results into out and returning it. If out is nil a new slice
+// is allocated. Results are identical for any Options.
+func Batch(g *core.Grid, xs [][]float64, out []float64, opt Options) []float64 {
+	if out == nil {
+		out = make([]float64, len(xs))
+	}
+	if opt.BlockSize > 0 {
+		batchBlocked(g, xs, out, opt)
+		return out
+	}
+	if opt.Workers <= 1 {
+		l := make([]int32, g.Dim())
+		for k, x := range xs {
+			out[k] = iterativeInto(g, x, l)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	chunk := (len(xs) + opt.Workers - 1) / opt.Workers
+	for w := 0; w < opt.Workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(xs))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			l := make([]int32, g.Dim())
+			for k := lo; k < hi; k++ {
+				out[k] = iterativeInto(g, xs[k], l)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// batchBlocked is the subspace-outer evaluation: every subspace's
+// coefficient block is streamed once per block of query points, so it is
+// read from cache rather than memory for all but the first point of each
+// block (paper Sec. 4.3, last paragraph).
+func batchBlocked(g *core.Grid, xs [][]float64, out []float64, opt Options) {
+	bs := opt.BlockSize
+	workers := max(opt.Workers, 1)
+	var wg sync.WaitGroup
+	blocks := (len(xs) + bs - 1) / bs
+	next := make(chan int, blocks)
+	for b := 0; b < blocks; b++ {
+		next <- b
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l := make([]int32, g.Dim())
+			for b := range next {
+				lo := b * bs
+				hi := min(lo+bs, len(xs))
+				evalBlock(g, xs[lo:hi], out[lo:hi], l)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// evalBlock accumulates all subspace contributions for one block of
+// query points, subspace-major.
+func evalBlock(g *core.Grid, xs [][]float64, out []float64, l []int32) {
+	desc := g.Desc()
+	d := desc.Dim()
+	for k := range out {
+		out[k] = 0
+	}
+	var index2 int64
+	for grp := 0; grp < desc.Groups(); grp++ {
+		core.First(l, grp)
+		nsub := desc.Subspaces(grp)
+		sz := int64(1) << uint(grp)
+		for s := int64(0); s < nsub; s++ {
+			for k, x := range xs {
+				prod := 1.0
+				var index1 int64
+				for t := d - 1; t >= 0; t-- {
+					cells := int64(1) << uint32(l[t])
+					c := int64(x[t] * float64(cells))
+					if c < 0 {
+						c = 0
+					} else if c >= cells {
+						c = cells - 1
+					}
+					index1 = index1<<uint32(l[t]) + c
+					div := 1.0 / float64(cells)
+					left := float64(c) * div
+					prod *= basis.EvalInterval(left, left+div, x[t])
+				}
+				out[k] += prod * g.Data[index1+index2]
+			}
+			core.Next(l)
+			index2 += sz
+		}
+	}
+}

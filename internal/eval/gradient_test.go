@@ -1,0 +1,77 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"compactsg/internal/core"
+	"compactsg/internal/workload"
+)
+
+func TestGradientValueMatchesIterative(t *testing.T) {
+	g := hierGrid(3, 5, workload.Gaussian.F)
+	grad := make([]float64, 3)
+	for _, x := range workload.Points(33, 50, 3) {
+		v := Gradient(g, x, grad)
+		if want := Iterative(g, x); math.Abs(v-want) > 1e-12 {
+			t.Fatalf("Gradient value at %v: %g want %g", x, v, want)
+		}
+	}
+}
+
+func TestGradientMatchesFiniteDifferences(t *testing.T) {
+	g := hierGrid(2, 6, workload.Parabola.F)
+	grad := make([]float64, 2)
+	rng := rand.New(rand.NewSource(44))
+	const h = 1e-9
+	for k := 0; k < 60; k++ {
+		// Sample away from cell boundaries (the interpolant is only
+		// piecewise differentiable): random point nudged off the finest
+		// grid lines.
+		x := []float64{
+			math.Floor(rng.Float64()*128)/128 + 1.0/512 + rng.Float64()/1024,
+			math.Floor(rng.Float64()*128)/128 + 1.0/512 + rng.Float64()/1024,
+		}
+		Gradient(g, x, grad)
+		for t2 := 0; t2 < 2; t2++ {
+			xp := append([]float64(nil), x...)
+			xm := append([]float64(nil), x...)
+			xp[t2] += h
+			xm[t2] -= h
+			fd := (Iterative(g, xp) - Iterative(g, xm)) / (2 * h)
+			if math.Abs(grad[t2]-fd) > 1e-4*(1+math.Abs(fd)) {
+				t.Fatalf("∂/∂x%d at %v: %g, finite differences give %g", t2, x, grad[t2], fd)
+			}
+		}
+	}
+}
+
+func TestGradientAllocatesWhenNil(t *testing.T) {
+	g := hierGrid(2, 3, workload.Parabola.F)
+	if v := Gradient(g, []float64{0.4, 0.6}, nil); math.IsNaN(v) {
+		t.Error("nil grad slice must be tolerated")
+	}
+}
+
+func TestGradientOfSingleHat(t *testing.T) {
+	// One unit surplus at the level-0 center: gradient is ±2 per dim
+	// scaled by the other dims' hat values.
+	desc := core.MustDescriptor(2, 2)
+	g := core.NewGrid(desc)
+	g.SetAt([]int32{0, 0}, []int32{1, 1}, 1)
+	grad := make([]float64, 2)
+	v := Gradient(g, []float64{0.25, 0.25}, grad)
+	// φ(0.25)·φ(0.25) = 0.25; ∂x = 2·0.5 = 1 on the rising flank.
+	if math.Abs(v-0.25) > 1e-15 {
+		t.Errorf("value %g want 0.25", v)
+	}
+	if math.Abs(grad[0]-1) > 1e-15 || math.Abs(grad[1]-1) > 1e-15 {
+		t.Errorf("gradient %v want (1,1)", grad)
+	}
+	// Falling flank.
+	Gradient(g, []float64{0.75, 0.25}, grad)
+	if grad[0] >= 0 {
+		t.Errorf("falling flank slope %g should be negative", grad[0])
+	}
+}

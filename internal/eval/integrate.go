@@ -1,0 +1,30 @@
+package eval
+
+import (
+	"compactsg/internal/core"
+)
+
+// Integrate computes ∫_{[0,1]^d} fs(x) dx of the hierarchized grid in
+// closed form: each basis function integrates to Π_t 2^-(l_t+1) =
+// 2^-(|l|₁+d), constant within a subspace, so the integral is one pass
+// over the coefficient array with a per-subspace weight — an O(N)
+// operation with perfectly sequential access (another payoff of the
+// compact layout: quadrature needs no idx2gp at all).
+func Integrate(g *core.Grid) float64 {
+	desc := g.Desc()
+	d := desc.Dim()
+	res := 0.0
+	it := core.NewSubspaceIter(desc)
+	for it.Valid() {
+		w := 1.0 / float64(int64(1)<<uint(it.Group()+d))
+		sum := 0.0
+		lo := it.Start()
+		hi := lo + it.Points()
+		for _, v := range g.Data[lo:hi] {
+			sum += v
+		}
+		res += w * sum
+		it.Advance()
+	}
+	return res
+}

@@ -1,0 +1,75 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"compactsg/internal/core"
+	"compactsg/internal/hier"
+	"compactsg/internal/workload"
+)
+
+func TestIntegrateSingleBasisFunction(t *testing.T) {
+	// One unit surplus at (l, i): the integral is exactly 2^-(|l|+d).
+	desc := core.MustDescriptor(2, 4)
+	cases := []struct {
+		l, i []int32
+	}{
+		{[]int32{0, 0}, []int32{1, 1}},
+		{[]int32{2, 0}, []int32{5, 1}},
+		{[]int32{1, 2}, []int32{3, 1}},
+	}
+	for _, c := range cases {
+		g := core.NewGrid(desc)
+		g.SetAt(c.l, c.i, 1)
+		want := 1.0 / float64(int64(1)<<uint(core.LevelSum(c.l)+2))
+		if got := Integrate(g); math.Abs(got-want) > 1e-15 {
+			t.Errorf("∫φ_{%v,%v} = %g want %g", c.l, c.i, got, want)
+		}
+	}
+}
+
+func TestIntegrateConvergesToExact(t *testing.T) {
+	// ∫ Π 4x(1-x) over [0,1]^d = (2/3)^d; the interpolant's integral
+	// must converge to it as the level grows.
+	for _, d := range []int{1, 2, 3} {
+		exact := math.Pow(2.0/3.0, float64(d))
+		var prev float64 = math.Inf(1)
+		for _, n := range []int{3, 5, 7} {
+			g := core.NewGrid(core.MustDescriptor(d, n))
+			g.Fill(workload.Parabola.F)
+			hier.Iterative(g)
+			err := math.Abs(Integrate(g) - exact)
+			if err >= prev {
+				t.Errorf("d=%d level %d: quadrature error %g did not shrink (prev %g)", d, n, err, prev)
+			}
+			prev = err
+		}
+		if prev > 1e-3 {
+			t.Errorf("d=%d: level-7 quadrature error %g too large", d, prev)
+		}
+	}
+}
+
+func TestIntegrateMatchesMonteCarloReference(t *testing.T) {
+	// Cross-check the closed form against brute-force midpoint
+	// quadrature of the evaluated interpolant.
+	g := core.NewGrid(core.MustDescriptor(2, 4))
+	g.Fill(workload.Oscillatory.F)
+	hier.Iterative(g)
+	exact := Integrate(g)
+	const m = 64
+	sum := 0.0
+	x := make([]float64, 2)
+	for a := 0; a < m; a++ {
+		for b := 0; b < m; b++ {
+			x[0] = (float64(a) + 0.5) / m
+			x[1] = (float64(b) + 0.5) / m
+			sum += Iterative(g, x)
+		}
+	}
+	mid := sum / (m * m)
+	if math.Abs(exact-mid) > 2e-3 {
+		t.Errorf("closed form %g vs midpoint rule %g", exact, mid)
+	}
+}

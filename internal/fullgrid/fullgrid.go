@@ -1,0 +1,220 @@
+// Package fullgrid implements the regular full grid the sparse grid
+// technique compresses away: the isotropic grid with 2^n - 1 interior
+// points per dimension (zero boundary), plus the anisotropic component
+// grids used by the combination-technique baseline. The full grid is the
+// input of the compression pipeline (paper Fig. 1: Simulation →
+// Compress) and the yardstick for the curse of dimensionality
+// (Ñ^d points versus the sparse grid's O(Ñ (log Ñ)^(d-1))).
+package fullgrid
+
+import (
+	"fmt"
+	"math"
+
+	"compactsg/internal/core"
+)
+
+// Grid is an anisotropic full grid: in dimension t it has 2^(levels[t]+1)-1
+// interior points at spacing 2^-(levels[t]+1) (0-based levels, matching
+// package core: level l in a dimension provides the 1d hierarchical
+// levels 0..l). Values are stored row-major with dimension 0 innermost.
+type Grid struct {
+	levels []int32
+	n1d    []int64 // points per dimension, 2^(levels[t]+1) - 1
+	stride []int64 // row-major strides, dim 0 innermost
+	Data   []float64
+}
+
+// New allocates an anisotropic full grid with the given per-dimension
+// 0-based levels. It fails if the point count overflows or exceeds
+// maxPoints (1 << 31), which on a laptop-scale host is already 16 GiB.
+func New(levels []int32) (*Grid, error) {
+	const maxPoints = int64(1) << 31
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("fullgrid: empty level vector")
+	}
+	g := &Grid{
+		levels: append([]int32(nil), levels...),
+		n1d:    make([]int64, len(levels)),
+		stride: make([]int64, len(levels)),
+	}
+	total := int64(1)
+	for t, l := range levels {
+		if l < 0 || l > 40 {
+			return nil, fmt.Errorf("fullgrid: level %d out of range in dimension %d", l, t)
+		}
+		g.n1d[t] = int64(2)<<uint32(l) - 1
+		g.stride[t] = total
+		if total > maxPoints/g.n1d[t] {
+			return nil, fmt.Errorf("fullgrid: %v exceeds the %d point cap", levels, maxPoints)
+		}
+		total *= g.n1d[t]
+	}
+	g.Data = make([]float64, total)
+	return g, nil
+}
+
+// NewIsotropic allocates the isotropic full grid of refinement level n
+// (0-based per-dimension level n-1), the direct counterpart of a sparse
+// grid of level n: both contain the 1d hierarchical levels 0..n-1.
+func NewIsotropic(dim, level int) (*Grid, error) {
+	if level < 1 {
+		return nil, fmt.Errorf("fullgrid: level %d out of range", level)
+	}
+	levels := make([]int32, dim)
+	for t := range levels {
+		levels[t] = int32(level - 1)
+	}
+	return New(levels)
+}
+
+// Dim returns the dimensionality.
+func (g *Grid) Dim() int { return len(g.levels) }
+
+// Levels returns the per-dimension 0-based levels.
+func (g *Grid) Levels() []int32 { return g.levels }
+
+// Size returns the total number of grid points.
+func (g *Grid) Size() int64 { return int64(len(g.Data)) }
+
+// Points1D returns the number of points along dimension t.
+func (g *Grid) Points1D(t int) int64 { return g.n1d[t] }
+
+// MemoryBytes returns the coefficient storage footprint.
+func (g *Grid) MemoryBytes() int64 { return int64(len(g.Data)) * 8 }
+
+// flatIndex converts per-dimension 1-based point numbers (1..n1d[t]) to
+// the flat position.
+func (g *Grid) flatIndex(pt []int64) int64 {
+	var idx int64
+	for t, p := range pt {
+		idx += (p - 1) * g.stride[t]
+	}
+	return idx
+}
+
+// Coord returns the coordinate of 1-based point number p in dimension t:
+// p · 2^-(levels[t]+1).
+func (g *Grid) Coord(t int, p int64) float64 {
+	return float64(p) / float64(g.n1d[t]+1)
+}
+
+// Fill samples f at every grid point.
+func (g *Grid) Fill(f func(x []float64) float64) {
+	d := g.Dim()
+	pt := make([]int64, d)
+	x := make([]float64, d)
+	for t := range pt {
+		pt[t] = 1
+		x[t] = g.Coord(t, 1)
+	}
+	for idx := range g.Data {
+		g.Data[idx] = f(x)
+		// Odometer increment, dimension 0 fastest (matches stride order).
+		for t := 0; t < d; t++ {
+			pt[t]++
+			if pt[t] <= g.n1d[t] {
+				x[t] = g.Coord(t, pt[t])
+				break
+			}
+			pt[t] = 1
+			x[t] = g.Coord(t, 1)
+		}
+	}
+}
+
+// At returns the value at the 1-based per-dimension point numbers.
+func (g *Grid) At(pt []int64) float64 { return g.Data[g.flatIndex(pt)] }
+
+// Set stores v at the 1-based per-dimension point numbers.
+func (g *Grid) Set(pt []int64, v float64) { g.Data[g.flatIndex(pt)] = v }
+
+// Interpolate evaluates the piecewise multilinear interpolant at
+// x ∈ [0,1]^d with zero boundary values.
+func (g *Grid) Interpolate(x []float64) float64 {
+	d := g.Dim()
+	// Per dimension, find the left neighbour point number (0 = boundary)
+	// and the local weight of the right neighbour.
+	lo := make([]int64, d)
+	w := make([]float64, d)
+	for t := 0; t < d; t++ {
+		h := 1.0 / float64(g.n1d[t]+1)
+		v := x[t] / h
+		f := math.Floor(v)
+		lo[t] = int64(f)
+		if lo[t] < 0 {
+			lo[t], w[t] = 0, 0
+		} else if lo[t] >= g.n1d[t]+1 {
+			lo[t], w[t] = g.n1d[t], 1
+		} else {
+			w[t] = v - f
+		}
+	}
+	// Sum over the 2^d cell corners.
+	res := 0.0
+	pt := make([]int64, d)
+	for corner := 0; corner < 1<<uint(d); corner++ {
+		weight := 1.0
+		inside := true
+		for t := 0; t < d; t++ {
+			p := lo[t]
+			if corner&(1<<uint(t)) != 0 {
+				p++
+				weight *= w[t]
+			} else {
+				weight *= 1 - w[t]
+			}
+			if p < 1 || p > g.n1d[t] {
+				inside = false // boundary corner, value 0
+				break
+			}
+			pt[t] = p
+		}
+		if inside && weight != 0 {
+			res += weight * g.At(pt)
+		}
+	}
+	return res
+}
+
+// FromSparse reconstructs a full grid of the given per-dimension levels
+// by sampling the compressed sparse grid's interpolant at every full
+// grid point — the complete decompression step when a dense volume is
+// needed (e.g. handing a 3d block to a volume renderer). eval is the
+// interpolant (typically eval.Iterative wrapped by the caller to avoid
+// an import cycle with package eval).
+func FromSparse(levels []int32, eval func(x []float64) float64) (*Grid, error) {
+	g, err := New(levels)
+	if err != nil {
+		return nil, err
+	}
+	g.Fill(eval)
+	return g, nil
+}
+
+// ToSparse selects the full grid's values at the points of the sparse
+// grid descriptor — the first half of the compression pipeline. Every
+// sparse grid point must exist in the full grid (the full grid's level
+// must be ≥ the sparse grid's per-dimension maximum, which NewIsotropic
+// with the same level guarantees).
+func (g *Grid) ToSparse(desc *core.Descriptor) (*core.Grid, error) {
+	if desc.Dim() != g.Dim() {
+		return nil, fmt.Errorf("fullgrid: dimension mismatch %d vs %d", desc.Dim(), g.Dim())
+	}
+	for t := 0; t < g.Dim(); t++ {
+		if int(g.levels[t]) < desc.Level()-1 {
+			return nil, fmt.Errorf("fullgrid: dimension %d level %d cannot host sparse level %d", t, g.levels[t], desc.Level())
+		}
+	}
+	sg := core.NewGrid(desc)
+	pt := make([]int64, g.Dim())
+	desc.VisitPoints(func(idx int64, l, i []int32) {
+		for t := range pt {
+			// Point i/2^(l+1) is full grid point number
+			// i · 2^(levels[t] - l).
+			pt[t] = int64(i[t]) << uint32(int32(g.levels[t])-l[t])
+		}
+		sg.Data[idx] = g.At(pt)
+	})
+	return sg, nil
+}

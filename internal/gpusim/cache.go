@@ -1,0 +1,40 @@
+package gpusim
+
+// cacheSim is a direct-mapped cache over global-memory transaction
+// segments, used to model the Fermi generation's L1/L2 hierarchy (the
+// paper's Sec. 8 future work). Direct mapping keeps the model
+// deterministic and cheap; it slightly understates hit rates relative
+// to the real set-associative caches, which is the conservative
+// direction.
+type cacheSim struct {
+	slots []int64
+}
+
+func newCacheSim(bytes, lineBytes int64) *cacheSim {
+	if bytes <= 0 {
+		return nil
+	}
+	n := bytes / lineBytes
+	if n < 1 {
+		n = 1
+	}
+	c := &cacheSim{slots: make([]int64, n)}
+	for k := range c.slots {
+		c.slots[k] = -1
+	}
+	return c
+}
+
+// access probes the cache for a segment, fills on miss, and reports a
+// hit. A nil cache always misses.
+func (c *cacheSim) access(seg int64) bool {
+	if c == nil {
+		return false
+	}
+	k := seg % int64(len(c.slots))
+	if c.slots[k] == seg {
+		return true
+	}
+	c.slots[k] = seg
+	return false
+}

@@ -1,0 +1,139 @@
+// Package gpusim is a functional SIMT GPU simulator: the substrate that
+// stands in for the paper's Tesla C1060 + CUDA (see DESIGN.md §2). It
+// executes kernels for real — device global memory holds the actual
+// coefficients, thread blocks run with __syncthreads semantics, and the
+// results are bit-identical to the CPU algorithms — while tracking the
+// performance-relevant events the paper's Sec. 5 discusses:
+//
+//   - global memory coalescing: per warp instruction, the distinct
+//     128-byte segments touched become memory transactions;
+//   - branch divergence: warp instructions whose lanes disagree
+//     serialize;
+//   - shared memory bank conflicts: lanes hitting the same bank at
+//     different addresses serialize;
+//   - constant cache: broadcast when all lanes read one word,
+//     serialized otherwise;
+//   - occupancy: resident warps per SM limited by threads, blocks, and
+//     the per-block shared memory the kernels allocate (the effect
+//     behind the paper's d > 10 caveat).
+//
+// A launch produces a Report whose cost model converts the counts into
+// an estimated execution time for a configured device. The model is
+// deliberately simple (documented in EstimateTime); EXPERIMENTS.md
+// reports its output as modeled, not measured.
+package gpusim
+
+// Config describes the simulated device.
+type Config struct {
+	// Name labels the device in reports.
+	Name string
+	// SMs is the number of streaming multiprocessors.
+	SMs int
+	// SPsPerSM is the number of scalar processors (lanes) per SM.
+	SPsPerSM int
+	// ClockHz is the SP clock.
+	ClockHz float64
+	// WarpSize is the SIMT width.
+	WarpSize int
+	// MaxThreadsPerSM limits resident threads per SM.
+	MaxThreadsPerSM int
+	// MaxBlocksPerSM limits resident blocks per SM.
+	MaxBlocksPerSM int
+	// MaxThreadsPerBlock limits the block size.
+	MaxThreadsPerBlock int
+	// SharedMemPerSM is the shared memory capacity per SM in bytes.
+	SharedMemPerSM int64
+	// SharedBanks is the number of shared memory banks.
+	SharedBanks int
+	// GlobalBandwidth is the device memory bandwidth in bytes/second.
+	GlobalBandwidth float64
+	// GlobalLatencyCycles is the uncovered global memory latency.
+	GlobalLatencyCycles float64
+	// TransactionBytes is the coalescing segment size.
+	TransactionBytes int64
+	// LaunchOverheadSec is the host-side cost of one kernel launch.
+	LaunchOverheadSec float64
+	// L1CacheBytes is the per-SM L1 cache for global accesses (0 = no
+	// cache, as on the C1060/GT200).
+	L1CacheBytes int64
+	// L2CacheBytes is the device-wide L2 cache (0 = none).
+	L2CacheBytes int64
+	// L2Bandwidth is the L2 hit bandwidth in bytes/second (only used
+	// when L2CacheBytes > 0).
+	L2Bandwidth float64
+}
+
+// TeslaC1060 returns the configuration of the paper's GPU (Sec. 5.1:
+// 30 SMs × 8 SPs, up to 1024 resident threads per SM, 4 GB of device
+// memory; 16 KB shared memory and 16 banks per SM, ~102 GB/s, 1.3 GHz).
+func TeslaC1060() Config {
+	return Config{
+		Name:                "Tesla C1060",
+		SMs:                 30,
+		SPsPerSM:            8,
+		ClockHz:             1.296e9,
+		WarpSize:            32,
+		MaxThreadsPerSM:     1024,
+		MaxBlocksPerSM:      8,
+		MaxThreadsPerBlock:  512,
+		SharedMemPerSM:      16 << 10,
+		SharedBanks:         16,
+		GlobalBandwidth:     102e9,
+		GlobalLatencyCycles: 500,
+		TransactionBytes:    128,
+		LaunchOverheadSec:   5e-6,
+	}
+}
+
+// FermiC2050 returns the configuration of the Fermi-generation Tesla
+// the paper names as future work (Sec. 8: "the two-level cache, 64 KB
+// level-1 per SM and 768 KB shared level-2, could be beneficial for
+// both sparse grid operations"): 14 SMs × 32 SPs, 48 KB shared + 16 KB
+// L1 per SM, 768 KB L2, ~144 GB/s DRAM.
+func FermiC2050() Config {
+	return Config{
+		Name:                "Tesla C2050 (Fermi)",
+		SMs:                 14,
+		SPsPerSM:            32,
+		ClockHz:             1.15e9,
+		WarpSize:            32,
+		MaxThreadsPerSM:     1536,
+		MaxBlocksPerSM:      8,
+		MaxThreadsPerBlock:  1024,
+		SharedMemPerSM:      48 << 10,
+		SharedBanks:         32,
+		GlobalBandwidth:     144e9,
+		GlobalLatencyCycles: 400,
+		TransactionBytes:    128,
+		LaunchOverheadSec:   4e-6,
+		L1CacheBytes:        16 << 10,
+		L2CacheBytes:        768 << 10,
+		L2Bandwidth:         230e9,
+	}
+}
+
+// Occupancy returns the fraction of MaxThreadsPerSM kept resident by
+// blocks of blockDim threads, each consuming sharedPerBlock bytes of
+// shared memory.
+func (c Config) Occupancy(blockDim int, sharedPerBlock int64) float64 {
+	if blockDim <= 0 {
+		return 0
+	}
+	blocks := c.MaxBlocksPerSM
+	if byThreads := c.MaxThreadsPerSM / blockDim; byThreads < blocks {
+		blocks = byThreads
+	}
+	if sharedPerBlock > 0 {
+		if byShared := int(c.SharedMemPerSM / sharedPerBlock); byShared < blocks {
+			blocks = byShared
+		}
+	}
+	if blocks < 1 {
+		return 0
+	}
+	occ := float64(blocks*blockDim) / float64(c.MaxThreadsPerSM)
+	if occ > 1 {
+		occ = 1
+	}
+	return occ
+}

@@ -1,0 +1,75 @@
+package gpusim
+
+import "fmt"
+
+// Device owns the simulated memories. Global memory is word-addressed
+// (one float64 per address); constant memory holds the small read-only
+// tables kernels stage there (binmat, group offsets).
+type Device struct {
+	cfg    Config
+	global []float64
+	constI []int64
+	constF []float64
+	brk    int64 // bump allocator watermark
+}
+
+// NewDevice creates a device with the given configuration.
+func NewDevice(cfg Config) *Device {
+	return &Device{cfg: cfg}
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// AllocGlobal reserves n words of global memory and returns the base
+// address, aligned to a 256-byte boundary like cudaMalloc (so
+// consecutive warp accesses start segment-aligned). The backing store
+// grows as needed (the host has the real memory; the 4 GB limit of the
+// C1060 is not enforced, it is reported by MemoryWords for the harness
+// to check).
+func (d *Device) AllocGlobal(n int64) int64 {
+	if n < 0 {
+		panic("gpusim: negative allocation")
+	}
+	const alignWords = 32 // 256 B
+	d.brk = (d.brk + alignWords - 1) / alignWords * alignWords
+	base := d.brk
+	d.brk += n
+	if int64(len(d.global)) < d.brk {
+		grown := make([]float64, d.brk)
+		copy(grown, d.global)
+		d.global = grown
+	}
+	return base
+}
+
+// MemoryWords returns the number of allocated global words.
+func (d *Device) MemoryWords() int64 { return d.brk }
+
+// CopyToDevice writes src into global memory at base (cudaMemcpy H2D).
+func (d *Device) CopyToDevice(base int64, src []float64) {
+	copy(d.global[base:base+int64(len(src))], src)
+}
+
+// CopyFromDevice reads len(dst) words from base (cudaMemcpy D2H).
+func (d *Device) CopyFromDevice(dst []float64, base int64) {
+	copy(dst, d.global[base:base+int64(len(dst))])
+}
+
+// SetConstI installs the integer constant memory image (e.g. binmat).
+func (d *Device) SetConstI(v []int64) { d.constI = append(d.constI[:0], v...) }
+
+// SetConstF installs the float constant memory image.
+func (d *Device) SetConstF(v []float64) { d.constF = append(d.constF[:0], v...) }
+
+// TransferTime returns the PCIe transfer cost the harness charges for
+// moving n words between host and device. The C1060-era bus moves
+// ~5.5 GB/s effective.
+func (d *Device) TransferTime(words int64) float64 {
+	const pcieBandwidth = 5.5e9
+	return float64(words*8) / pcieBandwidth
+}
+
+func (d *Device) String() string {
+	return fmt.Sprintf("%s (%d SMs, %d words allocated)", d.cfg.Name, d.cfg.SMs, d.brk)
+}

@@ -1,0 +1,432 @@
+package gpusim
+
+import (
+	"math"
+	"testing"
+)
+
+func testConfig() Config {
+	c := TeslaC1060()
+	return c
+}
+
+func TestDeviceAllocAndCopy(t *testing.T) {
+	d := NewDevice(testConfig())
+	a := d.AllocGlobal(10)
+	b := d.AllocGlobal(5)
+	// Allocations are 256-byte (32-word) aligned, like cudaMalloc.
+	if a != 0 || b != 32 || d.MemoryWords() != 37 {
+		t.Fatalf("allocator: a=%d b=%d words=%d", a, b, d.MemoryWords())
+	}
+	src := []float64{1, 2, 3, 4, 5}
+	d.CopyToDevice(b, src)
+	dst := make([]float64, 5)
+	d.CopyFromDevice(dst, b)
+	for k := range src {
+		if dst[k] != src[k] {
+			t.Fatalf("copy round trip failed at %d", k)
+		}
+	}
+	if d.TransferTime(1e6) <= 0 {
+		t.Error("TransferTime must be positive")
+	}
+}
+
+func TestLaunchValidation(t *testing.T) {
+	d := NewDevice(testConfig())
+	if _, err := d.Launch(0, 32, func(b *Block) func(*Thread) { return func(*Thread) {} }); err == nil {
+		t.Error("gridDim 0 accepted")
+	}
+	if _, err := d.Launch(1, 0, func(b *Block) func(*Thread) { return func(*Thread) {} }); err == nil {
+		t.Error("blockDim 0 accepted")
+	}
+	if _, err := d.Launch(1, 4096, func(b *Block) func(*Thread) { return func(*Thread) {} }); err == nil {
+		t.Error("oversized block accepted")
+	}
+}
+
+func TestKernelFunctionalSaxpy(t *testing.T) {
+	// y = a*x + y over 1000 elements, 4 blocks of 256 threads.
+	d := NewDevice(testConfig())
+	n := 1000
+	xBase := d.AllocGlobal(int64(n))
+	yBase := d.AllocGlobal(int64(n))
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for k := range x {
+		x[k] = float64(k)
+		y[k] = 2 * float64(k)
+	}
+	d.CopyToDevice(xBase, x)
+	d.CopyToDevice(yBase, y)
+	rep, err := d.Launch(4, 256, func(b *Block) func(*Thread) {
+		return func(t *Thread) {
+			g := t.Global()
+			if t.Branch(g < n) {
+				v := t.LoadGlobal(xBase + int64(g))
+				w := t.LoadGlobal(yBase + int64(g))
+				t.Ops(2)
+				t.StoreGlobal(yBase+int64(g), 3*v+w)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, n)
+	d.CopyFromDevice(out, yBase)
+	for k := range out {
+		if out[k] != 3*float64(k)+2*float64(k) {
+			t.Fatalf("saxpy wrong at %d: %g", k, out[k])
+		}
+	}
+	// Coalescing: consecutive lanes touch consecutive words → each
+	// 32-lane warp instruction covers 32·8 = 256 B = 2 segments.
+	if eff := rep.CoalescingEfficiency(); eff < 0.45 || eff > 0.55 {
+		t.Errorf("coalescing efficiency %.3f, want ≈ 0.5 (2 transactions per 32-wide access)", eff)
+	}
+	// Exactly one divergent branch: the warp spanning index 1000.
+	if rep.DivergentBranches != 1 {
+		t.Errorf("divergent branches = %d, want 1 (boundary warp)", rep.DivergentBranches)
+	}
+}
+
+func TestStridedAccessUncoalesced(t *testing.T) {
+	// Stride-16 word accesses: every lane in its own 128B segment.
+	d := NewDevice(testConfig())
+	base := d.AllocGlobal(32 * 16)
+	rep, err := d.Launch(1, 32, func(b *Block) func(*Thread) {
+		return func(t *Thread) {
+			t.LoadGlobal(base + int64(t.Idx*16))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GlobalWarpInstr != 1 || rep.GlobalTransactions != 32 {
+		t.Errorf("strided: %d warp instr, %d transactions; want 1, 32", rep.GlobalWarpInstr, rep.GlobalTransactions)
+	}
+	// Same-address access: fully coalesced single transaction.
+	rep2, err := d.Launch(1, 32, func(b *Block) func(*Thread) {
+		return func(t *Thread) {
+			t.LoadGlobal(base)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.GlobalTransactions != 1 {
+		t.Errorf("broadcast load: %d transactions want 1", rep2.GlobalTransactions)
+	}
+}
+
+func TestSyncThreadsSharedMemory(t *testing.T) {
+	// Block reduction: thread 0 publishes, all read after barrier — the
+	// shared-l pattern of the paper's kernels.
+	d := NewDevice(testConfig())
+	out := d.AllocGlobal(64)
+	_, err := d.Launch(1, 64, func(b *Block) func(*Thread) {
+		sh := b.SharedF64(1)
+		return func(t *Thread) {
+			if t.Idx == 0 {
+				sh.Store(t, 0, 42)
+			}
+			t.Sync()
+			v := sh.Load(t, 0)
+			t.StoreGlobal(out+int64(t.Idx), v)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := make([]float64, 64)
+	d.CopyFromDevice(res, out)
+	for k, v := range res {
+		if v != 42 {
+			t.Fatalf("thread %d read %g before/without barrier", k, v)
+		}
+	}
+}
+
+func TestSharedBankConflicts(t *testing.T) {
+	d := NewDevice(testConfig())
+	// All 32 lanes hit bank 0 at different addresses: 16-bank device,
+	// addresses k*16 → bank 0, 32 ways... lanes map to banks by word
+	// address mod 16. Expect 31 extra serialized cycles... ways = 32.
+	rep, err := d.Launch(1, 32, func(b *Block) func(*Thread) {
+		sh := b.SharedF64(32 * 16)
+		return func(t *Thread) {
+			sh.Store(t, t.Idx*16, 1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SharedConflictExtra != 31 {
+		t.Errorf("bank conflict extra = %d want 31", rep.SharedConflictExtra)
+	}
+	// Conflict-free: consecutive addresses.
+	rep2, err := d.Launch(1, 32, func(b *Block) func(*Thread) {
+		sh := b.SharedF64(32)
+		return func(t *Thread) {
+			sh.Store(t, t.Idx, 1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 32 lanes over 16 banks at distinct consecutive addresses: a 2-way
+	// conflict, i.e. one extra serialized cycle for the instruction.
+	if rep2.SharedConflictExtra != 1 {
+		t.Errorf("consecutive f64 shared: extra=%d want 1 (2-way conflict)", rep2.SharedConflictExtra)
+	}
+}
+
+func TestConstBroadcastVsSerialized(t *testing.T) {
+	d := NewDevice(testConfig())
+	d.SetConstI(make([]int64, 64))
+	repB, err := d.Launch(1, 32, func(b *Block) func(*Thread) {
+		return func(t *Thread) {
+			t.LoadConstI(7)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repB.ConstSerializations != 0 {
+		t.Errorf("broadcast const read serialized: %d", repB.ConstSerializations)
+	}
+	repS, err := d.Launch(1, 32, func(b *Block) func(*Thread) {
+		return func(t *Thread) {
+			t.LoadConstI(t.Idx)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repS.ConstSerializations != 31 {
+		t.Errorf("divergent const read: %d serializations want 31", repS.ConstSerializations)
+	}
+}
+
+func TestSharedMemoryLimitEnforced(t *testing.T) {
+	d := NewDevice(testConfig())
+	_, err := d.Launch(1, 32, func(b *Block) func(*Thread) {
+		b.SharedF64(3000) // 24 KB > 16 KB
+		return func(t *Thread) {}
+	})
+	if err == nil {
+		t.Error("shared memory over-allocation accepted")
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	cfg := testConfig()
+	// 256-thread blocks, no shared memory: limited by MaxThreadsPerSM
+	// (1024/256 = 4 blocks ≤ 8) → occupancy 1.
+	if occ := cfg.Occupancy(256, 0); occ != 1 {
+		t.Errorf("occupancy(256,0)=%g want 1", occ)
+	}
+	// Heavy shared usage: 8 KB per block → 2 blocks of 64 threads → 128
+	// resident threads = 0.125.
+	if occ := cfg.Occupancy(64, 8<<10); math.Abs(occ-0.125) > 1e-12 {
+		t.Errorf("occupancy(64,8K)=%g want 0.125", occ)
+	}
+	if cfg.Occupancy(0, 0) != 0 {
+		t.Error("occupancy with blockDim 0 must be 0")
+	}
+}
+
+func TestEstimateTimeMonotonicity(t *testing.T) {
+	cfg := testConfig()
+	base := &Report{Launches: 1, BlockDim: 256, ArithWarpInstr: 1000, GlobalWarpInstr: 100, GlobalTransactions: 200, DRAMTransactions: 200}
+	tBase := base.EstimateTime(cfg)
+	if tBase <= 0 {
+		t.Fatal("time must be positive")
+	}
+	worse := *base
+	worse.GlobalTransactions = 20000
+	worse.DRAMTransactions = 20000
+	if worse.EstimateTime(cfg) <= tBase {
+		t.Error("more transactions must not be faster")
+	}
+	diverged := *base
+	diverged.DivergentBranches = 100000
+	if diverged.EstimateTime(cfg) <= tBase {
+		t.Error("divergence must not be free")
+	}
+	lowOcc := *base
+	lowOcc.SharedBytesPerBlock = 8 << 10
+	lowOcc.BlockDim = 64
+	if lowOcc.EstimateTime(cfg) <= tBase {
+		t.Error("occupancy collapse must expose latency")
+	}
+}
+
+func TestReportAdd(t *testing.T) {
+	a := &Report{Launches: 1, ArithWarpInstr: 10, GlobalTransactions: 5, SharedBytesPerBlock: 100}
+	b := &Report{Launches: 2, ArithWarpInstr: 20, GlobalTransactions: 7, SharedBytesPerBlock: 50, DivergentBranches: 3}
+	a.Add(b)
+	if a.Launches != 3 || a.ArithWarpInstr != 30 || a.GlobalTransactions != 12 || a.DivergentBranches != 3 {
+		t.Errorf("Add merged wrong: %+v", a)
+	}
+	if a.SharedBytesPerBlock != 100 {
+		t.Error("Add must keep the max shared allocation")
+	}
+	if a.String() == "" {
+		t.Error("String must render")
+	}
+}
+
+func TestPartialWarpAccounting(t *testing.T) {
+	d := NewDevice(testConfig())
+	base := d.AllocGlobal(8)
+	rep, err := d.Launch(1, 8, func(b *Block) func(*Thread) {
+		return func(t *Thread) {
+			t.Ops(1)
+			t.LoadGlobal(base + int64(t.Idx))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ArithWarpInstr != 1 {
+		t.Errorf("partial warp: arith warp instr = %d want 1", rep.ArithWarpInstr)
+	}
+	if rep.GlobalWarpInstr != 1 || rep.GlobalTransactions != 1 {
+		t.Errorf("partial warp: global %d/%d want 1/1", rep.GlobalWarpInstr, rep.GlobalTransactions)
+	}
+}
+
+func TestCacheSim(t *testing.T) {
+	c := newCacheSim(4*128, 128) // 4 lines
+	if newCacheSim(0, 128) != nil {
+		t.Error("zero-byte cache must be nil")
+	}
+	var nilCache *cacheSim
+	if nilCache.access(7) {
+		t.Error("nil cache must always miss")
+	}
+	if c.access(1) {
+		t.Error("cold access hit")
+	}
+	if !c.access(1) {
+		t.Error("warm access missed")
+	}
+	// Conflict: segments 1 and 5 map to the same direct-mapped slot.
+	c.access(5)
+	if c.access(1) {
+		t.Error("evicted line still hit")
+	}
+}
+
+func TestFermiCacheReducesDRAMTraffic(t *testing.T) {
+	// The same scattered-access kernel on C1060 (no cache) and Fermi:
+	// repeated accesses to a small working set must hit Fermi's caches.
+	kernel := func(base int64) Kernel {
+		return func(b *Block) func(*Thread) {
+			return func(t *Thread) {
+				for rep := 0; rep < 8; rep++ {
+					t.LoadGlobal(base + int64(t.Idx*16))
+				}
+			}
+		}
+	}
+	run := func(cfg Config) *Report {
+		d := NewDevice(cfg)
+		base := d.AllocGlobal(32 * 16)
+		rep, err := d.Launch(1, 32, kernel(base))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	tesla := run(TeslaC1060())
+	fermi := run(FermiC2050())
+	if tesla.DRAMTransactions != tesla.GlobalTransactions {
+		t.Errorf("C1060 must send every transaction to DRAM: %d vs %d", tesla.DRAMTransactions, tesla.GlobalTransactions)
+	}
+	if tesla.L1Hits != 0 || tesla.L2Hits != 0 {
+		t.Error("C1060 has no cache hits")
+	}
+	if fermi.L1Hits == 0 {
+		t.Error("Fermi must hit L1 on the repeated accesses")
+	}
+	// 32 distinct segments cold-missed once; the 7 repeats hit.
+	if fermi.DRAMTransactions != 32 {
+		t.Errorf("Fermi DRAM transactions = %d want 32 (cold misses only)", fermi.DRAMTransactions)
+	}
+	if fermi.DRAMTransactions >= tesla.DRAMTransactions {
+		t.Error("Fermi cache must cut DRAM traffic")
+	}
+}
+
+func TestFermiConfigSanity(t *testing.T) {
+	cfg := FermiC2050()
+	if cfg.L1CacheBytes == 0 || cfg.L2CacheBytes == 0 || cfg.L2Bandwidth == 0 {
+		t.Error("Fermi config must define the cache hierarchy")
+	}
+	if cfg.SMs*cfg.SPsPerSM != 448 {
+		t.Errorf("C2050 has 448 SPs, config gives %d", cfg.SMs*cfg.SPsPerSM)
+	}
+	// A memory-bound report must be faster on Fermi when its traffic
+	// hits the cache.
+	cached := &Report{Launches: 1, BlockDim: 256, GlobalWarpInstr: 1000, GlobalTransactions: 2000, L2Hits: 1800, DRAMTransactions: 200}
+	uncached := &Report{Launches: 1, BlockDim: 256, GlobalWarpInstr: 1000, GlobalTransactions: 2000, DRAMTransactions: 2000}
+	if cached.EstimateTime(cfg) >= uncached.EstimateTime(cfg) {
+		t.Error("cache hits must reduce modeled time")
+	}
+}
+
+func TestLaunchDeterministicReports(t *testing.T) {
+	// Scheduling must not leak into the accounting: two identical
+	// launches produce identical reports.
+	run := func() *Report {
+		d := NewDevice(testConfig())
+		base := d.AllocGlobal(1024)
+		rep, err := d.Launch(4, 128, func(b *Block) func(*Thread) {
+			sh := b.SharedF64(8)
+			return func(t *Thread) {
+				v := t.LoadGlobal(base + int64(t.Global()%1024))
+				if t.Idx < 8 {
+					sh.Store(t, t.Idx, v)
+				}
+				t.Sync()
+				w := sh.Load(t, t.Idx%8)
+				t.Ops(3)
+				t.Branch(t.Idx%5 == 0)
+				t.StoreGlobal(base+int64(t.Global()%1024), v+w)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if *a != *b {
+		t.Errorf("reports differ across identical launches:\n%v\n%v", a, b)
+	}
+}
+
+func TestSharedBroadcastIsConflictFree(t *testing.T) {
+	// All 32 lanes reading the SAME shared address broadcast — no
+	// serialization (the paper's block-shared l depends on this).
+	d := NewDevice(testConfig())
+	rep, err := d.Launch(1, 32, func(b *Block) func(*Thread) {
+		sh := b.SharedF64(4)
+		return func(t *Thread) {
+			if t.Idx == 0 {
+				sh.Store(t, 2, 7)
+			}
+			t.Sync()
+			sh.Load(t, 2)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SharedConflictExtra != 0 {
+		t.Errorf("broadcast read serialized: extra=%d", rep.SharedConflictExtra)
+	}
+}

@@ -1,0 +1,518 @@
+package gpusim
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Kernel is a simulated CUDA kernel. The outer function runs once per
+// thread block (this is where __shared__ arrays are declared); the
+// returned function is the per-thread body. Threads of a block run
+// concurrently with __syncthreads semantics via Thread.Sync.
+//
+// Instrumentation contract: the per-thread body must issue instrumented
+// operations (loads, stores, Ops, Branch, Sync) in the same order in
+// every thread of a warp — the usual warp-uniform structure of CUDA
+// kernels. Data-dependent *addresses* and branch *predicates* are fine
+// (that is what coalescing and divergence tracking measure); skipping an
+// instrumented call in some lanes but not others would misalign the
+// per-warp grouping.
+type Kernel func(b *Block) func(t *Thread)
+
+// Launch runs the kernel on gridDim blocks of blockDim threads and
+// returns the accumulated performance report. Threads within a block
+// run concurrently with barrier semantics. Blocks of a cache-less
+// device (no L2) are independent and simulate in parallel on the host;
+// with a modeled L2, blocks run back to back so the cache replay stays
+// deterministic. Either way the accounting is identical: finalization
+// only sums per-block counts.
+func (d *Device) Launch(gridDim, blockDim int, kernel Kernel) (*Report, error) {
+	if gridDim < 1 || blockDim < 1 {
+		return nil, fmt.Errorf("gpusim: launch dimensions %d×%d invalid", gridDim, blockDim)
+	}
+	if blockDim > d.cfg.MaxThreadsPerBlock {
+		return nil, fmt.Errorf("gpusim: block size %d exceeds device limit %d", blockDim, d.cfg.MaxThreadsPerBlock)
+	}
+	rep := &Report{Launches: 1, GridDim: gridDim, BlockDim: blockDim}
+	// Fermi-style cache hierarchy: L2 is device-wide (persists across
+	// blocks of the launch), L1 is per SM — approximated per block.
+	l2 := newCacheSim(d.cfg.L2CacheBytes, d.cfg.TransactionBytes)
+
+	hostWorkers := 1
+	if l2 == nil {
+		hostWorkers = runtime.GOMAXPROCS(0)
+	}
+	var mu sync.Mutex // guards rep across host workers
+	var firstErr error
+	next := make(chan int, gridDim)
+	for blk := 0; blk < gridDim; blk++ {
+		next <- blk
+	}
+	close(next)
+	var hw sync.WaitGroup
+	for w := 0; w < hostWorkers; w++ {
+		hw.Add(1)
+		go func() {
+			defer hw.Done()
+			for blk := range next {
+				if err := d.runBlock(blk, gridDim, blockDim, kernel, rep, &mu, l2); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	hw.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return rep, nil
+}
+
+// runBlock executes one thread block and folds its accounting into rep.
+func (d *Device) runBlock(blk, gridDim, blockDim int, kernel Kernel, rep *Report, mu *sync.Mutex, l2 *cacheSim) error {
+	warps := (blockDim + d.cfg.WarpSize - 1) / d.cfg.WarpSize
+	b := &Block{
+		Idx:     blk,
+		Dim:     blockDim,
+		GridDim: gridDim,
+		dev:     d,
+		bar:     newBarrier(blockDim),
+		warps:   make([]*warpTracker, warps),
+	}
+	for w := range b.warps {
+		lanes := d.cfg.WarpSize
+		if (w+1)*d.cfg.WarpSize > blockDim {
+			lanes = blockDim - w*d.cfg.WarpSize
+		}
+		b.warps[w] = &warpTracker{groups: map[int64]*group{}, lanes: lanes}
+	}
+	body := kernel(b)
+	var wg sync.WaitGroup
+	for th := 0; th < blockDim; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			t := &Thread{Idx: th, b: b, warp: b.warps[th/d.cfg.WarpSize], lane: th % d.cfg.WarpSize}
+			body(t)
+			t.flushOps()
+		}(th)
+	}
+	wg.Wait()
+	if b.sharedWords*8 > d.cfg.SharedMemPerSM {
+		return fmt.Errorf("gpusim: block allocates %d B shared memory, SM has %d", b.sharedWords*8, d.cfg.SharedMemPerSM)
+	}
+	l1 := newCacheSim(d.cfg.L1CacheBytes, d.cfg.TransactionBytes)
+	mu.Lock()
+	defer mu.Unlock()
+	if b.sharedWords*8 > rep.SharedBytesPerBlock {
+		rep.SharedBytesPerBlock = b.sharedWords * 8
+	}
+	for _, w := range b.warps {
+		w.finalize(d.cfg, rep, l1, l2)
+	}
+	return nil
+}
+
+// Block is the per-thread-block context.
+type Block struct {
+	// Idx is the block index within the launch grid (blockIdx.x).
+	Idx int
+	// Dim is the number of threads in the block (blockDim.x).
+	Dim int
+	// GridDim is the number of blocks in the launch (gridDim.x).
+	GridDim int
+
+	dev         *Device
+	bar         *barrier
+	warps       []*warpTracker
+	sharedWords int64
+	sharedMu    sync.Mutex
+}
+
+// SharedF64 declares a block-shared float64 array (__shared__ double[n]).
+// Declare from the block closure, before threads start using it.
+func (b *Block) SharedF64(n int) *SharedF64 {
+	b.sharedMu.Lock()
+	defer b.sharedMu.Unlock()
+	b.sharedWords += int64(n)
+	return &SharedF64{data: make([]float64, n)}
+}
+
+// SharedI32 declares a block-shared int32 array. It occupies half a word
+// per element (two int32 per bank row, like 32-bit shared accesses).
+func (b *Block) SharedI32(n int) *SharedI32 {
+	b.sharedMu.Lock()
+	defer b.sharedMu.Unlock()
+	b.sharedWords += int64(n+1) / 2
+	return &SharedI32{data: make([]int32, n)}
+}
+
+// SharedI64 declares a block-shared int64 array (e.g. a binmat copy).
+func (b *Block) SharedI64(n int) *SharedI64 {
+	b.sharedMu.Lock()
+	defer b.sharedMu.Unlock()
+	b.sharedWords += int64(n)
+	return &SharedI64{data: make([]int64, n)}
+}
+
+// SharedF64 is a block-shared array of float64.
+type SharedF64 struct {
+	data []float64
+	mu   sync.Mutex
+}
+
+// SharedI64 is a block-shared array of int64.
+type SharedI64 struct {
+	data []int64
+	mu   sync.Mutex
+}
+
+// Load reads a shared int64 array.
+func (s *SharedI64) Load(t *Thread, idx int) int64 {
+	t.record(accShared, int64(idx), false)
+	s.mu.Lock()
+	v := s.data[idx]
+	s.mu.Unlock()
+	return v
+}
+
+// Store writes a shared int64 array.
+func (s *SharedI64) Store(t *Thread, idx int, v int64) {
+	t.record(accShared, int64(idx), false)
+	s.mu.Lock()
+	s.data[idx] = v
+	s.mu.Unlock()
+}
+
+// SharedI32 is a block-shared array of int32.
+type SharedI32 struct {
+	data []int32
+	mu   sync.Mutex
+}
+
+// Thread is the per-thread context handed to kernel bodies.
+type Thread struct {
+	// Idx is the thread index within the block (threadIdx.x).
+	Idx int
+
+	b     *Block
+	warp  *warpTracker
+	lane  int
+	seq   int64
+	ops   int64
+	local []float64
+}
+
+// Global returns the thread's global-thread index
+// blockIdx.x·blockDim.x + threadIdx.x.
+func (t *Thread) Global() int { return t.b.Idx*t.b.Dim + t.Idx }
+
+// Block returns the owning block context.
+func (t *Thread) Block() *Block { return t.b }
+
+// Sync is __syncthreads(): blocks until every thread of the block
+// arrives. It also flushes the thread's arithmetic tally and realigns
+// the per-thread instruction sequence, so thread-divergent sections
+// (e.g. a master thread updating shared state) do not desynchronize the
+// warp-instruction grouping of the code after the barrier.
+func (t *Thread) Sync() {
+	t.flushOps()
+	gen := t.b.bar.await()
+	t.seq = int64(gen) << 32
+}
+
+// Ops records n scalar arithmetic operations (adds, multiplies, shifts).
+// Kernels call it with honest per-statement counts; the cost model
+// converts lane operations into warp instructions.
+func (t *Thread) Ops(n int) { t.ops += int64(n) }
+
+func (t *Thread) flushOps() {
+	if t.ops > 0 {
+		t.warp.addOps(t.ops)
+		t.ops = 0
+	}
+}
+
+// LoadGlobal reads one word of global memory.
+func (t *Thread) LoadGlobal(addr int64) float64 {
+	t.record(accGlobal, addr, false)
+	return t.b.dev.global[addr]
+}
+
+// StoreGlobal writes one word of global memory.
+func (t *Thread) StoreGlobal(addr int64, v float64) {
+	t.record(accGlobal, addr, false)
+	t.b.dev.global[addr] = v
+}
+
+// localAddrBase places the synthetic local-memory address space far
+// above any real allocation, so coalescing/cache accounting never
+// collides with device arrays.
+const localAddrBase = int64(1) << 40
+
+// localAddr models CUDA's interleaved local-memory layout: element i of
+// every thread of a block is contiguous across lanes, so uniform
+// per-thread array accesses coalesce.
+func (t *Thread) localAddr(i int) int64 {
+	return localAddrBase + int64(i)*int64(t.b.Dim) + int64(t.Idx)
+}
+
+// LoadLocal reads slot i of the thread's local memory (CUDA "local"
+// space: thread-private, but physically resident in device memory — it
+// pays global bandwidth and latency, which is why the paper's block-
+// shared level vector wins over per-thread copies).
+func (t *Thread) LoadLocal(i int) float64 {
+	t.record(accGlobal, t.localAddr(i), false)
+	if i >= len(t.local) {
+		return 0
+	}
+	return t.local[i]
+}
+
+// StoreLocal writes slot i of the thread's local memory.
+func (t *Thread) StoreLocal(i int, v float64) {
+	t.record(accGlobal, t.localAddr(i), false)
+	for len(t.local) <= i {
+		t.local = append(t.local, 0)
+	}
+	t.local[i] = v
+}
+
+// LoadConstI reads the integer constant memory (binmat etc.); broadcast
+// is free, divergent addresses serialize (constant cache semantics).
+func (t *Thread) LoadConstI(idx int) int64 {
+	t.record(accConst, int64(idx), false)
+	return t.b.dev.constI[idx]
+}
+
+// LoadConstF reads the float constant memory.
+func (t *Thread) LoadConstF(idx int) float64 {
+	t.record(accConst, int64(idx), false)
+	return t.b.dev.constF[idx]
+}
+
+// Branch records a potentially divergent branch and returns taken.
+func (t *Thread) Branch(taken bool) bool {
+	t.record(accBranch, 0, taken)
+	return taken
+}
+
+// Load reads a shared float64 array.
+func (s *SharedF64) Load(t *Thread, idx int) float64 {
+	t.record(accShared, int64(idx), false)
+	s.mu.Lock()
+	v := s.data[idx]
+	s.mu.Unlock()
+	return v
+}
+
+// Store writes a shared float64 array.
+func (s *SharedF64) Store(t *Thread, idx int, v float64) {
+	t.record(accShared, int64(idx), false)
+	s.mu.Lock()
+	s.data[idx] = v
+	s.mu.Unlock()
+}
+
+// Load reads a shared int32 array.
+func (s *SharedI32) Load(t *Thread, idx int) int32 {
+	t.record(accShared, int64(idx)/2, false)
+	s.mu.Lock()
+	v := s.data[idx]
+	s.mu.Unlock()
+	return v
+}
+
+// Store writes a shared int32 array.
+func (s *SharedI32) Store(t *Thread, idx int, v int32) {
+	t.record(accShared, int64(idx)/2, false)
+	s.mu.Lock()
+	s.data[idx] = v
+	s.mu.Unlock()
+}
+
+type accessKind uint8
+
+const (
+	accGlobal accessKind = iota
+	accShared
+	accConst
+	accBranch
+)
+
+// record registers one lane's participation in warp instruction number
+// t.seq. Lanes of a warp executing uniform code produce aligned
+// sequences, so grouping by seq reconstructs warp instructions.
+func (t *Thread) record(kind accessKind, addr int64, taken bool) {
+	t.seq++
+	t.warp.record(t.seq, kind, addr, taken, t.b.dev.cfg)
+}
+
+// group accumulates one warp instruction's lane activity.
+type group struct {
+	kind accessKind
+	// segs holds distinct 128B segments (global), distinct words
+	// (const), or distinct addresses (shared — same-address reads
+	// broadcast and conflict-count by distinct addresses per bank).
+	segs  []int64
+	taken [2]int // branch outcome tally
+	lanes int
+}
+
+// warpTracker aggregates the warp's instruction groups; finalized into
+// the launch report when the block retires (deterministic regardless of
+// goroutine scheduling).
+type warpTracker struct {
+	mu     sync.Mutex
+	groups map[int64]*group
+	lanes  int
+	ops    int64
+}
+
+func (w *warpTracker) addOps(n int64) {
+	w.mu.Lock()
+	w.ops += n
+	w.mu.Unlock()
+}
+
+func (w *warpTracker) record(seq int64, kind accessKind, addr int64, taken bool, cfg Config) {
+	// Key by (seq, kind): if divergent control flow desynchronizes lane
+	// sequences, accesses of different kinds never merge, keeping the
+	// accounting deterministic (merely conservative).
+	key := seq<<2 | int64(kind)
+	w.mu.Lock()
+	g := w.groups[key]
+	if g == nil {
+		g = &group{kind: kind}
+		w.groups[key] = g
+	}
+	g.lanes++
+	switch kind {
+	case accGlobal:
+		seg := addr * 8 / cfg.TransactionBytes
+		insertDistinct(&g.segs, seg)
+	case accConst:
+		insertDistinct(&g.segs, addr)
+	case accShared:
+		insertDistinct(&g.segs, addr)
+	case accBranch:
+		if taken {
+			g.taken[1]++
+		} else {
+			g.taken[0]++
+		}
+	}
+	w.mu.Unlock()
+}
+
+func insertDistinct(s *[]int64, v int64) {
+	k := sort.Search(len(*s), func(i int) bool { return (*s)[i] >= v })
+	if k < len(*s) && (*s)[k] == v {
+		return
+	}
+	*s = append(*s, 0)
+	copy((*s)[k+1:], (*s)[k:])
+	(*s)[k] = v
+}
+
+// finalize folds the warp's activity into the report, replaying global
+// transactions through the cache hierarchy (if any) in program order.
+func (w *warpTracker) finalize(cfg Config, rep *Report, l1, l2 *cacheSim) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rep.LaneOps += w.ops
+	// Arithmetic ops are lane-ops; one warp instruction covers one op in
+	// every lane of the warp (fewer lanes in a partial warp).
+	rep.ArithWarpInstr += (w.ops + int64(w.lanes) - 1) / int64(w.lanes)
+	keys := make([]int64, 0, len(w.groups))
+	for k := range w.groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	for _, k := range keys {
+		g := w.groups[k]
+		switch g.kind {
+		case accGlobal:
+			rep.GlobalWarpInstr++
+			rep.GlobalTransactions += int64(len(g.segs))
+			for _, seg := range g.segs {
+				switch {
+				case l1.access(seg):
+					rep.L1Hits++
+				case l2.access(seg):
+					rep.L2Hits++
+				default:
+					rep.DRAMTransactions++
+				}
+			}
+		case accConst:
+			rep.ConstWarpInstr++
+			if len(g.segs) > 1 {
+				rep.ConstSerializations += int64(len(g.segs) - 1)
+			}
+		case accShared:
+			rep.SharedWarpInstr++
+			// Conflict ways = the largest number of DISTINCT addresses
+			// landing in one bank; same-address lanes broadcast.
+			counts := make(map[int64]int64, cfg.SharedBanks)
+			var ways int64 = 1
+			for _, addr := range g.segs {
+				b := addr % int64(cfg.SharedBanks)
+				counts[b]++
+				if counts[b] > ways {
+					ways = counts[b]
+				}
+			}
+			rep.SharedConflictExtra += ways - 1
+		case accBranch:
+			rep.BranchWarpInstr++
+			if g.taken[0] > 0 && g.taken[1] > 0 {
+				rep.DivergentBranches++
+			}
+		}
+	}
+	w.groups = map[int64]*group{}
+	w.ops = 0
+}
+
+// barrier is a reusable (cyclic) barrier for __syncthreads.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	waiting int
+	gen     int
+}
+
+func newBarrier(parties int) *barrier {
+	b := &barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// await blocks until all parties arrive and returns the new generation
+// number (≥ 1, strictly increasing across barriers).
+func (b *barrier) await() int {
+	b.mu.Lock()
+	gen := b.gen
+	b.waiting++
+	if b.waiting == b.parties {
+		b.waiting = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	out := b.gen
+	b.mu.Unlock()
+	return out
+}

@@ -1,0 +1,126 @@
+package gpusim
+
+import "fmt"
+
+// Report accumulates the performance-relevant event counts of one or
+// more kernel launches and converts them into a modeled execution time.
+type Report struct {
+	// Launches is the number of kernel launches folded into the report.
+	Launches int
+	// GridDim/BlockDim describe the (last) launch shape.
+	GridDim, BlockDim int
+	// SharedBytesPerBlock is the largest per-block shared allocation.
+	SharedBytesPerBlock int64
+
+	// LaneOps counts scalar arithmetic operations across all lanes.
+	LaneOps int64
+	// ArithWarpInstr counts arithmetic warp instructions.
+	ArithWarpInstr int64
+	// GlobalWarpInstr counts global load/store warp instructions.
+	GlobalWarpInstr int64
+	// GlobalTransactions counts memory transactions after coalescing:
+	// one per distinct 128-byte segment per global warp instruction.
+	GlobalTransactions int64
+	// L1Hits/L2Hits split GlobalTransactions on cache-equipped (Fermi)
+	// devices; DRAMTransactions are the remaining misses that reach
+	// device memory. Without caches DRAMTransactions equals
+	// GlobalTransactions.
+	L1Hits, L2Hits, DRAMTransactions int64
+	// SharedWarpInstr counts shared memory warp instructions.
+	SharedWarpInstr int64
+	// SharedConflictExtra counts the extra serialized shared cycles
+	// caused by bank conflicts (conflict ways − 1, summed).
+	SharedConflictExtra int64
+	// ConstWarpInstr counts constant memory warp instructions.
+	ConstWarpInstr int64
+	// ConstSerializations counts extra constant reads where lanes
+	// addressed different words (no broadcast).
+	ConstSerializations int64
+	// BranchWarpInstr counts recorded branch instructions.
+	BranchWarpInstr int64
+	// DivergentBranches counts branches whose warp lanes disagreed.
+	DivergentBranches int64
+}
+
+// Add folds another launch's counts into the report.
+func (r *Report) Add(o *Report) {
+	r.Launches += o.Launches
+	r.GridDim, r.BlockDim = o.GridDim, o.BlockDim
+	if o.SharedBytesPerBlock > r.SharedBytesPerBlock {
+		r.SharedBytesPerBlock = o.SharedBytesPerBlock
+	}
+	r.LaneOps += o.LaneOps
+	r.ArithWarpInstr += o.ArithWarpInstr
+	r.GlobalWarpInstr += o.GlobalWarpInstr
+	r.GlobalTransactions += o.GlobalTransactions
+	r.L1Hits += o.L1Hits
+	r.L2Hits += o.L2Hits
+	r.DRAMTransactions += o.DRAMTransactions
+	r.SharedWarpInstr += o.SharedWarpInstr
+	r.SharedConflictExtra += o.SharedConflictExtra
+	r.ConstWarpInstr += o.ConstWarpInstr
+	r.ConstSerializations += o.ConstSerializations
+	r.BranchWarpInstr += o.BranchWarpInstr
+	r.DivergentBranches += o.DivergentBranches
+}
+
+// CoalescingEfficiency returns the ratio of the minimum possible
+// transaction count (one per global warp instruction) to the actual one;
+// 1.0 means perfectly coalesced.
+func (r *Report) CoalescingEfficiency() float64 {
+	if r.GlobalTransactions == 0 {
+		return 1
+	}
+	return float64(r.GlobalWarpInstr) / float64(r.GlobalTransactions)
+}
+
+// EstimateTime converts the counts into a modeled execution time on cfg.
+//
+// Model: every warp instruction occupies an SM's SP array for
+// WarpSize/SPsPerSM cycles (4 on the C1060); divergent branches re-issue
+// both sides (one extra instruction); shared bank conflicts and constant
+// serializations add their extra cycles directly. The issue work spreads
+// perfectly across SMs. Global memory traffic costs
+// transactions × TransactionBytes / bandwidth. Compute and memory
+// overlap only as well as multithreading allows: at occupancy 1 the
+// smaller of the two hides completely (max), at occupancy 0 they
+// serialize (sum). Uncovered latency: each global warp instruction pays
+// GlobalLatencyCycles scaled by the unhidden fraction (1 − occupancy).
+// Total modeled time = max(C,M) + (1−occ)·min(C,M) + exposed latency +
+// per-launch overhead. This is a first-order model of exactly the
+// effects Sec. 5 of the paper optimizes for.
+func (r *Report) EstimateTime(cfg Config) float64 {
+	issueCycles := float64(cfg.WarpSize) / float64(cfg.SPsPerSM)
+	warpInstr := float64(r.ArithWarpInstr + r.GlobalWarpInstr + r.SharedWarpInstr + r.ConstWarpInstr + r.BranchWarpInstr)
+	warpInstr += float64(r.DivergentBranches + r.SharedConflictExtra + r.ConstSerializations)
+	computeSec := warpInstr * issueCycles / (float64(cfg.SMs) * cfg.ClockHz)
+
+	memSec := float64(r.DRAMTransactions*cfg.TransactionBytes) / cfg.GlobalBandwidth
+	if cfg.L2Bandwidth > 0 {
+		memSec += float64(r.L2Hits*cfg.TransactionBytes) / cfg.L2Bandwidth
+	}
+
+	occ := cfg.Occupancy(r.BlockDim, r.SharedBytesPerBlock)
+	// Cache hits shorten the exposed latency proportionally.
+	missFrac := 1.0
+	if r.GlobalTransactions > 0 {
+		missFrac = float64(r.DRAMTransactions) / float64(r.GlobalTransactions)
+	}
+	latencySec := float64(r.GlobalWarpInstr) * missFrac * cfg.GlobalLatencyCycles * (1 - occ) / (float64(cfg.SMs) * cfg.ClockHz)
+
+	lo, hi := computeSec, memSec
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return hi + (1-occ)*lo + latencySec + float64(r.Launches)*cfg.LaunchOverheadSec
+}
+
+func (r *Report) String() string {
+	return fmt.Sprintf(
+		"launches=%d grid=%d×%d laneOps=%d warpInstr(arith=%d global=%d shared=%d const=%d branch=%d) transactions=%d (L1 %d, L2 %d, DRAM %d) coalescing=%.2f divergent=%d bankExtra=%d constSer=%d shared/block=%dB",
+		r.Launches, r.GridDim, r.BlockDim, r.LaneOps,
+		r.ArithWarpInstr, r.GlobalWarpInstr, r.SharedWarpInstr, r.ConstWarpInstr, r.BranchWarpInstr,
+		r.GlobalTransactions, r.L1Hits, r.L2Hits, r.DRAMTransactions,
+		r.CoalescingEfficiency(), r.DivergentBranches, r.SharedConflictExtra, r.ConstSerializations,
+		r.SharedBytesPerBlock)
+}

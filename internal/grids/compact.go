@@ -1,0 +1,61 @@
+package grids
+
+import "compactsg/internal/core"
+
+// CompactStore adapts the paper's flat-array grid (package core) to the
+// Store interface so the five structures can be compared uniformly. A Get
+// or Set costs one gp2idx evaluation — O(d) arithmetic over the tiny
+// binmat table — and exactly one non-sequential reference into the
+// coefficient array (Table 1, last row).
+type CompactStore struct {
+	grid  *core.Grid
+	stats Stats
+	track bool
+}
+
+// NewCompactStore wraps an existing compact grid.
+func NewCompactStore(g *core.Grid) *CompactStore {
+	return &CompactStore{grid: g}
+}
+
+// Grid returns the underlying compact grid.
+func (s *CompactStore) Grid() *core.Grid { return s.grid }
+
+// Kind reports Compact.
+func (s *CompactStore) Kind() Kind { return Compact }
+
+// Desc returns the grid descriptor.
+func (s *CompactStore) Desc() *core.Descriptor { return s.grid.Desc() }
+
+// Get returns the coefficient of (l, i).
+func (s *CompactStore) Get(l, i []int32) float64 {
+	if s.track {
+		s.stats.Gets++
+		s.stats.NonSeqRefs++ // the single rawStorage access
+	}
+	return s.grid.Data[s.grid.Desc().GP2Idx(l, i)]
+}
+
+// Set replaces the coefficient of (l, i).
+func (s *CompactStore) Set(l, i []int32, v float64) {
+	if s.track {
+		s.stats.Sets++
+		s.stats.NonSeqRefs++
+	}
+	s.grid.Data[s.grid.Desc().GP2Idx(l, i)] = v
+}
+
+// MemoryBytes is 8 bytes per coefficient plus the one backing array
+// allocation; the binmat descriptor tables are shared and O(d·n).
+func (s *CompactStore) MemoryBytes() int64 {
+	return sliceBytes(s.grid.Size(), 8)
+}
+
+// EnableStats toggles access counting.
+func (s *CompactStore) EnableStats(on bool) { s.track = on }
+
+// Stats returns the access counters.
+func (s *CompactStore) Stats() Stats { return s.stats }
+
+// ResetStats zeroes the access counters.
+func (s *CompactStore) ResetStats() { s.stats = Stats{} }

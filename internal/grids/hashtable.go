@@ -1,0 +1,130 @@
+package grids
+
+import "compactsg/internal/core"
+
+// EnhHashStore models the paper's "enhanced STL hashtable": a chained
+// hash table keyed by gp2idx. Access is O(d) for the key computation
+// plus expected O(1) chain traversal, with O(1) non-sequential references
+// (Table 1 row 3) — but still an order of magnitude more memory than the
+// compact layout because of per-entry nodes and the bucket array (Fig. 8).
+type EnhHashStore struct {
+	desc    *core.Descriptor
+	buckets []*hashEntry
+	mask    uint64
+	size    int64
+	stats   Stats
+	track   bool
+}
+
+type hashEntry struct {
+	key   int64
+	value float64
+	next  *hashEntry
+}
+
+// NewEnhHashStore builds the table with every grid point present,
+// value 0, sized to a load factor ≤ 1 like the default unordered
+// containers.
+func NewEnhHashStore(desc *core.Descriptor) *EnhHashStore {
+	n := desc.Size()
+	cap := uint64(1)
+	for int64(cap) < n {
+		cap <<= 1
+	}
+	s := &EnhHashStore{
+		desc:    desc,
+		buckets: make([]*hashEntry, cap),
+		mask:    cap - 1,
+	}
+	for idx := int64(0); idx < n; idx++ {
+		b := s.hash(idx)
+		s.buckets[b] = &hashEntry{key: idx, next: s.buckets[b]}
+		s.size++
+	}
+	return s
+}
+
+// hash mixes the key with the 64-bit Fibonacci multiplier; gp2idx keys
+// are dense consecutive integers, which this spreads uniformly.
+func (s *EnhHashStore) hash(key int64) uint64 {
+	return (uint64(key) * 0x9e3779b97f4a7c15) >> 17 & s.mask
+}
+
+func (s *EnhHashStore) findEntry(l, i []int32) *hashEntry {
+	key := s.desc.GP2Idx(l, i)
+	e := s.buckets[s.hash(key)]
+	if s.track {
+		s.stats.NonSeqRefs++ // the bucket slot itself
+	}
+	for e != nil {
+		if s.track {
+			s.stats.NonSeqRefs++
+		}
+		if e.key == key {
+			return e
+		}
+		e = e.next
+	}
+	return nil
+}
+
+// Kind reports EnhHash.
+func (s *EnhHashStore) Kind() Kind { return EnhHash }
+
+// Desc returns the grid descriptor.
+func (s *EnhHashStore) Desc() *core.Descriptor { return s.desc }
+
+// Get returns the coefficient of (l, i). The point must exist.
+func (s *EnhHashStore) Get(l, i []int32) float64 {
+	if s.track {
+		s.stats.Gets++
+	}
+	e := s.findEntry(l, i)
+	if e == nil {
+		panic("grids: EnhHashStore.Get of point outside grid")
+	}
+	return e.value
+}
+
+// Set replaces the coefficient of (l, i). The point must exist.
+func (s *EnhHashStore) Set(l, i []int32, v float64) {
+	if s.track {
+		s.stats.Sets++
+	}
+	e := s.findEntry(l, i)
+	if e == nil {
+		panic("grids: EnhHashStore.Set of point outside grid")
+	}
+	e.value = v
+}
+
+// MemoryBytes: the bucket pointer array plus one chained node (key,
+// value, next) per entry with allocation overhead.
+func (s *EnhHashStore) MemoryBytes() int64 {
+	const entryStruct = 8 /*key*/ + 8 /*value*/ + 8 /*next*/
+	return sliceBytes(int64(len(s.buckets)), 8) + s.size*(entryStruct+allocOverhead)
+}
+
+// EnableStats toggles access counting.
+func (s *EnhHashStore) EnableStats(on bool) { s.track = on }
+
+// Stats returns the access counters.
+func (s *EnhHashStore) Stats() Stats { return s.stats }
+
+// ResetStats zeroes the counters.
+func (s *EnhHashStore) ResetStats() { s.stats = Stats{} }
+
+// MaxChainLength returns the longest bucket chain (distribution check).
+func (s *EnhHashStore) MaxChainLength() int {
+	max := 0
+	for _, e := range s.buckets {
+		n := 0
+		for ; e != nil; e = e.next {
+			n++
+		}
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}

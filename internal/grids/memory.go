@@ -1,0 +1,54 @@
+package grids
+
+import "compactsg/internal/core"
+
+// PredictMemory computes a store's MemoryBytes without building it, so
+// the Fig. 8 comparison can be produced at the paper's full level-11
+// sizes (a level-11, d=10 std::map would need tens of gigabytes to
+// actually materialize). The formulas mirror the MemoryBytes methods of
+// the concrete stores exactly; TestPredictMemoryMatchesBuilt pins them
+// together.
+func PredictMemory(kind Kind, desc *core.Descriptor) int64 {
+	n := desc.Size()
+	switch kind {
+	case Compact:
+		return sliceBytes(n, 8)
+	case PrefixTree:
+		nodes, slots := prefixTreeShape(desc)
+		return slots*8 + nodes*allocOverhead
+	case EnhHash:
+		cap := int64(1)
+		for cap < n {
+			cap <<= 1
+		}
+		const entryStruct = 8 + 8 + 8
+		return sliceBytes(cap, 8) + n*(entryStruct+allocOverhead)
+	case EnhMap:
+		const nodeStruct = 8 + 8 + 16 + 8
+		return n * (nodeStruct + allocOverhead)
+	case StdMap:
+		const nodeStruct = 24 + 8 + 16 + 8
+		perNode := int64(nodeStruct) + allocOverhead + sliceBytes(int64(2*desc.Dim()), 4)
+		return n * perNode
+	default:
+		return 0
+	}
+}
+
+// prefixTreeShape returns the trie's node and slot counts analytically:
+// the prefix of length t forms a t-dimensional sparse grid of the same
+// level, so slots = Σ_{t=1..d} S_t and nodes = 1 + Σ_{t=1..d-1} S_t.
+func prefixTreeShape(desc *core.Descriptor) (nodes, slots int64) {
+	nodes = 1
+	for t := 1; t <= desc.Dim(); t++ {
+		sub, err := core.NewDescriptor(t, desc.Level())
+		if err != nil {
+			return 0, 0
+		}
+		slots += sub.Size()
+		if t < desc.Dim() {
+			nodes += sub.Size()
+		}
+	}
+	return nodes, slots
+}

@@ -1,0 +1,182 @@
+package grids
+
+// A left-leaning red–black tree, the classic balanced search tree behind
+// C++ std::map. It is implemented once, generically over the key type, and
+// instantiated with coordinate-vector keys (StdMap) and gp2idx integer
+// keys (EnhMap). The tree counts pointer hops when access statistics are
+// enabled, which is how Table 1's O(log N) non-sequential reference
+// column is measured.
+
+type rbColor bool
+
+const (
+	red   rbColor = true
+	black rbColor = false
+)
+
+type rbNode[K any] struct {
+	key         K
+	value       float64
+	left, right *rbNode[K]
+	color       rbColor
+}
+
+type rbTree[K any] struct {
+	root *rbNode[K]
+	size int64
+	// less orders keys strictly.
+	less func(a, b K) bool
+	// hops counts node visits during find/insert when tracking.
+	hops  int64
+	track bool
+}
+
+func newRBTree[K any](less func(a, b K) bool) *rbTree[K] {
+	return &rbTree[K]{less: less}
+}
+
+// find returns the node holding key, or nil.
+func (t *rbTree[K]) find(key K) *rbNode[K] {
+	n := t.root
+	for n != nil {
+		if t.track {
+			t.hops++
+		}
+		switch {
+		case t.less(key, n.key):
+			n = n.left
+		case t.less(n.key, key):
+			n = n.right
+		default:
+			return n
+		}
+	}
+	return nil
+}
+
+// insert adds key with value, replacing the value if the key exists.
+func (t *rbTree[K]) insert(key K, value float64) {
+	t.root = t.insertAt(t.root, key, value)
+	t.root.color = black
+}
+
+func (t *rbTree[K]) insertAt(n *rbNode[K], key K, value float64) *rbNode[K] {
+	if n == nil {
+		t.size++
+		return &rbNode[K]{key: key, value: value, color: red}
+	}
+	if t.track {
+		t.hops++
+	}
+	switch {
+	case t.less(key, n.key):
+		n.left = t.insertAt(n.left, key, value)
+	case t.less(n.key, key):
+		n.right = t.insertAt(n.right, key, value)
+	default:
+		n.value = value
+	}
+	if isRed(n.right) && !isRed(n.left) {
+		n = rotateLeft(n)
+	}
+	if isRed(n.left) && isRed(n.left.left) {
+		n = rotateRight(n)
+	}
+	if isRed(n.left) && isRed(n.right) {
+		flipColors(n)
+	}
+	return n
+}
+
+func isRed[K any](n *rbNode[K]) bool { return n != nil && n.color == red }
+
+func rotateLeft[K any](n *rbNode[K]) *rbNode[K] {
+	x := n.right
+	n.right = x.left
+	x.left = n
+	x.color = n.color
+	n.color = red
+	return x
+}
+
+func rotateRight[K any](n *rbNode[K]) *rbNode[K] {
+	x := n.left
+	n.left = x.right
+	x.right = n
+	x.color = n.color
+	n.color = red
+	return x
+}
+
+func flipColors[K any](n *rbNode[K]) {
+	n.color = red
+	n.left.color = black
+	n.right.color = black
+}
+
+// walk visits all nodes in key order.
+func (t *rbTree[K]) walk(fn func(n *rbNode[K])) {
+	var rec func(n *rbNode[K])
+	rec = func(n *rbNode[K]) {
+		if n == nil {
+			return
+		}
+		rec(n.left)
+		fn(n)
+		rec(n.right)
+	}
+	rec(t.root)
+}
+
+// height returns the tree height (for balance tests).
+func (t *rbTree[K]) height() int {
+	var rec func(n *rbNode[K]) int
+	rec = func(n *rbNode[K]) int {
+		if n == nil {
+			return 0
+		}
+		hl, hr := rec(n.left), rec(n.right)
+		if hl > hr {
+			return hl + 1
+		}
+		return hr + 1
+	}
+	return rec(t.root)
+}
+
+// checkInvariants validates the red–black properties, returning an
+// explanatory string for the first violation found ("" when valid).
+func (t *rbTree[K]) checkInvariants() string {
+	if isRed(t.root) {
+		return "root is red"
+	}
+	msg := ""
+	var rec func(n *rbNode[K]) int // returns black height, -1 on error
+	rec = func(n *rbNode[K]) int {
+		if n == nil || msg != "" {
+			return 1
+		}
+		if isRed(n) && (isRed(n.left) || isRed(n.right)) {
+			msg = "red node with red child"
+			return -1
+		}
+		if isRed(n.right) {
+			msg = "right-leaning red link"
+			return -1
+		}
+		hl, hr := rec(n.left), rec(n.right)
+		if msg != "" {
+			return -1
+		}
+		if hl != hr {
+			msg = "unequal black heights"
+			return -1
+		}
+		if !isRed(n) {
+			return hl + 1
+		}
+		return hl
+	}
+	rec(t.root)
+	return msg
+}

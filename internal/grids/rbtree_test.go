@@ -1,0 +1,181 @@
+package grids
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"compactsg/internal/core"
+)
+
+func TestRBTreeInsertFind(t *testing.T) {
+	tr := newRBTree[int64](func(a, b int64) bool { return a < b })
+	const n = 10000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, k := range perm {
+		tr.insert(int64(k), float64(k)*2)
+	}
+	if tr.size != n {
+		t.Fatalf("size=%d want %d", tr.size, n)
+	}
+	for k := int64(0); k < n; k++ {
+		node := tr.find(k)
+		if node == nil || node.value != float64(k)*2 {
+			t.Fatalf("find(%d) failed", k)
+		}
+	}
+	if tr.find(n) != nil || tr.find(-1) != nil {
+		t.Error("find of absent key returned a node")
+	}
+}
+
+func TestRBTreeDuplicateInsertReplaces(t *testing.T) {
+	tr := newRBTree[int64](func(a, b int64) bool { return a < b })
+	tr.insert(7, 1)
+	tr.insert(7, 2)
+	if tr.size != 1 {
+		t.Fatalf("size=%d want 1", tr.size)
+	}
+	if tr.find(7).value != 2 {
+		t.Error("duplicate insert did not replace value")
+	}
+}
+
+func TestRBTreeInvariantsAndHeight(t *testing.T) {
+	// Sequential insert (the EnhMap pattern) is the classic worst case
+	// for unbalanced trees; the RB tree must stay at O(log n) height and
+	// keep its invariants.
+	tr := newRBTree[int64](func(a, b int64) bool { return a < b })
+	const n = 1 << 14
+	for k := int64(0); k < n; k++ {
+		tr.insert(k, 0)
+	}
+	if msg := tr.checkInvariants(); msg != "" {
+		t.Fatalf("invariant violated after sequential insert: %s", msg)
+	}
+	h := tr.height()
+	if maxH := int(2*math.Log2(n)) + 2; h > maxH {
+		t.Errorf("height %d exceeds 2·log2(n)+2 = %d", h, maxH)
+	}
+	// Random insert order too.
+	tr2 := newRBTree[int64](func(a, b int64) bool { return a < b })
+	for _, k := range rand.New(rand.NewSource(2)).Perm(n) {
+		tr2.insert(int64(k), 0)
+	}
+	if msg := tr2.checkInvariants(); msg != "" {
+		t.Fatalf("invariant violated after random insert: %s", msg)
+	}
+}
+
+func TestRBTreeWalkInOrder(t *testing.T) {
+	tr := newRBTree[int64](func(a, b int64) bool { return a < b })
+	for _, k := range rand.New(rand.NewSource(3)).Perm(500) {
+		tr.insert(int64(k), 0)
+	}
+	prev := int64(-1)
+	count := 0
+	tr.walk(func(n *rbNode[int64]) {
+		if n.key <= prev {
+			t.Fatalf("walk out of order: %d after %d", n.key, prev)
+		}
+		prev = n.key
+		count++
+	})
+	if count != 500 {
+		t.Errorf("walk visited %d nodes want 500", count)
+	}
+}
+
+func TestRBTreeVectorKeys(t *testing.T) {
+	tr := newRBTree[[]int32](lessVec)
+	keys := [][]int32{{0, 1}, {1, 0}, {0, 0}, {1, 1}, {0, 2}}
+	for k, key := range keys {
+		tr.insert(key, float64(k))
+	}
+	for k, key := range keys {
+		n := tr.find(key)
+		if n == nil || n.value != float64(k) {
+			t.Fatalf("vector key %v lookup failed", key)
+		}
+	}
+	if msg := tr.checkInvariants(); msg != "" {
+		t.Errorf("vector tree invariants: %s", msg)
+	}
+}
+
+func TestLessVec(t *testing.T) {
+	cases := []struct {
+		a, b []int32
+		want bool
+	}{
+		{[]int32{1, 2}, []int32{1, 3}, true},
+		{[]int32{1, 3}, []int32{1, 2}, false},
+		{[]int32{1, 2}, []int32{1, 2}, false},
+		{[]int32{0, 9}, []int32{1, 0}, true},
+		{[]int32{1}, []int32{1, 0}, true},
+	}
+	for _, c := range cases {
+		if got := lessVec(c.a, c.b); got != c.want {
+			t.Errorf("lessVec(%v,%v)=%v want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRBTreeHopCounting(t *testing.T) {
+	tr := newRBTree[int64](func(a, b int64) bool { return a < b })
+	for k := int64(0); k < 1024; k++ {
+		tr.insert(k, 0)
+	}
+	tr.track = true
+	tr.hops = 0
+	tr.find(512)
+	if tr.hops < 1 || tr.hops > 25 {
+		t.Errorf("hops=%d, want a small positive count bounded by tree height", tr.hops)
+	}
+}
+
+func TestPrefixTreeShape(t *testing.T) {
+	// Slot count equals Σ_{t=1..d} |t-dim sparse grid| (every distinct
+	// coordinate prefix has a slot), value slots equal the grid size.
+	for _, c := range []struct{ dim, level int }{{1, 5}, {2, 4}, {3, 4}, {4, 3}} {
+		desc := core.MustDescriptor(c.dim, c.level)
+		s := NewPrefixTreeStore(desc)
+		var wantSlots int64
+		for td := 1; td <= c.dim; td++ {
+			wantSlots += core.MustDescriptor(td, c.level).Size()
+		}
+		if s.SlotCount() != wantSlots {
+			t.Errorf("d=%d n=%d: slots=%d want %d", c.dim, c.level, s.SlotCount(), wantSlots)
+		}
+		// Nodes: one root plus one child per prefix of length 1..d-1.
+		var wantNodes int64 = 1
+		for td := 1; td < c.dim; td++ {
+			wantNodes += core.MustDescriptor(td, c.level).Size()
+		}
+		if s.NodeCount() != wantNodes {
+			t.Errorf("d=%d n=%d: nodes=%d want %d", c.dim, c.level, s.NodeCount(), wantNodes)
+		}
+	}
+}
+
+func TestHashChainsBounded(t *testing.T) {
+	desc := core.MustDescriptor(3, 5)
+	s := NewEnhHashStore(desc)
+	if m := s.MaxChainLength(); m > 8 {
+		t.Errorf("max chain length %d: Fibonacci hashing should spread dense keys", m)
+	}
+}
+
+func TestHeapPos(t *testing.T) {
+	cases := []struct {
+		level, index int32
+		want         int64
+	}{
+		{0, 1, 0}, {1, 1, 1}, {1, 3, 2}, {2, 1, 3}, {2, 3, 4}, {2, 5, 5}, {2, 7, 6}, {3, 1, 7},
+	}
+	for _, c := range cases {
+		if got := heapPos(c.level, c.index); got != c.want {
+			t.Errorf("heapPos(%d,%d)=%d want %d", c.level, c.index, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package grids
+
+import "compactsg/internal/core"
+
+// StdMapStore models the paper's "standard STL map": an ordered tree whose
+// key is the full coordinate identification of the grid point — the
+// concatenated (l, i) vectors — so key storage grows linearly with the
+// dimensionality (Table 1 row 1: O(d·log N) access, O(log N)
+// non-sequential references; Fig. 8's most memory-hungry structure).
+type StdMapStore struct {
+	desc  *core.Descriptor
+	tree  *rbTree[[]int32]
+	stats Stats
+}
+
+// NewStdMapStore builds the tree with every grid point present, value 0.
+func NewStdMapStore(desc *core.Descriptor) *StdMapStore {
+	s := &StdMapStore{desc: desc, tree: newRBTree[[]int32](lessVec)}
+	desc.VisitPoints(func(_ int64, l, i []int32) {
+		s.tree.insert(packKey(l, i), 0)
+	})
+	return s
+}
+
+// lessVec orders concatenated (l, i) keys lexicographically, comparing
+// component by component exactly as std::map<std::vector<int>, double>
+// would. Each comparison touches the key's backing array — a second
+// memory region per visited node.
+func lessVec(a, b []int32) bool {
+	for t := 0; t < len(a) && t < len(b); t++ {
+		if a[t] != b[t] {
+			return a[t] < b[t]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func packKey(l, i []int32) []int32 {
+	k := make([]int32, len(l)+len(i))
+	copy(k, l)
+	copy(k[len(l):], i)
+	return k
+}
+
+// keyBuf is a reusable buffer so lookups don't allocate.
+func (s *StdMapStore) lookup(l, i []int32, buf []int32) *rbNode[[]int32] {
+	copy(buf, l)
+	copy(buf[len(l):], i)
+	return s.tree.find(buf)
+}
+
+// Kind reports StdMap.
+func (s *StdMapStore) Kind() Kind { return StdMap }
+
+// Desc returns the grid descriptor.
+func (s *StdMapStore) Desc() *core.Descriptor { return s.desc }
+
+// Get returns the coefficient of (l, i). The point must exist.
+func (s *StdMapStore) Get(l, i []int32) float64 {
+	buf := make([]int32, 2*s.desc.Dim())
+	n := s.lookup(l, i, buf)
+	if s.tree.track {
+		s.stats.Gets++
+	}
+	if n == nil {
+		panic("grids: StdMapStore.Get of point outside grid")
+	}
+	return n.value
+}
+
+// Set replaces the coefficient of (l, i). The point must exist.
+func (s *StdMapStore) Set(l, i []int32, v float64) {
+	buf := make([]int32, 2*s.desc.Dim())
+	n := s.lookup(l, i, buf)
+	if s.tree.track {
+		s.stats.Sets++
+	}
+	if n == nil {
+		panic("grids: StdMapStore.Set of point outside grid")
+	}
+	n.value = v
+}
+
+// MemoryBytes: per node, the tree node (two child pointers, color word,
+// value, key slice header) plus the key's backing array of 2d int32.
+func (s *StdMapStore) MemoryBytes() int64 {
+	const nodeStruct = 24 /*key header*/ + 8 /*value*/ + 16 /*children*/ + 8 /*color, padded*/
+	perNode := int64(nodeStruct) + allocOverhead + sliceBytes(int64(2*s.desc.Dim()), 4)
+	return s.tree.size * perNode
+}
+
+// EnableStats toggles access counting.
+func (s *StdMapStore) EnableStats(on bool) { s.tree.track = on }
+
+// Stats returns counters; NonSeqRefs is the number of tree node hops.
+func (s *StdMapStore) Stats() Stats {
+	st := s.stats
+	st.NonSeqRefs = s.tree.hops
+	return st
+}
+
+// ResetStats zeroes the counters.
+func (s *StdMapStore) ResetStats() { s.stats = Stats{}; s.tree.hops = 0 }

@@ -1,0 +1,154 @@
+// Package grids implements the data structures the paper compares for
+// storing sparse grid coefficients (Sec. 2.3, Sec. 6.1, Table 1, Fig. 8):
+//
+//   - Compact    — the paper's contribution: one flat array ordered by
+//     gp2idx (package core), zero structural overhead;
+//   - StdMap     — "standard STL map": an ordered (red–black) tree whose
+//     keys are the full (l, i) coordinate vectors;
+//   - EnhMap     — "enhanced STL map": the same tree keyed by the gp2idx
+//     integer, removing the per-key coordinate storage;
+//   - EnhHash    — "enhanced STL hashtable": a chained hash table keyed by
+//     gp2idx;
+//   - PrefixTree — the trie of Fig. 4: one level of the structure per
+//     dimension, each holding the 1d hierarchy as a flat array, values at
+//     the innermost dimension.
+//
+// All stores expose the same interface plus exact memory accounting (for
+// Fig. 8) and access-pattern counters (for Table 1's non-sequential
+// reference column).
+package grids
+
+import (
+	"fmt"
+
+	"compactsg/internal/core"
+)
+
+// Kind identifies one of the five compared data structures.
+type Kind int
+
+// The five data structures of the paper's evaluation.
+const (
+	Compact Kind = iota
+	PrefixTree
+	EnhHash
+	EnhMap
+	StdMap
+)
+
+// Kinds lists all store kinds in the order the paper's figures use.
+var Kinds = []Kind{Compact, PrefixTree, EnhHash, EnhMap, StdMap}
+
+// String returns the label the paper's figures use for the structure.
+func (k Kind) String() string {
+	switch k {
+	case Compact:
+		return "Our Data Structure"
+	case PrefixTree:
+		return "Prefix Tree"
+	case EnhHash:
+		return "Enhanced STL Hashtable"
+	case EnhMap:
+		return "Enhanced STL Map"
+	case StdMap:
+		return "Standard STL Map"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Stats counts accesses and the non-sequential memory references they
+// caused (pointer hops / non-contiguous jumps), the quantity Table 1
+// analyses. Counting must be enabled explicitly and is not safe for
+// concurrent use; parallel algorithms run with counting disabled.
+type Stats struct {
+	Gets       int64
+	Sets       int64
+	NonSeqRefs int64
+}
+
+// Store is a container of sparse grid coefficients addressed by grid
+// point (l, i). Implementations pre-build their structure for every point
+// of the descriptor, matching the paper's regular (non-adaptive) setting;
+// Set updates a value in place and is race-free for distinct points.
+type Store interface {
+	// Kind identifies the data structure.
+	Kind() Kind
+	// Desc returns the grid shape the store was built for.
+	Desc() *core.Descriptor
+	// Get returns the coefficient of point (l, i).
+	Get(l, i []int32) float64
+	// Set replaces the coefficient of point (l, i).
+	Set(l, i []int32, v float64)
+	// MemoryBytes returns the modeled heap footprint of the structure,
+	// including per-allocation overhead (Fig. 8).
+	MemoryBytes() int64
+	// EnableStats toggles access counting (Table 1).
+	EnableStats(on bool)
+	// Stats returns the counters accumulated since the last reset.
+	Stats() Stats
+	// ResetStats zeroes the counters.
+	ResetStats()
+}
+
+// New builds a store of the given kind with every grid point of desc
+// present and initialized to zero.
+func New(kind Kind, desc *core.Descriptor) Store {
+	switch kind {
+	case Compact:
+		return NewCompactStore(core.NewGrid(desc))
+	case PrefixTree:
+		return NewPrefixTreeStore(desc)
+	case EnhHash:
+		return NewEnhHashStore(desc)
+	case EnhMap:
+		return NewEnhMapStore(desc)
+	case StdMap:
+		return NewStdMapStore(desc)
+	default:
+		panic(fmt.Sprintf("grids: unknown kind %d", int(kind)))
+	}
+}
+
+// Fill samples f at every grid point of the store's descriptor and writes
+// the nodal values.
+func Fill(s Store, f func(x []float64) float64) {
+	x := make([]float64, s.Desc().Dim())
+	s.Desc().VisitPoints(func(_ int64, l, i []int32) {
+		core.Coords(l, i, x)
+		s.Set(l, i, f(x))
+	})
+}
+
+// Equal reports whether two stores over the same descriptor hold the same
+// value at every grid point (exact float equality).
+func Equal(a, b Store) bool {
+	if a.Desc().Dim() != b.Desc().Dim() || a.Desc().Level() != b.Desc().Level() {
+		return false
+	}
+	same := true
+	a.Desc().VisitPoints(func(_ int64, l, i []int32) {
+		if !same {
+			return
+		}
+		if a.Get(l, i) != b.Get(l, i) {
+			same = false
+		}
+	})
+	return same
+}
+
+// Allocation cost model shared by the pointer-based stores: every heap
+// allocation pays the allocator's header/rounding overhead in addition to
+// its payload. 16 bytes approximates both glibc malloc and Go's size
+// classes closely enough for the Fig. 8 comparison.
+const allocOverhead = 16
+
+// sliceBytes models the footprint of a heap-allocated slice backing array
+// holding n elements of elemSize bytes.
+func sliceBytes(n int64, elemSize int64) int64 {
+	if n == 0 {
+		return 0
+	}
+	return n*elemSize + allocOverhead
+}

@@ -1,0 +1,211 @@
+package grids
+
+import (
+	"math"
+	"testing"
+
+	"compactsg/internal/core"
+)
+
+func testFunc(x []float64) float64 {
+	s := 0.0
+	for t, v := range x {
+		s += float64(t+1) * v
+	}
+	return math.Sin(s) + 2
+}
+
+func TestAllStoresRoundTrip(t *testing.T) {
+	desc := core.MustDescriptor(3, 4)
+	for _, kind := range Kinds {
+		s := New(kind, desc)
+		if s.Kind() != kind {
+			t.Errorf("%v: Kind mismatch", kind)
+		}
+		if s.Desc() != desc {
+			t.Errorf("%v: Desc mismatch", kind)
+		}
+		// Zero-initialized.
+		desc.VisitPoints(func(_ int64, l, i []int32) {
+			if got := s.Get(l, i); got != 0 {
+				t.Fatalf("%v: fresh store Get(%v,%v) = %g", kind, l, i, got)
+			}
+		})
+		// Write a distinct value per point, read all back.
+		desc.VisitPoints(func(idx int64, l, i []int32) {
+			s.Set(l, i, float64(idx)+0.5)
+		})
+		desc.VisitPoints(func(idx int64, l, i []int32) {
+			if got := s.Get(l, i); got != float64(idx)+0.5 {
+				t.Fatalf("%v: Get(%v,%v) = %g want %g", kind, l, i, got, float64(idx)+0.5)
+			}
+		})
+	}
+}
+
+func TestStoresAgreeAfterFill(t *testing.T) {
+	desc := core.MustDescriptor(4, 4)
+	ref := New(Compact, desc)
+	Fill(ref, testFunc)
+	for _, kind := range Kinds[1:] {
+		s := New(kind, desc)
+		Fill(s, testFunc)
+		if !Equal(ref, s) {
+			t.Errorf("%v disagrees with compact store after identical Fill", kind)
+		}
+	}
+}
+
+func TestEqualDetectsDifferences(t *testing.T) {
+	desc := core.MustDescriptor(2, 3)
+	a := New(Compact, desc)
+	b := New(EnhHash, desc)
+	if !Equal(a, b) {
+		t.Fatal("fresh stores must be equal")
+	}
+	b.Set([]int32{1, 0}, []int32{3, 1}, 1)
+	if Equal(a, b) {
+		t.Fatal("Equal missed a differing value")
+	}
+	if Equal(a, New(Compact, core.MustDescriptor(2, 4))) {
+		t.Fatal("Equal must reject different shapes")
+	}
+}
+
+func TestMemoryOrdering(t *testing.T) {
+	// Fig. 8: compact < prefix tree < enhanced hash < enhanced map <
+	// standard map, with the std::map blow-up growing with d.
+	for _, dim := range []int{5, 7} {
+		desc := core.MustDescriptor(dim, 5)
+		var prev int64
+		for _, kind := range Kinds {
+			m := New(kind, desc).MemoryBytes()
+			if m <= 0 {
+				t.Fatalf("%v: nonpositive memory %d", kind, m)
+			}
+			if m < prev {
+				t.Errorf("dim=%d: %v uses %d bytes, less than the previous structure (%d) — Fig. 8 ordering broken", dim, kind, m, prev)
+			}
+			prev = m
+		}
+	}
+}
+
+func TestCompactMemoryRatioGrowsWithDim(t *testing.T) {
+	// The std::map/compact ratio must grow with dimensionality (keys grow
+	// with d, coefficients don't).
+	ratio := func(dim int) float64 {
+		desc := core.MustDescriptor(dim, 4)
+		return float64(New(StdMap, desc).MemoryBytes()) / float64(New(Compact, desc).MemoryBytes())
+	}
+	r3, r8 := ratio(3), ratio(8)
+	if r8 <= r3 {
+		t.Errorf("std::map/compact memory ratio should grow with d: d=3 gives %.1f, d=8 gives %.1f", r3, r8)
+	}
+	if r3 < 5 {
+		t.Errorf("std::map overhead suspiciously low: %.1f× at d=3", r3)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	desc := core.MustDescriptor(3, 4)
+	l := []int32{1, 0, 1}
+	i := []int32{1, 1, 3}
+	for _, kind := range Kinds {
+		s := New(kind, desc)
+		// Disabled by default.
+		s.Get(l, i)
+		if st := s.Stats(); st.Gets != 0 && kind != Compact {
+			t.Errorf("%v: stats counted while disabled", kind)
+		}
+		s.EnableStats(true)
+		s.ResetStats()
+		s.Get(l, i)
+		s.Set(l, i, 1)
+		st := s.Stats()
+		if st.Gets != 1 || st.Sets != 1 {
+			t.Errorf("%v: Gets=%d Sets=%d want 1,1", kind, st.Gets, st.Sets)
+		}
+		if st.NonSeqRefs <= 0 {
+			t.Errorf("%v: NonSeqRefs=%d want > 0", kind, st.NonSeqRefs)
+		}
+		s.ResetStats()
+		if st := s.Stats(); st.Gets != 0 || st.NonSeqRefs != 0 {
+			t.Errorf("%v: ResetStats did not clear", kind)
+		}
+	}
+}
+
+func TestTable1NonSeqRefScaling(t *testing.T) {
+	// Table 1: per access, non-sequential references are O(log N) for the
+	// maps, O(d) for the prefix tree, O(1) for hash and compact.
+	desc := core.MustDescriptor(4, 5)
+	n := float64(desc.Size())
+	logN := math.Log2(n)
+	perAccess := func(kind Kind) float64 {
+		s := New(kind, desc)
+		s.EnableStats(true)
+		var count int64
+		desc.VisitPoints(func(_ int64, l, i []int32) { s.Get(l, i); count++ })
+		return float64(s.Stats().NonSeqRefs) / float64(count)
+	}
+	if r := perAccess(Compact); r != 1 {
+		t.Errorf("compact: %.2f refs/access, want exactly 1", r)
+	}
+	if r := perAccess(PrefixTree); r != float64(desc.Dim()) {
+		t.Errorf("prefix tree: %.2f refs/access, want d=%d", r, desc.Dim())
+	}
+	if r := perAccess(EnhHash); r > 4 {
+		t.Errorf("hash: %.2f refs/access, want O(1) (small constant)", r)
+	}
+	for _, kind := range []Kind{EnhMap, StdMap} {
+		r := perAccess(kind)
+		if r < logN/2 || r > 2.5*logN {
+			t.Errorf("%v: %.2f refs/access, want Θ(log N) ≈ %.1f", kind, r, logN)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Compact.String() != "Our Data Structure" || StdMap.String() != "Standard STL Map" {
+		t.Error("Kind labels diverge from the paper's figure legends")
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind must still format")
+	}
+}
+
+func TestNewPanicsOnUnknownKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(unknown) must panic")
+		}
+	}()
+	New(Kind(42), core.MustDescriptor(2, 2))
+}
+
+func TestPredictMemoryMatchesBuilt(t *testing.T) {
+	for _, c := range []struct{ dim, level int }{{1, 4}, {2, 5}, {3, 4}, {5, 3}} {
+		desc := core.MustDescriptor(c.dim, c.level)
+		for _, kind := range Kinds {
+			want := New(kind, desc).MemoryBytes()
+			if got := PredictMemory(kind, desc); got != want {
+				t.Errorf("d=%d n=%d %v: PredictMemory=%d built=%d", c.dim, c.level, kind, got, want)
+			}
+		}
+	}
+	if PredictMemory(Kind(77), core.MustDescriptor(2, 2)) != 0 {
+		t.Error("unknown kind should predict 0")
+	}
+}
+
+func TestPredictMemoryPaperClaim(t *testing.T) {
+	// Paper §1: at d=10, level 11 (127.5M points) the compact structure
+	// uses "up to 30 times less memory" than typical structures. Our
+	// std::map model must land in that regime (and never below 10×).
+	desc := core.MustDescriptor(10, 11)
+	ratio := float64(PredictMemory(StdMap, desc)) / float64(PredictMemory(Compact, desc))
+	if ratio < 10 || ratio > 60 {
+		t.Errorf("std::map / compact ratio at d=10 level=11 = %.1f, expected the paper's ~30× regime", ratio)
+	}
+}

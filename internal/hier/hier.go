@@ -1,0 +1,299 @@
+// Package hier implements hierarchization — the compression step of the
+// sparse grid technique (paper Sec. 3.1, Alg. 1 and Sec. 4.3, Alg. 6) —
+// and its inverse (dehierarchization).
+//
+// Hierarchization transforms nodal values (function samples at grid
+// points) into hierarchical coefficients ("surpluses"): dimension by
+// dimension, every point's value is reduced by the average of its two
+// hierarchical ancestors in that dimension,
+//
+//	α ← v − (v_leftParent + v_rightParent)/2 ,
+//
+// with the zero domain boundary contributing 0. Two families are
+// provided:
+//
+//   - Recursive (Alg. 1): the classic depth-first 1d chain recursion,
+//     generalized to d dimensions, running on any grids.Store. This is the
+//     baseline the paper ports away from: it is recursion-bound and its
+//     access pattern is scattered (Fig. 5 right).
+//   - Iterative (Alg. 6): the flat loop over the compact layout, walking
+//     level groups in descending order so that every point reads its
+//     parents before they are themselves updated. This version is
+//     recursion-free and statically decomposable — the shape that maps to
+//     GPU kernels and OpenMP loops.
+package hier
+
+import (
+	"sync"
+
+	"compactsg/internal/core"
+	"compactsg/internal/grids"
+)
+
+// Iterative hierarchizes the compact grid in place (paper Alg. 6):
+// for every dimension, level groups are processed from the deepest to
+// group 0, and each point subtracts the average of its two hierarchical
+// ancestors in that dimension.
+func Iterative(g *core.Grid) {
+	desc := g.Desc()
+	d := desc.Dim()
+	i := make([]int32, d)
+	it := core.NewSubspaceIter(desc)
+	for t := 0; t < d; t++ {
+		for grp := desc.Groups() - 1; grp >= 0; grp-- {
+			it.SeekGroup(grp)
+			for it.Valid() && it.Group() == grp {
+				hierarchizeSubspace(g, it.Level(), i, it.Start(), t)
+				it.Advance()
+			}
+		}
+	}
+}
+
+// hierarchizeSubspace applies the dimension-t update to every point of
+// one subspace. Points whose 1d level in dimension t is 0 have both
+// parents on the (zero) boundary and are skipped.
+func hierarchizeSubspace(g *core.Grid, l, i []int32, start int64, t int) {
+	if l[t] == 0 {
+		return
+	}
+	desc := g.Desc()
+	n := int64(1) << uint(core.LevelSum(l))
+	for p := int64(0); p < n; p++ {
+		core.DecodeIndex1(p, l, i)
+		var parents float64
+		if idx, ok := desc.ParentIdx(l, i, t, core.LeftParent); ok {
+			parents += g.Data[idx]
+		}
+		if idx, ok := desc.ParentIdx(l, i, t, core.RightParent); ok {
+			parents += g.Data[idx]
+		}
+		g.Data[start+p] -= parents / 2
+	}
+}
+
+// Parallel hierarchizes the compact grid in place using static workload
+// decomposition over the subspaces of each level group, with a barrier
+// between groups (paper Sec. 4.3: "a global barrier must be executed
+// after each group of subspaces is updated"). workers ≤ 1 falls back to
+// the sequential version. Results are bit-identical to Iterative.
+func Parallel(g *core.Grid, workers int) {
+	if workers <= 1 {
+		Iterative(g)
+		return
+	}
+	desc := g.Desc()
+	d := desc.Dim()
+	for t := 0; t < d; t++ {
+		for grp := desc.Groups() - 1; grp >= 0; grp-- {
+			parallelGroup(g, grp, t, workers)
+		}
+	}
+}
+
+// parallelGroup updates one level group in dimension t: the group's
+// subspaces are dealt to workers in contiguous chunks (static
+// decomposition; each thread block on the GPU gets one subspace).
+func parallelGroup(g *core.Grid, grp, t, workers int) {
+	desc := g.Desc()
+	nsub := desc.Subspaces(grp)
+	if int64(workers) > nsub {
+		workers = int(nsub)
+	}
+	chunk := (nsub + int64(workers) - 1) / int64(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := int64(w) * chunk
+		hi := lo + chunk
+		if hi > nsub {
+			hi = nsub
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int64) {
+			defer wg.Done()
+			l := make([]int32, desc.Dim())
+			i := make([]int32, desc.Dim())
+			desc.SubspaceFromIndex(grp, lo, l)
+			start := desc.GroupStart(grp) + lo<<uint(grp)
+			for s := lo; s < hi; s++ {
+				hierarchizeSubspace(g, l, i, start, t)
+				start += int64(1) << uint(grp)
+				core.Next(l)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Dehierarchize inverts Iterative in place: hierarchical coefficients
+// become nodal values again. Level groups are processed from group 0
+// upward so every point reads its parents' already-restored nodal
+// values, and dimensions are unwound in reverse order.
+func Dehierarchize(g *core.Grid) {
+	desc := g.Desc()
+	d := desc.Dim()
+	i := make([]int32, d)
+	it := core.NewSubspaceIter(desc)
+	for t := d - 1; t >= 0; t-- {
+		for grp := 0; grp < desc.Groups(); grp++ {
+			it.SeekGroup(grp)
+			for it.Valid() && it.Group() == grp {
+				dehierarchizeSubspace(g, it.Level(), i, it.Start(), t)
+				it.Advance()
+			}
+		}
+	}
+}
+
+func dehierarchizeSubspace(g *core.Grid, l, i []int32, start int64, t int) {
+	if l[t] == 0 {
+		return
+	}
+	desc := g.Desc()
+	n := int64(1) << uint(core.LevelSum(l))
+	for p := int64(0); p < n; p++ {
+		core.DecodeIndex1(p, l, i)
+		var parents float64
+		if idx, ok := desc.ParentIdx(l, i, t, core.LeftParent); ok {
+			parents += g.Data[idx]
+		}
+		if idx, ok := desc.ParentIdx(l, i, t, core.RightParent); ok {
+			parents += g.Data[idx]
+		}
+		g.Data[start+p] += parents / 2
+	}
+}
+
+// DehierarchizeParallel is Dehierarchize with static decomposition over
+// subspaces and a barrier per level group (ascending). Bit-identical to
+// the sequential version for any worker count.
+func DehierarchizeParallel(g *core.Grid, workers int) {
+	if workers <= 1 {
+		Dehierarchize(g)
+		return
+	}
+	desc := g.Desc()
+	for t := desc.Dim() - 1; t >= 0; t-- {
+		for grp := 0; grp < desc.Groups(); grp++ {
+			dehierParallelGroup(g, grp, t, workers)
+		}
+	}
+}
+
+func dehierParallelGroup(g *core.Grid, grp, t, workers int) {
+	desc := g.Desc()
+	nsub := desc.Subspaces(grp)
+	if int64(workers) > nsub {
+		workers = int(nsub)
+	}
+	chunk := (nsub + int64(workers) - 1) / int64(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := int64(w) * chunk
+		hi := min(lo+chunk, nsub)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int64) {
+			defer wg.Done()
+			l := make([]int32, desc.Dim())
+			i := make([]int32, desc.Dim())
+			desc.SubspaceFromIndex(grp, lo, l)
+			start := desc.GroupStart(grp) + lo<<uint(grp)
+			for s := lo; s < hi; s++ {
+				dehierarchizeSubspace(g, l, i, start, t)
+				start += int64(1) << uint(grp)
+				core.Next(l)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Recursive hierarchizes any store with the classic algorithm (paper
+// Alg. 1 generalized): for each dimension t, the 1d recursion runs from
+// every chain root (points with l_t = 0), carrying the ancestor values
+// down the recursion.
+func Recursive(s grids.Store) {
+	desc := s.Desc()
+	d := desc.Dim()
+	lbuf := make([]int32, d)
+	ibuf := make([]int32, d)
+	for t := 0; t < d; t++ {
+		desc.VisitPoints(func(_ int64, l, i []int32) {
+			if l[t] != 0 {
+				return
+			}
+			copy(lbuf, l)
+			copy(ibuf, i)
+			budget := desc.Level() - 1 - (core.LevelSum(l) - int(l[t]))
+			hierarchize1D(s, lbuf, ibuf, t, 0, 0, int32(budget))
+		})
+	}
+}
+
+// hierarchize1D is the paper's Alg. 1: post-order over the 1d hierarchy
+// in dimension t, so every node still reads its ancestors' pre-update
+// (nodal in dimension t) values. leftVal/rightVal are the values of the
+// nearest ancestors on each side; maxLevel is the deepest 1d level the
+// remaining level budget admits.
+func hierarchize1D(s grids.Store, l, i []int32, t int, leftVal, rightVal float64, maxLevel int32) {
+	v := s.Get(l, i)
+	if l[t] < maxLevel {
+		lvl, idx := l[t], i[t]
+		l[t], i[t] = core.Child1D(lvl, idx, core.LeftParent)
+		hierarchize1D(s, l, i, t, leftVal, v, maxLevel)
+		l[t], i[t] = core.Child1D(lvl, idx, core.RightParent)
+		hierarchize1D(s, l, i, t, v, rightVal, maxLevel)
+		l[t], i[t] = lvl, idx
+	}
+	s.Set(l, i, v-(leftVal+rightVal)/2)
+}
+
+// RecursiveParallel runs Recursive's chain recursions on a task pool
+// (the paper parallelizes the classic algorithms with OpenMP tasking):
+// within one dimension, distinct chains touch disjoint points, so tasks
+// only need a barrier between dimensions. Results are bit-identical to
+// Recursive.
+func RecursiveParallel(s grids.Store, workers int) {
+	if workers <= 1 {
+		Recursive(s)
+		return
+	}
+	desc := s.Desc()
+	d := desc.Dim()
+	type task struct {
+		l, i   []int32
+		budget int32
+	}
+	for t := 0; t < d; t++ {
+		tasks := make(chan task, 4*workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for tk := range tasks {
+					hierarchize1D(s, tk.l, tk.i, t, 0, 0, tk.budget)
+				}
+			}()
+		}
+		desc.VisitPoints(func(_ int64, l, i []int32) {
+			if l[t] != 0 {
+				return
+			}
+			tk := task{
+				l:      append([]int32(nil), l...),
+				i:      append([]int32(nil), i...),
+				budget: int32(desc.Level() - 1 - core.LevelSum(l)),
+			}
+			tasks <- tk
+		})
+		close(tasks)
+		wg.Wait()
+	}
+}

@@ -1,0 +1,252 @@
+package hier
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"compactsg/internal/core"
+	"compactsg/internal/grids"
+)
+
+func parabola(x []float64) float64 {
+	p := 1.0
+	for _, v := range x {
+		p *= 4 * v * (1 - v)
+	}
+	return p
+}
+
+func mixed(x []float64) float64 {
+	s := 0.0
+	for t, v := range x {
+		s += math.Sin(math.Pi*v) * float64(t+1)
+	}
+	return s
+}
+
+// evalDirect computes fs(x) = Σ α·φ by brute force over all points.
+func evalDirect(g *core.Grid, x []float64) float64 {
+	res := 0.0
+	xs := make([]float64, g.Dim())
+	_ = xs
+	g.Desc().VisitPoints(func(idx int64, l, i []int32) {
+		prod := 1.0
+		for t := range l {
+			scale := float64(int64(1) << uint32(l[t]+1))
+			v := scale*x[t] - float64(i[t])
+			if v < 0 {
+				v = -v
+			}
+			if v >= 1 {
+				prod = 0
+				return
+			}
+			prod *= 1 - v
+		}
+		res += prod * g.Data[idx]
+	})
+	return res
+}
+
+func TestIterative1DKnownCoefficients(t *testing.T) {
+	// 1d, level 3, f(x) = x on grid points (zero boundary not satisfied
+	// by f, but hierarchization only uses nodal values). The identity is
+	// linear between hierarchical ancestors, so interior surpluses vanish
+	// except along the right edge, where the zero boundary contributes 0
+	// instead of f(1)=1:
+	//   0.5:   boundary parents            → 0.5
+	//   0.75:  parents 0.5, boundary       → 0.75 − 0.25 = 0.5
+	//   0.875: parents 0.75, boundary      → 0.875 − 0.375 = 0.5
+	desc := core.MustDescriptor(1, 3)
+	g := core.NewGrid(desc)
+	g.Fill(func(x []float64) float64 { return x[0] })
+	Iterative(g)
+	// Points in storage order: 0.5, 0.25, 0.75, 0.125, 0.375, 0.625, 0.875.
+	want := []float64{0.5, 0, 0.5, 0, 0, 0, 0.5}
+	for k, w := range want {
+		if math.Abs(g.Data[k]-w) > 1e-15 {
+			t.Errorf("coefficient %d = %g want %g", k, g.Data[k], w)
+		}
+	}
+}
+
+func TestHierarchizationInterpolatesNodalValues(t *testing.T) {
+	// The defining property: after hierarchization, Σ α·φ evaluated at
+	// any grid point reproduces the nodal value sampled there.
+	for _, c := range []struct{ d, n int }{{1, 5}, {2, 4}, {3, 4}, {4, 3}} {
+		desc := core.MustDescriptor(c.d, c.n)
+		g := core.NewGrid(desc)
+		g.Fill(mixed)
+		nodal := g.Clone()
+		Iterative(g)
+		x := make([]float64, c.d)
+		desc.VisitPoints(func(idx int64, l, i []int32) {
+			core.Coords(l, i, x)
+			got := evalDirect(g, x)
+			if math.Abs(got-nodal.Data[idx]) > 1e-12 {
+				t.Fatalf("d=%d n=%d: interpolant at grid point %v = %g want %g", c.d, c.n, x, got, nodal.Data[idx])
+			}
+		})
+	}
+}
+
+func TestDehierarchizeInvertsIterative(t *testing.T) {
+	for _, c := range []struct{ d, n int }{{1, 6}, {2, 5}, {3, 4}, {5, 3}} {
+		desc := core.MustDescriptor(c.d, c.n)
+		g := core.NewGrid(desc)
+		g.Fill(mixed)
+		orig := g.Clone()
+		Iterative(g)
+		Dehierarchize(g)
+		for k := range g.Data {
+			if math.Abs(g.Data[k]-orig.Data[k]) > 1e-12 {
+				t.Fatalf("d=%d n=%d: dehierarchize∘hierarchize ≠ id at %d: %g vs %g", c.d, c.n, k, g.Data[k], orig.Data[k])
+			}
+		}
+	}
+}
+
+func TestRecursiveMatchesIterative(t *testing.T) {
+	// The classic recursive algorithm on every store must produce exactly
+	// the coefficients of the iterative compact algorithm.
+	for _, c := range []struct{ d, n int }{{1, 5}, {2, 4}, {3, 4}} {
+		desc := core.MustDescriptor(c.d, c.n)
+		ref := core.NewGrid(desc)
+		ref.Fill(parabola)
+		Iterative(ref)
+		for _, kind := range grids.Kinds {
+			s := grids.New(kind, desc)
+			grids.Fill(s, parabola)
+			Recursive(s)
+			ok := true
+			desc.VisitPoints(func(idx int64, l, i []int32) {
+				if !ok {
+					return
+				}
+				if got := s.Get(l, i); got != ref.Data[idx] {
+					t.Errorf("d=%d n=%d %v: coefficient at %v,%v = %g want %g", c.d, c.n, kind, l, i, got, ref.Data[idx])
+					ok = false
+				}
+			})
+		}
+	}
+}
+
+func TestParallelBitIdentical(t *testing.T) {
+	desc := core.MustDescriptor(4, 5)
+	ref := core.NewGrid(desc)
+	ref.Fill(mixed)
+	seq := ref.Clone()
+	Iterative(seq)
+	for _, workers := range []int{1, 2, 3, 4, 7, 16} {
+		par := ref.Clone()
+		Parallel(par, workers)
+		for k := range par.Data {
+			if par.Data[k] != seq.Data[k] {
+				t.Fatalf("workers=%d: parallel differs from sequential at %d", workers, k)
+			}
+		}
+	}
+}
+
+func TestRecursiveParallelBitIdentical(t *testing.T) {
+	desc := core.MustDescriptor(3, 5)
+	for _, kind := range []grids.Kind{grids.Compact, grids.PrefixTree, grids.EnhHash} {
+		ref := grids.New(kind, desc)
+		grids.Fill(ref, mixed)
+		Recursive(ref)
+		for _, workers := range []int{2, 4} {
+			s := grids.New(kind, desc)
+			grids.Fill(s, mixed)
+			RecursiveParallel(s, workers)
+			if !grids.Equal(ref, s) {
+				t.Errorf("%v workers=%d: RecursiveParallel differs from Recursive", kind, workers)
+			}
+		}
+	}
+}
+
+func TestHierarchizationLinear(t *testing.T) {
+	// Hierarchization is a linear operator: H(a·f + b·g) = a·H(f) + b·H(g).
+	desc := core.MustDescriptor(2, 5)
+	f := core.NewGrid(desc)
+	f.Fill(parabola)
+	h := core.NewGrid(desc)
+	h.Fill(mixed)
+	combo := core.NewGrid(desc)
+	for k := range combo.Data {
+		combo.Data[k] = 3*f.Data[k] - 0.5*h.Data[k]
+	}
+	Iterative(f)
+	Iterative(h)
+	Iterative(combo)
+	for k := range combo.Data {
+		want := 3*f.Data[k] - 0.5*h.Data[k]
+		if math.Abs(combo.Data[k]-want) > 1e-12 {
+			t.Fatalf("linearity violated at %d: %g vs %g", k, combo.Data[k], want)
+		}
+	}
+}
+
+func TestHierarchizeSparseGridSpaceFunctionIsExact(t *testing.T) {
+	// A function that IS a sparse grid interpolant has surplus exactly
+	// equal to the coefficients it was built from: hierarchizing its
+	// nodal values recovers them.
+	desc := core.MustDescriptor(2, 4)
+	rng := rand.New(rand.NewSource(11))
+	alpha := core.NewGrid(desc)
+	for k := range alpha.Data {
+		alpha.Data[k] = rng.NormFloat64()
+	}
+	nodal := core.NewGrid(desc)
+	x := make([]float64, 2)
+	desc.VisitPoints(func(idx int64, l, i []int32) {
+		core.Coords(l, i, x)
+		nodal.Data[idx] = evalDirect(alpha, x)
+	})
+	Iterative(nodal)
+	for k := range nodal.Data {
+		if math.Abs(nodal.Data[k]-alpha.Data[k]) > 1e-12 {
+			t.Fatalf("surplus %d = %g want %g", k, nodal.Data[k], alpha.Data[k])
+		}
+	}
+}
+
+func TestGroupZeroUntouchedInSingleDim(t *testing.T) {
+	// In 1d the level-0 point (x=0.5) has only boundary parents: its
+	// value must be unchanged by hierarchization.
+	desc := core.MustDescriptor(1, 4)
+	g := core.NewGrid(desc)
+	g.Fill(func(x []float64) float64 { return 7 * x[0] })
+	v := g.Data[0]
+	Iterative(g)
+	if g.Data[0] != v {
+		t.Errorf("level-0 coefficient changed: %g -> %g", v, g.Data[0])
+	}
+}
+
+func TestDehierarchizeParallelBitIdentical(t *testing.T) {
+	desc := core.MustDescriptor(4, 5)
+	g := core.NewGrid(desc)
+	g.Fill(mixed)
+	orig := g.Clone()
+	Iterative(g)
+	for _, workers := range []int{1, 2, 3, 8} {
+		d := g.Clone()
+		DehierarchizeParallel(d, workers)
+		for k := range d.Data {
+			if math.Abs(d.Data[k]-orig.Data[k]) > 1e-12 {
+				t.Fatalf("workers=%d: slot %d: %g want %g", workers, k, d.Data[k], orig.Data[k])
+			}
+		}
+		// And exactly equal to the sequential inverse.
+		s := g.Clone()
+		Dehierarchize(s)
+		for k := range d.Data {
+			if d.Data[k] != s.Data[k] {
+				t.Fatalf("workers=%d: parallel dehierarchize differs from sequential at %d", workers, k)
+			}
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package kernels implements the paper's two CUDA kernels — iterative
+// hierarchization (one thread block per subspace, host-side barriers
+// between level groups) and iterative evaluation (one thread per query
+// point) — on the gpusim SIMT simulator, together with the ablation
+// variants Sec. 5.3 discusses: block-shared versus per-thread level
+// vectors, and binmat in constant memory versus shared memory versus
+// recomputed on the fly.
+//
+// The kernels are functionally exact: the device arrays hold the real
+// coefficients and the results are bit-identical to the CPU algorithms
+// in packages hier and eval.
+package kernels
+
+import (
+	"fmt"
+
+	"compactsg/internal/core"
+	"compactsg/internal/gpusim"
+)
+
+// BinmatMode selects where the kernels read binomial coefficients from
+// (paper Sec. 5.3: constant cache was fastest, shared memory close,
+// computing on the fly ≈ 4× slower hierarchization).
+type BinmatMode int
+
+// Binmat placements.
+const (
+	// BinmatConst stages binmat in constant memory (the paper's choice).
+	BinmatConst BinmatMode = iota
+	// BinmatShared copies binmat into shared memory per block.
+	BinmatShared
+	// BinmatOnTheFly recomputes each binomial coefficient, O(t) ops.
+	BinmatOnTheFly
+)
+
+func (m BinmatMode) String() string {
+	switch m {
+	case BinmatConst:
+		return "constant"
+	case BinmatShared:
+		return "shared"
+	case BinmatOnTheFly:
+		return "onthefly"
+	default:
+		return fmt.Sprintf("BinmatMode(%d)", int(m))
+	}
+}
+
+// Options configures the kernels.
+type Options struct {
+	// BlockSize is the thread-block size for evaluation (and an upper
+	// bound for hierarchization, which also adapts to the subspace
+	// size). 0 means the default of 128.
+	BlockSize int
+	// PerThreadL switches the ablation: instead of the block-shared
+	// level vector maintained by the master thread (the paper's final
+	// design), every thread keeps its own copy in local memory — which
+	// on the C1060 spills to (uncoalesced) global memory.
+	PerThreadL bool
+	// Binmat selects the binomial table placement.
+	Binmat BinmatMode
+}
+
+func (o Options) blockSize() int {
+	if o.BlockSize <= 0 {
+		return 128
+	}
+	return o.BlockSize
+}
+
+// deviceGrid is a sparse grid resident in simulated device memory with
+// the constant-memory image the index maps need.
+type deviceGrid struct {
+	desc *core.Descriptor
+	// base is the rawStorage array; zero is a dedicated word holding 0.0
+	// that boundary-parent loads target, keeping the kernel's
+	// instruction stream warp-uniform (no divergent skip of the load).
+	base, zero int64
+	// Constant memory layout (word indices into constI):
+	//   binmat[t][s] at t*stride + s, t ≤ dim, s ≤ level+1
+	//   groupStart[g] at gsOff + g, g ≤ level
+	//   subspaces[g] at subOff + g, g < level
+	stride, gsOff, subOff int
+}
+
+// upload copies the grid to the device and installs the constant image.
+func upload(dev *gpusim.Device, g *core.Grid) *deviceGrid {
+	desc := g.Desc()
+	dim, level := desc.Dim(), desc.Level()
+	dg := &deviceGrid{
+		desc:   desc,
+		stride: level + 2,
+	}
+	dg.base = dev.AllocGlobal(desc.Size())
+	dev.CopyToDevice(dg.base, g.Data)
+	dg.zero = dev.AllocGlobal(1)
+
+	constI := make([]int64, 0, (dim+1)*dg.stride+2*level+1)
+	for t := 0; t <= dim; t++ {
+		for s := 0; s < dg.stride; s++ {
+			constI = append(constI, desc.Binomial(t, s))
+		}
+	}
+	dg.gsOff = len(constI)
+	for grp := 0; grp <= level; grp++ {
+		constI = append(constI, desc.GroupStart(grp))
+	}
+	dg.subOff = len(constI)
+	for grp := 0; grp < level; grp++ {
+		constI = append(constI, desc.Subspaces(grp))
+	}
+	dev.SetConstI(constI)
+	return dg
+}
+
+// download copies the device coefficients back into g.
+func (dg *deviceGrid) download(dev *gpusim.Device, g *core.Grid) {
+	dev.CopyFromDevice(g.Data, dg.base)
+}
+
+// binomReader abstracts the binmat placement inside a kernel block. The
+// returned function must be called with a warp-uniform instruction
+// stream (data-dependent arguments are fine).
+type binomReader func(t *gpusim.Thread, tt, s int) int64
+
+// makeBinomReader prepares per-block binmat access for the chosen mode.
+// For BinmatShared it allocates and fills the shared copy (the per-thread
+// fill loop is part of the modeled cost) and the caller must Sync before
+// first use.
+func (dg *deviceGrid) makeBinomReader(b *gpusim.Block, mode BinmatMode) (binomReader, func(t *gpusim.Thread)) {
+	switch mode {
+	case BinmatShared:
+		dim := dg.desc.Dim()
+		words := (dim + 1) * dg.stride
+		sh := b.SharedI64(words)
+		prologue := func(t *gpusim.Thread) {
+			for w := t.Idx; w < words; w += b.Dim {
+				v := t.LoadConstI(w)
+				sh.Store(t, w, v)
+			}
+			t.Sync()
+		}
+		return func(t *gpusim.Thread, tt, s int) int64 {
+			return sh.Load(t, tt*dg.stride+s)
+		}, prologue
+	case BinmatOnTheFly:
+		return func(t *gpusim.Thread, tt, s int) int64 {
+			// C(t+s, t) = Π_{j=1..t} (s+j)/j, exact at every step. The
+			// 64-bit integer division has no hardware support on the
+			// C1060 and expands to a ~16-instruction sequence; the
+			// multiply-add pair adds two more.
+			r := int64(1)
+			for j := 1; j <= tt; j++ {
+				r = r * int64(s+j) / int64(j)
+			}
+			t.Ops(18*tt + 1)
+			return r
+		}, func(t *gpusim.Thread) {}
+	default:
+		return func(t *gpusim.Thread, tt, s int) int64 {
+			return t.LoadConstI(tt*dg.stride + s)
+		}, func(t *gpusim.Thread) {}
+	}
+}
+
+// groupStartConst reads groupStart[g] from constant memory.
+func (dg *deviceGrid) groupStartConst(t *gpusim.Thread, g int) int64 {
+	return t.LoadConstI(dg.gsOff + g)
+}
+
+// subspacesConst reads the subspace count of level group g.
+func (dg *deviceGrid) subspacesConst(t *gpusim.Thread, g int) int64 {
+	return t.LoadConstI(dg.subOff + g)
+}

@@ -1,0 +1,199 @@
+package kernels
+
+import (
+	"fmt"
+
+	"compactsg/internal/core"
+	"compactsg/internal/gpusim"
+)
+
+// EvaluateGPU runs the paper's evaluation kernel: one thread per query
+// point, every thread walking all subspaces with the next-iterator
+// (Alg. 7). Query coordinates are staged dimension-major in global
+// memory so the per-dimension loads coalesce, then copied into shared
+// memory (Sec. 5.3). The level vector lives in shared memory and is
+// advanced by the block's master thread between barriers — or, with
+// opt.PerThreadL, privately per thread in (global-backed) local memory.
+// Results are written into out and are bit-identical to eval.Batch.
+func EvaluateGPU(dev *gpusim.Device, g *core.Grid, xs [][]float64, out []float64, opt Options) (rep *gpusim.Report, modeledSec float64, err error) {
+	desc := g.Desc()
+	dim := desc.Dim()
+	npts := len(xs)
+	if npts == 0 {
+		return &gpusim.Report{}, 0, nil
+	}
+	if len(out) < npts {
+		return nil, 0, fmt.Errorf("kernels: out has %d slots for %d points", len(out), npts)
+	}
+	dg := upload(dev, g)
+
+	// Dimension-major coordinate layout: coords[t*npts + p].
+	coordsBase := dev.AllocGlobal(int64(dim * npts))
+	flat := make([]float64, dim*npts)
+	for p, x := range xs {
+		for t := 0; t < dim; t++ {
+			flat[t*npts+p] = x[t]
+		}
+	}
+	dev.CopyToDevice(coordsBase, flat)
+	outBase := dev.AllocGlobal(int64(npts))
+
+	blockDim := opt.blockSize()
+	gridDim := (npts + blockDim - 1) / blockDim
+	rep, err = dev.Launch(gridDim, blockDim, dg.evalKernel(coordsBase, outBase, npts, opt))
+	if err != nil {
+		return nil, 0, err
+	}
+	res := make([]float64, npts)
+	dev.CopyFromDevice(res, outBase)
+	copy(out, res)
+	cfg := dev.Config()
+	modeledSec = rep.EstimateTime(cfg) + dev.TransferTime(desc.Size()+int64(dim*npts)+int64(npts))
+	return rep, modeledSec, nil
+}
+
+// evalKernel builds the evaluation kernel body.
+func (dg *deviceGrid) evalKernel(coordsBase, outBase int64, npts int, opt Options) gpusim.Kernel {
+	desc := dg.desc
+	dim := desc.Dim()
+	groups := desc.Groups()
+	return func(b *gpusim.Block) func(*gpusim.Thread) {
+		shCoords := b.SharedF64(b.Dim * dim)
+		var shL *gpusim.SharedI32
+		if !opt.PerThreadL {
+			shL = b.SharedI32(dim)
+		}
+		return func(th *gpusim.Thread) {
+			gid := th.Global()
+			active := gid < npts
+			gidc := gid
+			if !active {
+				gidc = npts - 1 // clamp: uniform loads, discarded result
+			}
+			th.Ops(2)
+			// Stage this thread's coordinates into shared memory; the
+			// global reads are coalesced (consecutive lanes, consecutive
+			// words in the dimension-major layout).
+			for t2 := 0; t2 < dim; t2++ {
+				v := th.LoadGlobal(coordsBase + int64(t2*npts+gidc))
+				shCoords.Store(th, th.Idx*dim+t2, v)
+			}
+			l := make([]int32, dim) // private copy for PerThreadL mode
+			res := 0.0
+			var off int64 // running subspace offset (index2+index3)
+			for grp := 0; grp < groups; grp++ {
+				nsub := dg.subspacesConst(th, grp) // broadcast
+				if opt.PerThreadL {
+					// Thread-private level vector in local memory:
+					// coalesced (interleaved layout) but global-backed.
+					core.First(l, grp)
+					for t2 := 0; t2 < dim; t2++ {
+						th.StoreLocal(t2, float64(l[t2]))
+					}
+				} else {
+					th.Sync()
+					if th.Idx == 0 {
+						for t2 := 0; t2 < dim; t2++ {
+							v := int32(0)
+							if t2 == 0 {
+								v = int32(grp)
+							}
+							shL.Store(th, t2, v)
+						}
+					}
+					th.Sync()
+				}
+				sz := int64(1) << uint(grp)
+				for k := int64(0); k < nsub; k++ {
+					prod := 1.0
+					var index1 int64
+					for t2 := dim - 1; t2 >= 0; t2-- {
+						var lt int32
+						if opt.PerThreadL {
+							lt = int32(th.LoadLocal(t2))
+						} else {
+							lt = shL.Load(th, t2)
+						}
+						x := shCoords.Load(th, th.Idx*dim+t2)
+						cells := int64(1) << uint32(lt)
+						c := int64(x * float64(cells))
+						if c < 0 {
+							c = 0
+						} else if c >= cells {
+							c = cells - 1
+						}
+						index1 = index1<<uint32(lt) + c
+						div := 1.0 / float64(cells)
+						left := float64(c) * div
+						// Hat basis over [left, left+div] (Alg. 7 l.13).
+						mid := left + div/2
+						v := (x - mid) / (div / 2)
+						if v < 0 {
+							v = -v
+						}
+						if v > 1 {
+							v = 1
+						}
+						prod *= 1 - v
+						th.Ops(12)
+					}
+					coeff := th.LoadGlobal(dg.base + off + index1)
+					res += prod * coeff
+					off += sz
+					th.Ops(3)
+					// Advance l to the next subspace of the group.
+					if k < nsub-1 {
+						if opt.PerThreadL {
+							nextLocal(th, dim)
+						} else {
+							th.Sync()
+							if th.Idx == 0 {
+								nextShared(th, shL, dim)
+							}
+							th.Sync()
+						}
+					}
+				}
+			}
+			if th.Branch(active) {
+				th.StoreGlobal(outBase+int64(gid), res)
+			}
+		}
+	}
+}
+
+// nextShared advances the block-shared level vector (core.Next on
+// shared memory), executed by the master thread.
+func nextShared(th *gpusim.Thread, shL *gpusim.SharedI32, dim int) {
+	t := 0
+	for t < dim && shL.Load(th, t) == 0 {
+		t++
+	}
+	if t >= dim-1 {
+		return
+	}
+	m := shL.Load(th, t)
+	mt1 := shL.Load(th, t+1)
+	shL.Store(th, t, 0)
+	shL.Store(th, 0, m-1)
+	shL.Store(th, t+1, mt1+1)
+	th.Ops(4)
+}
+
+// nextLocal advances a per-thread level vector kept in local (global-
+// backed) memory.
+func nextLocal(th *gpusim.Thread, dim int) {
+	t := 0
+	for t < dim && int32(th.LoadLocal(t)) == 0 {
+		t++
+	}
+	if t >= dim-1 {
+		return
+	}
+	m := th.LoadLocal(t)
+	mt1 := th.LoadLocal(t + 1)
+	th.StoreLocal(t, 0)
+	th.StoreLocal(0, m-1)
+	th.StoreLocal(t+1, mt1+1)
+	th.Ops(4)
+}

@@ -1,0 +1,198 @@
+package kernels
+
+import (
+	"fmt"
+	"math/bits"
+
+	"compactsg/internal/core"
+	"compactsg/internal/gpusim"
+)
+
+// HierarchizeGPU runs the paper's hierarchization kernel (Sec. 5.3):
+// one thread block per subspace, one kernel launch per (dimension,
+// level group) pair with groups descending — the host-enforced barrier
+// that keeps parent reads hazard-free. The grid is uploaded, transformed
+// in device memory, and downloaded back into g; results are
+// bit-identical to hier.Iterative. The returned report aggregates all
+// launches and modeledSec sums the per-launch time estimates.
+func HierarchizeGPU(dev *gpusim.Device, g *core.Grid, opt Options) (rep *gpusim.Report, modeledSec float64, err error) {
+	desc := g.Desc()
+	dg := upload(dev, g)
+	total := &gpusim.Report{}
+	cfg := dev.Config()
+	for t := 0; t < desc.Dim(); t++ {
+		for grp := desc.Groups() - 1; grp >= 0; grp-- {
+			nsub := desc.Subspaces(grp)
+			if nsub > int64(1)<<31 {
+				return nil, 0, fmt.Errorf("kernels: group %d has %d subspaces, grid too large to launch", grp, nsub)
+			}
+			points := 1 << uint(grp)
+			blockDim := opt.blockSize()
+			if points < blockDim {
+				blockDim = points
+			}
+			if blockDim < 32 {
+				blockDim = 32
+			}
+			r, err := dev.Launch(int(nsub), blockDim, dg.hierKernel(t, grp, opt))
+			if err != nil {
+				return nil, 0, err
+			}
+			modeledSec += r.EstimateTime(cfg)
+			total.Add(r)
+		}
+	}
+	dg.download(dev, g)
+	modeledSec += dev.TransferTime(2 * desc.Size()) // H2D + D2H
+	return total, modeledSec, nil
+}
+
+// hierKernel builds the per-launch kernel for dimension t, level group
+// grp. Each block owns the subspace whose enumeration rank equals its
+// block index.
+func (dg *deviceGrid) hierKernel(t, grp int, opt Options) gpusim.Kernel {
+	desc := dg.desc
+	dim := desc.Dim()
+	return func(b *gpusim.Block) func(*gpusim.Thread) {
+		binom, prologue := dg.makeBinomReader(b, opt.Binmat)
+		var shL *gpusim.SharedI32
+		if !opt.PerThreadL {
+			shL = b.SharedI32(dim)
+		}
+		return func(th *gpusim.Thread) {
+			prologue(th)
+			l := make([]int32, dim) // registers
+			if opt.PerThreadL {
+				// Every thread derives l itself and keeps it in local
+				// memory (thread-private, but spilled to device memory
+				// on the C1060 — coalesced thanks to the interleaved
+				// layout, yet paying global bandwidth and latency).
+				subspaceFromIndexDevice(th, binom, grp, int64(b.Idx), l, dim)
+				for t2 := 0; t2 < dim; t2++ {
+					th.StoreLocal(t2, float64(l[t2]))
+				}
+				for t2 := 0; t2 < dim; t2++ {
+					l[t2] = int32(th.LoadLocal(t2))
+				}
+			} else {
+				// The paper's design: the master thread computes l into
+				// shared memory, everyone reads it after the barrier.
+				if th.Idx == 0 {
+					subspaceFromIndexDevice(th, binom, grp, int64(b.Idx), l, dim)
+					for t2 := 0; t2 < dim; t2++ {
+						shL.Store(th, t2, l[t2])
+					}
+				}
+				th.Sync()
+				for t2 := 0; t2 < dim; t2++ {
+					l[t2] = shL.Load(th, t2)
+				}
+			}
+			if l[t] == 0 {
+				// Both ancestors are the boundary: nothing to update in
+				// this dimension (uniform early exit, whole block).
+				return
+			}
+			// Subspace start: groupStart[grp] + rank·2^grp.
+			start := dg.groupStartConst(th, grp) + int64(b.Idx)<<uint(grp)
+			th.Ops(2)
+			points := int64(1) << uint(grp)
+			for p := int64(th.Idx); p < points; p += int64(b.Dim) {
+				// Decode the mixed-radix digits of p (dimension 0 least
+				// significant).
+				var dig [core.MaxDim]int64
+				pos := p
+				for t2 := 0; t2 < dim; t2++ {
+					dig[t2] = pos & (int64(1)<<uint32(l[t2]) - 1)
+					pos >>= uint32(l[t2])
+				}
+				th.Ops(3 * dim)
+				it := 2*dig[t] + 1
+				th.Ops(2)
+				lv := dg.loadParent(th, binom, l, dig[:dim], t, it-1, dim)
+				rv := dg.loadParent(th, binom, l, dig[:dim], t, it+1, dim)
+				idx := dg.base + start + p
+				v := th.LoadGlobal(idx)
+				th.Ops(3)
+				th.StoreGlobal(idx, v-(lv+rv)/2)
+			}
+		}
+	}
+}
+
+// loadParent computes gp2idx of the hierarchical ancestor in dimension t
+// whose 1d numerator (over 2^(l[t]+1)) is num, and loads its value. The
+// instruction stream is warp-uniform: boundary ancestors redirect the
+// load to the device's zero word instead of skipping it.
+func (dg *deviceGrid) loadParent(th *gpusim.Thread, binom binomReader, l []int32, dig []int64, t int, num int64, dim int) float64 {
+	boundary := num == 0 || num == int64(1)<<uint32(l[t]+1)
+	th.Branch(boundary) // potential divergence point
+	var k int32
+	if !boundary {
+		k = int32(bits.TrailingZeros64(uint64(num)))
+	}
+	pl := l[t] - k
+	pdig := num >> uint32(k) >> 1 // (pi-1)/2
+	th.Ops(4)
+	if boundary {
+		// Keep the arithmetic uniform with harmless values.
+		pl, pdig = 0, 0
+	}
+	// index1 over the parent's level vector (dim t replaced by pl).
+	var index1 int64
+	for t2 := dim - 1; t2 >= 0; t2-- {
+		lt, d2 := l[t2], dig[t2]
+		if t2 == t {
+			lt, d2 = pl, pdig
+		}
+		index1 = index1<<uint32(lt) + d2
+	}
+	th.Ops(2 * dim)
+	// index2 = subspaceidx(l') (Eq. 4) with binmat lookups.
+	sum := int(l[0])
+	if t == 0 {
+		sum = int(pl)
+	}
+	var index2 int64
+	for t2 := 1; t2 < dim; t2++ {
+		index2 -= binom(th, t2, sum)
+		if t2 == t {
+			sum += int(pl)
+		} else {
+			sum += int(l[t2])
+		}
+		index2 += binom(th, t2, sum)
+	}
+	th.Ops(4 * dim)
+	// index3 = groupStart[|l'|₁].
+	index3 := dg.groupStartConst(th, sum)
+	addr := dg.base + index3 + index2<<uint(sum) + index1
+	th.Ops(3)
+	if boundary {
+		addr = dg.zero
+	}
+	return th.LoadGlobal(addr)
+}
+
+// subspaceFromIndexDevice is the device-side inverse subspace ranking
+// (core.SubspaceFromIndex) using binmat reads.
+func subspaceFromIndexDevice(th *gpusim.Thread, binom binomReader, grp int, rank int64, l []int32, dim int) {
+	n := grp
+	rem := rank
+	for t2 := dim - 1; t2 >= 1; t2-- {
+		k := 0
+		for {
+			block := binom(th, t2-1, n-k)
+			th.Ops(2)
+			if rem < block {
+				break
+			}
+			rem -= block
+			k++
+		}
+		l[t2] = int32(k)
+		n -= k
+	}
+	l[0] = int32(n)
+	th.Ops(dim)
+}

@@ -1,0 +1,306 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"compactsg/internal/core"
+	"compactsg/internal/eval"
+	"compactsg/internal/gpusim"
+	"compactsg/internal/hier"
+	"compactsg/internal/workload"
+)
+
+func freshDevice() *gpusim.Device {
+	return gpusim.NewDevice(gpusim.TeslaC1060())
+}
+
+func filledGrid(d, n int) *core.Grid {
+	g := core.NewGrid(core.MustDescriptor(d, n))
+	g.Fill(workload.Parabola.F)
+	return g
+}
+
+func TestHierarchizeGPUBitIdentical(t *testing.T) {
+	for _, c := range []struct{ d, n int }{{1, 5}, {2, 4}, {3, 4}, {4, 3}} {
+		cpu := filledGrid(c.d, c.n)
+		gpu := cpu.Clone()
+		hier.Iterative(cpu)
+		rep, sec, err := HierarchizeGPU(freshDevice(), gpu, Options{})
+		if err != nil {
+			t.Fatalf("d=%d n=%d: %v", c.d, c.n, err)
+		}
+		for k := range cpu.Data {
+			if cpu.Data[k] != gpu.Data[k] {
+				t.Fatalf("d=%d n=%d: GPU result differs at %d: %g vs %g", c.d, c.n, k, gpu.Data[k], cpu.Data[k])
+			}
+		}
+		if sec <= 0 {
+			t.Error("modeled time must be positive")
+		}
+		wantLaunches := c.d * c.n
+		if rep.Launches != wantLaunches {
+			t.Errorf("d=%d n=%d: %d launches want %d (one per dim × group)", c.d, c.n, rep.Launches, wantLaunches)
+		}
+	}
+}
+
+func TestHierarchizeGPUVariantsBitIdentical(t *testing.T) {
+	ref := filledGrid(3, 4)
+	hier.Iterative(ref)
+	variants := []Options{
+		{PerThreadL: true},
+		{Binmat: BinmatShared},
+		{Binmat: BinmatOnTheFly},
+		{PerThreadL: true, Binmat: BinmatShared},
+		{BlockSize: 32},
+		{BlockSize: 256},
+	}
+	for _, opt := range variants {
+		g := filledGrid(3, 4)
+		if _, _, err := HierarchizeGPU(freshDevice(), g, opt); err != nil {
+			t.Fatalf("%+v: %v", opt, err)
+		}
+		for k := range ref.Data {
+			if g.Data[k] != ref.Data[k] {
+				t.Fatalf("%+v: differs at %d", opt, k)
+			}
+		}
+	}
+}
+
+func TestEvaluateGPUBitIdentical(t *testing.T) {
+	for _, c := range []struct{ d, n int }{{1, 5}, {2, 4}, {4, 3}} {
+		g := filledGrid(c.d, c.n)
+		hier.Iterative(g)
+		xs := workload.Points(3, 100, c.d)
+		want := eval.Batch(g, xs, nil, eval.Options{})
+		got := make([]float64, len(xs))
+		rep, sec, err := EvaluateGPU(freshDevice(), g, xs, got, Options{})
+		if err != nil {
+			t.Fatalf("d=%d: %v", c.d, err)
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("d=%d point %d: GPU %g vs CPU %g", c.d, k, got[k], want[k])
+			}
+		}
+		if sec <= 0 || rep.Launches != 1 {
+			t.Errorf("d=%d: sec=%g launches=%d", c.d, sec, rep.Launches)
+		}
+	}
+}
+
+func TestEvaluateGPUVariants(t *testing.T) {
+	g := filledGrid(3, 4)
+	hier.Iterative(g)
+	xs := workload.Points(4, 70, 3) // 70: forces a partial block + clamped tail
+	want := eval.Batch(g, xs, nil, eval.Options{})
+	for _, opt := range []Options{{PerThreadL: true}, {BlockSize: 64}, {BlockSize: 32, PerThreadL: true}} {
+		got := make([]float64, len(xs))
+		if _, _, err := EvaluateGPU(freshDevice(), g, xs, got, opt); err != nil {
+			t.Fatalf("%+v: %v", opt, err)
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("%+v point %d: %g vs %g", opt, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestEvaluateGPUEmptyAndErrors(t *testing.T) {
+	g := filledGrid(2, 3)
+	if rep, sec, err := EvaluateGPU(freshDevice(), g, nil, nil, Options{}); err != nil || sec != 0 || rep.Launches != 0 {
+		t.Errorf("empty input: rep=%v sec=%g err=%v", rep, sec, err)
+	}
+	xs := workload.Points(5, 10, 2)
+	if _, _, err := EvaluateGPU(freshDevice(), g, xs, make([]float64, 3), Options{}); err == nil {
+		t.Error("short out slice accepted")
+	}
+}
+
+func TestAblationSharedLFaster(t *testing.T) {
+	// Paper Sec. 5.3: block-shared l beats per-thread l (1.62× hier.,
+	// 1.59× eval. on the C1060) because per-thread l spills to global
+	// memory. The model must reproduce the ordering.
+	g := filledGrid(4, 4)
+	_, shared, err := HierarchizeGPU(freshDevice(), g.Clone(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, perThread, err := HierarchizeGPU(freshDevice(), g.Clone(), Options{PerThreadL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perThread <= shared {
+		t.Errorf("hierarchization: per-thread l (%g s) not slower than shared l (%g s)", perThread, shared)
+	}
+	hg := g.Clone()
+	hier.Iterative(hg)
+	xs := workload.Points(6, 256, 4)
+	out := make([]float64, len(xs))
+	_, sharedE, err := EvaluateGPU(freshDevice(), hg, xs, out, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, perThreadE, err := EvaluateGPU(freshDevice(), hg, xs, out, Options{PerThreadL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perThreadE <= sharedE {
+		t.Errorf("evaluation: per-thread l (%g s) not slower than shared l (%g s)", perThreadE, sharedE)
+	}
+}
+
+func TestAblationBinmatOrdering(t *testing.T) {
+	// Paper Sec. 5.3: on-the-fly binomials make hierarchization ≈ 4×
+	// slower; constant cache is (slightly) fastest. Compare kernel time
+	// net of the fixed launch overhead (at test-scale grids the d·n
+	// launches otherwise dominate everything).
+	g := filledGrid(5, 6)
+	overhead := gpusim.TeslaC1060().LaunchOverheadSec
+	times := map[BinmatMode]float64{}
+	for _, mode := range []BinmatMode{BinmatConst, BinmatShared, BinmatOnTheFly} {
+		rep, sec, err := HierarchizeGPU(freshDevice(), g.Clone(), Options{Binmat: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[mode] = sec - float64(rep.Launches)*overhead
+	}
+	if times[BinmatOnTheFly] <= times[BinmatConst] || times[BinmatOnTheFly] <= times[BinmatShared] {
+		t.Errorf("on-the-fly (%g) must be slowest (const %g, shared %g)",
+			times[BinmatOnTheFly], times[BinmatConst], times[BinmatShared])
+	}
+	if times[BinmatConst] > times[BinmatShared]*1.5 {
+		t.Errorf("const (%g) should not be much slower than shared (%g)", times[BinmatConst], times[BinmatShared])
+	}
+}
+
+func TestHierarchizationLessCoalescedThanEvalStores(t *testing.T) {
+	// The paper: subspace updates coalesce, parent reads do not — so the
+	// hierarchization kernel must show imperfect coalescing.
+	g := filledGrid(3, 5)
+	rep, _, err := HierarchizeGPU(freshDevice(), g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff := rep.CoalescingEfficiency(); eff >= 0.9 {
+		t.Errorf("hierarchization coalescing %.2f suspiciously perfect; parent reads should scatter", eff)
+	}
+	if rep.DivergentBranches == 0 {
+		t.Error("boundary-parent branches should show divergence potential")
+	}
+}
+
+func TestEvalSharedMemoryPressureGrowsWithDim(t *testing.T) {
+	// Paper Sec. 6.2: per-thread shared usage grows linearly with d,
+	// reducing occupancy beyond d≈10. Check the modeled shared bytes.
+	shared := func(d int) int64 {
+		g := filledGrid(d, 3)
+		hier.Iterative(g)
+		xs := workload.Points(7, 64, d)
+		out := make([]float64, len(xs))
+		rep, _, err := EvaluateGPU(freshDevice(), g, xs, out, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.SharedBytesPerBlock
+	}
+	s2, s8 := shared(2), shared(8)
+	if s8 <= s2 {
+		t.Errorf("shared bytes per block: d=2 %d, d=8 %d — should grow with d", s2, s8)
+	}
+	cfg := gpusim.TeslaC1060()
+	if occ2, occ8 := cfg.Occupancy(128, s2), cfg.Occupancy(128, s8); occ8 >= occ2 {
+		t.Errorf("occupancy should fall with d: %g vs %g", occ2, occ8)
+	}
+}
+
+func TestModeledTimesFinite(t *testing.T) {
+	g := filledGrid(2, 4)
+	_, sec, err := HierarchizeGPU(freshDevice(), g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(sec) || math.IsInf(sec, 0) || sec <= 0 {
+		t.Errorf("modeled hierarchization time %g", sec)
+	}
+}
+
+func TestFermiFasterThanTesla(t *testing.T) {
+	// Paper §8: the Fermi cache hierarchy benefits both operations; the
+	// uncoalesced hierarchization parent reads must show L1 hits.
+	g := filledGrid(4, 5)
+	_, tesla, err := HierarchizeGPU(gpusim.NewDevice(gpusim.TeslaC1060()), g.Clone(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repF, fermi, err := HierarchizeGPU(gpusim.NewDevice(gpusim.FermiC2050()), g.Clone(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fermi >= tesla {
+		t.Errorf("Fermi (%g s) not faster than C1060 (%g s)", fermi, tesla)
+	}
+	if repF.L1Hits == 0 {
+		t.Error("hierarchization parent reads should hit the Fermi L1")
+	}
+	// And the Fermi result is still bit-identical.
+	ref := filledGrid(4, 5)
+	hier.Iterative(ref)
+	work := filledGrid(4, 5)
+	if _, _, err := HierarchizeGPU(gpusim.NewDevice(gpusim.FermiC2050()), work, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for k := range ref.Data {
+		if work.Data[k] != ref.Data[k] {
+			t.Fatalf("Fermi result differs at %d", k)
+		}
+	}
+}
+
+func TestNaiveKernelBitIdentical(t *testing.T) {
+	for _, c := range []struct{ d, n int }{{1, 5}, {2, 4}, {3, 4}, {4, 3}} {
+		ref := filledGrid(c.d, c.n)
+		hier.Iterative(ref)
+		g := filledGrid(c.d, c.n)
+		if _, _, err := HierarchizeGPUNaive(freshDevice(), g, Options{}); err != nil {
+			t.Fatalf("d=%d: %v", c.d, err)
+		}
+		for k := range ref.Data {
+			if g.Data[k] != ref.Data[k] {
+				t.Fatalf("d=%d n=%d: naive kernel differs at %d", c.d, c.n, k)
+			}
+		}
+	}
+}
+
+func TestNaiveDecompositionMechanisms(t *testing.T) {
+	// One-thread-per-point pays the index map per POINT with divergent
+	// binmat addresses (constant-cache serializations, more arithmetic),
+	// where the paper's block-per-subspace form pays it once per block.
+	// Which decomposition is faster overall depends on the subspace
+	// sizes relative to the block size (see sgbench ablation-decomp);
+	// the per-instruction mechanisms must show regardless.
+	g := filledGrid(5, 6)
+	repB, _, err := HierarchizeGPU(freshDevice(), g.Clone(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repN, _, err := HierarchizeGPUNaive(freshDevice(), g.Clone(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repN.ConstSerializations <= repB.ConstSerializations {
+		t.Errorf("naive const serializations %d should exceed blocked %d",
+			repN.ConstSerializations, repB.ConstSerializations)
+	}
+	if repN.ArithWarpInstr <= repB.ArithWarpInstr {
+		t.Errorf("naive arithmetic %d should exceed blocked %d (per-point idx2gp)",
+			repN.ArithWarpInstr, repB.ArithWarpInstr)
+	}
+	if repN.LaneOps <= repB.LaneOps {
+		t.Errorf("naive lane ops %d should exceed blocked %d", repN.LaneOps, repB.LaneOps)
+	}
+}

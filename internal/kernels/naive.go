@@ -1,0 +1,94 @@
+package kernels
+
+import (
+	"fmt"
+
+	"compactsg/internal/core"
+	"compactsg/internal/gpusim"
+)
+
+// HierarchizeGPUNaive is the decomposition the paper implicitly rejects:
+// one thread per grid point instead of one block per subspace. Every
+// thread must recover its own level vector with a device-side idx2gp —
+// a per-thread combinatorial search whose trip counts and binmat
+// addresses diverge across the warp — and nothing is shared at block
+// scope. Host-side barriers per level group are still required. The
+// result is bit-identical to HierarchizeGPU; only the modeled cost
+// differs (see the ablation-decomp experiment).
+func HierarchizeGPUNaive(dev *gpusim.Device, g *core.Grid, opt Options) (rep *gpusim.Report, modeledSec float64, err error) {
+	desc := g.Desc()
+	dg := upload(dev, g)
+	total := &gpusim.Report{}
+	cfg := dev.Config()
+	blockDim := opt.blockSize()
+	for t := 0; t < desc.Dim(); t++ {
+		for grp := desc.Groups() - 1; grp >= 0; grp-- {
+			points := desc.GroupSize(grp)
+			gridDim := int((points + int64(blockDim) - 1) / int64(blockDim))
+			if gridDim > 1<<30 {
+				return nil, 0, fmt.Errorf("kernels: group %d too large for the naive launch", grp)
+			}
+			r, err := dev.Launch(gridDim, blockDim, dg.naiveHierKernel(t, grp, opt))
+			if err != nil {
+				return nil, 0, err
+			}
+			modeledSec += r.EstimateTime(cfg)
+			total.Add(r)
+		}
+	}
+	dg.download(dev, g)
+	modeledSec += dev.TransferTime(2 * desc.Size())
+	return total, modeledSec, nil
+}
+
+// naiveHierKernel: thread j of the launch owns point GroupStart(grp)+j.
+func (dg *deviceGrid) naiveHierKernel(t, grp int, opt Options) gpusim.Kernel {
+	desc := dg.desc
+	dim := desc.Dim()
+	points := desc.GroupSize(grp)
+	return func(b *gpusim.Block) func(*gpusim.Thread) {
+		binom, prologue := dg.makeBinomReader(b, opt.Binmat)
+		return func(th *gpusim.Thread) {
+			prologue(th)
+			j := int64(th.Global())
+			active := j < points
+			jc := j
+			if !active {
+				jc = points - 1 // clamp: uniform instruction stream
+			}
+			th.Ops(2)
+			// Per-thread idx2gp: subspace rank and in-subspace position.
+			rank := jc >> uint(grp)
+			pos := jc & (int64(1)<<uint(grp) - 1)
+			th.Ops(2)
+			l := make([]int32, dim)
+			subspaceFromIndexDevice(th, binom, grp, rank, l, dim)
+			if l[t] == 0 {
+				// Both ancestors on the boundary; threads of a warp may
+				// disagree here — a real divergence of this decomposition.
+				th.Branch(true)
+				return
+			}
+			th.Branch(false)
+			var dig [core.MaxDim]int64
+			for t2 := 0; t2 < dim; t2++ {
+				dig[t2] = pos & (int64(1)<<uint32(l[t2]) - 1)
+				pos >>= uint32(l[t2])
+			}
+			th.Ops(3 * dim)
+			it := 2*dig[t] + 1
+			th.Ops(2)
+			lv := dg.loadParent(th, binom, l, dig[:dim], t, it-1, dim)
+			rv := dg.loadParent(th, binom, l, dig[:dim], t, it+1, dim)
+			idx := dg.base + dg.groupStartConst(th, grp) + jc
+			// The clamped tail threads must not touch the (owned-by-
+			// another-thread) coefficient at all — reading it while its
+			// owner writes would be an inter-block race by CUDA rules.
+			if th.Branch(active) {
+				v := th.LoadGlobal(idx)
+				th.Ops(3)
+				th.StoreGlobal(idx, v-(lv+rv)/2)
+			}
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Package mcmodel is a roofline-style multicore scaling model: the
+// substrate that stands in for the paper's 4-core Nehalem, 8-core
+// Nehalem EP and 32-core Opteron machines (DESIGN.md §2) on a host with
+// fewer cores.
+//
+// The model's inputs are honest measurements of this repository's
+// implementations: the measured single-thread runtime and the counted
+// non-sequential memory references of the actual run (one cache line
+// each). Scaling then follows the mechanism the paper names for
+// Fig. 11: compute scales with the worker count until the structure's
+// memory traffic saturates the machine's bandwidth —
+//
+//	T(W) = max(Tseq/W, Bytes/Bandwidth) + Syncs·SyncCost ,
+//
+// which is why the pointer-chasing structures (trees, hash tables,
+// whose per-access traffic is a cache line per hop) flatten out beyond
+// ~15 cores while the compact layout keeps scaling.
+package mcmodel
+
+// Machine describes a multicore target.
+type Machine struct {
+	// Name labels the machine in reports.
+	Name string
+	// Cores is the number of usable cores.
+	Cores int
+	// CoreSpeed is one core's throughput relative to the measurement
+	// baseline core (the paper's Fig. 10 baseline is one Nehalem core).
+	CoreSpeed float64
+	// Bandwidth is the sustained aggregate memory bandwidth for the
+	// scattered access patterns of sparse grid operations, in
+	// bytes/second.
+	Bandwidth float64
+	// SyncCost is the cost of one global barrier in seconds.
+	SyncCost float64
+}
+
+// The paper's evaluation machines (Sec. 6.2). Bandwidths are sustained
+// random-access aggregates (well below peak) for DDR2-667 ×8 sockets
+// and DDR3-1066 ×2 / ×1 sockets; the Barcelona-era Opteron core is
+// roughly half a Nehalem core on this code.
+var (
+	// Opteron32 is the 8-socket, 32-core AMD Opteron 8356.
+	Opteron32 = Machine{Name: "32 Core AMD Opteron", Cores: 32, CoreSpeed: 0.45, Bandwidth: 20e9, SyncCost: 4e-6}
+	// NehalemEP8 is the dual-socket, 8-core Nehalem E5540.
+	NehalemEP8 = Machine{Name: "8 Core Intel Nehalem EP", Cores: 8, CoreSpeed: 1.0, Bandwidth: 24e9, SyncCost: 1.5e-6}
+	// Nehalem4 is the single-socket, 4-core i7-920.
+	Nehalem4 = Machine{Name: "4 Core Intel Nehalem", Cores: 4, CoreSpeed: 1.0, Bandwidth: 12e9, SyncCost: 1e-6}
+)
+
+// Machines lists the paper's CPU configurations in Fig. 10 legend order.
+var Machines = []Machine{Opteron32, NehalemEP8, Nehalem4}
+
+// Workload characterizes one parallel operation.
+type Workload struct {
+	// SeqSec is the measured single-thread runtime.
+	SeqSec float64
+	// Bytes is the memory traffic demand: non-sequential references ×
+	// one cache line (64 B), counted on the real run.
+	Bytes float64
+	// Syncs is the number of global barriers (hierarchization: one per
+	// level group per dimension; evaluation: none).
+	Syncs int
+}
+
+// CacheLine is the traffic charged per non-sequential reference.
+const CacheLine = 64
+
+// Time models the machine's runtime with the given worker count
+// (capped at the machine's cores). The single-core compute time is the
+// measured baseline time divided by the machine's relative core speed.
+func (m Machine) Time(w Workload, workers int) float64 {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > m.Cores {
+		workers = m.Cores
+	}
+	cs := m.CoreSpeed
+	if cs <= 0 {
+		cs = 1
+	}
+	t := w.SeqSec / (cs * float64(workers))
+	if workers > 1 {
+		if mem := w.Bytes / m.Bandwidth; mem > t {
+			t = mem
+		}
+		t += float64(w.Syncs) * m.SyncCost
+	}
+	return t
+}
+
+// Speedup models the speedup relative to the measurement baseline core
+// (the paper's Fig. 10 quantity: everything is normalized to one
+// sequential Nehalem run).
+func (m Machine) Speedup(w Workload, workers int) float64 {
+	return w.SeqSec / m.Time(w, workers)
+}
+
+// SelfSpeedup models the machine's own T(1)/T(workers) — the paper's
+// Fig. 11 quantity.
+func (m Machine) SelfSpeedup(w Workload, workers int) float64 {
+	return m.Time(w, 1) / m.Time(w, workers)
+}
+
+// SaturationCores returns the worker count beyond which the workload is
+// bandwidth-bound on the machine (m.Cores if never saturated).
+func (m Machine) SaturationCores(w Workload) int {
+	mem := w.Bytes / m.Bandwidth
+	if mem <= 0 {
+		return m.Cores
+	}
+	for c := 1; c < m.Cores; c++ {
+		if m.Time(w, c+1)-float64(w.Syncs)*m.SyncCost <= mem {
+			return c
+		}
+	}
+	return m.Cores
+}

@@ -1,0 +1,104 @@
+package mcmodel
+
+import "testing"
+
+// testMachine is a 32-core machine with baseline-speed cores, so the
+// scaling arithmetic is easy to verify.
+var testMachine = Machine{Name: "test", Cores: 32, CoreSpeed: 1, Bandwidth: 40e9, SyncCost: 4e-6}
+
+func TestComputeBoundScalesLinearly(t *testing.T) {
+	w := Workload{SeqSec: 32, Bytes: 1e6} // negligible traffic
+	for _, c := range []int{1, 2, 4, 8, 16, 32} {
+		sp := testMachine.SelfSpeedup(w, c)
+		if sp < 0.9*float64(c) || sp > float64(c) {
+			t.Errorf("compute-bound self-speedup at %d cores = %.2f, want ≈ %d", c, sp, c)
+		}
+	}
+}
+
+func TestMemoryBoundSaturates(t *testing.T) {
+	// Traffic that takes 1/4 of the sequential time at full bandwidth:
+	// scaling must flatten at ≈ 4×.
+	w := Workload{SeqSec: 4, Bytes: 1 * testMachine.Bandwidth}
+	sp16 := testMachine.SelfSpeedup(w, 16)
+	sp32 := testMachine.SelfSpeedup(w, 32)
+	if sp16 > 4.5 || sp32 > 4.5 {
+		t.Errorf("memory-bound speedups %.2f/%.2f exceed the 4× roofline", sp16, sp32)
+	}
+	if sp32 < sp16*0.95 {
+		t.Errorf("saturated speedup should stay flat: %.2f then %.2f", sp16, sp32)
+	}
+	if c := testMachine.SaturationCores(w); c < 3 || c > 5 {
+		t.Errorf("saturation at %d cores, want ≈ 4", c)
+	}
+}
+
+func TestCoreSpeedScalesBaselineSpeedup(t *testing.T) {
+	// Fig. 10 semantics: a machine with half-speed cores reaches half
+	// the baseline-relative speedup, while its self-speedup is
+	// unaffected in the compute-bound regime.
+	slow := testMachine
+	slow.CoreSpeed = 0.5
+	w := Workload{SeqSec: 32, Bytes: 1e6}
+	if sp := slow.Speedup(w, 8); sp < 3.5 || sp > 4.01 {
+		t.Errorf("baseline speedup with half-speed cores at 8 workers = %.2f, want ≈ 4", sp)
+	}
+	if sp := slow.SelfSpeedup(w, 8); sp < 7.5 || sp > 8.01 {
+		t.Errorf("self-speedup must be core-speed independent: %.2f", sp)
+	}
+}
+
+func TestWorkerCapAndFloor(t *testing.T) {
+	w := Workload{SeqSec: 10}
+	if Nehalem4.Time(w, 99) != Nehalem4.Time(w, 4) {
+		t.Error("worker count must cap at the machine's cores")
+	}
+	if Nehalem4.Time(w, 0) != Nehalem4.Time(w, 1) {
+		t.Error("worker count must floor at 1")
+	}
+	if Nehalem4.Speedup(w, 1) != 1 {
+		t.Error("1-worker speedup must be 1 (no barrier cost charged)")
+	}
+	zero := Machine{Cores: 4, Bandwidth: 1e9} // CoreSpeed unset defaults to 1
+	if zero.Time(w, 1) != 10 {
+		t.Error("unset CoreSpeed must default to 1")
+	}
+}
+
+func TestSyncCostCharged(t *testing.T) {
+	noSync := Workload{SeqSec: 1e-3}
+	withSync := Workload{SeqSec: 1e-3, Syncs: 100}
+	if Opteron32.Time(withSync, 32) <= Opteron32.Time(noSync, 32) {
+		t.Error("barriers must cost time")
+	}
+	// A tiny workload with many barriers must not show super-linear
+	// speedup — and can even slow down.
+	if sp := Opteron32.Speedup(Workload{SeqSec: 1e-5, Syncs: 1000}, 32); sp > 1 {
+		t.Errorf("barrier-dominated workload speedup %.2f > 1", sp)
+	}
+}
+
+func TestPaperShapeCompactVsPointerChasing(t *testing.T) {
+	// Fig. 11a mechanism: for equal sequential time, the structure with
+	// an order of magnitude more per-point traffic saturates earlier and
+	// ends lower.
+	compact := Workload{SeqSec: 1, Bytes: 0.1 * Opteron32.Bandwidth, Syncs: 60}
+	tree := Workload{SeqSec: 1, Bytes: 2 * Opteron32.Bandwidth, Syncs: 60}
+	if a, b := Opteron32.SelfSpeedup(compact, 32), Opteron32.SelfSpeedup(tree, 32); a <= b {
+		t.Errorf("compact (%.1f×) must out-scale the pointer-chasing structure (%.1f×)", a, b)
+	}
+	if c := Opteron32.SaturationCores(tree); c > 15 {
+		t.Errorf("heavy-traffic structure saturates at %d cores, expected early saturation", c)
+	}
+}
+
+func TestMachineRoster(t *testing.T) {
+	if len(Machines) != 3 || Machines[0].Cores != 32 || Machines[2].Cores != 4 {
+		t.Error("paper machine roster wrong")
+	}
+	for _, m := range Machines {
+		if m.Bandwidth <= 0 || m.SyncCost <= 0 || m.Name == "" || m.CoreSpeed <= 0 {
+			t.Errorf("machine %+v incomplete", m)
+		}
+	}
+}

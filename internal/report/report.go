@@ -1,0 +1,152 @@
+// Package report renders the benchmark harness's tables and figure
+// series as aligned text and CSV, so each sgbench subcommand prints the
+// same rows/series as the corresponding table or figure in the paper.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+	"unicode/utf8"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Note    string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; missing cells render empty, extras are dropped.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Fprint writes the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for c, h := range t.Columns {
+		widths[c] = utf8.RuneCountInString(h)
+	}
+	for _, row := range t.rows {
+		for c, cell := range row {
+			if n := utf8.RuneCountInString(cell); n > widths[c] {
+				widths[c] = n
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for c, cell := range cells {
+			parts[c] = pad(cell, widths[c])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	total := len(t.Columns) - 1
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, row := range t.rows {
+		line(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(w, "note: %s\n", t.Note)
+	}
+	fmt.Fprintln(w)
+}
+
+// FprintCSV writes the table as CSV (no quoting; cells must not contain
+// commas, which the harness's numeric output never does).
+func (t *Table) FprintCSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.Columns, ","))
+	for _, row := range t.rows {
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+func pad(s string, w int) string {
+	n := utf8.RuneCountInString(s)
+	if n >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-n)
+}
+
+// Seconds formats a duration in seconds with an adaptive unit.
+func Seconds(s float64) string {
+	switch {
+	case s <= 0:
+		return "0"
+	case s < 1e-6:
+		return fmt.Sprintf("%.1fns", s*1e9)
+	case s < 1e-3:
+		return fmt.Sprintf("%.2fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.3fs", s)
+	}
+}
+
+// Bytes formats a byte count with an adaptive unit.
+func Bytes(b int64) string {
+	const k = 1024
+	switch {
+	case b < k:
+		return fmt.Sprintf("%dB", b)
+	case b < k*k:
+		return fmt.Sprintf("%.1fKiB", float64(b)/k)
+	case b < k*k*k:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(k*k))
+	default:
+		return fmt.Sprintf("%.2fGiB", float64(b)/(k*k*k))
+	}
+}
+
+// Ratio formats a speedup/ratio with two decimals and a trailing ×.
+func Ratio(r float64) string { return fmt.Sprintf("%.2f×", r) }
+
+// Timer measures wall-clock durations for harness runs.
+type Timer struct{ start time.Time }
+
+// StartTimer begins timing.
+func StartTimer() *Timer { return &Timer{start: time.Now()} }
+
+// Seconds returns the elapsed time in seconds.
+func (t *Timer) Seconds() float64 { return time.Since(t.start).Seconds() }
+
+// MeasureSeconds runs fn and returns its wall-clock duration in seconds.
+func MeasureSeconds(fn func()) float64 {
+	start := time.Now()
+	fn()
+	return time.Since(start).Seconds()
+}
+
+// Best runs fn reps times and returns the fastest duration — the usual
+// noise-robust benchmark statistic.
+func Best(reps int, fn func()) float64 {
+	best := MeasureSeconds(fn)
+	for k := 1; k < reps; k++ {
+		if s := MeasureSeconds(fn); s < best {
+			best = s
+		}
+	}
+	return best
+}

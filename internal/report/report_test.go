@@ -1,0 +1,100 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b", "22222")
+	tb.Note = "scaled run"
+	var sb strings.Builder
+	tb.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"== Demo ==", "name", "alpha", "22222", "note: scaled run"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if tb.Rows() != 2 {
+		t.Errorf("Rows=%d", tb.Rows())
+	}
+	// Alignment: header and first row start columns at the same offset.
+	lines := strings.Split(out, "\n")
+	if idx := strings.Index(lines[1], "value"); idx != strings.Index(lines[3], "1") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	tb.AddRow("1", "2")
+	var sb strings.Builder
+	tb.FprintCSV(&sb)
+	if sb.String() != "a,b\n1,2\n" {
+		t.Errorf("CSV: %q", sb.String())
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	tb := NewTable("x", "a", "b", "c")
+	tb.AddRow("only")
+	var sb strings.Builder
+	tb.Fprint(&sb)
+	if !strings.Contains(sb.String(), "only") {
+		t.Error("short row dropped")
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"}, {-1, "0"}, {5e-9, "5.0ns"}, {2.5e-6, "2.50µs"}, {3.25e-3, "3.25ms"}, {7.5, "7.500s"},
+	}
+	for _, c := range cases {
+		if got := Seconds(c.in); got != c.want {
+			t.Errorf("Seconds(%g)=%q want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBytes(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{512, "512B"}, {2048, "2.0KiB"}, {3 << 20, "3.0MiB"}, {5 << 30, "5.00GiB"},
+	}
+	for _, c := range cases {
+		if got := Bytes(c.in); got != c.want {
+			t.Errorf("Bytes(%d)=%q want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(16.984) != "16.98×" {
+		t.Errorf("Ratio: %q", Ratio(16.984))
+	}
+}
+
+func TestTimers(t *testing.T) {
+	if s := MeasureSeconds(func() {}); s < 0 {
+		t.Error("negative duration")
+	}
+	n := 0
+	if s := Best(3, func() { n++ }); s < 0 {
+		t.Error("negative best")
+	}
+	if n != 3 {
+		t.Errorf("Best ran fn %d times want 3", n)
+	}
+	tm := StartTimer()
+	if tm.Seconds() < 0 {
+		t.Error("timer negative")
+	}
+}

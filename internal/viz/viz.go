@@ -1,0 +1,232 @@
+// Package viz renders decompressed sparse grid slices — the
+// "Visualization" box of the paper's Fig. 1 pipeline. It provides
+// rasters, colormaps, PNG output and marching-squares isolines; the
+// sgview command and the examples build on it.
+package viz
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+	"strings"
+)
+
+// Raster is a row-major W×H field of samples (row 0 at the top).
+type Raster struct {
+	W, H int
+	V    []float64
+}
+
+// NewRaster validates and wraps a sample field.
+func NewRaster(w, h int, v []float64) (*Raster, error) {
+	if w < 1 || h < 1 {
+		return nil, fmt.Errorf("viz: raster %d×%d invalid", w, h)
+	}
+	if len(v) != w*h {
+		return nil, fmt.Errorf("viz: %d samples for a %d×%d raster", len(v), w, h)
+	}
+	return &Raster{W: w, H: h, V: v}, nil
+}
+
+// At returns the sample at column x, row y.
+func (r *Raster) At(x, y int) float64 { return r.V[y*r.W+x] }
+
+// MinMax returns the value range (0,1 for an empty or constant field's
+// span guard is the caller's concern).
+func (r *Raster) MinMax() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range r.V {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return lo, hi
+}
+
+// Colormap maps a normalized value t ∈ [0,1] to a color.
+type Colormap func(t float64) color.RGBA
+
+// Grayscale is the identity ramp.
+func Grayscale(t float64) color.RGBA {
+	c := uint8(clamp01(t) * 255)
+	return color.RGBA{c, c, c, 255}
+}
+
+// Inferno is a perceptually-ordered dark-to-bright ramp (piecewise
+// linear approximation of the matplotlib palette).
+func Inferno(t float64) color.RGBA {
+	t = clamp01(t)
+	stops := [][3]float64{
+		{0, 0, 4}, {40, 11, 84}, {101, 21, 110}, {159, 42, 99},
+		{212, 72, 66}, {245, 125, 21}, {250, 193, 39}, {252, 255, 164},
+	}
+	pos := t * float64(len(stops)-1)
+	k := int(pos)
+	if k >= len(stops)-1 {
+		k = len(stops) - 2
+	}
+	f := pos - float64(k)
+	mix := func(a, b float64) uint8 { return uint8(a + (b-a)*f) }
+	return color.RGBA{
+		mix(stops[k][0], stops[k+1][0]),
+		mix(stops[k][1], stops[k+1][1]),
+		mix(stops[k][2], stops[k+1][2]),
+		255,
+	}
+}
+
+// Diverging is a blue–white–red ramp centered at t = 0.5.
+func Diverging(t float64) color.RGBA {
+	t = clamp01(t)
+	if t < 0.5 {
+		f := t * 2
+		return color.RGBA{uint8(59 + f*196), uint8(76 + f*179), 255, 255}
+	}
+	f := (t - 0.5) * 2
+	return color.RGBA{255, uint8(255 - f*179), uint8(255 - f*196), 255}
+}
+
+func clamp01(t float64) float64 {
+	if t < 0 || math.IsNaN(t) {
+		return 0
+	}
+	if t > 1 {
+		return 1
+	}
+	return t
+}
+
+// Render maps the raster through the colormap (normalized to its own
+// value range) into an image.
+func Render(r *Raster, cm Colormap) *image.RGBA {
+	lo, hi := r.MinMax()
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	img := image.NewRGBA(image.Rect(0, 0, r.W, r.H))
+	for y := 0; y < r.H; y++ {
+		for x := 0; x < r.W; x++ {
+			img.SetRGBA(x, y, cm((r.At(x, y)-lo)/span))
+		}
+	}
+	return img
+}
+
+// WritePNG encodes the image as PNG.
+func WritePNG(w io.Writer, img image.Image) error { return png.Encode(w, img) }
+
+// ASCII renders the raster as a text heatmap (for terminals).
+func ASCII(r *Raster) string {
+	shades := []rune(" .:-=+*#%@")
+	lo, hi := r.MinMax()
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	var sb strings.Builder
+	for y := 0; y < r.H; y++ {
+		for x := 0; x < r.W; x++ {
+			t := (r.At(x, y) - lo) / span
+			sb.WriteRune(shades[int(clamp01(t)*float64(len(shades)-1))])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Segment is one isoline piece in raster coordinates (pixel centers).
+type Segment struct {
+	X1, Y1, X2, Y2 float64
+}
+
+// Isolines extracts the level set {f = level} with marching squares
+// over the raster's cell grid. Saddle cells use the average-value rule.
+func Isolines(r *Raster, level float64) []Segment {
+	var segs []Segment
+	// Edge interpolation helpers: position of the crossing along an
+	// edge between two sample values.
+	cross := func(a, b float64) float64 {
+		if a == b {
+			return 0.5
+		}
+		return (level - a) / (b - a)
+	}
+	for y := 0; y+1 < r.H; y++ {
+		for x := 0; x+1 < r.W; x++ {
+			v0 := r.At(x, y)     // top-left
+			v1 := r.At(x+1, y)   // top-right
+			v2 := r.At(x+1, y+1) // bottom-right
+			v3 := r.At(x, y+1)   // bottom-left
+			code := 0
+			if v0 > level {
+				code |= 1
+			}
+			if v1 > level {
+				code |= 2
+			}
+			if v2 > level {
+				code |= 4
+			}
+			if v3 > level {
+				code |= 8
+			}
+			if code == 0 || code == 15 {
+				continue
+			}
+			fx, fy := float64(x), float64(y)
+			// Crossing points on the four edges.
+			top := [2]float64{fx + cross(v0, v1), fy}
+			right := [2]float64{fx + 1, fy + cross(v1, v2)}
+			bottom := [2]float64{fx + cross(v3, v2), fy + 1}
+			left := [2]float64{fx, fy + cross(v0, v3)}
+			add := func(a, b [2]float64) {
+				segs = append(segs, Segment{a[0], a[1], b[0], b[1]})
+			}
+			switch code {
+			case 1, 14:
+				add(left, top)
+			case 2, 13:
+				add(top, right)
+			case 3, 12:
+				add(left, right)
+			case 4, 11:
+				add(right, bottom)
+			case 6, 9:
+				add(top, bottom)
+			case 7, 8:
+				add(left, bottom)
+			case 5, 10:
+				// Saddle: disambiguate with the cell average.
+				avg := (v0 + v1 + v2 + v3) / 4
+				if (code == 5) == (avg > level) {
+					add(left, top)
+					add(right, bottom)
+				} else {
+					add(left, bottom)
+					add(top, right)
+				}
+			}
+		}
+	}
+	return segs
+}
+
+// DrawSegments rasterizes segments onto the image with the given color
+// (simple DDA line drawing).
+func DrawSegments(img *image.RGBA, segs []Segment, c color.RGBA) {
+	for _, s := range segs {
+		dx, dy := s.X2-s.X1, s.Y2-s.Y1
+		steps := int(math.Max(math.Abs(dx), math.Abs(dy))*2) + 1
+		for k := 0; k <= steps; k++ {
+			f := float64(k) / float64(steps)
+			x := int(math.Round(s.X1 + f*dx))
+			y := int(math.Round(s.Y1 + f*dy))
+			if image.Pt(x, y).In(img.Rect) {
+				img.SetRGBA(x, y, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package viz
+
+import (
+	"bytes"
+	"image/color"
+	"math"
+	"strings"
+	"testing"
+)
+
+func ramp(w, h int) *Raster {
+	v := make([]float64, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v[y*w+x] = float64(x) / float64(w-1)
+		}
+	}
+	r, _ := NewRaster(w, h, v)
+	return r
+}
+
+func TestNewRasterValidation(t *testing.T) {
+	if _, err := NewRaster(0, 4, nil); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := NewRaster(2, 2, make([]float64, 3)); err == nil {
+		t.Error("wrong sample count accepted")
+	}
+	r, err := NewRaster(2, 2, []float64{1, 2, 3, 4})
+	if err != nil || r.At(1, 1) != 4 {
+		t.Errorf("NewRaster: %v, At=%g", err, r.At(1, 1))
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	r, _ := NewRaster(2, 2, []float64{-1, 5, 2, 0})
+	lo, hi := r.MinMax()
+	if lo != -1 || hi != 5 {
+		t.Errorf("MinMax = %g, %g", lo, hi)
+	}
+}
+
+func TestColormapsEndpoints(t *testing.T) {
+	for name, cm := range map[string]Colormap{"gray": Grayscale, "inferno": Inferno, "diverging": Diverging} {
+		lo := cm(0)
+		hi := cm(1)
+		if lo == hi {
+			t.Errorf("%s: endpoints identical", name)
+		}
+		if c := cm(math.NaN()); c.A != 255 {
+			t.Errorf("%s: NaN not clamped", name)
+		}
+		if cm(-5) != cm(0) || cm(7) != cm(1) {
+			t.Errorf("%s: out-of-range input not clamped", name)
+		}
+	}
+	if Grayscale(0.5).R != 127 {
+		t.Errorf("grayscale midpoint %v", Grayscale(0.5))
+	}
+	if d := Diverging(0.5); d.R != 255 || d.G != 255 || d.B != 255 {
+		t.Errorf("diverging midpoint %v want white", d)
+	}
+}
+
+func TestRenderAndPNG(t *testing.T) {
+	r := ramp(16, 8)
+	img := Render(r, Grayscale)
+	if img.Bounds().Dx() != 16 || img.Bounds().Dy() != 8 {
+		t.Fatalf("image bounds %v", img.Bounds())
+	}
+	// Left edge dark, right edge bright.
+	if l, rr := img.RGBAAt(0, 4).R, img.RGBAAt(15, 4).R; l >= rr {
+		t.Errorf("ramp not increasing: %d .. %d", l, rr)
+	}
+	var buf bytes.Buffer
+	if err := WritePNG(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte("\x89PNG")) {
+		t.Error("output is not a PNG")
+	}
+}
+
+func TestRenderConstantField(t *testing.T) {
+	r, _ := NewRaster(4, 4, make([]float64, 16))
+	img := Render(r, Grayscale) // must not divide by zero
+	if img.RGBAAt(0, 0).A != 255 {
+		t.Error("constant field render broken")
+	}
+}
+
+func TestASCII(t *testing.T) {
+	s := ASCII(ramp(10, 3))
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 3 || len([]rune(lines[0])) != 10 {
+		t.Fatalf("ASCII shape wrong: %q", s)
+	}
+	if lines[0][0] != ' ' || lines[0][9] != '@' {
+		t.Errorf("ASCII ramp endpoints: %q", lines[0])
+	}
+}
+
+func TestIsolinesCircle(t *testing.T) {
+	// f = distance² from the raster center; the 0.04 level set is a
+	// circle of radius 0.2 — segment endpoints must lie close to it.
+	const n = 64
+	v := make([]float64, n*n)
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			dx := float64(x)/(n-1) - 0.5
+			dy := float64(y)/(n-1) - 0.5
+			v[y*n+x] = dx*dx + dy*dy
+		}
+	}
+	r, _ := NewRaster(n, n, v)
+	segs := Isolines(r, 0.04)
+	if len(segs) < 20 {
+		t.Fatalf("only %d segments for a circle", len(segs))
+	}
+	for _, s := range segs {
+		for _, p := range [][2]float64{{s.X1, s.Y1}, {s.X2, s.Y2}} {
+			dx := p[0]/(n-1) - 0.5
+			dy := p[1]/(n-1) - 0.5
+			rad := math.Sqrt(dx*dx + dy*dy)
+			if math.Abs(rad-0.2) > 0.02 {
+				t.Fatalf("isoline point at radius %g, want ≈ 0.2", rad)
+			}
+		}
+	}
+}
+
+func TestIsolinesEmptyForOutOfRangeLevel(t *testing.T) {
+	r := ramp(8, 8)
+	if segs := Isolines(r, 5); len(segs) != 0 {
+		t.Errorf("level above max produced %d segments", len(segs))
+	}
+	if segs := Isolines(r, -5); len(segs) != 0 {
+		t.Errorf("level below min produced %d segments", len(segs))
+	}
+}
+
+func TestIsolinesSaddle(t *testing.T) {
+	// A 2×2 checkerboard cell: the saddle case must emit two segments.
+	r, _ := NewRaster(2, 2, []float64{1, 0, 1, 0})
+	segs := Isolines(r, 0.5)
+	if len(segs) != 1 {
+		// code 1+8 = 9: top-bottom segment, not a saddle.
+		t.Fatalf("expected 1 segment for this cell, got %d", len(segs))
+	}
+	saddle, _ := NewRaster(2, 2, []float64{1, 0, 0, 1})
+	segs = Isolines(saddle, 0.5)
+	if len(segs) != 2 {
+		t.Fatalf("saddle cell: %d segments want 2", len(segs))
+	}
+}
+
+func TestDrawSegments(t *testing.T) {
+	r := ramp(16, 16)
+	img := Render(r, Grayscale)
+	red := color.RGBA{255, 0, 0, 255}
+	DrawSegments(img, []Segment{{0, 0, 15, 15}}, red)
+	if img.RGBAAt(8, 8) != red {
+		t.Error("diagonal not drawn")
+	}
+	// Out-of-bounds segments are clipped, not panicking.
+	DrawSegments(img, []Segment{{-10, -10, 40, 40}}, red)
+}

@@ -1,0 +1,161 @@
+// Package workload provides the deterministic test functions and query
+// point generators the benchmark harness and examples use. All functions
+// map [0,1]^d → R; the zero-boundary family vanishes on the domain
+// boundary as the base data structure requires (paper Sec. 2.1), while
+// the general family exercises the extended (boundary) context.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Func is a named d-dimensional test function.
+type Func struct {
+	Name string
+	// ZeroBoundary reports whether f vanishes on ∂[0,1]^d.
+	ZeroBoundary bool
+	// F evaluates the function.
+	F func(x []float64) float64
+}
+
+// Parabola is the separable bump Π 4·x(1-x): smooth, zero boundary, the
+// canonical sparse grid demo function.
+var Parabola = Func{
+	Name:         "parabola",
+	ZeroBoundary: true,
+	F: func(x []float64) float64 {
+		p := 1.0
+		for _, v := range x {
+			p *= 4 * v * (1 - v)
+		}
+		return p
+	},
+}
+
+// SineProduct is Π sin(π x): smooth, zero boundary, non-polynomial.
+var SineProduct = Func{
+	Name:         "sinprod",
+	ZeroBoundary: true,
+	F: func(x []float64) float64 {
+		p := 1.0
+		for _, v := range x {
+			p *= math.Sin(math.Pi * v)
+		}
+		return p
+	},
+}
+
+// Gaussian is the non-separable bump exp(-Σ(4x-2)²) windowed to zero
+// boundary by the parabola factor of the first dimension pair.
+var Gaussian = Func{
+	Name:         "gaussian",
+	ZeroBoundary: true,
+	F: func(x []float64) float64 {
+		s := 0.0
+		for _, v := range x {
+			d := 4*v - 2
+			s += d * d
+		}
+		w := 1.0
+		for _, v := range x {
+			w *= v * (1 - v) * 4
+		}
+		return w * math.Exp(-s/4)
+	},
+}
+
+// Oscillatory has moderate mixed variation — the hard case for sparse
+// grids; zero boundary via the sine window.
+var Oscillatory = Func{
+	Name:         "oscillatory",
+	ZeroBoundary: true,
+	F: func(x []float64) float64 {
+		s := 0.0
+		for t, v := range x {
+			s += float64(t+1) * v
+		}
+		w := 1.0
+		for _, v := range x {
+			w *= math.Sin(math.Pi * v)
+		}
+		return w * math.Cos(2*math.Pi*s)
+	},
+}
+
+// Linear is Σ (t+1)·x_t: NOT zero-boundary; exactly representable by the
+// extended-context grid and by multilinear full grids.
+var Linear = Func{
+	Name:         "linear",
+	ZeroBoundary: false,
+	F: func(x []float64) float64 {
+		s := 0.0
+		for t, v := range x {
+			s += float64(t+1) * v
+		}
+		return s
+	},
+}
+
+// Multilinear is Π (1 + t·x_t)... a product of per-dimension affine
+// factors: NOT zero-boundary, exactly multilinear (zero error for any
+// interpolant containing the multilinear space).
+var Multilinear = Func{
+	Name:         "multilinear",
+	ZeroBoundary: false,
+	F: func(x []float64) float64 {
+		p := 1.0
+		for t, v := range x {
+			p *= 1 + float64(t+1)*v
+		}
+		return p
+	},
+}
+
+// ZeroBoundaryFuncs lists the functions usable with the base structure.
+var ZeroBoundaryFuncs = []Func{Parabola, SineProduct, Gaussian, Oscillatory}
+
+// ByName returns the named function.
+func ByName(name string) (Func, error) {
+	for _, f := range append(append([]Func(nil), ZeroBoundaryFuncs...), Linear, Multilinear) {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return Func{}, fmt.Errorf("workload: unknown function %q", name)
+}
+
+// Points generates n uniform pseudo-random query points in [0,1]^d from
+// the given seed. The same seed always yields the same points, so
+// experiment runs are reproducible.
+func Points(seed int64, n, d int) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([][]float64, n)
+	flat := make([]float64, n*d)
+	for k := range xs {
+		x := flat[k*d : (k+1)*d : (k+1)*d]
+		for t := range x {
+			x[t] = rng.Float64()
+		}
+		xs[k] = x
+	}
+	return xs
+}
+
+// GridLine generates n points along a 1d slice of the domain: dimension
+// axis sweeps 0..1, all other coordinates pinned at anchor. This is the
+// access pattern of the visualization example (slicing a compressed
+// field).
+func GridLine(d, axis, n int, anchor float64) [][]float64 {
+	xs := make([][]float64, n)
+	for k := range xs {
+		x := make([]float64, d)
+		for t := range x {
+			x[t] = anchor
+		}
+		x[axis] = float64(k) / float64(n-1)
+		xs[k] = x
+	}
+	return xs
+}

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZeroBoundaryFunctionsVanishOnBoundary(t *testing.T) {
+	for _, f := range ZeroBoundaryFuncs {
+		for d := 1; d <= 4; d++ {
+			x := make([]float64, d)
+			for t2 := range x {
+				x[t2] = 0.37
+			}
+			// Pin each dimension to 0 and to 1 in turn.
+			for t2 := 0; t2 < d; t2++ {
+				for _, b := range []float64{0, 1} {
+					saved := x[t2]
+					x[t2] = b
+					// sin(π·1) is ~1e-16, not exactly 0, in floating point.
+					if got := f.F(x); math.Abs(got) > 1e-14 {
+						t.Errorf("%s d=%d: f=%g at boundary point %v", f.Name, d, got, x)
+					}
+					x[t2] = saved
+				}
+			}
+			// And the function is not identically zero inside.
+			if f.F(x) == 0 {
+				t.Errorf("%s d=%d: zero at interior point", f.Name, d)
+			}
+		}
+	}
+}
+
+func TestNonZeroBoundaryFlags(t *testing.T) {
+	if Linear.ZeroBoundary || Multilinear.ZeroBoundary {
+		t.Error("Linear/Multilinear must be flagged non-zero-boundary")
+	}
+	if got := Linear.F([]float64{1, 1}); got != 3 {
+		t.Errorf("Linear(1,1)=%g want 3", got)
+	}
+	if got := Multilinear.F([]float64{1, 1}); got != (1+1)*(1+2) {
+		t.Errorf("Multilinear(1,1)=%g want 6", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"parabola", "sinprod", "gaussian", "oscillatory", "linear", "multilinear"} {
+		f, err := ByName(name)
+		if err != nil || f.Name != name {
+			t.Errorf("ByName(%q) = %v, %v", name, f.Name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName of unknown function must fail")
+	}
+}
+
+func TestPointsDeterministicAndInDomain(t *testing.T) {
+	a := Points(99, 200, 5)
+	b := Points(99, 200, 5)
+	c := Points(100, 200, 5)
+	if len(a) != 200 || len(a[0]) != 5 {
+		t.Fatalf("Points shape %dx%d", len(a), len(a[0]))
+	}
+	diff := false
+	for k := range a {
+		for t2 := range a[k] {
+			if a[k][t2] != b[k][t2] {
+				t.Fatal("same seed produced different points")
+			}
+			if a[k][t2] != c[k][t2] {
+				diff = true
+			}
+			if a[k][t2] < 0 || a[k][t2] >= 1 {
+				t.Fatalf("point outside [0,1): %v", a[k][t2])
+			}
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical points")
+	}
+}
+
+func TestGridLine(t *testing.T) {
+	xs := GridLine(4, 2, 11, 0.5)
+	if len(xs) != 11 {
+		t.Fatalf("GridLine length %d", len(xs))
+	}
+	if xs[0][2] != 0 || xs[10][2] != 1 {
+		t.Error("sweep axis must run 0..1")
+	}
+	if math.Abs(xs[5][2]-0.5) > 1e-15 {
+		t.Error("sweep midpoint wrong")
+	}
+	for _, x := range xs {
+		for t2, v := range x {
+			if t2 != 2 && v != 0.5 {
+				t.Fatalf("anchor dimension %d moved: %g", t2, v)
+			}
+		}
+	}
+}
+
+func TestParabolaPeak(t *testing.T) {
+	if got := Parabola.F([]float64{0.5, 0.5, 0.5}); got != 1 {
+		t.Errorf("parabola peak = %g want 1", got)
+	}
+	if got := SineProduct.F([]float64{0.5, 0.5}); math.Abs(got-1) > 1e-15 {
+		t.Errorf("sinprod peak = %g want 1", got)
+	}
+}

@@ -1,0 +1,138 @@
+package compactsg
+
+import (
+	"math"
+	"testing"
+
+	"compactsg/internal/workload"
+)
+
+func TestSlice2D(t *testing.T) {
+	f := workload.Parabola.F
+	g, err := New(4, 6, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Compress(f)
+	spec := SliceSpec{AxisX: 0, AxisY: 2, NX: 8, NY: 6, Anchor: []float64{0, 0.5, 0, 0.25}}
+	img, err := g.Slice2D(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img) != 48 {
+		t.Fatalf("raster size %d want 48", len(img))
+	}
+	// Spot-check values against direct evaluation.
+	for y := 0; y < spec.NY; y++ {
+		for x := 0; x < spec.NX; x++ {
+			p := []float64{(float64(x) + 0.5) / 8, 0.5, (float64(y) + 0.5) / 6, 0.25}
+			want, _ := g.Evaluate(p)
+			got := img[y*spec.NX+x]
+			if got != want {
+				t.Fatalf("pixel (%d,%d): %g want %g", x, y, got, want)
+			}
+			if math.Abs(got-f(p)) > 0.05 {
+				t.Fatalf("pixel (%d,%d) far from f: %g vs %g", x, y, got, f(p))
+			}
+		}
+	}
+}
+
+func TestSlice2DValidation(t *testing.T) {
+	g, _ := New(3, 4)
+	anchor := []float64{0.5, 0.5, 0.5}
+	if _, err := g.Slice2D(SliceSpec{AxisX: 0, AxisY: 1, NX: 4, NY: 4, Anchor: anchor}); err == nil {
+		t.Error("uncompressed grid accepted")
+	}
+	g.Compress(workload.Parabola.F)
+	bad := []SliceSpec{
+		{AxisX: 0, AxisY: 0, NX: 4, NY: 4, Anchor: anchor},  // same axis
+		{AxisX: -1, AxisY: 1, NX: 4, NY: 4, Anchor: anchor}, // out of range
+		{AxisX: 0, AxisY: 3, NX: 4, NY: 4, Anchor: anchor},  // out of range
+		{AxisX: 0, AxisY: 1, NX: 1, NY: 4, Anchor: anchor},  // raster too small
+		{AxisX: 0, AxisY: 1, NX: 4, NY: 4, Anchor: anchor[:2]},
+	}
+	for k, spec := range bad {
+		if _, err := g.Slice2D(spec); err == nil {
+			t.Errorf("bad spec %d accepted", k)
+		}
+	}
+}
+
+func TestAdaptiveGridPublicAPI(t *testing.T) {
+	peak := func(x []float64) float64 {
+		w := 1.0
+		for _, v := range x {
+			w *= 4 * v * (1 - v)
+		}
+		d0 := x[0] - 0.25
+		d1 := x[1] - 0.25
+		return w * math.Exp(-80*(d0*d0+d1*d1))
+	}
+	a, err := NewAdaptive(2, 3, 10, peak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Dim() != 2 || a.Points() <= 0 || a.MemoryBytes() <= 0 {
+		t.Fatal("accessors inconsistent")
+	}
+	start := a.Points()
+	final := a.RefineToTolerance(1e-3, 3000)
+	if final <= start {
+		t.Fatalf("refinement added nothing: %d -> %d", start, final)
+	}
+	if final > 3000+50 {
+		t.Fatalf("point budget exceeded: %d", final)
+	}
+	// Accuracy at the peak.
+	for _, x := range [][]float64{{0.25, 0.25}, {0.3, 0.2}, {0.7, 0.7}} {
+		got, err := a.Evaluate(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-peak(x)) > 5e-3 {
+			t.Errorf("at %v: %g want %g", x, got, peak(x))
+		}
+	}
+	if _, err := a.Evaluate([]float64{0.5}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := NewAdaptive(2, 9, 4, peak); err == nil {
+		t.Error("initial > max accepted")
+	}
+}
+
+func TestBoundaryGridWorkersAndCoarsen(t *testing.T) {
+	f := workload.Multilinear.F
+	seq, err := NewWithBoundary(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq.Compress(f)
+	par, err := NewWithBoundary(3, 4, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par.Compress(f)
+	for _, x := range workload.Points(5, 30, 3) {
+		a, _ := seq.Evaluate(x)
+		b, _ := par.Evaluate(x)
+		if a != b {
+			t.Fatalf("parallel boundary compress differs at %v", x)
+		}
+	}
+	if _, err := NewWithBoundary(3, 4, WithWorkers(0)); err == nil {
+		t.Error("workers 0 accepted")
+	}
+
+	// Public adaptive coarsening.
+	a, err := NewAdaptive(2, 4, 8, workload.Parabola.F)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := a.Points()
+	removed, bound := a.Coarsen(0.02)
+	if removed <= 0 || bound <= 0 || a.Points() != before-removed {
+		t.Errorf("Coarsen: removed=%d bound=%g points %d->%d", removed, bound, before, a.Points())
+	}
+}
