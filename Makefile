@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments examples clean
+.PHONY: all build vet test race bench experiments examples smoke serve-demo staticcheck clean
 
 all: build vet test
 
@@ -16,7 +16,20 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/hier/ ./internal/eval/ ./internal/gpusim/ ./internal/kernels/ .
+	$(GO) test -race ./internal/hier/ ./internal/eval/ ./internal/gpusim/ ./internal/kernels/ ./internal/serve/ .
+
+# End-to-end smoke of the evaluation server (build, serve, curl, drain).
+smoke:
+	bash scripts/smoke_serve.sh
+
+# Coalesced vs naive vs client-batch throughput comparison; numbers are
+# recorded in EXPERIMENTS.md §"Serving".
+serve-demo:
+	bash scripts/serve_demo.sh
+
+# Optional: requires staticcheck on PATH (honnef.co/go/tools).
+staticcheck:
+	staticcheck ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,252 @@
+// Command sgload is a closed-loop load generator for sgserve: c
+// workers each keep exactly one request in flight against POST
+// /v1/eval (or /v1/eval/batch), and the tool reports throughput and
+// the p50/p95/p99 latency profile, so the win from server-side request
+// coalescing is measurable in-repo:
+//
+//	sgload -c 64 -n 20000                     # single-point requests
+//	sgload -c 8 -n 500 -mode batch -points 64 # client-side batching
+//
+// It discovers the grid's dimensionality from GET /v1/grids and, when
+// the server exposes them, prints the mean server-side micro-batch
+// size observed during the run (from the sgserve_batch_size metric).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"compactsg/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sgload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("sgload", flag.ContinueOnError)
+	base := fs.String("url", "http://localhost:8177", "sgserve base URL")
+	grid := fs.String("grid", "", "grid name (default: the only registered grid)")
+	conc := fs.Int("c", 64, "concurrent closed-loop workers")
+	n := fs.Int("n", 20000, "total requests to send")
+	mode := fs.String("mode", "single", "single (one point per /v1/eval request) or batch (/v1/eval/batch)")
+	points := fs.Int("points", 64, "points per request in batch mode")
+	seed := fs.Int64("seed", 1, "query point seed")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request client timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *mode != "single" && *mode != "batch" {
+		return fmt.Errorf("unknown -mode %q", *mode)
+	}
+	if *conc < 1 || *n < 1 {
+		return fmt.Errorf("-c and -n must be ≥ 1")
+	}
+
+	client := &http.Client{
+		Timeout: *timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        *conc * 2,
+			MaxIdleConnsPerHost: *conc * 2,
+		},
+	}
+
+	name, dim, err := discoverGrid(client, *base, *grid)
+	if err != nil {
+		return err
+	}
+
+	// Pre-render request bodies so the measured loop is I/O only.
+	const pool = 512 // distinct query points cycled through
+	xs := workload.Points(*seed, pool, dim)
+	var bodies [][]byte
+	if *mode == "single" {
+		bodies = make([][]byte, pool)
+		for k, x := range xs {
+			bodies[k], _ = json.Marshal(map[string]any{"grid": name, "point": x})
+		}
+	} else {
+		bodies = make([][]byte, 64)
+		for k := range bodies {
+			batch := make([][]float64, *points)
+			for j := range batch {
+				batch[j] = xs[(k**points+j)%pool]
+			}
+			bodies[k], _ = json.Marshal(map[string]any{"grid": name, "points": batch})
+		}
+	}
+	url := *base + "/v1/eval"
+	if *mode == "batch" {
+		url = *base + "/v1/eval/batch"
+	}
+
+	before, beforeOK := scrapeBatchStats(client, *base)
+
+	var (
+		next     atomic.Int64
+		errCount atomic.Int64
+		wg       sync.WaitGroup
+	)
+	latencies := make([][]time.Duration, *conc)
+	start := time.Now()
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lat := make([]time.Duration, 0, *n / *conc+1)
+			for {
+				k := next.Add(1) - 1
+				if k >= int64(*n) {
+					break
+				}
+				body := bodies[int(k)%len(bodies)]
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				if err != nil {
+					errCount.Add(1)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errCount.Add(1)
+					continue
+				}
+				lat = append(lat, time.Since(t0))
+			}
+			latencies[w] = lat
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var all []time.Duration
+	for _, lat := range latencies {
+		all = append(all, lat...)
+	}
+	if len(all) == 0 {
+		return fmt.Errorf("all %d requests failed (is sgserve running at %s?)", *n, *base)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	pts := int64(len(all))
+	if *mode == "batch" {
+		pts *= int64(*points)
+	}
+	var sum time.Duration
+	for _, d := range all {
+		sum += d
+	}
+
+	fmt.Fprintf(stdout, "grid %q (d=%d)  mode=%s  c=%d\n", name, dim, *mode, *conc)
+	fmt.Fprintf(stdout, "requests   %d ok, %d errors in %.2fs\n", len(all), errCount.Load(), wall.Seconds())
+	fmt.Fprintf(stdout, "throughput %.0f req/s, %.0f points/s\n",
+		float64(len(all))/wall.Seconds(), float64(pts)/wall.Seconds())
+	fmt.Fprintf(stdout, "latency    mean %s  p50 %s  p90 %s  p95 %s  p99 %s  max %s\n",
+		fmtDur(sum/time.Duration(len(all))),
+		fmtDur(quantile(all, 0.50)), fmtDur(quantile(all, 0.90)),
+		fmtDur(quantile(all, 0.95)), fmtDur(quantile(all, 0.99)),
+		fmtDur(all[len(all)-1]))
+
+	if after, afterOK := scrapeBatchStats(client, *base); beforeOK && afterOK && after.count > before.count {
+		mean := (after.sum - before.sum) / float64(after.count-before.count)
+		fmt.Fprintf(stdout, "server     mean dispatched batch size %.1f (%d batches)\n",
+			mean, after.count-before.count)
+	}
+	return nil
+}
+
+// discoverGrid resolves the grid name and dimensionality via
+// GET /v1/grids, evaluating one probe point if the dim is not yet
+// known server-side (never-loaded grid).
+func discoverGrid(client *http.Client, base, want string) (string, int, error) {
+	resp, err := client.Get(base + "/v1/grids")
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	var gr struct {
+		Grids []struct {
+			Name string `json:"name"`
+			Dim  int    `json:"dim"`
+		} `json:"grids"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&gr); err != nil {
+		return "", 0, fmt.Errorf("decoding /v1/grids: %w", err)
+	}
+	if len(gr.Grids) == 0 {
+		return "", 0, fmt.Errorf("server has no grids registered")
+	}
+	for _, g := range gr.Grids {
+		if want == "" || g.Name == want {
+			if g.Dim == 0 {
+				return "", 0, fmt.Errorf("grid %q has unknown shape (never loaded); evaluate it once or preload", g.Name)
+			}
+			return g.Name, g.Dim, nil
+		}
+	}
+	return "", 0, fmt.Errorf("grid %q not registered on the server", want)
+}
+
+type batchStats struct {
+	sum   float64
+	count uint64
+}
+
+// scrapeBatchStats pulls sgserve_batch_size_sum/_count from /metrics.
+func scrapeBatchStats(client *http.Client, base string) (batchStats, bool) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return batchStats{}, false
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return batchStats{}, false
+	}
+	var st batchStats
+	found := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if v, ok := strings.CutPrefix(line, "sgserve_batch_size_sum "); ok {
+			st.sum, _ = strconv.ParseFloat(strings.TrimSpace(v), 64)
+			found = true
+		}
+		if v, ok := strings.CutPrefix(line, "sgserve_batch_size_count "); ok {
+			st.count, _ = strconv.ParseUint(strings.TrimSpace(v), 10, 64)
+		}
+	}
+	return st, found
+}
+
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.0fµs", float64(d)/float64(time.Microsecond))
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}

@@ -1,0 +1,140 @@
+// Command sgserve is the batched sparse-grid evaluation server: it
+// loads compressed .sg/.sgs grids into an LRU-bounded registry and
+// serves JSON evaluation requests over HTTP, coalescing concurrent
+// single-point requests into micro-batches dispatched to
+// EvaluateBatch (the paper's batched decompression path).
+//
+//	sgserve field.sg                              # name = "field"
+//	sgserve -grid vol=vol.sg -grid rate=rate.sgs  # explicit names
+//	sgserve -addr :9000 -workers 4 -block 64 field.sg
+//
+// Endpoints:
+//
+//	POST /v1/eval        {"grid":"field","point":[0.5,0.25]}   → {"value":…}
+//	POST /v1/eval/batch  {"grid":"field","points":[[…],[…]]}   → {"values":[…]}
+//	GET  /v1/grids       registered grids and shapes
+//	GET  /healthz        liveness probe
+//	GET  /metrics        Prometheus text exposition
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: it stops
+// accepting connections, waits for running requests, and flushes any
+// open micro-batch so no accepted request is dropped.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"compactsg/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sgserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sgserve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8177", "listen address")
+	workers := fs.Int("workers", runtime.NumCPU(), "evaluation worker pool size per grid")
+	block := fs.Int("block", 64, "cache-blocking block size for batch dispatch (0 = off)")
+	maxGrids := fs.Int("max-grids", 8, "max grids resident in memory (LRU beyond)")
+	noCoalesce := fs.Bool("no-coalesce", false, "disable micro-batching: evaluate each /v1/eval on its own goroutine")
+	maxBatch := fs.Int("max-batch", 256, "micro-batch size cap for coalesced /v1/eval")
+	batchWait := fs.Duration("batch-wait", 2*time.Millisecond, "max time an open micro-batch waits for more requests")
+	maxBody := fs.Int64("max-body", 1<<20, "max request body bytes")
+	maxPoints := fs.Int("max-points", 65536, "max points per /v1/eval/batch request")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request evaluation timeout")
+	var named []string
+	fs.Func("grid", "grid as name=path (repeatable); bare arguments use the file basename", func(v string) error {
+		if !strings.Contains(v, "=") {
+			return fmt.Errorf("-grid wants name=path, got %q", v)
+		}
+		named = append(named, v)
+		return nil
+	})
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(named) == 0 && fs.NArg() == 0 {
+		return errors.New("no grids: pass .sg/.sgs files or -grid name=path")
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:        *workers,
+		BlockSize:      *block,
+		MaxResident:    *maxGrids,
+		Coalesce:       !*noCoalesce,
+		MaxBatch:       *maxBatch,
+		BatchWait:      *batchWait,
+		MaxBodyBytes:   *maxBody,
+		MaxBatchPoints: *maxPoints,
+		RequestTimeout: *timeout,
+	})
+	defer srv.Close()
+
+	for _, nv := range named {
+		name, path, _ := strings.Cut(nv, "=")
+		if err := srv.AddGrid(name, path); err != nil {
+			return err
+		}
+	}
+	for _, path := range fs.Args() {
+		name := strings.TrimSuffix(strings.TrimSuffix(filepath.Base(path), ".sg"), ".sgs")
+		if err := srv.AddGrid(name, path); err != nil {
+			return err
+		}
+	}
+	if err := srv.Preload(); err != nil {
+		return err
+	}
+	for _, gi := range srv.Grids().Info() {
+		if gi.Resident {
+			log.Printf("grid %q: d=%d level=%d, %d points", gi.Name, gi.Dim, gi.Level, gi.Points)
+		} else {
+			log.Printf("grid %q: registered (not resident)", gi.Name)
+		}
+	}
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (coalesce=%v workers=%d block=%d)", *addr, !*noCoalesce, *workers, *block)
+		if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Print("shutting down: draining connections and open batches")
+	sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return err
+	}
+	return srv.Close()
+}

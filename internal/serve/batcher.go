@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"compactsg"
+)
+
+// ErrClosed is returned by submit after the batcher (or server) has
+// begun shutting down.
+var ErrClosed = errors.New("serve: server is shutting down")
+
+// A batcher coalesces concurrent single-point evaluation requests for
+// one grid into micro-batches: the first arrival opens a batch, which
+// is dispatched to Grid.EvaluateBatch when it reaches maxBatch points
+// or when maxWait elapses, whichever comes first. This replaces
+// per-request goroutine evaluation with the paper's batched
+// decompression (one EvaluateBatch call over the configured worker
+// pool and cache blocking), and bounds the extra latency by maxWait.
+type batcher struct {
+	grid     *compactsg.Grid
+	in       chan evalCall
+	maxBatch int
+	maxWait  time.Duration
+	onFlush  func(batchSize int) // metrics hook, may be nil
+
+	mu       sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup // submits between accept and enqueue
+	done     chan struct{}  // closed when run has drained and exited
+}
+
+type evalCall struct {
+	x   []float64
+	res chan evalResult
+}
+
+type evalResult struct {
+	v   float64
+	err error
+}
+
+func newBatcher(g *compactsg.Grid, maxBatch int, maxWait time.Duration, onFlush func(int)) *batcher {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	b := &batcher{
+		grid:     g,
+		in:       make(chan evalCall, 4*maxBatch),
+		maxBatch: maxBatch,
+		maxWait:  maxWait,
+		onFlush:  onFlush,
+		done:     make(chan struct{}),
+	}
+	go b.run()
+	return b
+}
+
+// submit enqueues one point and waits for its value. ctx bounds the
+// wait; the evaluation itself still completes server-side so the
+// batch result stays consistent for the other callers in it.
+func (b *batcher) submit(ctx context.Context, x []float64) (float64, error) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return 0, ErrClosed
+	}
+	b.inflight.Add(1)
+	b.mu.Unlock()
+
+	call := evalCall{x: x, res: make(chan evalResult, 1)}
+	select {
+	case b.in <- call:
+		b.inflight.Done()
+	case <-ctx.Done():
+		b.inflight.Done()
+		return 0, ctx.Err()
+	}
+	select {
+	case r := <-call.res:
+		return r.v, r.err
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// close stops the batcher: new submits fail with ErrClosed, everything
+// already enqueued is flushed (callers get their values), then the run
+// goroutine exits. Safe to call more than once.
+func (b *batcher) close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		<-b.done
+		return
+	}
+	b.closed = true
+	b.mu.Unlock()
+	b.inflight.Wait() // no sender is between accept and enqueue now
+	close(b.in)
+	<-b.done
+}
+
+func (b *batcher) run() {
+	defer close(b.done)
+	var (
+		calls []evalCall
+		xs    [][]float64
+		out   []float64
+	)
+	for {
+		first, ok := <-b.in
+		if !ok {
+			return
+		}
+		calls = append(calls[:0], first)
+		timer := time.NewTimer(b.maxWait)
+	collect:
+		for len(calls) < b.maxBatch {
+			select {
+			case c, ok := <-b.in:
+				if !ok {
+					break collect // closed: flush what we have, exit on next recv
+				}
+				calls = append(calls, c)
+			case <-timer.C:
+				break collect
+			}
+		}
+		timer.Stop()
+
+		xs = xs[:0]
+		for _, c := range calls {
+			xs = append(xs, c.x)
+		}
+		if cap(out) < len(calls) {
+			out = make([]float64, len(calls))
+		}
+		res, err := b.grid.EvaluateBatch(xs, out[:len(calls)])
+		for k, c := range calls {
+			if err != nil {
+				c.res <- evalResult{err: err}
+			} else {
+				c.res <- evalResult{v: res[k]}
+			}
+		}
+		if b.onFlush != nil {
+			b.onFlush(len(calls))
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package serve is the HTTP evaluation service over compressed sparse
+// grids: an LRU-bounded registry of .sg/.sgs files, a micro-batch
+// coalescer that turns concurrent single-point requests into
+// Grid.EvaluateBatch calls (the paper's batched decompression, Alg. 7 +
+// Sec. 4.3 blocking), and JSON handlers with Prometheus-style metrics.
+// cmd/sgserve is the thin binary around it; cmd/sgload measures it.
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"compactsg"
+)
+
+// ErrUnknownGrid is returned for names never registered with Add.
+var ErrUnknownGrid = fmt.Errorf("serve: unknown grid")
+
+// GridSet is a name → compressed-grid registry. Grids are loaded
+// lazily from their files on first use and at most MaxResident stay in
+// memory; least-recently-used grids are evicted when the bound is hit
+// (their files remain registered, so a later request reloads them).
+type GridSet struct {
+	maxResident int
+	opts        []compactsg.Option
+
+	mu       sync.Mutex
+	sources  map[string]*source
+	resident map[string]*list.Element // name → element in lru
+	lru      *list.List               // front = most recently used; values are *resident
+
+	// OnEvict, if set, is called (with the set's lock held) right
+	// after a grid leaves the resident set. OnLoad likewise after a
+	// load. Used by Server for batcher lifecycle and metrics.
+	OnEvict func(name string, g *compactsg.Grid)
+	OnLoad  func(name string)
+}
+
+type source struct {
+	path string
+	// Metadata cached from the first successful load so /v1/grids can
+	// describe evicted grids without touching the file again.
+	known  bool
+	dim    int
+	level  int
+	points int64
+	bytes  int64
+}
+
+type resident struct {
+	name string
+	grid *compactsg.Grid
+}
+
+// NewGridSet creates a registry bounded to maxResident in-memory grids
+// (minimum 1). opts are applied to every loaded grid — pass
+// compactsg.WithWorkers / WithBlockSize here so batch dispatch uses
+// the server's worker pool.
+func NewGridSet(maxResident int, opts ...compactsg.Option) *GridSet {
+	if maxResident < 1 {
+		maxResident = 1
+	}
+	return &GridSet{
+		maxResident: maxResident,
+		opts:        opts,
+		sources:     make(map[string]*source),
+		resident:    make(map[string]*list.Element),
+		lru:         list.New(),
+	}
+}
+
+// Add registers a grid file under name. The file is not opened until
+// the first Get (or Preload).
+func (s *GridSet) Add(name, path string) error {
+	if name == "" {
+		return fmt.Errorf("serve: empty grid name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.sources[name]; dup {
+		return fmt.Errorf("serve: grid %q registered twice", name)
+	}
+	s.sources[name] = &source{path: path}
+	return nil
+}
+
+// Names returns all registered grid names, sorted.
+func (s *GridSet) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.sources))
+	for n := range s.sources {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of registered grids.
+func (s *GridSet) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sources)
+}
+
+// ResidentCount returns how many grids are currently in memory.
+func (s *GridSet) ResidentCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.Len()
+}
+
+// GridInfo describes one registered grid for /v1/grids.
+type GridInfo struct {
+	Name     string `json:"name"`
+	Resident bool   `json:"resident"`
+	// Shape fields are known once the grid has been loaded at least
+	// once; Points == 0 means "never loaded yet".
+	Dim         int   `json:"dim,omitempty"`
+	Level       int   `json:"level,omitempty"`
+	Points      int64 `json:"points,omitempty"`
+	MemoryBytes int64 `json:"memoryBytes,omitempty"`
+}
+
+// Info lists every registered grid, sorted by name.
+func (s *GridSet) Info() []GridInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]GridInfo, 0, len(s.sources))
+	for name, src := range s.sources {
+		gi := GridInfo{Name: name}
+		if _, ok := s.resident[name]; ok {
+			gi.Resident = true
+		}
+		if src.known {
+			gi.Dim, gi.Level, gi.Points, gi.MemoryBytes = src.dim, src.level, src.points, src.bytes
+		}
+		out = append(out, gi)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Get returns the named grid, loading it (and evicting the
+// least-recently-used resident grid if the bound is exceeded) as
+// needed. Every Get marks the grid most-recently-used.
+func (s *GridSet) Get(name string) (*compactsg.Grid, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.resident[name]; ok {
+		s.lru.MoveToFront(el)
+		return el.Value.(*resident).grid, nil
+	}
+	src, ok := s.sources[name]
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownGrid, name)
+	}
+	g, err := s.load(src)
+	if err != nil {
+		return nil, err
+	}
+	s.resident[name] = s.lru.PushFront(&resident{name: name, grid: g})
+	if s.OnLoad != nil {
+		s.OnLoad(name)
+	}
+	for s.lru.Len() > s.maxResident {
+		s.evictOldest()
+	}
+	return g, nil
+}
+
+// Preload loads up to maxResident registered grids eagerly (sorted
+// name order) so the first requests do not pay the load. It stops at
+// the first error.
+func (s *GridSet) Preload() error {
+	for i, name := range s.Names() {
+		if i >= s.maxResident {
+			break
+		}
+		if _, err := s.Get(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// load reads and validates one grid file. Caller holds s.mu; the
+// file read is accepted under the lock because loads are rare (cold
+// start or post-eviction) and correctness is simpler than a per-source
+// singleflight.
+func (s *GridSet) load(src *source) (*compactsg.Grid, error) {
+	f, err := os.Open(src.path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	defer f.Close()
+	g, err := compactsg.LoadAny(f, s.opts...)
+	if err != nil {
+		return nil, fmt.Errorf("serve: loading %s: %w", src.path, err)
+	}
+	if !g.Compressed() {
+		return nil, fmt.Errorf("serve: %s holds nodal values, not hierarchical coefficients; compress it first", src.path)
+	}
+	src.known = true
+	src.dim, src.level = g.Dim(), g.Level()
+	src.points, src.bytes = g.Points(), g.MemoryBytes()
+	return g, nil
+}
+
+func (s *GridSet) evictOldest() {
+	el := s.lru.Back()
+	if el == nil {
+		return
+	}
+	r := el.Value.(*resident)
+	s.lru.Remove(el)
+	delete(s.resident, r.name)
+	if s.OnEvict != nil {
+		s.OnEvict(r.name, r.grid)
+	}
+}

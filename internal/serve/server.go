@@ -1,0 +1,438 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"compactsg"
+	"compactsg/internal/serve/metrics"
+)
+
+// Config tunes a Server. The zero value is usable; zero fields take
+// the listed defaults.
+type Config struct {
+	// Workers is the size of the evaluation worker pool each loaded
+	// grid uses for batch dispatch (compactsg.WithWorkers).
+	// Default 1.
+	Workers int
+	// BlockSize is the cache-blocking block for batch evaluation
+	// (compactsg.WithBlockSize). Default 0 (off).
+	BlockSize int
+	// MaxResident bounds how many grids stay loaded (LRU beyond it).
+	// Default 8.
+	MaxResident int
+	// Coalesce enables micro-batching of /v1/eval requests. When
+	// false every request evaluates immediately on its own handler
+	// goroutine (the naive one-point-per-request path, kept for
+	// comparison with cmd/sgload).
+	Coalesce bool
+	// MaxBatch is the micro-batch size cap. Default 256.
+	MaxBatch int
+	// BatchWait is how long an open micro-batch waits for more
+	// requests before dispatching. Default 2ms.
+	BatchWait time.Duration
+	// MaxBodyBytes caps request body size. Default 1 MiB.
+	MaxBodyBytes int64
+	// MaxBatchPoints caps the number of points in one /v1/eval/batch
+	// request. Default 65536.
+	MaxBatchPoints int
+	// RequestTimeout bounds how long a request may wait for its
+	// evaluation. Default 10s.
+	RequestTimeout time.Duration
+}
+
+func (c *Config) fill() {
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.MaxResident < 1 {
+		c.MaxResident = 8
+	}
+	if c.MaxBatch < 1 {
+		c.MaxBatch = 256
+	}
+	if c.BatchWait <= 0 {
+		c.BatchWait = 2 * time.Millisecond
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxBatchPoints < 1 {
+		c.MaxBatchPoints = 65536
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+}
+
+// Server is the HTTP evaluation service: routes, grid registry,
+// per-grid coalescers and metrics. Create with New, mount Handler
+// into an http.Server, and call Close on shutdown (after
+// http.Server.Shutdown) to drain in-flight micro-batches.
+type Server struct {
+	cfg   Config
+	grids *GridSet
+	mux   *http.ServeMux
+
+	mu       sync.Mutex
+	batchers map[string]*batcher
+	closed   bool
+
+	met serverMetrics
+}
+
+type serverMetrics struct {
+	registry  *metrics.Registry
+	requests  *metrics.CounterVec
+	errors    *metrics.CounterVec
+	latency   *metrics.HistogramVec
+	batchSize *metrics.Histogram
+	points    *metrics.Counter
+	resident  *metrics.Gauge
+	loads     *metrics.Counter
+	evictions *metrics.Counter
+}
+
+// New creates a Server. Register grid files with AddGrid before (or
+// while) serving.
+func New(cfg Config) *Server {
+	cfg.fill()
+	s := &Server{
+		cfg:      cfg,
+		batchers: make(map[string]*batcher),
+	}
+	s.grids = NewGridSet(cfg.MaxResident,
+		compactsg.WithWorkers(cfg.Workers), compactsg.WithBlockSize(cfg.BlockSize))
+	s.grids.OnLoad = func(string) {
+		s.met.loads.Inc()
+		s.met.resident.Set(float64(s.grids.lru.Len()))
+	}
+	s.grids.OnEvict = func(name string, _ *compactsg.Grid) {
+		s.met.evictions.Inc()
+		s.met.resident.Set(float64(s.grids.lru.Len()))
+		s.dropBatcher(name)
+	}
+
+	r := metrics.NewRegistry()
+	s.met = serverMetrics{
+		registry:  r,
+		requests:  r.NewCounterVec("sgserve_requests_total", "HTTP requests received, by handler.", "handler"),
+		errors:    r.NewCounterVec("sgserve_errors_total", "Requests answered with a non-2xx status, by handler.", "handler"),
+		latency:   r.NewHistogramVec("sgserve_request_seconds", "Request latency in seconds, by handler.", "handler", metrics.DefLatencyBuckets),
+		batchSize: r.NewHistogram("sgserve_batch_size", "Points per dispatched evaluation batch (coalesced micro-batches and explicit batch requests).", metrics.DefSizeBuckets),
+		points:    r.NewCounter("sgserve_points_evaluated_total", "Grid points evaluated."),
+		resident:  r.NewGauge("sgserve_grids_resident", "Grids currently loaded in memory."),
+		loads:     r.NewCounter("sgserve_grid_loads_total", "Grid loads from disk."),
+		evictions: r.NewCounter("sgserve_grid_evictions_total", "LRU grid evictions."),
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.Handle("GET /metrics", r.Handler())
+	mux.HandleFunc("GET /v1/grids", s.instrument("grids", s.handleGrids))
+	mux.HandleFunc("POST /v1/eval", s.instrument("eval", s.handleEval))
+	mux.HandleFunc("POST /v1/eval/batch", s.instrument("batch", s.handleEvalBatch))
+	s.mux = mux
+	return s
+}
+
+// AddGrid registers a compressed grid file under name.
+func (s *Server) AddGrid(name, path string) error { return s.grids.Add(name, path) }
+
+// Preload eagerly loads registered grids up to the resident bound.
+func (s *Server) Preload() error { return s.grids.Preload() }
+
+// Grids exposes the registry (read-only use).
+func (s *Server) Grids() *GridSet { return s.grids }
+
+// Metrics exposes the metrics registry (for embedding in other muxes).
+func (s *Server) Metrics() *metrics.Registry { return s.met.registry }
+
+// Handler returns the routing handler for an http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains and stops every per-grid coalescer. Call it after
+// http.Server.Shutdown so enqueued requests still get their values;
+// requests arriving later fail with 503.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	bs := make([]*batcher, 0, len(s.batchers))
+	for _, b := range s.batchers {
+		bs = append(bs, b)
+	}
+	s.batchers = make(map[string]*batcher)
+	s.mu.Unlock()
+	for _, b := range bs {
+		b.close()
+	}
+	return nil
+}
+
+// batcherFor returns the coalescer for a grid, creating it on first
+// use. It also touches the grid's LRU slot so hot grids stay resident.
+func (s *Server) batcherFor(name string) (*batcher, error) {
+	g, err := s.grids.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if b, ok := s.batchers[name]; ok {
+		return b, nil
+	}
+	b := newBatcher(g, s.cfg.MaxBatch, s.cfg.BatchWait, func(n int) {
+		s.met.batchSize.Observe(float64(n))
+		s.met.points.Add(uint64(n))
+	})
+	s.batchers[name] = b
+	return b, nil
+}
+
+// dropBatcher detaches a grid's coalescer on eviction and drains it in
+// the background (its queued requests still complete against the old
+// grid instance; new requests reload the grid and get a fresh one).
+func (s *Server) dropBatcher(name string) {
+	s.mu.Lock()
+	b, ok := s.batchers[name]
+	delete(s.batchers, name)
+	s.mu.Unlock()
+	if ok {
+		go b.close()
+	}
+}
+
+// ---------------------------------------------------------------------
+// handlers
+
+type evalRequest struct {
+	Grid  string    `json:"grid"`
+	Point []float64 `json:"point"`
+}
+
+type evalResponse struct {
+	Value float64 `json:"value"`
+}
+
+type batchRequest struct {
+	Grid   string      `json:"grid"`
+	Points [][]float64 `json:"points"`
+}
+
+type batchResponse struct {
+	Values []float64 `json:"values"`
+}
+
+type gridsResponse struct {
+	Grids []GridInfo `json:"grids"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// httpError carries a status code through the handler helpers.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func httpErrorf(status int, format string, args ...any) *httpError {
+	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// instrument wraps a handler with request counting, latency
+// observation and error accounting.
+func (s *Server) instrument(name string, h func(*http.Request) (any, error)) http.HandlerFunc {
+	reqs := s.met.requests.With(name)
+	errs := s.met.errors.With(name)
+	lat := s.met.latency.With(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		reqs.Inc()
+		body, err := h(r)
+		lat.Observe(time.Since(start).Seconds())
+		if err != nil {
+			errs.Inc()
+			status := http.StatusInternalServerError
+			var he *httpError
+			switch {
+			case errors.As(err, &he):
+				status = he.status
+			case errors.Is(err, ErrUnknownGrid):
+				status = http.StatusNotFound
+			case errors.Is(err, ErrClosed):
+				status = http.StatusServiceUnavailable
+			case errors.Is(err, context.DeadlineExceeded):
+				status = http.StatusServiceUnavailable
+			case errors.Is(err, context.Canceled):
+				status = 499 // client went away (nginx convention)
+			}
+			writeJSON(w, status, errorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, body)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(body)
+}
+
+// decodeJSON reads the body with the configured size cap.
+func (s *Server) decodeJSON(r *http.Request, dst any) error {
+	r.Body = http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			return httpErrorf(http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", maxErr.Limit)
+		}
+		return httpErrorf(http.StatusBadRequest, "invalid JSON request: %v", err)
+	}
+	return nil
+}
+
+// resolveGrid fills in the default grid name when exactly one grid is
+// registered and the request omitted it.
+func (s *Server) resolveGrid(name string) (string, error) {
+	if name != "" {
+		return name, nil
+	}
+	names := s.grids.Names()
+	if len(names) == 1 {
+		return names[0], nil
+	}
+	return "", httpErrorf(http.StatusBadRequest, "request must name a grid (%d registered)", len(names))
+}
+
+// validatePoint checks dimensionality and the [0,1]^d domain.
+func validatePoint(x []float64, dim int, k int) error {
+	if len(x) != dim {
+		return httpErrorf(http.StatusBadRequest, "point %d has %d coordinates, grid has %d dimensions", k, len(x), dim)
+	}
+	for t, v := range x {
+		if v < 0 || v > 1 || v != v { // v != v catches NaN
+			return httpErrorf(http.StatusBadRequest, "point %d coordinate %d = %g outside the domain [0,1]", k, t, v)
+		}
+	}
+	return nil
+}
+
+func (s *Server) handleGrids(_ *http.Request) (any, error) {
+	return gridsResponse{Grids: s.grids.Info()}, nil
+}
+
+func (s *Server) handleEval(r *http.Request) (any, error) {
+	var req evalRequest
+	if err := s.decodeJSON(r, &req); err != nil {
+		return nil, err
+	}
+	name, err := s.resolveGrid(req.Grid)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	if !s.cfg.Coalesce {
+		g, err := s.grids.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := validatePoint(req.Point, g.Dim(), 0); err != nil {
+			return nil, err
+		}
+		v, err := g.Evaluate(req.Point)
+		if err != nil {
+			return nil, err
+		}
+		s.met.batchSize.Observe(1)
+		s.met.points.Inc()
+		return evalResponse{Value: v}, nil
+	}
+
+	b, err := s.batcherFor(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := validatePoint(req.Point, b.grid.Dim(), 0); err != nil {
+		return nil, err
+	}
+	v, err := b.submit(ctx, req.Point)
+	if err != nil {
+		return nil, err
+	}
+	return evalResponse{Value: v}, nil
+}
+
+func (s *Server) handleEvalBatch(r *http.Request) (any, error) {
+	var req batchRequest
+	if err := s.decodeJSON(r, &req); err != nil {
+		return nil, err
+	}
+	name, err := s.resolveGrid(req.Grid)
+	if err != nil {
+		return nil, err
+	}
+	if len(req.Points) == 0 {
+		return batchResponse{Values: []float64{}}, nil
+	}
+	if len(req.Points) > s.cfg.MaxBatchPoints {
+		return nil, httpErrorf(http.StatusRequestEntityTooLarge,
+			"batch of %d points exceeds the per-request cap of %d", len(req.Points), s.cfg.MaxBatchPoints)
+	}
+	g, err := s.grids.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	for k, x := range req.Points {
+		if err := validatePoint(x, g.Dim(), k); err != nil {
+			return nil, err
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	type res struct {
+		vals []float64
+		err  error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		vals, err := g.EvaluateBatch(req.Points, nil)
+		ch <- res{vals, err}
+	}()
+	select {
+	case out := <-ch:
+		if out.err != nil {
+			return nil, out.err
+		}
+		s.met.batchSize.Observe(float64(len(req.Points)))
+		s.met.points.Add(uint64(len(req.Points)))
+		return batchResponse{Values: out.vals}, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}

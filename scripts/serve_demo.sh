@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Throughput comparison for the evaluation server: the same level-6
+# d=5 grid served three ways — naive (one evaluation per request
+# goroutine), coalesced (server-side micro-batching), and client-side
+# batching — measured with the closed-loop sgload generator.
+# Recorded results and analysis: EXPERIMENTS.md §"Serving".
+set -euo pipefail
+
+workdir=$(mktemp -d)
+port=${SGSERVE_PORT:-8177}
+base="http://localhost:$port"
+conc=${SGLOAD_C:-64}
+n=${SGLOAD_N:-8000}
+server_pid=""
+trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/sgserve" ./cmd/sgserve
+go build -o "$workdir/sgload" ./cmd/sgload
+echo "compressing demo grid (d=5, level=6, gaussian)…"
+go run ./cmd/sgcompress -dim 5 -level 6 -fn gaussian -direct -q -o "$workdir/field.sg"
+
+serve() {
+    "$workdir/sgserve" -addr ":$port" "$@" "$workdir/field.sg" >/dev/null 2>&1 &
+    server_pid=$!
+    for i in $(seq 1 50); do
+        curl -sf "$base/healthz" >/dev/null 2>&1 && return
+        sleep 0.2
+    done
+    echo "server did not come up" >&2; exit 1
+}
+stop() { kill -TERM "$server_pid"; wait "$server_pid" 2>/dev/null || true; server_pid=""; }
+
+echo; echo "== naive: one evaluation per request goroutine =="
+serve -no-coalesce
+"$workdir/sgload" -url "$base" -c "$conc" -n "$n"
+stop
+
+echo; echo "== coalesced: micro-batched /v1/eval =="
+serve
+"$workdir/sgload" -url "$base" -c "$conc" -n "$n"
+stop
+
+echo; echo "== client batch: 64 points per /v1/eval/batch request =="
+serve
+"$workdir/sgload" -url "$base" -c "$conc" -n $((n / 16)) -mode batch -points 64
+stop

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Smoke test for cmd/sgserve: compress a small grid, start the server,
+# exercise /healthz, /v1/eval, /v1/eval/batch and /metrics, then shut
+# it down gracefully and require a clean exit. Used by CI and
+# `make smoke`.
+set -euo pipefail
+
+workdir=$(mktemp -d)
+port=${SGSERVE_PORT:-8177}
+base="http://localhost:$port"
+trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/sgserve" ./cmd/sgserve
+go run ./cmd/sgcompress -dim 3 -level 5 -fn gaussian -direct -q -o "$workdir/field.sg"
+
+"$workdir/sgserve" -addr ":$port" "$workdir/field.sg" &
+server_pid=$!
+
+for i in $(seq 1 50); do
+    if curl -sf "$base/healthz" >/dev/null 2>&1; then break; fi
+    sleep 0.2
+done
+
+fail() { echo "smoke: $1" >&2; exit 1; }
+
+curl -sf "$base/healthz" | grep -q ok || fail "/healthz"
+curl -sf "$base/v1/grids" | grep -q '"name":"field"' || fail "/v1/grids"
+curl -sf -d '{"point":[0.5,0.5,0.5]}' "$base/v1/eval" \
+    | grep -q '"value":1' || fail "/v1/eval (gaussian peak should be 1)"
+curl -sf -d '{"points":[[0.5,0.5,0.5],[0.25,0.25,0.25]]}' "$base/v1/eval/batch" \
+    | grep -q '"values":\[1,' || fail "/v1/eval/batch"
+# error path: out-of-domain point must 400, not 200
+code=$(curl -s -o /dev/null -w '%{http_code}' -d '{"point":[2,0,0]}' "$base/v1/eval")
+[ "$code" = 400 ] || fail "out-of-domain returned $code, want 400"
+curl -sf "$base/metrics" | grep -q 'sgserve_requests_total{handler="eval"}' || fail "/metrics"
+
+kill -TERM "$server_pid"
+wait "$server_pid" || fail "server exited non-zero on SIGTERM"
+echo "smoke: ok"
