@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments examples smoke serve-demo staticcheck clean
+.PHONY: all build vet test race bench experiments examples smoke serve-demo staticcheck stress clean
 
 all: build vet test
 
@@ -26,6 +26,14 @@ smoke:
 # recorded in EXPERIMENTS.md §"Serving".
 serve-demo:
 	bash scripts/serve_demo.sh
+
+# Race-hunting chaos run of the serving layer: concurrent eval across
+# more grids than resident slots, random cancellations, mid-flight
+# registry churn, inflated loads, goroutine-leak check. The median
+# assertion proves cold loads no longer serialize the hot path.
+stress:
+	$(GO) run -race ./cmd/sgstress -duration 3s
+	$(GO) run -race ./cmd/sgstress -duration 3s -load-delay 25ms -assert-hot-p50 20ms
 
 # Optional: requires staticcheck on PATH (honnef.co/go/tools).
 staticcheck:

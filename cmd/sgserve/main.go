@@ -98,8 +98,15 @@ func run(args []string) error {
 			return err
 		}
 	}
+	// Preload no longer aborts on the first broken grid file: healthy
+	// grids still come up warm, broken ones stay registered and report
+	// their error on first use. Refuse to start only when *nothing*
+	// could be loaded.
 	if err := srv.Preload(); err != nil {
-		return err
+		if srv.Grids().ResidentCount() == 0 {
+			return fmt.Errorf("no grid could be loaded: %w", err)
+		}
+		log.Printf("preload: %v (continuing; broken grids will answer 500 until fixed)", err)
 	}
 	for _, gi := range srv.Grids().Info() {
 		if gi.Resident {

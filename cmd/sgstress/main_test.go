@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestStressShort runs the chaos harness briefly so `go test -race
+// ./...` exercises the full eviction/singleflight/cancellation
+// machinery on every CI run, not just in the dedicated stress job.
+func TestStressShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos harness skipped in -short mode")
+	}
+	err := run([]string{
+		"-duration", "700ms",
+		"-grids", "4",
+		"-resident", "2",
+		"-level", "4",
+		"-load-delay", "5ms",
+		"-churn", "100ms",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStressHotTailBound asserts the tentpole property end to end:
+// with loads inflated to 25ms, the hot grid's median stays far below
+// the load time because cold loads no longer serialize the fast path.
+func TestStressHotTailBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos harness skipped in -short mode")
+	}
+	err := run([]string{
+		"-duration", "1200ms",
+		"-grids", "4",
+		"-resident", "2",
+		"-level", "4",
+		"-load-delay", "25ms",
+		"-assert-hot-p50", "20ms",
+		"-cancellers", "0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-grids", "1"}); err == nil || !strings.Contains(err.Error(), "at least 2") {
+		t.Fatalf("err = %v, want grid-count validation error", err)
+	}
+	_ = time.Now()
+}

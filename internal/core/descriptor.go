@@ -31,6 +31,30 @@ const MaxDim = 64
 // exceed 2^50 points.
 const MaxLevel = 50
 
+// MaxIndexBits bounds the bit width of the composite index arithmetic.
+// GP2Idx/EncodeIndex1 accumulate index1 by left-shifting a total of
+// |l|₁ ≤ Level()-1 bits and GroupStart shifts subspace counts by the
+// same amount; once sum(l) exceeds 62 bits the shifts silently wrap in
+// int64 and corrupt indices. NewDescriptor rejects such shapes with an
+// *OverflowError instead of letting the maps go quietly wrong.
+const MaxIndexBits = 62
+
+// An OverflowError reports a grid shape whose index arithmetic would
+// overflow int64: the binomial tables, a level group's point count, or
+// the total grid size exceeds what the composite index map can address.
+// It is returned (wrapped) by NewDescriptor; callers detect it with
+// errors.As.
+type OverflowError struct {
+	Dim    int    // requested dimensionality
+	Level  int    // requested refinement level
+	Detail string // which quantity overflowed
+}
+
+func (e *OverflowError) Error() string {
+	return fmt.Sprintf("core: grid shape d=%d level=%d overflows int64 index arithmetic: %s",
+		e.Dim, e.Level, e.Detail)
+}
+
 // A Descriptor fixes the shape of a regular sparse grid (dimensionality and
 // refinement level) and precomputes the combinatorial tables the index maps
 // need: the binomial lookup matrix binmat (paper Sec. 4.2) and per-group
@@ -69,6 +93,14 @@ func NewDescriptor(dim, level int) (*Descriptor, error) {
 	if level < 1 || level > MaxLevel {
 		return nil, fmt.Errorf("core: level %d out of range [1, %d]", level, MaxLevel)
 	}
+	// The deepest level group shifts by level-1 bits (see MaxIndexBits).
+	// MaxLevel keeps this unreachable today; the guard stays so raising
+	// MaxLevel (or constructing derived descriptors) cannot silently
+	// reintroduce wrapping shifts.
+	if level-1 > MaxIndexBits {
+		return nil, &OverflowError{Dim: dim, Level: level,
+			Detail: fmt.Sprintf("index1 shift width %d exceeds %d bits", level-1, MaxIndexBits)}
+	}
 	d := &Descriptor{dim: dim, level: level}
 
 	// binmat needs t ≤ dim-1 and s ≤ level-1 (index map arguments); keep a
@@ -80,7 +112,8 @@ func NewDescriptor(dim, level int) (*Descriptor, error) {
 		for s := 0; s < smax; s++ {
 			v, ok := safeBinomial(t+s, t)
 			if !ok {
-				return nil, fmt.Errorf("core: binomial C(%d,%d) overflows int64 (dim=%d level=%d)", t+s, t, dim, level)
+				return nil, &OverflowError{Dim: dim, Level: level,
+					Detail: fmt.Sprintf("binomial C(%d,%d) exceeds int64", t+s, t)}
 			}
 			d.binom[t][s] = v
 		}
@@ -92,18 +125,21 @@ func NewDescriptor(dim, level int) (*Descriptor, error) {
 	var total int64
 	for g := 0; g < level; g++ {
 		d.subspaces[g] = d.binom[dim-1][g]
-		if g >= 63 {
-			return nil, fmt.Errorf("core: level group %d too large (2^%d points per subspace)", g, g)
+		if g > MaxIndexBits {
+			return nil, &OverflowError{Dim: dim, Level: level,
+				Detail: fmt.Sprintf("level group %d holds 2^%d points per subspace", g, g)}
 		}
 		sz := d.subspaces[g]
 		if sz > math.MaxInt64>>uint(g) {
-			return nil, fmt.Errorf("core: grid size overflows int64 at level group %d", g)
+			return nil, &OverflowError{Dim: dim, Level: level,
+				Detail: fmt.Sprintf("point count of level group %d exceeds int64", g)}
 		}
 		sz <<= uint(g)
 		d.groupSize[g] = sz
 		d.groupStart[g] = total
 		if total > math.MaxInt64-sz {
-			return nil, fmt.Errorf("core: grid size overflows int64 at level group %d", g)
+			return nil, &OverflowError{Dim: dim, Level: level,
+				Detail: fmt.Sprintf("total grid size exceeds int64 at level group %d", g)}
 		}
 		total += sz
 	}

@@ -16,7 +16,11 @@ package core
 
 // GP2Idx maps the grid point (l, i) to its flat storage index in
 // [0, Size()). l must satisfy |l|₁ < Level() and each i[t] must be odd in
-// [1, 2^(l[t]+1)-1]; the map is a bijection on that domain.
+// [1, 2^(l[t]+1)-1]; the map is a bijection on that domain. The shift
+// accumulation cannot wrap for level vectors belonging to a valid
+// Descriptor: NewDescriptor rejects shapes where |l|₁ could exceed
+// MaxIndexBits with a typed *OverflowError, so the hot path needs no
+// per-call overflow checks.
 func (d *Descriptor) GP2Idx(l, i []int32) int64 {
 	var index1 int64
 	for t := d.dim - 1; t >= 0; t-- {
@@ -57,6 +61,8 @@ func (d *Descriptor) GroupOf(idx int64) int {
 
 // EncodeIndex1 computes index1 for (l, i): the mixed-radix position of the
 // point inside its subspace, dimension 0 least significant (Fig. 6 order).
+// The caller must ensure sum(l) ≤ MaxIndexBits — guaranteed for level
+// vectors drawn from a Descriptor, whose constructor rejects wider shapes.
 func EncodeIndex1(l, i []int32) int64 {
 	var index1 int64
 	for t := len(l) - 1; t >= 0; t-- {

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestNewDescriptorOverflowTyped: shapes whose index arithmetic cannot
+// fit in int64 must fail with a typed *OverflowError carrying the
+// requested shape, not a silent wrap or a bare string error.
+func TestNewDescriptorOverflowTyped(t *testing.T) {
+	cases := []struct{ dim, level int }{
+		{64, 50}, // binomial table blows up: C(112,64) ≫ 2^63
+		{40, 40}, // ditto, mid-range shape
+	}
+	for _, tc := range cases {
+		_, err := NewDescriptor(tc.dim, tc.level)
+		if err == nil {
+			t.Fatalf("NewDescriptor(%d, %d) accepted an overflowing shape", tc.dim, tc.level)
+		}
+		var oe *OverflowError
+		if !errors.As(err, &oe) {
+			t.Fatalf("NewDescriptor(%d, %d) err = %T %v, want *OverflowError", tc.dim, tc.level, err, err)
+		}
+		if oe.Dim != tc.dim || oe.Level != tc.level {
+			t.Errorf("OverflowError carries shape d=%d level=%d, want d=%d level=%d", oe.Dim, oe.Level, tc.dim, tc.level)
+		}
+		if !strings.Contains(oe.Error(), "overflows int64") {
+			t.Errorf("error message %q does not mention the overflow", oe.Error())
+		}
+	}
+}
+
+// TestNewDescriptorLargeValidShapes: shapes at the edge of the valid
+// range still construct, and their index maps stay within int64 (the
+// deepest group's shift width is bounded by MaxIndexBits).
+func TestNewDescriptorLargeValidShapes(t *testing.T) {
+	cases := []struct{ dim, level int }{
+		{1, MaxLevel}, // 2^50-1 points in one dimension
+		{10, 11},      // the paper's largest evaluated shape
+		{MaxDim, 2},   // very wide, very shallow
+	}
+	for _, tc := range cases {
+		d, err := NewDescriptor(tc.dim, tc.level)
+		if err != nil {
+			t.Fatalf("NewDescriptor(%d, %d): %v", tc.dim, tc.level, err)
+		}
+		if d.Size() <= 0 {
+			t.Fatalf("NewDescriptor(%d, %d): nonpositive size %d (wrapped?)", tc.dim, tc.level, d.Size())
+		}
+		if g := d.Groups() - 1; g > MaxIndexBits {
+			t.Fatalf("descriptor admits level group %d beyond MaxIndexBits=%d", g, MaxIndexBits)
+		}
+	}
+}

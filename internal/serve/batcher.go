@@ -10,7 +10,9 @@ import (
 )
 
 // ErrClosed is returned by submit after the batcher (or server) has
-// begun shutting down.
+// begun shutting down. The server distinguishes "this batcher was
+// retired by eviction" (it retries against a fresh batcher) from "the
+// whole server is closing" (the client gets 503).
 var ErrClosed = errors.New("serve: server is shutting down")
 
 // A batcher coalesces concurrent single-point evaluation requests for
@@ -20,6 +22,13 @@ var ErrClosed = errors.New("serve: server is shutting down")
 // per-request goroutine evaluation with the paper's batched
 // decompression (one EvaluateBatch call over the configured worker
 // pool and cache blocking), and bounds the extra latency by maxWait.
+//
+// Liveness contract: the flush loop never blocks on a caller. Every
+// per-call result channel is buffered (capacity 1) and delivered with a
+// non-blocking send, and calls whose context was cancelled after
+// enqueue are dropped from the batch instead of being evaluated — an
+// abandoned caller can neither wedge run() nor bill work for an answer
+// nobody is waiting on.
 type batcher struct {
 	grid     *compactsg.Grid
 	in       chan evalCall
@@ -34,6 +43,7 @@ type batcher struct {
 }
 
 type evalCall struct {
+	ctx context.Context
 	x   []float64
 	res chan evalResult
 }
@@ -60,8 +70,9 @@ func newBatcher(g *compactsg.Grid, maxBatch int, maxWait time.Duration, onFlush 
 }
 
 // submit enqueues one point and waits for its value. ctx bounds the
-// wait; the evaluation itself still completes server-side so the
-// batch result stays consistent for the other callers in it.
+// wait; a call abandoned after enqueue is skipped by the flush loop
+// (see run), so the batch result for the remaining callers is
+// unaffected.
 func (b *batcher) submit(ctx context.Context, x []float64) (float64, error) {
 	b.mu.Lock()
 	if b.closed {
@@ -71,7 +82,7 @@ func (b *batcher) submit(ctx context.Context, x []float64) (float64, error) {
 	b.inflight.Add(1)
 	b.mu.Unlock()
 
-	call := evalCall{x: x, res: make(chan evalResult, 1)}
+	call := evalCall{ctx: ctx, x: x, res: make(chan evalResult, 1)}
 	select {
 	case b.in <- call:
 		b.inflight.Done()
@@ -89,7 +100,8 @@ func (b *batcher) submit(ctx context.Context, x []float64) (float64, error) {
 
 // close stops the batcher: new submits fail with ErrClosed, everything
 // already enqueued is flushed (callers get their values), then the run
-// goroutine exits. Safe to call more than once.
+// goroutine exits. Safe to call more than once and from several
+// goroutines; every call blocks until the drain is complete.
 func (b *batcher) close() {
 	b.mu.Lock()
 	if b.closed {
@@ -104,10 +116,22 @@ func (b *batcher) close() {
 	<-b.done
 }
 
+// deliver hands a result to one caller without ever blocking the flush
+// loop. The channel has capacity 1 and run sends at most once per call,
+// so the default branch is unreachable today; it is kept so no future
+// refactor can reintroduce the lost-wakeup wedge.
+func deliver(c evalCall, r evalResult) {
+	select {
+	case c.res <- r:
+	default:
+	}
+}
+
 func (b *batcher) run() {
 	defer close(b.done)
 	var (
 		calls []evalCall
+		live  []evalCall
 		xs    [][]float64
 		out   []float64
 	)
@@ -132,23 +156,35 @@ func (b *batcher) run() {
 		}
 		timer.Stop()
 
+		// Drop calls whose caller already gave up: their submit has
+		// returned ctx.Err(), nobody reads the result, and evaluating
+		// the point would be wasted batch work.
+		live = live[:0]
 		xs = xs[:0]
 		for _, c := range calls {
+			if c.ctx != nil && c.ctx.Err() != nil {
+				continue
+			}
+			live = append(live, c)
 			xs = append(xs, c.x)
 		}
-		if cap(out) < len(calls) {
-			out = make([]float64, len(calls))
+		if len(live) == 0 {
+			continue
 		}
-		res, err := b.grid.EvaluateBatch(xs, out[:len(calls)])
-		for k, c := range calls {
+
+		if cap(out) < len(live) {
+			out = make([]float64, len(live))
+		}
+		res, err := b.grid.EvaluateBatch(xs, out[:len(live)])
+		for k, c := range live {
 			if err != nil {
-				c.res <- evalResult{err: err}
+				deliver(c, evalResult{err: err})
 			} else {
-				c.res <- evalResult{v: res[k]}
+				deliver(c, evalResult{v: res[k]})
 			}
 		}
 		if b.onFlush != nil {
-			b.onFlush(len(calls))
+			b.onFlush(len(live))
 		}
 	}
 }

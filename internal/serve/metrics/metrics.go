@@ -218,6 +218,15 @@ var DefLatencyBuckets = []float64{
 // DefSizeBuckets is a power-of-two ladder for batch sizes.
 var DefSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
 
+// DefLoadBuckets spans 100µs .. 30s, the useful range for grid file
+// loads (read + decode), which run from small test grids on a warm
+// page cache to multi-GB level-11 grids on cold disk.
+var DefLoadBuckets = []float64{
+	1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 30,
+}
+
 func newHistogram(bounds []float64, labels string) *Histogram {
 	for i := 1; i < len(bounds); i++ {
 		if bounds[i] <= bounds[i-1] {

@@ -3,15 +3,20 @@
 // coalescer that turns concurrent single-point requests into
 // Grid.EvaluateBatch calls (the paper's batched decompression, Alg. 7 +
 // Sec. 4.3 blocking), and JSON handlers with Prometheus-style metrics.
-// cmd/sgserve is the thin binary around it; cmd/sgload measures it.
+// cmd/sgserve is the thin binary around it; cmd/sgload measures it and
+// cmd/sgstress hunts races in it.
 package serve
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"compactsg"
 )
@@ -23,26 +28,60 @@ var ErrUnknownGrid = fmt.Errorf("serve: unknown grid")
 // lazily from their files on first use and at most MaxResident stay in
 // memory; least-recently-used grids are evicted when the bound is hit
 // (their files remain registered, so a later request reloads them).
+//
+// Concurrency contract (the serving hot path depends on it):
+//
+//   - Lookups of resident grids take only a read lock plus a brief
+//     LRU-list mutex; they never wait on disk.
+//   - A cold load runs with NO registry lock held, deduplicated per
+//     name by a singleflight: concurrent requests for the same cold
+//     grid share one file read, and requests for other grids (resident
+//     or cold) proceed independently. The resident bound applies to the
+//     installed set; k concurrent cold loads transiently hold up to k
+//     extra grids while in flight.
+//   - Acquire hands out refcounted leases. An evicted grid stays fully
+//     usable for existing lease holders; OnRetire fires once the last
+//     lease of an evicted grid is released, which is the hook the
+//     server uses to drain and close the grid's batcher without leaks.
 type GridSet struct {
 	maxResident int
 	opts        []compactsg.Option
 
-	mu       sync.Mutex
+	mu       sync.RWMutex // guards sources, resident, loading
 	sources  map[string]*source
-	resident map[string]*list.Element // name → element in lru
-	lru      *list.List               // front = most recently used; values are *resident
+	resident map[string]*entry
+	loading  map[string]*loadCall
 
-	// OnEvict, if set, is called (with the set's lock held) right
-	// after a grid leaves the resident set. OnLoad likewise after a
-	// load. Used by Server for batcher lifecycle and metrics.
-	OnEvict func(name string, g *compactsg.Grid)
-	OnLoad  func(name string)
+	lruMu sync.Mutex
+	lru   *list.List // front = most recently used; values are *entry
+
+	// Lifecycle hooks. All of them are called with NO registry lock
+	// held, so they may call back into the GridSet freely. They must be
+	// set before the registry sees traffic and not changed afterwards.
+	//
+	// OnLoad fires after a grid file was read and installed (took is
+	// the wall time of the read+decode). OnLoadWait fires for each
+	// caller that piggybacked on another goroutine's in-flight load of
+	// the same grid. OnEvict fires right after a grid leaves the
+	// resident set. OnRetire fires when the last lease of an evicted
+	// grid is released (never for resident grids, which always hold
+	// the registry's own reference).
+	OnLoad     func(name string, took time.Duration)
+	OnLoadWait func(name string)
+	OnEvict    func(name string, g *compactsg.Grid)
+	OnRetire   func(name string, g *compactsg.Grid)
+
+	// LoadHook, if set, runs inside every file load (no locks held),
+	// before the file is opened. It exists for tests and the sgstress
+	// chaos harness to inflate or fail loads deterministically.
+	LoadHook func(name string) error
 }
 
 type source struct {
 	path string
 	// Metadata cached from the first successful load so /v1/grids can
-	// describe evicted grids without touching the file again.
+	// describe evicted grids without touching the file again. Guarded
+	// by GridSet.mu.
 	known  bool
 	dim    int
 	level  int
@@ -50,9 +89,44 @@ type source struct {
 	bytes  int64
 }
 
-type resident struct {
+// entry is one resident (or recently evicted but still leased) grid.
+type entry struct {
 	name string
 	grid *compactsg.Grid
+	el   *list.Element
+	// refs counts outstanding leases plus one reference owned by the
+	// registry while the entry is resident. Eviction drops the registry
+	// reference; whoever drops refs to zero runs the retire hook.
+	refs atomic.Int64
+}
+
+// loadCall is the singleflight slot for one in-flight file load.
+type loadCall struct {
+	done chan struct{} // closed when g/err are final
+	g    *compactsg.Grid
+	err  error
+}
+
+// A Lease pins one loaded grid instance. Release must be called exactly
+// once when the holder is done; it is safe (and a no-op) to call again.
+type Lease struct {
+	s        *GridSet
+	e        *entry
+	released atomic.Bool
+}
+
+// Grid returns the pinned grid instance.
+func (l *Lease) Grid() *compactsg.Grid { return l.e.grid }
+
+// Name returns the registry name the lease was acquired under.
+func (l *Lease) Name() string { return l.e.name }
+
+// Release drops the lease. After the grid has been evicted, the last
+// Release triggers the registry's OnRetire hook.
+func (l *Lease) Release() {
+	if l.released.CompareAndSwap(false, true) {
+		l.s.releaseEntry(l.e)
+	}
 }
 
 // NewGridSet creates a registry bounded to maxResident in-memory grids
@@ -67,13 +141,16 @@ func NewGridSet(maxResident int, opts ...compactsg.Option) *GridSet {
 		maxResident: maxResident,
 		opts:        opts,
 		sources:     make(map[string]*source),
-		resident:    make(map[string]*list.Element),
+		resident:    make(map[string]*entry),
+		loading:     make(map[string]*loadCall),
 		lru:         list.New(),
 	}
 }
 
 // Add registers a grid file under name. The file is not opened until
-// the first Get (or Preload).
+// the first Get/Acquire (or Preload). Add is safe to call while the
+// registry is serving traffic (mid-flight registration is exactly what
+// cmd/sgstress exercises).
 func (s *GridSet) Add(name, path string) error {
 	if name == "" {
 		return fmt.Errorf("serve: empty grid name")
@@ -89,28 +166,28 @@ func (s *GridSet) Add(name, path string) error {
 
 // Names returns all registered grid names, sorted.
 func (s *GridSet) Names() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
 	names := make([]string, 0, len(s.sources))
 	for n := range s.sources {
 		names = append(names, n)
 	}
+	s.mu.RUnlock()
 	sort.Strings(names)
 	return names
 }
 
 // Len returns the number of registered grids.
 func (s *GridSet) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.sources)
 }
 
 // ResidentCount returns how many grids are currently in memory.
 func (s *GridSet) ResidentCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.lru.Len()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.resident)
 }
 
 // GridInfo describes one registered grid for /v1/grids.
@@ -127,8 +204,7 @@ type GridInfo struct {
 
 // Info lists every registered grid, sorted by name.
 func (s *GridSet) Info() []GridInfo {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
 	out := make([]GridInfo, 0, len(s.sources))
 	for name, src := range s.sources {
 		gi := GridInfo{Name: name}
@@ -140,85 +216,225 @@ func (s *GridSet) Info() []GridInfo {
 		}
 		out = append(out, gi)
 	}
+	s.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
 // Get returns the named grid, loading it (and evicting the
 // least-recently-used resident grid if the bound is exceeded) as
-// needed. Every Get marks the grid most-recently-used.
+// needed. Every Get marks the grid most-recently-used. Get does not
+// pin the grid; callers that must keep using the instance across
+// evictions (the batcher does) should use Acquire instead.
 func (s *GridSet) Get(name string) (*compactsg.Grid, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if el, ok := s.resident[name]; ok {
-		s.lru.MoveToFront(el)
-		return el.Value.(*resident).grid, nil
-	}
-	src, ok := s.sources[name]
-	if !ok {
-		return nil, fmt.Errorf("%w %q", ErrUnknownGrid, name)
-	}
-	g, err := s.load(src)
+	l, err := s.Acquire(context.Background(), name)
 	if err != nil {
 		return nil, err
 	}
-	s.resident[name] = s.lru.PushFront(&resident{name: name, grid: g})
-	if s.OnLoad != nil {
-		s.OnLoad(name)
-	}
-	for s.lru.Len() > s.maxResident {
-		s.evictOldest()
-	}
+	g := l.Grid()
+	l.Release()
 	return g, nil
 }
 
+// Acquire returns a refcounted lease on the named grid, loading it
+// first if it is cold. ctx bounds only the wait for an in-flight load
+// by another goroutine; a load this caller leads always runs to
+// completion so the result can be shared.
+func (s *GridSet) Acquire(ctx context.Context, name string) (*Lease, error) {
+	for {
+		// Fast path: resident grid, read lock only. The refcount
+		// increment is safe under the read lock because eviction (which
+		// drops the registry's reference) requires the write lock.
+		s.mu.RLock()
+		if e, ok := s.resident[name]; ok {
+			e.refs.Add(1)
+			s.mu.RUnlock()
+			s.touch(e)
+			return &Lease{s: s, e: e}, nil
+		}
+		lc, inflight := s.loading[name]
+		_, known := s.sources[name]
+		s.mu.RUnlock()
+		if !known {
+			return nil, fmt.Errorf("%w %q", ErrUnknownGrid, name)
+		}
+
+		if !inflight {
+			lease, joined, err := s.lead(name)
+			if err != nil {
+				return nil, err
+			}
+			if lease != nil {
+				return lease, nil
+			}
+			lc = joined
+		} else if s.OnLoadWait != nil {
+			s.OnLoadWait(name)
+		}
+
+		select {
+		case <-lc.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if lc.err != nil {
+			return nil, lc.err
+		}
+		// Loaded; loop to pick it up (or reload if it was already
+		// evicted again by other traffic).
+	}
+}
+
+// lead tries to become the loading leader for name. It returns exactly
+// one of: a lease (grid was or became resident), a loadCall to wait on
+// (someone else is loading), or an error.
+func (s *GridSet) lead(name string) (*Lease, *loadCall, error) {
+	s.mu.Lock()
+	if e, ok := s.resident[name]; ok {
+		e.refs.Add(1)
+		s.mu.Unlock()
+		s.touch(e)
+		return &Lease{s: s, e: e}, nil, nil
+	}
+	if lc, ok := s.loading[name]; ok {
+		s.mu.Unlock()
+		if s.OnLoadWait != nil {
+			s.OnLoadWait(name)
+		}
+		return nil, lc, nil
+	}
+	src, ok := s.sources[name]
+	if !ok {
+		s.mu.Unlock()
+		return nil, nil, fmt.Errorf("%w %q", ErrUnknownGrid, name)
+	}
+	lc := &loadCall{done: make(chan struct{})}
+	s.loading[name] = lc
+	path := src.path
+	s.mu.Unlock()
+
+	// The file read + decode happens here, with no registry lock held:
+	// a cold load of one grid never blocks Acquire/Get on any other.
+	start := time.Now()
+	g, err := s.load(name, path)
+	took := time.Since(start)
+
+	var victims []*entry
+	var lease *Lease
+	s.mu.Lock()
+	delete(s.loading, name)
+	if err == nil {
+		src.known = true
+		src.dim, src.level = g.Dim(), g.Level()
+		src.points, src.bytes = g.Points(), g.MemoryBytes()
+		e := &entry{name: name, grid: g}
+		e.refs.Store(2) // the registry's reference + this caller's lease
+		s.resident[name] = e
+		s.lruMu.Lock()
+		e.el = s.lru.PushFront(e)
+		for s.lru.Len() > s.maxResident {
+			back := s.lru.Back()
+			v := back.Value.(*entry)
+			s.lru.Remove(back)
+			delete(s.resident, v.name)
+			victims = append(victims, v)
+		}
+		s.lruMu.Unlock()
+		lease = &Lease{s: s, e: e}
+	}
+	lc.g, lc.err = g, err
+	s.mu.Unlock()
+	close(lc.done)
+
+	if err != nil {
+		return nil, nil, err
+	}
+	if s.OnLoad != nil {
+		s.OnLoad(name, took)
+	}
+	for _, v := range victims {
+		s.finishEvict(v)
+	}
+	return lease, nil, nil
+}
+
+// touch marks an entry most-recently-used. Harmlessly a no-op if the
+// entry was concurrently evicted (its element is detached).
+func (s *GridSet) touch(e *entry) {
+	s.lruMu.Lock()
+	s.lru.MoveToFront(e.el)
+	s.lruMu.Unlock()
+}
+
+// finishEvict runs the eviction hooks for an entry already removed from
+// the resident map, then drops the registry's reference. Called with no
+// locks held.
+func (s *GridSet) finishEvict(v *entry) {
+	if s.OnEvict != nil {
+		s.OnEvict(v.name, v.grid)
+	}
+	s.releaseEntry(v)
+}
+
+// releaseEntry drops one reference; the goroutine that drops the last
+// reference of an evicted entry fires OnRetire.
+func (s *GridSet) releaseEntry(e *entry) {
+	if e.refs.Add(-1) == 0 {
+		if s.OnRetire != nil {
+			s.OnRetire(e.name, e.grid)
+		}
+	}
+}
+
+// IsCurrent reports whether g is the instance currently resident under
+// name. The server uses it to close the create-after-evict race when
+// wiring batchers to freshly acquired leases.
+func (s *GridSet) IsCurrent(name string, g *compactsg.Grid) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.resident[name]
+	return ok && e.grid == g
+}
+
 // Preload loads up to maxResident registered grids eagerly (sorted
-// name order) so the first requests do not pay the load. It stops at
-// the first error.
+// name order) so the first requests do not pay the load. Broken grid
+// files do not abort the pass: every healthy grid within the resident
+// budget is still loaded and the per-grid errors come back aggregated
+// via errors.Join (nil when everything loaded).
 func (s *GridSet) Preload() error {
-	for i, name := range s.Names() {
-		if i >= s.maxResident {
+	var errs []error
+	loaded := 0
+	for _, name := range s.Names() {
+		if loaded >= s.maxResident {
 			break
 		}
 		if _, err := s.Get(name); err != nil {
-			return err
+			errs = append(errs, err)
+			continue
 		}
+		loaded++
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
-// load reads and validates one grid file. Caller holds s.mu; the
-// file read is accepted under the lock because loads are rare (cold
-// start or post-eviction) and correctness is simpler than a per-source
-// singleflight.
-func (s *GridSet) load(src *source) (*compactsg.Grid, error) {
-	f, err := os.Open(src.path)
+// load reads and validates one grid file. No registry lock is held.
+func (s *GridSet) load(name, path string) (*compactsg.Grid, error) {
+	if s.LoadHook != nil {
+		if err := s.LoadHook(name); err != nil {
+			return nil, fmt.Errorf("serve: loading %s: %w", path, err)
+		}
+	}
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
 	defer f.Close()
 	g, err := compactsg.LoadAny(f, s.opts...)
 	if err != nil {
-		return nil, fmt.Errorf("serve: loading %s: %w", src.path, err)
+		return nil, fmt.Errorf("serve: loading %s: %w", path, err)
 	}
 	if !g.Compressed() {
-		return nil, fmt.Errorf("serve: %s holds nodal values, not hierarchical coefficients; compress it first", src.path)
+		return nil, fmt.Errorf("serve: %s holds nodal values, not hierarchical coefficients; compress it first", path)
 	}
-	src.known = true
-	src.dim, src.level = g.Dim(), g.Level()
-	src.points, src.bytes = g.Points(), g.MemoryBytes()
 	return g, nil
-}
-
-func (s *GridSet) evictOldest() {
-	el := s.lru.Back()
-	if el == nil {
-		return
-	}
-	r := el.Value.(*resident)
-	s.lru.Remove(el)
-	delete(s.resident, r.name)
-	if s.OnEvict != nil {
-		s.OnEvict(r.name, r.grid)
-	}
 }

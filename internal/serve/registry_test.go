@@ -1,0 +1,300 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"compactsg"
+)
+
+// newTestSet registers n grids (named q0..qn-1) in a fresh registry
+// bounded to maxResident.
+func newTestSet(t *testing.T, maxResident, n int) *GridSet {
+	t.Helper()
+	dir := t.TempDir()
+	s := NewGridSet(maxResident)
+	for k := 0; k < n; k++ {
+		p, _ := writeGrid(t, dir, 2, 3)
+		np := filepath.Join(dir, fmt.Sprintf("q%d.sg", k))
+		if err := os.Rename(p, np); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Add(fmt.Sprintf("q%d", k), np); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// TestSingleflightLoad: many concurrent Gets of one cold grid must
+// share a single file load.
+func TestSingleflightLoad(t *testing.T) {
+	s := newTestSet(t, 2, 1)
+	var loads, waits atomic.Int64
+	s.LoadHook = func(string) error {
+		loads.Add(1)
+		time.Sleep(20 * time.Millisecond) // widen the race window
+		return nil
+	}
+	s.OnLoadWait = func(string) { waits.Add(1) }
+
+	const callers = 16
+	var wg sync.WaitGroup
+	grids := make([]any, callers)
+	for k := 0; k < callers; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			g, err := s.Get("q0")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			grids[k] = g
+		}(k)
+	}
+	wg.Wait()
+	if n := loads.Load(); n != 1 {
+		t.Fatalf("%d concurrent Gets performed %d loads, want 1", callers, n)
+	}
+	for k := 1; k < callers; k++ {
+		if grids[k] != grids[0] {
+			t.Fatalf("caller %d got a different grid instance", k)
+		}
+	}
+	if waits.Load() == 0 {
+		t.Error("no caller was recorded as a singleflight follower")
+	}
+}
+
+// TestColdLoadDoesNotBlockResident is the tentpole property: while one
+// grid is stuck in a slow load, Gets of an already-resident grid must
+// complete immediately instead of queueing behind the registry lock.
+func TestColdLoadDoesNotBlockResident(t *testing.T) {
+	s := newTestSet(t, 2, 2)
+	const delay = 200 * time.Millisecond
+	loading := make(chan struct{})
+	var once sync.Once
+	s.LoadHook = func(name string) error {
+		if name == "q1" {
+			once.Do(func() { close(loading) })
+			time.Sleep(delay)
+		}
+		return nil
+	}
+	if _, err := s.Get("q0"); err != nil { // q0 resident
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Get("q1") // slow cold load
+		done <- err
+	}()
+	<-loading // q1's load is now holding whatever it holds
+
+	start := time.Now()
+	const hotGets = 100
+	for k := 0; k < hotGets; k++ {
+		if _, err := s.Get("q0"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hot := time.Since(start)
+	if hot > delay/2 {
+		t.Fatalf("%d resident Gets took %v during a %v cold load — load is blocking the fast path", hotGets, hot, delay)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAcquireCtxCancelWhileWaiting: a follower waiting on someone
+// else's load honors its context.
+func TestAcquireCtxCancelWhileWaiting(t *testing.T) {
+	s := newTestSet(t, 2, 1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	s.LoadHook = func(string) error {
+		once.Do(func() { close(started) })
+		<-release
+		return nil
+	}
+	go s.Get("q0") // leader, parked in LoadHook
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := s.Acquire(ctx, "q0")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("follower err = %v, want DeadlineExceeded", err)
+	}
+	close(release)
+}
+
+// TestLeaseRetire: an evicted grid stays usable through its lease and
+// OnRetire fires exactly once, when the last lease is released.
+func TestLeaseRetire(t *testing.T) {
+	s := newTestSet(t, 1, 2)
+	var retired atomic.Int64
+	retirees := make(chan string, 4)
+	s.OnRetire = func(name string, _ *compactsg.Grid) {
+		retired.Add(1)
+		retirees <- name
+	}
+
+	lease, err := s.Acquire(context.Background(), "q0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("q1"); err != nil { // evicts q0 (maxResident 1)
+		t.Fatal(err)
+	}
+	if n := s.ResidentCount(); n != 1 {
+		t.Fatalf("resident = %d, want 1", n)
+	}
+	if got := retired.Load(); got != 0 {
+		t.Fatalf("OnRetire fired %d times while a lease is still held", got)
+	}
+	// The evicted instance still evaluates for its lease holder.
+	if _, err := lease.Grid().Evaluate([]float64{0.5, 0.5}); err != nil {
+		t.Fatalf("evicted-but-leased grid unusable: %v", err)
+	}
+	lease.Release()
+	lease.Release() // idempotent
+	select {
+	case name := <-retirees:
+		if name != "q0" {
+			t.Fatalf("retired %q, want q0", name)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("OnRetire never fired after the last release")
+	}
+	if got := retired.Load(); got != 1 {
+		t.Fatalf("OnRetire fired %d times, want 1", got)
+	}
+}
+
+// TestPreloadContinuesPastBrokenGrid: one corrupt grid file must not
+// keep later healthy grids cold, and the error must name the bad grid.
+func TestPreloadContinuesPastBrokenGrid(t *testing.T) {
+	dir := t.TempDir()
+	s := NewGridSet(8)
+	// "a" is garbage, "b" and "c" are healthy.
+	bad := filepath.Join(dir, "a.sg")
+	if err := os.WriteFile(bad, []byte("not a grid"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add("a", bad); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"b", "c"} {
+		p, _ := writeGrid(t, dir, 2, 3)
+		np := filepath.Join(dir, name+"-grid.sg")
+		if err := os.Rename(p, np); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Add(name, np); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := s.Preload()
+	if err == nil {
+		t.Fatal("Preload over a broken grid returned nil")
+	}
+	if !strings.Contains(err.Error(), "a.sg") {
+		t.Errorf("aggregated error %q does not name the broken file", err)
+	}
+	if n := s.ResidentCount(); n != 2 {
+		t.Fatalf("resident after Preload = %d, want 2 (healthy grids must load)", n)
+	}
+	for _, gi := range s.Info() {
+		if gi.Name != "a" && !gi.Resident {
+			t.Errorf("healthy grid %q left cold by Preload", gi.Name)
+		}
+	}
+}
+
+// TestEvictionUnderLoad hammers Get/Evaluate across more grids than
+// resident slots from many goroutines (run under -race in CI) and then
+// checks that no goroutines leaked.
+func TestEvictionUnderLoad(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := newTestSet(t, 2, 6)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errc := make(chan error, 1)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			x := []float64{0.3, 0.6}
+			for k := 0; ; k++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				name := fmt.Sprintf("q%d", (w+k)%6)
+				lease, err := s.Acquire(context.Background(), name)
+				if err != nil {
+					select {
+					case errc <- err:
+					default:
+					}
+					return
+				}
+				v, err := lease.Grid().Evaluate(x)
+				lease.Release()
+				if err != nil || math.IsNaN(v) {
+					select {
+					case errc <- fmt.Errorf("evaluate %s: v=%v err=%v", name, v, err):
+					default:
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	if n := s.ResidentCount(); n > 2 {
+		t.Fatalf("resident = %d, want ≤ 2", n)
+	}
+	assertNoGoroutineLeak(t, before)
+}
+
+// assertNoGoroutineLeak waits for the goroutine count to settle back to
+// (roughly) the baseline; background drains are given time to finish.
+func assertNoGoroutineLeak(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	var now int
+	for time.Now().Before(deadline) {
+		now = runtime.NumGoroutine()
+		if now <= baseline+2 { // tolerate runtime/test helpers
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines leaked: baseline %d, now %d\n%s", baseline, now, buf[:n])
+}

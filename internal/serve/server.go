@@ -74,28 +74,48 @@ func (c *Config) fill() {
 // per-grid coalescers and metrics. Create with New, mount Handler
 // into an http.Server, and call Close on shutdown (after
 // http.Server.Shutdown) to drain in-flight micro-batches.
+//
+// Batcher lifecycle: each coalescing batcher owns a registry Lease on
+// the exact grid instance it evaluates against. When the LRU evicts
+// that instance, the registry's OnEvict hook detaches the batcher,
+// drains it in the background, and the drain releases the lease — so
+// an evicted grid's flush goroutine always terminates instead of
+// leaking, and callers parked in its last open batch still get their
+// values. Close waits for all such background drains.
 type Server struct {
 	cfg   Config
 	grids *GridSet
 	mux   *http.ServeMux
 
 	mu       sync.Mutex
-	batchers map[string]*batcher
+	batchers map[string]*gridBatcher
 	closed   bool
+	drains   sync.WaitGroup // background batcher drains after eviction
 
 	met serverMetrics
 }
 
+// gridBatcher couples a batcher with the lease pinning its grid
+// instance; the lease is released only after the batcher has drained.
+type gridBatcher struct {
+	b     *batcher
+	lease *Lease
+}
+
 type serverMetrics struct {
-	registry  *metrics.Registry
-	requests  *metrics.CounterVec
-	errors    *metrics.CounterVec
-	latency   *metrics.HistogramVec
-	batchSize *metrics.Histogram
-	points    *metrics.Counter
-	resident  *metrics.Gauge
-	loads     *metrics.Counter
-	evictions *metrics.Counter
+	registry    *metrics.Registry
+	requests    *metrics.CounterVec
+	errors      *metrics.CounterVec
+	latency     *metrics.HistogramVec
+	batchSize   *metrics.Histogram
+	points      *metrics.Counter
+	resident    *metrics.Gauge
+	loads       *metrics.Counter
+	loadSecs    *metrics.Histogram
+	loadWaits   *metrics.Counter
+	evictions   *metrics.Counter
+	batchersNow *metrics.Gauge
+	drainsTotal *metrics.Counter
 }
 
 // New creates a Server. Register grid files with AddGrid before (or
@@ -104,31 +124,37 @@ func New(cfg Config) *Server {
 	cfg.fill()
 	s := &Server{
 		cfg:      cfg,
-		batchers: make(map[string]*batcher),
+		batchers: make(map[string]*gridBatcher),
 	}
 	s.grids = NewGridSet(cfg.MaxResident,
 		compactsg.WithWorkers(cfg.Workers), compactsg.WithBlockSize(cfg.BlockSize))
-	s.grids.OnLoad = func(string) {
+	s.grids.OnLoad = func(_ string, took time.Duration) {
 		s.met.loads.Inc()
-		s.met.resident.Set(float64(s.grids.lru.Len()))
+		s.met.loadSecs.Observe(took.Seconds())
+		s.met.resident.Set(float64(s.grids.ResidentCount()))
 	}
-	s.grids.OnEvict = func(name string, _ *compactsg.Grid) {
+	s.grids.OnLoadWait = func(string) { s.met.loadWaits.Inc() }
+	s.grids.OnEvict = func(name string, g *compactsg.Grid) {
 		s.met.evictions.Inc()
-		s.met.resident.Set(float64(s.grids.lru.Len()))
-		s.dropBatcher(name)
+		s.met.resident.Set(float64(s.grids.ResidentCount()))
+		s.dropBatcherForGrid(name, g)
 	}
 
 	r := metrics.NewRegistry()
 	s.met = serverMetrics{
-		registry:  r,
-		requests:  r.NewCounterVec("sgserve_requests_total", "HTTP requests received, by handler.", "handler"),
-		errors:    r.NewCounterVec("sgserve_errors_total", "Requests answered with a non-2xx status, by handler.", "handler"),
-		latency:   r.NewHistogramVec("sgserve_request_seconds", "Request latency in seconds, by handler.", "handler", metrics.DefLatencyBuckets),
-		batchSize: r.NewHistogram("sgserve_batch_size", "Points per dispatched evaluation batch (coalesced micro-batches and explicit batch requests).", metrics.DefSizeBuckets),
-		points:    r.NewCounter("sgserve_points_evaluated_total", "Grid points evaluated."),
-		resident:  r.NewGauge("sgserve_grids_resident", "Grids currently loaded in memory."),
-		loads:     r.NewCounter("sgserve_grid_loads_total", "Grid loads from disk."),
-		evictions: r.NewCounter("sgserve_grid_evictions_total", "LRU grid evictions."),
+		registry:    r,
+		requests:    r.NewCounterVec("sgserve_requests_total", "HTTP requests received, by handler.", "handler"),
+		errors:      r.NewCounterVec("sgserve_errors_total", "Requests answered with a non-2xx status, by handler.", "handler"),
+		latency:     r.NewHistogramVec("sgserve_request_seconds", "Request latency in seconds, by handler.", "handler", metrics.DefLatencyBuckets),
+		batchSize:   r.NewHistogram("sgserve_batch_size", "Points per dispatched evaluation batch (coalesced micro-batches and explicit batch requests).", metrics.DefSizeBuckets),
+		points:      r.NewCounter("sgserve_points_evaluated_total", "Grid points evaluated."),
+		resident:    r.NewGauge("sgserve_grids_resident", "Grids currently loaded in memory."),
+		loads:       r.NewCounter("sgserve_grid_loads_total", "Grid loads from disk."),
+		loadSecs:    r.NewHistogram("sgserve_grid_load_seconds", "Wall time of grid file loads (read + decode), in seconds.", metrics.DefLoadBuckets),
+		loadWaits:   r.NewCounter("sgserve_grid_load_waits_total", "Requests that piggybacked on another request's in-flight load of the same grid (singleflight followers)."),
+		evictions:   r.NewCounter("sgserve_grid_evictions_total", "LRU grid evictions."),
+		batchersNow: r.NewGauge("sgserve_batchers_active", "Per-grid micro-batch coalescers currently attached."),
+		drainsTotal: r.NewCounter("sgserve_batcher_drains_total", "Batchers drained and closed after their grid instance was evicted or replaced."),
 	}
 
 	mux := http.NewServeMux()
@@ -148,6 +174,7 @@ func New(cfg Config) *Server {
 func (s *Server) AddGrid(name, path string) error { return s.grids.Add(name, path) }
 
 // Preload eagerly loads registered grids up to the resident bound.
+// Per-grid failures do not abort the pass; they come back joined.
 func (s *Server) Preload() error { return s.grids.Preload() }
 
 // Grids exposes the registry (read-only use).
@@ -159,62 +186,118 @@ func (s *Server) Metrics() *metrics.Registry { return s.met.registry }
 // Handler returns the routing handler for an http.Server.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close drains and stops every per-grid coalescer. Call it after
+// Close drains and stops every per-grid coalescer, then waits for the
+// background drains of already-evicted batchers. Call it after
 // http.Server.Shutdown so enqueued requests still get their values;
 // requests arriving later fail with 503.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.drains.Wait()
 		return nil
 	}
 	s.closed = true
-	bs := make([]*batcher, 0, len(s.batchers))
-	for _, b := range s.batchers {
-		bs = append(bs, b)
+	bs := make([]*gridBatcher, 0, len(s.batchers))
+	for _, gb := range s.batchers {
+		bs = append(bs, gb)
 	}
-	s.batchers = make(map[string]*batcher)
+	s.batchers = make(map[string]*gridBatcher)
+	s.met.batchersNow.Set(0)
 	s.mu.Unlock()
-	for _, b := range bs {
-		b.close()
+	for _, gb := range bs {
+		gb.b.close()
+		gb.lease.Release()
 	}
+	s.drains.Wait()
 	return nil
 }
 
-// batcherFor returns the coalescer for a grid, creating it on first
-// use. It also touches the grid's LRU slot so hot grids stay resident.
-func (s *Server) batcherFor(name string) (*batcher, error) {
-	g, err := s.grids.Get(name)
+// isClosed reports whether Close has begun.
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// batcherFor returns the coalescer bound to the grid instance currently
+// resident under name, creating it on first use. Acquiring the lease
+// also touches the grid's LRU slot so hot grids stay resident.
+func (s *Server) batcherFor(ctx context.Context, name string) (*batcher, error) {
+	lease, err := s.grids.Acquire(ctx, name)
 	if err != nil {
 		return nil, err
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
+		lease.Release()
 		return nil, ErrClosed
 	}
-	if b, ok := s.batchers[name]; ok {
-		return b, nil
+	if gb, ok := s.batchers[name]; ok && gb.lease.Grid() == lease.Grid() {
+		s.mu.Unlock()
+		lease.Release()
+		return gb.b, nil
 	}
-	b := newBatcher(g, s.cfg.MaxBatch, s.cfg.BatchWait, func(n int) {
+	// Either no batcher yet, or a stale one still bound to an evicted
+	// instance (its eviction drain hasn't detached it yet) — replace it.
+	var stale *gridBatcher
+	if gb, ok := s.batchers[name]; ok {
+		stale = gb
+		delete(s.batchers, name)
+	}
+	gb := &gridBatcher{lease: lease}
+	gb.b = newBatcher(lease.Grid(), s.cfg.MaxBatch, s.cfg.BatchWait, func(n int) {
 		s.met.batchSize.Observe(float64(n))
 		s.met.points.Add(uint64(n))
 	})
-	s.batchers[name] = b
-	return b, nil
+	s.batchers[name] = gb
+	s.met.batchersNow.Set(float64(len(s.batchers)))
+	if stale != nil {
+		s.retireLocked(stale)
+	}
+	s.mu.Unlock()
+
+	// Close the create-after-evict race: if our instance was evicted
+	// between Acquire and the map insert above, OnEvict may have run
+	// before the batcher existed and missed it. Re-check residency and
+	// retire the batcher ourselves if so (exactly one of the two paths
+	// wins the map removal, so the drain happens once).
+	if !s.grids.IsCurrent(name, lease.Grid()) {
+		s.dropBatcherForGrid(name, lease.Grid())
+	}
+	return gb.b, nil
 }
 
-// dropBatcher detaches a grid's coalescer on eviction and drains it in
-// the background (its queued requests still complete against the old
-// grid instance; new requests reload the grid and get a fresh one).
-func (s *Server) dropBatcher(name string) {
+// dropBatcherForGrid detaches the batcher bound to the grid instance g
+// (if that is still the one attached under name) and drains it in the
+// background: its queued requests complete against the old instance,
+// then the drain releases the instance's lease.
+func (s *Server) dropBatcherForGrid(name string, g *compactsg.Grid) {
 	s.mu.Lock()
-	b, ok := s.batchers[name]
-	delete(s.batchers, name)
-	s.mu.Unlock()
-	if ok {
-		go b.close()
+	gb, ok := s.batchers[name]
+	if !ok || gb.lease.Grid() != g {
+		s.mu.Unlock()
+		return
 	}
+	delete(s.batchers, name)
+	s.met.batchersNow.Set(float64(len(s.batchers)))
+	s.retireLocked(gb)
+	s.mu.Unlock()
+}
+
+// retireLocked schedules a background drain of a detached batcher.
+// Caller holds s.mu; the WaitGroup increment happens under the lock so
+// Close (which inspects the map under the same lock) can never miss a
+// drain in flight.
+func (s *Server) retireLocked(gb *gridBatcher) {
+	s.met.drainsTotal.Inc()
+	s.drains.Add(1)
+	go func() {
+		defer s.drains.Done()
+		gb.b.close()
+		gb.lease.Release()
+	}()
 }
 
 // ---------------------------------------------------------------------
@@ -357,10 +440,12 @@ func (s *Server) handleEval(r *http.Request) (any, error) {
 	defer cancel()
 
 	if !s.cfg.Coalesce {
-		g, err := s.grids.Get(name)
+		lease, err := s.grids.Acquire(ctx, name)
 		if err != nil {
 			return nil, err
 		}
+		defer lease.Release()
+		g := lease.Grid()
 		if err := validatePoint(req.Point, g.Dim(), 0); err != nil {
 			return nil, err
 		}
@@ -373,18 +458,27 @@ func (s *Server) handleEval(r *http.Request) (any, error) {
 		return evalResponse{Value: v}, nil
 	}
 
-	b, err := s.batcherFor(name)
-	if err != nil {
-		return nil, err
+	// An ErrClosed from submit normally means "this batcher was retired
+	// because its grid instance was evicted between lookup and enqueue";
+	// retry against a freshly attached batcher (bounded by ctx). Only a
+	// server-wide Close surfaces ErrClosed to the client.
+	for {
+		b, err := s.batcherFor(ctx, name)
+		if err != nil {
+			return nil, err
+		}
+		if err := validatePoint(req.Point, b.grid.Dim(), 0); err != nil {
+			return nil, err
+		}
+		v, err := b.submit(ctx, req.Point)
+		if errors.Is(err, ErrClosed) && !s.isClosed() {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		return evalResponse{Value: v}, nil
 	}
-	if err := validatePoint(req.Point, b.grid.Dim(), 0); err != nil {
-		return nil, err
-	}
-	v, err := b.submit(ctx, req.Point)
-	if err != nil {
-		return nil, err
-	}
-	return evalResponse{Value: v}, nil
 }
 
 func (s *Server) handleEvalBatch(r *http.Request) (any, error) {
@@ -403,18 +497,20 @@ func (s *Server) handleEvalBatch(r *http.Request) (any, error) {
 		return nil, httpErrorf(http.StatusRequestEntityTooLarge,
 			"batch of %d points exceeds the per-request cap of %d", len(req.Points), s.cfg.MaxBatchPoints)
 	}
-	g, err := s.grids.Get(name)
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	lease, err := s.grids.Acquire(ctx, name)
 	if err != nil {
 		return nil, err
 	}
+	defer lease.Release()
+	g := lease.Grid()
 	for k, x := range req.Points {
 		if err := validatePoint(x, g.Dim(), k); err != nil {
 			return nil, err
 		}
 	}
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-	defer cancel()
 	type res struct {
 		vals []float64
 		err  error
