@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments examples smoke serve-demo staticcheck stress clean
+.PHONY: all build vet test race bench bench-all experiments examples smoke serve-demo staticcheck stress clean
 
 all: build vet test
 
@@ -39,7 +39,12 @@ stress:
 staticcheck:
 	staticcheck ./...
 
+# Kernel hot-path benchmarks -> BENCH_kernels.json (baseline vs current;
+# see scripts/bench_kernels.sh for BENCHTIME/--as-baseline knobs).
 bench:
+	bash scripts/bench_kernels.sh
+
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every table and figure of the paper (scaled defaults;

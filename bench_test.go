@@ -22,7 +22,7 @@ import (
 )
 
 const (
-	benchLevel  = 6
+	benchLevel  = 7
 	benchDim    = 5
 	benchPoints = 64
 )
@@ -92,6 +92,7 @@ func BenchmarkFig9Hierarchization(b *testing.B) {
 			b.StartTimer()
 			hier.Iterative(g)
 		}
+		reportPerPoint(b, int64(b.N)*desc.Size())
 	})
 	for _, kind := range grids.Kinds[1:] {
 		b.Run(kind.String(), func(b *testing.B) {
@@ -120,6 +121,7 @@ func BenchmarkFig9Evaluation(b *testing.B) {
 		for k := 0; k < b.N; k++ {
 			eval.Batch(g, xs, out, eval.Options{})
 		}
+		reportPerPoint(b, int64(b.N)*int64(len(xs)))
 	})
 	for _, kind := range grids.Kinds[1:] {
 		b.Run(kind.String(), func(b *testing.B) {
@@ -479,6 +481,99 @@ func BenchmarkHierarchizeBoundary(b *testing.B) {
 		bg.Fill(workload.Multilinear.F)
 		b.StartTimer()
 		bg.Hierarchize()
+	}
+}
+
+// ---------------------------------------------------------------------
+// Kernel trajectory matrix. scripts/bench_kernels.sh runs these (plus the
+// Fig. 9 pair) and emits BENCH_kernels.json, the machine-readable record
+// of ns/point for the two compact-layout hot kernels across refinement
+// levels 5–8 and d ∈ {2, 5, 10}. EXPERIMENTS.md §"Kernel trajectory"
+// tracks the numbers across PRs.
+
+var kernelMatrix = []struct{ dim, level int }{
+	{2, 5}, {2, 6}, {2, 7}, {2, 8},
+	{5, 5}, {5, 6}, {5, 7}, {5, 8},
+	{10, 5}, {10, 6}, {10, 7}, {10, 8},
+}
+
+// kernelParWorkers is the worker count of the "par" rows. Fixed (rather
+// than GOMAXPROCS) so runs on different machines stay comparable.
+const kernelParWorkers = 4
+
+// reportPerPoint attaches the per-grid-point metrics the trajectory
+// harness parses: points is the total number of point-updates (hier) or
+// query evaluations (eval) performed across all b.N iterations.
+func reportPerPoint(b *testing.B, points int64) {
+	b.Helper()
+	ns := float64(b.Elapsed().Nanoseconds()) / float64(points)
+	b.ReportMetric(ns, "ns/point")
+	if ns > 0 {
+		b.ReportMetric(1e9/ns, "points/s")
+	}
+}
+
+// BenchmarkKernelEval — batch evaluation of benchPoints query points,
+// sequential, parallel, and cache-blocked.
+func BenchmarkKernelEval(b *testing.B) {
+	variants := []struct {
+		name string
+		opt  eval.Options
+	}{
+		{"seq", eval.Options{}},
+		{"par", eval.Options{Workers: kernelParWorkers}},
+		{"blk256", eval.Options{BlockSize: 256}},
+	}
+	for _, c := range kernelMatrix {
+		for _, v := range variants {
+			b.Run(fmt.Sprintf("l%d_d%d_%s", c.level, c.dim, v.name), func(b *testing.B) {
+				desc, err := core.NewDescriptor(c.dim, c.level)
+				if err != nil {
+					b.Fatal(err)
+				}
+				g := core.NewGrid(desc)
+				g.Fill(workload.Parabola.F)
+				hier.Iterative(g)
+				xs := workload.Points(13, benchPoints, c.dim)
+				out := make([]float64, len(xs))
+				b.ResetTimer()
+				for k := 0; k < b.N; k++ {
+					eval.Batch(g, xs, out, v.opt)
+				}
+				reportPerPoint(b, int64(b.N)*int64(len(xs)))
+			})
+		}
+	}
+}
+
+// BenchmarkKernelHier — in-place hierarchization of the full grid,
+// sequential and parallel (ns/point counts every grid point once per
+// b.N iteration, i.e. all d dimension passes together).
+func BenchmarkKernelHier(b *testing.B) {
+	variants := []struct {
+		name    string
+		workers int
+	}{
+		{"seq", 1},
+		{"par", kernelParWorkers},
+	}
+	for _, c := range kernelMatrix {
+		for _, v := range variants {
+			b.Run(fmt.Sprintf("l%d_d%d_%s", c.level, c.dim, v.name), func(b *testing.B) {
+				desc, err := core.NewDescriptor(c.dim, c.level)
+				if err != nil {
+					b.Fatal(err)
+				}
+				g := core.NewGrid(desc)
+				for k := 0; k < b.N; k++ {
+					b.StopTimer()
+					g.Fill(workload.Parabola.F)
+					b.StartTimer()
+					hier.Parallel(g, v.workers)
+				}
+				reportPerPoint(b, int64(b.N)*desc.Size())
+			})
+		}
 	}
 }
 

@@ -107,7 +107,7 @@ func run(args []string, stdout io.Writer) error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			lat := make([]time.Duration, 0, *n / *conc+1)
+			lat := make([]time.Duration, 0, *n / *conc + 1)
 			for {
 				k := next.Add(1) - 1
 				if k >= int64(*n) {

@@ -87,3 +87,22 @@ func (d *Descriptor) SubspaceStart(l []int32) int64 {
 	g := LevelSum(l)
 	return d.groupStart[g] + d.SubspaceIndex(l)<<uint(g)
 }
+
+// AncestorStarts precomputes, for subspace l and dimension t, the flat
+// base offset (index2 + index3, i.e. SubspaceStart) of every ancestor
+// subspace l − k·e_t: dst[pl] receives the base of the subspace whose
+// dimension-t level is pl, for pl = 0..l[t]−1, and the returned slice is
+// dst[:l[t]]. dst must have capacity ≥ l[t]. l is restored before
+// returning. The hierarchization kernels combine these bases with O(1)
+// bit arithmetic per point, replacing two O(d) GP2Idx walks per point
+// with amortized-constant table lookups (DESIGN.md §8).
+func (d *Descriptor) AncestorStarts(l []int32, t int, dst []int64) []int64 {
+	lt := l[t]
+	dst = dst[:lt]
+	for pl := int32(0); pl < lt; pl++ {
+		l[t] = pl
+		dst[pl] = d.SubspaceStart(l)
+	}
+	l[t] = lt
+	return dst
+}

@@ -89,22 +89,38 @@ func (d *Descriptor) Contains(l, i []int32) bool {
 	return sum < d.level
 }
 
+// CellIndex returns the index of the level-`level` cell containing x:
+// ⌊x·2^level⌋ clamped into [0, 2^level−1]. On 1d level l the supports of
+// the 2^l basis functions tile [0,1] in cells of width 2^−l; the clamp
+// assigns x < 0 to the first cell and x ≥ 1 (including x = 1.0, whose
+// unclamped cell index would be 2^l) to the last one. This is the single
+// clamp-to-cell rule shared by PointAt, the evaluation table builder and
+// the gradient walk.
+func CellIndex(level int32, x float64) int64 {
+	cells := int64(1) << uint32(level)
+	if x <= 0 {
+		// Also catches the float→int64 conversion overflow of huge
+		// negative x, which is implementation-defined in Go.
+		return 0
+	}
+	if x >= 1 {
+		return cells - 1
+	}
+	c := int64(x * float64(cells))
+	if c >= cells {
+		// x just below 1 can still round up to 2^level.
+		return cells - 1
+	}
+	return c
+}
+
 // PointAt locates the grid point of subspace l whose basis-function
 // support contains the coordinate vector x ∈ [0,1)^d, writing the odd
-// indices into i. On level l_t the supports of the 2^l_t basis functions
-// tile [0,1] in cells of width 2^-l_t; x belongs to cell ⌊x·2^l_t⌋.
-// Coordinates are clamped into [0,1], with x = 1 assigned to the last
-// cell.
+// indices into i. Coordinates are clamped into [0,1] per CellIndex, with
+// x = 1 assigned to the last cell.
 func PointAt(l []int32, x []float64, i []int32) {
 	for t := range l {
-		cells := int64(1) << uint32(l[t])
-		c := int64(x[t] * float64(cells))
-		if c < 0 {
-			c = 0
-		} else if c >= cells {
-			c = cells - 1
-		}
-		i[t] = int32(c<<1 | 1)
+		i[t] = int32(CellIndex(l[t], x[t])<<1 | 1)
 	}
 }
 

@@ -27,15 +27,26 @@ import (
 // x must lie in [0,1]^d; coordinates are clamped into the domain.
 func Iterative(g *core.Grid, x []float64) float64 {
 	desc := g.Desc()
-	l := make([]int32, desc.Dim())
-	return iterativeInto(g, x, l)
+	s := getScratch(desc.Dim(), desc.Level())
+	s.tb.build(x)
+	res := iterativeInto(g, &s.tb, s.l)
+	putScratch(s)
+	return res
 }
 
-// iterativeInto is Iterative with a caller-provided level scratch buffer,
-// so batch drivers do not allocate per query.
-func iterativeInto(g *core.Grid, x []float64, l []int32) float64 {
+// iterativeInto walks every subspace and accumulates the one contributing
+// point per subspace, reading cell indices and hat values from the
+// per-query tables tb (already built for the query point). l is level
+// scratch of length Dim(). The inner loop is pure table lookups and
+// integer shifts — no float→int conversion, no division, no basis call.
+func iterativeInto(g *core.Grid, tb *basisTables, l []int32) float64 {
 	desc := g.Desc()
+	data := g.Data
 	d := desc.Dim()
+	n := tb.n
+	cell, phi := tb.cell, tb.phi
+	phi = phi[:len(cell)] // BCE: phi[j] rides on cell[j]'s bounds check
+	l = l[:d]             // BCE: l[t] for t < d
 	res := 0.0
 	var index2 int64 // running offset of the current subspace (index2+index3)
 	for grp := 0; grp < desc.Groups(); grp++ {
@@ -46,19 +57,12 @@ func iterativeInto(g *core.Grid, x []float64, l []int32) float64 {
 			prod := 1.0
 			var index1 int64
 			for t := d - 1; t >= 0; t-- {
-				cells := int64(1) << uint32(l[t])
-				c := int64(x[t] * float64(cells))
-				if c < 0 {
-					c = 0
-				} else if c >= cells {
-					c = cells - 1
-				}
-				index1 = index1<<uint32(l[t]) + c
-				div := 1.0 / float64(cells)
-				left := float64(c) * div
-				prod *= basis.EvalInterval(left, left+div, x[t])
+				lt := l[t]
+				j := t*n + int(lt)
+				index1 = index1<<uint32(lt) + cell[j]
+				prod *= phi[j]
 			}
-			res += prod * g.Data[index1+index2]
+			res += prod * data[index1+index2]
 			core.Next(l)
 			index2 += sz
 		}
@@ -159,16 +163,29 @@ func Batch(g *core.Grid, xs [][]float64, out []float64, opt Options) []float64 {
 	if out == nil {
 		out = make([]float64, len(xs))
 	}
+	batchInto(g, xs, out, opt)
+	return out
+}
+
+// batchInto is Batch with a mandatory output slice. out is never
+// reassigned here, so the worker closures capture it by value —
+// reassigning a captured parameter (as Batch must for out == nil) would
+// heap-box the slice header on every call, including the sequential
+// zero-alloc path.
+func batchInto(g *core.Grid, xs [][]float64, out []float64, opt Options) {
 	if opt.BlockSize > 0 {
 		batchBlocked(g, xs, out, opt)
-		return out
+		return
 	}
+	desc := g.Desc()
 	if opt.Workers <= 1 {
-		l := make([]int32, g.Dim())
+		s := getScratch(desc.Dim(), desc.Level())
 		for k, x := range xs {
-			out[k] = iterativeInto(g, x, l)
+			s.tb.build(x)
+			out[k] = iterativeInto(g, &s.tb, s.l)
 		}
-		return out
+		putScratch(s)
+		return
 	}
 	var wg sync.WaitGroup
 	chunk := (len(xs) + opt.Workers - 1) / opt.Workers
@@ -181,14 +198,15 @@ func Batch(g *core.Grid, xs [][]float64, out []float64, opt Options) []float64 {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			l := make([]int32, g.Dim())
+			s := getScratch(desc.Dim(), desc.Level())
 			for k := lo; k < hi; k++ {
-				out[k] = iterativeInto(g, xs[k], l)
+				s.tb.build(xs[k])
+				out[k] = iterativeInto(g, &s.tb, s.l)
 			}
+			putScratch(s)
 		}(lo, hi)
 	}
 	wg.Wait()
-	return out
 }
 
 // batchBlocked is the subspace-outer evaluation: every subspace's
@@ -205,52 +223,58 @@ func batchBlocked(g *core.Grid, xs [][]float64, out []float64, opt Options) {
 		next <- b
 	}
 	close(next)
+	desc := g.Desc()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			l := make([]int32, g.Dim())
+			sc := getBlockScratch(bs, desc.Dim(), desc.Level())
 			for b := range next {
 				lo := b * bs
 				hi := min(lo+bs, len(xs))
-				evalBlock(g, xs[lo:hi], out[lo:hi], l)
+				evalBlock(g, xs[lo:hi], out[lo:hi], sc)
 			}
+			putBlockScratch(sc)
 		}()
 	}
 	wg.Wait()
 }
 
 // evalBlock accumulates all subspace contributions for one block of
-// query points, subspace-major.
-func evalBlock(g *core.Grid, xs [][]float64, out []float64, l []int32) {
+// query points, subspace-major. The per-point basis tables are built
+// once up front (O(block·d·n)); the subspace sweep then touches each
+// point with pure lookups while the subspace's coefficients stay
+// cache-resident.
+func evalBlock(g *core.Grid, xs [][]float64, out []float64, sc *blockScratch) {
 	desc := g.Desc()
+	data := g.Data
 	d := desc.Dim()
-	for k := range out {
+	n := sc.n
+	l := sc.l[:d]
+	out = out[:len(xs)] // BCE: out[k] for k := range xs
+	for k, x := range xs {
 		out[k] = 0
+		sc.build(k, x)
 	}
+	cell, phi := sc.cell, sc.phi
+	phi = phi[:len(cell)] // BCE: phi[j] rides on cell[j]'s bounds check
 	var index2 int64
 	for grp := 0; grp < desc.Groups(); grp++ {
 		core.First(l, grp)
 		nsub := desc.Subspaces(grp)
 		sz := int64(1) << uint(grp)
 		for s := int64(0); s < nsub; s++ {
-			for k, x := range xs {
+			for k := range xs {
 				prod := 1.0
 				var index1 int64
+				base := k * d * n
 				for t := d - 1; t >= 0; t-- {
-					cells := int64(1) << uint32(l[t])
-					c := int64(x[t] * float64(cells))
-					if c < 0 {
-						c = 0
-					} else if c >= cells {
-						c = cells - 1
-					}
-					index1 = index1<<uint32(l[t]) + c
-					div := 1.0 / float64(cells)
-					left := float64(c) * div
-					prod *= basis.EvalInterval(left, left+div, x[t])
+					lt := l[t]
+					j := base + t*n + int(lt)
+					index1 = index1<<uint32(lt) + cell[j]
+					prod *= phi[j]
 				}
-				out[k] += prod * g.Data[index1+index2]
+				out[k] += prod * data[index1+index2]
 			}
 			core.Next(l)
 			index2 += sz

@@ -37,12 +37,7 @@ func Gradient(g *core.Grid, x []float64, grad []float64) float64 {
 			var index1 int64
 			for t := d - 1; t >= 0; t-- {
 				cells := int64(1) << uint32(l[t])
-				c := int64(x[t] * float64(cells))
-				if c < 0 {
-					c = 0
-				} else if c >= cells {
-					c = cells - 1
-				}
+				c := core.CellIndex(l[t], x[t])
 				index1 = index1<<uint32(l[t]) + c
 				div := 1.0 / float64(cells)
 				left := float64(c) * div

@@ -1,0 +1,127 @@
+package eval
+
+import (
+	"sync"
+
+	"compactsg/internal/basis"
+	"compactsg/internal/core"
+)
+
+// Per-query 1d basis tables — the table factorization of Alg. 7
+// (DESIGN.md §8). For a fixed query point x and dimension t, the inner
+// loop of the subspace walk only ever needs two quantities per 1d level
+// lvl: the index of the level-lvl cell containing x_t and the value of
+// the single level-lvl hat that is nonzero at x_t. Both depend on
+// (t, lvl) alone — not on the subspace — so a grid walk that visits S
+// subspaces recomputes each of the d·n distinct values S·d/(d·n) ≈ S/n
+// times, paying a float→int conversion, two divisions and a hat
+// evaluation each time. Building the d·n tables once per query turns
+// the per-subspace work into pure table lookups and integer shifts.
+//
+// The tables are bit-identical to the recomputation by construction:
+// build evaluates exactly the expressions the old inner loop used, once
+// per (t, lvl) instead of once per (subspace, t).
+
+// basisTables holds the per-query tables, flattened as [t*n + lvl] for
+// dimension t and 1d level lvl < n.
+type basisTables struct {
+	d, n int
+	cell []int64   // cell[t*n+lvl]: index of the level-lvl cell containing x_t
+	phi  []float64 // phi[t*n+lvl]:  value of the one nonzero level-lvl hat at x_t
+}
+
+// resize prepares the tables for a d-dimensional level-n grid, reusing
+// backing storage when it is large enough.
+func (tb *basisTables) resize(d, n int) {
+	tb.d, tb.n = d, n
+	if cap(tb.cell) < d*n {
+		tb.cell = make([]int64, d*n)
+		tb.phi = make([]float64, d*n)
+	}
+	tb.cell = tb.cell[:d*n]
+	tb.phi = tb.phi[:d*n]
+}
+
+// build fills the tables for the query point x — O(d·n) work that the
+// subspace walk then reuses for every subspace.
+func (tb *basisTables) build(x []float64) {
+	n := tb.n
+	for t := 0; t < tb.d; t++ {
+		xt := x[t]
+		row := tb.cell[t*n : t*n+n]
+		prow := tb.phi[t*n : t*n+n]
+		for lvl := 0; lvl < n; lvl++ {
+			cells := int64(1) << uint(lvl)
+			c := core.CellIndex(int32(lvl), xt)
+			div := 1.0 / float64(cells)
+			left := float64(c) * div
+			row[lvl] = c
+			prow[lvl] = basis.EvalInterval(left, left+div, xt)
+		}
+	}
+}
+
+// scratch bundles the per-query buffers of the iterative walk (level
+// vector plus basis tables) so single-point evaluation, batch drivers
+// and the serve path run allocation-free at steady state.
+type scratch struct {
+	l  []int32
+	tb basisTables
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// getScratch returns a scratch sized for a d-dimensional level-n grid.
+func getScratch(d, n int) *scratch {
+	s := scratchPool.Get().(*scratch)
+	if cap(s.l) < d {
+		s.l = make([]int32, d)
+	}
+	s.l = s.l[:d]
+	s.tb.resize(d, n)
+	return s
+}
+
+func putScratch(s *scratch) { scratchPool.Put(s) }
+
+// blockScratch carries the per-block buffers of the cache-blocked
+// (subspace-major) evaluation: one table set per query point of the
+// block, point-major so each point's tables stay contiguous.
+type blockScratch struct {
+	l    []int32
+	n    int
+	cell []int64 // cell[(k*d+t)*n + lvl] for block point k
+	phi  []float64
+}
+
+var blockScratchPool = sync.Pool{New: func() any { return new(blockScratch) }}
+
+// getBlockScratch returns a blockScratch sized for bs query points of a
+// d-dimensional level-n grid.
+func getBlockScratch(bs, d, n int) *blockScratch {
+	s := blockScratchPool.Get().(*blockScratch)
+	if cap(s.l) < d {
+		s.l = make([]int32, d)
+	}
+	s.l = s.l[:d]
+	s.n = n
+	if cap(s.cell) < bs*d*n {
+		s.cell = make([]int64, bs*d*n)
+		s.phi = make([]float64, bs*d*n)
+	}
+	s.cell = s.cell[:bs*d*n]
+	s.phi = s.phi[:bs*d*n]
+	return s
+}
+
+func putBlockScratch(s *blockScratch) { blockScratchPool.Put(s) }
+
+// build fills the tables of block point k for query x.
+func (s *blockScratch) build(k int, x []float64) {
+	d, n := len(x), s.n
+	var tb basisTables
+	tb.d, tb.n = d, n
+	tb.cell = s.cell[(k*d)*n : (k*d+d)*n]
+	tb.phi = s.phi[(k*d)*n : (k*d+d)*n]
+	tb.build(x)
+}

@@ -24,6 +24,7 @@
 package hier
 
 import (
+	"math/bits"
 	"sync"
 
 	"compactsg/internal/core"
@@ -36,14 +37,15 @@ import (
 // ancestors in that dimension.
 func Iterative(g *core.Grid) {
 	desc := g.Desc()
+	data := g.Data
 	d := desc.Dim()
-	i := make([]int32, d)
+	bases := make([]int64, desc.Level())
 	it := core.NewSubspaceIter(desc)
 	for t := 0; t < d; t++ {
 		for grp := desc.Groups() - 1; grp >= 0; grp-- {
 			it.SeekGroup(grp)
 			for it.Valid() && it.Group() == grp {
-				hierarchizeSubspace(g, it.Level(), i, it.Start(), t)
+				hierarchizeSubspace(data, desc, it.Level(), it.Start(), t, bases)
 				it.Advance()
 			}
 		}
@@ -53,22 +55,58 @@ func Iterative(g *core.Grid) {
 // hierarchizeSubspace applies the dimension-t update to every point of
 // one subspace. Points whose 1d level in dimension t is 0 have both
 // parents on the (zero) boundary and are skipped.
-func hierarchizeSubspace(g *core.Grid, l, i []int32, start int64, t int) {
-	if l[t] == 0 {
+//
+// Parent lookups are stride-based (DESIGN.md §8): the flat index of a
+// point's dimension-t ancestor decomposes into the ancestor subspace's
+// base offset — precomputed once per subspace by AncestorStarts — plus
+// an index1 derived from the point's own mixed-radix position p by pure
+// bit arithmetic. With dimension 0 least significant, p splits into
+//
+//	low  = p & (2^shLow − 1)   digits of dimensions  < t  (shLow = Σ_{j<t} l_j bits)
+//	dig  = (p >> shLow) & (2^l_t − 1)   the dimension-t digit (i_t = 2·dig+1)
+//	high = p >> (shLow + l_t)           digits of dimensions > t
+//
+// The ancestor on side ±1 has 1d numerator num = i_t ± 1 = 2·dig + (0|2);
+// stripping its k trailing zero bits gives the ancestor's 1d level
+// pl = l_t − k and digit num >> (k+1), so its index1 re-packs as
+// low + (num>>(k+1))<<shLow + high<<(shLow+pl) — the low and high digit
+// blocks are unchanged, only the dimension-t field narrows from l_t to
+// pl bits. This replaces the two O(d) ParentIdx→GP2Idx walks per point
+// of the direct implementation with O(1) work per point.
+func hierarchizeSubspace(data []float64, desc *core.Descriptor, l []int32, start int64, t int, bases []int64) {
+	lt := l[t]
+	if lt == 0 {
 		return
 	}
-	desc := g.Desc()
+	bases = desc.AncestorStarts(l, t, bases)
+	shLow := uint(0)
+	for j := 0; j < t; j++ {
+		shLow += uint(l[j])
+	}
+	maskLow := int64(1)<<shLow - 1
+	maskT := int64(1)<<uint(lt) - 1
 	n := int64(1) << uint(core.LevelSum(l))
-	for p := int64(0); p < n; p++ {
-		core.DecodeIndex1(p, l, i)
+	vals := data[start : start+n]
+	for p := range vals {
+		pp := int64(p)
+		low := pp & maskLow
+		rest := pp >> shLow
+		dig := rest & maskT
+		high := rest >> uint(lt)
 		var parents float64
-		if idx, ok := desc.ParentIdx(l, i, t, core.LeftParent); ok {
-			parents += g.Data[idx]
+		if dig != 0 {
+			num := dig << 1 // i_t − 1
+			k := uint(bits.TrailingZeros64(uint64(num)))
+			pl := uint(lt) - k
+			parents += data[bases[pl]+low+(num>>(k+1))<<shLow+high<<(shLow+pl)]
 		}
-		if idx, ok := desc.ParentIdx(l, i, t, core.RightParent); ok {
-			parents += g.Data[idx]
+		if dig != maskT {
+			num := dig<<1 + 2 // i_t + 1
+			k := uint(bits.TrailingZeros64(uint64(num)))
+			pl := uint(lt) - k
+			parents += data[bases[pl]+low+(num>>(k+1))<<shLow+high<<(shLow+pl)]
 		}
-		g.Data[start+p] -= parents / 2
+		vals[p] -= parents / 2
 	}
 }
 
@@ -114,12 +152,13 @@ func parallelGroup(g *core.Grid, grp, t, workers int) {
 		wg.Add(1)
 		go func(lo, hi int64) {
 			defer wg.Done()
+			data := g.Data
 			l := make([]int32, desc.Dim())
-			i := make([]int32, desc.Dim())
+			bases := make([]int64, desc.Level())
 			desc.SubspaceFromIndex(grp, lo, l)
 			start := desc.GroupStart(grp) + lo<<uint(grp)
 			for s := lo; s < hi; s++ {
-				hierarchizeSubspace(g, l, i, start, t)
+				hierarchizeSubspace(data, desc, l, start, t, bases)
 				start += int64(1) << uint(grp)
 				core.Next(l)
 			}
@@ -134,36 +173,58 @@ func parallelGroup(g *core.Grid, grp, t, workers int) {
 // values, and dimensions are unwound in reverse order.
 func Dehierarchize(g *core.Grid) {
 	desc := g.Desc()
+	data := g.Data
 	d := desc.Dim()
-	i := make([]int32, d)
+	bases := make([]int64, desc.Level())
 	it := core.NewSubspaceIter(desc)
 	for t := d - 1; t >= 0; t-- {
 		for grp := 0; grp < desc.Groups(); grp++ {
 			it.SeekGroup(grp)
 			for it.Valid() && it.Group() == grp {
-				dehierarchizeSubspace(g, it.Level(), i, it.Start(), t)
+				dehierarchizeSubspace(data, desc, it.Level(), it.Start(), t, bases)
 				it.Advance()
 			}
 		}
 	}
 }
 
-func dehierarchizeSubspace(g *core.Grid, l, i []int32, start int64, t int) {
-	if l[t] == 0 {
+// dehierarchizeSubspace mirrors hierarchizeSubspace with the inverse
+// update (add the parents' average); see that function for the
+// stride-based parent index derivation.
+func dehierarchizeSubspace(data []float64, desc *core.Descriptor, l []int32, start int64, t int, bases []int64) {
+	lt := l[t]
+	if lt == 0 {
 		return
 	}
-	desc := g.Desc()
+	bases = desc.AncestorStarts(l, t, bases)
+	shLow := uint(0)
+	for j := 0; j < t; j++ {
+		shLow += uint(l[j])
+	}
+	maskLow := int64(1)<<shLow - 1
+	maskT := int64(1)<<uint(lt) - 1
 	n := int64(1) << uint(core.LevelSum(l))
-	for p := int64(0); p < n; p++ {
-		core.DecodeIndex1(p, l, i)
+	vals := data[start : start+n]
+	for p := range vals {
+		pp := int64(p)
+		low := pp & maskLow
+		rest := pp >> shLow
+		dig := rest & maskT
+		high := rest >> uint(lt)
 		var parents float64
-		if idx, ok := desc.ParentIdx(l, i, t, core.LeftParent); ok {
-			parents += g.Data[idx]
+		if dig != 0 {
+			num := dig << 1
+			k := uint(bits.TrailingZeros64(uint64(num)))
+			pl := uint(lt) - k
+			parents += data[bases[pl]+low+(num>>(k+1))<<shLow+high<<(shLow+pl)]
 		}
-		if idx, ok := desc.ParentIdx(l, i, t, core.RightParent); ok {
-			parents += g.Data[idx]
+		if dig != maskT {
+			num := dig<<1 + 2
+			k := uint(bits.TrailingZeros64(uint64(num)))
+			pl := uint(lt) - k
+			parents += data[bases[pl]+low+(num>>(k+1))<<shLow+high<<(shLow+pl)]
 		}
-		g.Data[start+p] += parents / 2
+		vals[p] += parents / 2
 	}
 }
 
@@ -200,12 +261,13 @@ func dehierParallelGroup(g *core.Grid, grp, t, workers int) {
 		wg.Add(1)
 		go func(lo, hi int64) {
 			defer wg.Done()
+			data := g.Data
 			l := make([]int32, desc.Dim())
-			i := make([]int32, desc.Dim())
+			bases := make([]int64, desc.Level())
 			desc.SubspaceFromIndex(grp, lo, l)
 			start := desc.GroupStart(grp) + lo<<uint(grp)
 			for s := lo; s < hi; s++ {
-				dehierarchizeSubspace(g, l, i, start, t)
+				dehierarchizeSubspace(data, desc, l, start, t, bases)
 				start += int64(1) << uint(grp)
 				core.Next(l)
 			}

@@ -1,0 +1,180 @@
+package hier
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"compactsg/internal/core"
+)
+
+// Reference implementations of the pre-stride kernels: the per-point
+// DecodeIndex1 + two ParentIdx (O(d) GP2Idx walk each) formulation that
+// hierarchizeSubspace/dehierarchizeSubspace replaced. The property tests
+// pin the bit-arithmetic kernels to these references bit for bit.
+
+func hierarchizeSubspaceRef(g *core.Grid, l, i []int32, start int64, t int) {
+	if l[t] == 0 {
+		return
+	}
+	desc := g.Desc()
+	n := int64(1) << uint(core.LevelSum(l))
+	for p := int64(0); p < n; p++ {
+		core.DecodeIndex1(p, l, i)
+		var parents float64
+		if idx, ok := desc.ParentIdx(l, i, t, core.LeftParent); ok {
+			parents += g.Data[idx]
+		}
+		if idx, ok := desc.ParentIdx(l, i, t, core.RightParent); ok {
+			parents += g.Data[idx]
+		}
+		g.Data[start+p] -= parents / 2
+	}
+}
+
+func dehierarchizeSubspaceRef(g *core.Grid, l, i []int32, start int64, t int) {
+	if l[t] == 0 {
+		return
+	}
+	desc := g.Desc()
+	n := int64(1) << uint(core.LevelSum(l))
+	for p := int64(0); p < n; p++ {
+		core.DecodeIndex1(p, l, i)
+		var parents float64
+		if idx, ok := desc.ParentIdx(l, i, t, core.LeftParent); ok {
+			parents += g.Data[idx]
+		}
+		if idx, ok := desc.ParentIdx(l, i, t, core.RightParent); ok {
+			parents += g.Data[idx]
+		}
+		g.Data[start+p] += parents / 2
+	}
+}
+
+func iterativeRef(g *core.Grid) {
+	desc := g.Desc()
+	d := desc.Dim()
+	i := make([]int32, d)
+	it := core.NewSubspaceIter(desc)
+	for t := 0; t < d; t++ {
+		for grp := desc.Groups() - 1; grp >= 0; grp-- {
+			it.SeekGroup(grp)
+			for it.Valid() && it.Group() == grp {
+				hierarchizeSubspaceRef(g, it.Level(), i, it.Start(), t)
+				it.Advance()
+			}
+		}
+	}
+}
+
+func dehierarchizeRef(g *core.Grid) {
+	desc := g.Desc()
+	d := desc.Dim()
+	i := make([]int32, d)
+	it := core.NewSubspaceIter(desc)
+	for t := d - 1; t >= 0; t-- {
+		for grp := 0; grp < desc.Groups(); grp++ {
+			it.SeekGroup(grp)
+			for it.Valid() && it.Group() == grp {
+				dehierarchizeSubspaceRef(g, it.Level(), i, it.Start(), t)
+				it.Advance()
+			}
+		}
+	}
+}
+
+func randomGrid(rng *rand.Rand, d, n int) *core.Grid {
+	g := core.NewGrid(core.MustDescriptor(d, n))
+	for k := range g.Data {
+		g.Data[k] = rng.NormFloat64()
+	}
+	return g
+}
+
+func requireBitEqual(t *testing.T, tag string, got, want *core.Grid) {
+	t.Helper()
+	for k := range want.Data {
+		if math.Float64bits(got.Data[k]) != math.Float64bits(want.Data[k]) {
+			t.Fatalf("%s: data[%d] = %v, reference %v", tag, k, got.Data[k], want.Data[k])
+		}
+	}
+}
+
+// TestStrideKernelBitIdentical: the stride-based hierarchization and
+// dehierarchization (sequential and every worker count) must reproduce
+// the ParentIdx-walking reference bit for bit on random surpluses.
+func TestStrideKernelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, c := range []struct{ d, n int }{{1, 1}, {1, 7}, {2, 6}, {3, 5}, {5, 5}, {10, 4}} {
+		g := randomGrid(rng, c.d, c.n)
+
+		ref := g.Clone()
+		iterativeRef(ref)
+		got := g.Clone()
+		Iterative(got)
+		requireBitEqual(t, "Iterative", got, ref)
+		for _, workers := range []int{2, 3, 8} {
+			got := g.Clone()
+			Parallel(got, workers)
+			requireBitEqual(t, "Parallel", got, ref)
+		}
+
+		deref := g.Clone()
+		dehierarchizeRef(deref)
+		degot := g.Clone()
+		Dehierarchize(degot)
+		requireBitEqual(t, "Dehierarchize", degot, deref)
+		for _, workers := range []int{2, 3, 8} {
+			degot := g.Clone()
+			DehierarchizeParallel(degot, workers)
+			requireBitEqual(t, "DehierarchizeParallel", degot, deref)
+		}
+	}
+}
+
+// TestHierRoundTripRandom: hierarchize→dehierarchize restores the nodal
+// values up to rounding (the updates are exact inverses in real
+// arithmetic; floating point leaves at most a few ulps).
+func TestHierRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, c := range []struct{ d, n int }{{1, 6}, {2, 5}, {4, 5}, {8, 4}} {
+		g := randomGrid(rng, c.d, c.n)
+		orig := g.Clone()
+		Iterative(g)
+		Dehierarchize(g)
+		for k := range g.Data {
+			tol := 1e-12 * math.Max(1, math.Abs(orig.Data[k]))
+			if math.Abs(g.Data[k]-orig.Data[k]) > tol {
+				t.Fatalf("d=%d n=%d round-trip data[%d] = %v, want %v", c.d, c.n, k, g.Data[k], orig.Data[k])
+			}
+		}
+	}
+}
+
+// FuzzHierStrideIdentity fuzzes a single-subspace update against the
+// reference: random shape, random subspace, random dimension.
+func FuzzHierStrideIdentity(f *testing.F) {
+	f.Add(int64(1), 2, 5, 3, 0, int64(0))
+	f.Add(int64(2), 3, 6, 5, 2, int64(4))
+	f.Add(int64(3), 1, 7, 6, 0, int64(0))
+	f.Fuzz(func(t *testing.T, seed int64, d, n, grp, dim int, sub int64) {
+		if d < 1 || d > 4 || n < 1 || n > 7 || grp < 0 || grp >= n || dim < 0 || dim >= d {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGrid(rng, d, n)
+		desc := g.Desc()
+		nsub := desc.Subspaces(grp)
+		sub = ((sub % nsub) + nsub) % nsub
+		l := make([]int32, d)
+		i := make([]int32, d)
+		desc.SubspaceFromIndex(grp, sub, l)
+		start := desc.GroupStart(grp) + sub<<uint(grp)
+
+		ref := g.Clone()
+		hierarchizeSubspaceRef(ref, l, i, start, dim)
+		bases := make([]int64, desc.Level())
+		hierarchizeSubspace(g.Data, desc, l, start, dim, bases)
+		requireBitEqual(t, "hierarchizeSubspace", g, ref)
+	})
+}

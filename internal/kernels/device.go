@@ -59,6 +59,15 @@ type Options struct {
 	PerThreadL bool
 	// Binmat selects the binomial table placement.
 	Binmat BinmatMode
+	// EvalTables switches the evaluation kernel to the table-driven
+	// ablation mirroring the CPU rewrite (eval/tables.go): each thread
+	// precomputes its per-query 1d cell indices and hat values for every
+	// (dimension, level) pair into local memory, and the subspace loop
+	// becomes pure lookups. On the C1060 local memory is global-backed,
+	// so the tables trade d·n recomputed flops per subspace for two
+	// device-memory reads — see EXPERIMENTS.md for how that trade plays
+	// out on the two modeled architectures.
+	EvalTables bool
 }
 
 func (o Options) blockSize() int {

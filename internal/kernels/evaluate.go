@@ -57,6 +57,13 @@ func (dg *deviceGrid) evalKernel(coordsBase, outBase int64, npts int, opt Option
 	desc := dg.desc
 	dim := desc.Dim()
 	groups := desc.Groups()
+	// Local-memory layout for the EvalTables ablation: words
+	// [0, dim) hold the PerThreadL level vector (as always); the
+	// per-thread 1d tables follow — cell[t][lvl] at dim + t*n + lvl and
+	// phi[t][lvl] at dim + dim*n + t*n + lvl, n = desc.Level(). Cell
+	// indices are stored as float64 (exact: they are < 2^level).
+	n := desc.Level()
+	cellOff, phiOff := dim, dim+dim*n
 	return func(b *gpusim.Block) func(*gpusim.Thread) {
 		shCoords := b.SharedF64(b.Dim * dim)
 		var shL *gpusim.SharedI32
@@ -77,6 +84,20 @@ func (dg *deviceGrid) evalKernel(coordsBase, outBase int64, npts int, opt Option
 			for t2 := 0; t2 < dim; t2++ {
 				v := th.LoadGlobal(coordsBase + int64(t2*npts+gidc))
 				shCoords.Store(th, th.Idx*dim+t2, v)
+			}
+			if opt.EvalTables {
+				// Table prologue: evaluate every (dimension, level) pair
+				// once with the exact inner-loop arithmetic — the subspace
+				// sweep below then reads the results back bit-identically.
+				for t2 := 0; t2 < dim; t2++ {
+					x := shCoords.Load(th, th.Idx*dim+t2)
+					for lvl := 0; lvl < n; lvl++ {
+						c, hat := hat1D(x, int32(lvl))
+						th.Ops(12)
+						th.StoreLocal(cellOff+t2*n+lvl, float64(c))
+						th.StoreLocal(phiOff+t2*n+lvl, hat)
+					}
+				}
 			}
 			l := make([]int32, dim) // private copy for PerThreadL mode
 			res := 0.0
@@ -114,27 +135,19 @@ func (dg *deviceGrid) evalKernel(coordsBase, outBase int64, npts int, opt Option
 						} else {
 							lt = shL.Load(th, t2)
 						}
+						if opt.EvalTables {
+							// Pure lookups: two (coalesced) local reads, a
+							// shift-add, a multiply.
+							c := int64(th.LoadLocal(cellOff + t2*n + int(lt)))
+							index1 = index1<<uint32(lt) + c
+							prod *= th.LoadLocal(phiOff + t2*n + int(lt))
+							th.Ops(3)
+							continue
+						}
 						x := shCoords.Load(th, th.Idx*dim+t2)
-						cells := int64(1) << uint32(lt)
-						c := int64(x * float64(cells))
-						if c < 0 {
-							c = 0
-						} else if c >= cells {
-							c = cells - 1
-						}
+						c, hat := hat1D(x, lt)
 						index1 = index1<<uint32(lt) + c
-						div := 1.0 / float64(cells)
-						left := float64(c) * div
-						// Hat basis over [left, left+div] (Alg. 7 l.13).
-						mid := left + div/2
-						v := (x - mid) / (div / 2)
-						if v < 0 {
-							v = -v
-						}
-						if v > 1 {
-							v = 1
-						}
-						prod *= 1 - v
+						prod *= hat
 						th.Ops(12)
 					}
 					coeff := th.LoadGlobal(dg.base + off + index1)
@@ -160,6 +173,32 @@ func (dg *deviceGrid) evalKernel(coordsBase, outBase int64, npts int, opt Option
 			}
 		}
 	}
+}
+
+// hat1D returns the 1d cell index of x at level lt and the hat basis
+// value over that cell — the kernel's register-only recompute path
+// (Alg. 7 l.13). The EvalTables prologue calls the same function, so
+// table entries are bit-identical to recomputed values. Callers account
+// the cost (th.Ops(12)).
+func hat1D(x float64, lt int32) (int64, float64) {
+	cells := int64(1) << uint32(lt)
+	c := int64(x * float64(cells))
+	if c < 0 {
+		c = 0
+	} else if c >= cells {
+		c = cells - 1
+	}
+	div := 1.0 / float64(cells)
+	left := float64(c) * div
+	mid := left + div/2
+	v := (x - mid) / (div / 2)
+	if v < 0 {
+		v = -v
+	}
+	if v > 1 {
+		v = 1
+	}
+	return c, 1 - v
 }
 
 // nextShared advances the block-shared level vector (core.Next on

@@ -50,6 +50,15 @@ func HierarchizeGPU(dev *gpusim.Device, g *core.Grid, opt Options) (rep *gpusim.
 // hierKernel builds the per-launch kernel for dimension t, level group
 // grp. Each block owns the subspace whose enumeration rank equals its
 // block index.
+//
+// Parent lookups mirror the CPU kernel's stride arithmetic (DESIGN.md
+// §8): the block's master thread precomputes the base offsets
+// (index2 + index3) of all l[t] ancestor subspaces into shared memory —
+// the device-side Descriptor.AncestorStarts — and every thread then
+// derives each parent's flat index from its own mixed-radix position p
+// with O(1) shifts and masks. The per-point work drops from two O(d)
+// gp2idx walks (≈ 6d binmat/constant reads and 9d ops per point) to two
+// shared-memory reads and a dozen integer ops.
 func (dg *deviceGrid) hierKernel(t, grp int, opt Options) gpusim.Kernel {
 	desc := dg.desc
 	dim := desc.Dim()
@@ -59,6 +68,7 @@ func (dg *deviceGrid) hierKernel(t, grp int, opt Options) gpusim.Kernel {
 		if !opt.PerThreadL {
 			shL = b.SharedI32(dim)
 		}
+		shBases := b.SharedI64(desc.Level()) // ancestor subspace bases, dim t
 		return func(th *gpusim.Thread) {
 			prologue(th)
 			l := make([]int32, dim) // registers
@@ -88,29 +98,60 @@ func (dg *deviceGrid) hierKernel(t, grp int, opt Options) gpusim.Kernel {
 					l[t2] = shL.Load(th, t2)
 				}
 			}
-			if l[t] == 0 {
+			lt := l[t]
+			if lt == 0 {
 				// Both ancestors are the boundary: nothing to update in
 				// this dimension (uniform early exit, whole block).
 				return
 			}
+			// Master precomputes the lt ancestor bases: for pl < lt, the
+			// subspace l − (lt−pl)·e_t starts at groupStart[|l'|] +
+			// subspaceidx(l')·2^|l'| with |l'| = grp − (lt−pl).
+			if th.Idx == 0 {
+				for pl := int32(0); pl < lt; pl++ {
+					sacc := int(l[0])
+					if t == 0 {
+						sacc = int(pl)
+					}
+					var index2 int64
+					for t2 := 1; t2 < dim; t2++ {
+						index2 -= binom(th, t2, sacc)
+						if t2 == t {
+							sacc += int(pl)
+						} else {
+							sacc += int(l[t2])
+						}
+						index2 += binom(th, t2, sacc)
+					}
+					th.Ops(4 * dim)
+					base := dg.groupStartConst(th, sacc) + index2<<uint(sacc)
+					th.Ops(2)
+					shBases.Store(th, int(pl), base)
+				}
+			}
+			th.Sync()
+			// Per-thread stride constants: the bit widths of the digit
+			// fields below and above dimension t in position p.
+			shLow := uint(0)
+			for t2 := 0; t2 < t; t2++ {
+				shLow += uint(l[t2])
+			}
+			maskLow := int64(1)<<shLow - 1
+			maskT := int64(1)<<uint32(lt) - 1
+			th.Ops(t + 2)
 			// Subspace start: groupStart[grp] + rank·2^grp.
 			start := dg.groupStartConst(th, grp) + int64(b.Idx)<<uint(grp)
 			th.Ops(2)
 			points := int64(1) << uint(grp)
 			for p := int64(th.Idx); p < points; p += int64(b.Dim) {
-				// Decode the mixed-radix digits of p (dimension 0 least
-				// significant).
-				var dig [core.MaxDim]int64
-				pos := p
-				for t2 := 0; t2 < dim; t2++ {
-					dig[t2] = pos & (int64(1)<<uint32(l[t2]) - 1)
-					pos >>= uint32(l[t2])
-				}
-				th.Ops(3 * dim)
-				it := 2*dig[t] + 1
-				th.Ops(2)
-				lv := dg.loadParent(th, binom, l, dig[:dim], t, it-1, dim)
-				rv := dg.loadParent(th, binom, l, dig[:dim], t, it+1, dim)
+				// Split p into the digit fields around dimension t.
+				low := p & maskLow
+				rest := p >> shLow
+				dig := rest & maskT
+				high := rest >> uint32(lt)
+				th.Ops(4)
+				lv := dg.loadParentStride(th, shBases, lt, shLow, low, dig, high, dig<<1)
+				rv := dg.loadParentStride(th, shBases, lt, shLow, low, dig, high, dig<<1+2)
 				idx := dg.base + start + p
 				v := th.LoadGlobal(idx)
 				th.Ops(3)
@@ -120,54 +161,29 @@ func (dg *deviceGrid) hierKernel(t, grp int, opt Options) gpusim.Kernel {
 	}
 }
 
-// loadParent computes gp2idx of the hierarchical ancestor in dimension t
-// whose 1d numerator (over 2^(l[t]+1)) is num, and loads its value. The
-// instruction stream is warp-uniform: boundary ancestors redirect the
-// load to the device's zero word instead of skipping it.
-func (dg *deviceGrid) loadParent(th *gpusim.Thread, binom binomReader, l []int32, dig []int64, t int, num int64, dim int) float64 {
-	boundary := num == 0 || num == int64(1)<<uint32(l[t]+1)
+// loadParentStride loads the value of the hierarchical ancestor in the
+// launch dimension whose 1d numerator (over 2^(lt+1)) is num, combining
+// the shared ancestor-base table with O(1) bit arithmetic on the
+// point's digit fields. The instruction stream is warp-uniform:
+// boundary ancestors redirect the load to the device's zero word
+// instead of skipping it.
+func (dg *deviceGrid) loadParentStride(th *gpusim.Thread, shBases *gpusim.SharedI64, lt int32, shLow uint, low, dig, high, num int64) float64 {
+	boundary := num == 0 || num == int64(1)<<uint32(lt+1)
 	th.Branch(boundary) // potential divergence point
 	var k int32
 	if !boundary {
 		k = int32(bits.TrailingZeros64(uint64(num)))
 	}
-	pl := l[t] - k
+	pl := lt - k
 	pdig := num >> uint32(k) >> 1 // (pi-1)/2
 	th.Ops(4)
 	if boundary {
 		// Keep the arithmetic uniform with harmless values.
 		pl, pdig = 0, 0
 	}
-	// index1 over the parent's level vector (dim t replaced by pl).
-	var index1 int64
-	for t2 := dim - 1; t2 >= 0; t2-- {
-		lt, d2 := l[t2], dig[t2]
-		if t2 == t {
-			lt, d2 = pl, pdig
-		}
-		index1 = index1<<uint32(lt) + d2
-	}
-	th.Ops(2 * dim)
-	// index2 = subspaceidx(l') (Eq. 4) with binmat lookups.
-	sum := int(l[0])
-	if t == 0 {
-		sum = int(pl)
-	}
-	var index2 int64
-	for t2 := 1; t2 < dim; t2++ {
-		index2 -= binom(th, t2, sum)
-		if t2 == t {
-			sum += int(pl)
-		} else {
-			sum += int(l[t2])
-		}
-		index2 += binom(th, t2, sum)
-	}
-	th.Ops(4 * dim)
-	// index3 = groupStart[|l'|₁].
-	index3 := dg.groupStartConst(th, sum)
-	addr := dg.base + index3 + index2<<uint(sum) + index1
-	th.Ops(3)
+	base := shBases.Load(th, int(pl))
+	addr := dg.base + base + low + pdig<<shLow + high<<(shLow+uint(pl))
+	th.Ops(5)
 	if boundary {
 		addr = dg.zero
 	}

@@ -96,7 +96,14 @@ func TestEvaluateGPUVariants(t *testing.T) {
 	hier.Iterative(g)
 	xs := workload.Points(4, 70, 3) // 70: forces a partial block + clamped tail
 	want := eval.Batch(g, xs, nil, eval.Options{})
-	for _, opt := range []Options{{PerThreadL: true}, {BlockSize: 64}, {BlockSize: 32, PerThreadL: true}} {
+	for _, opt := range []Options{
+		{PerThreadL: true},
+		{BlockSize: 64},
+		{BlockSize: 32, PerThreadL: true},
+		{EvalTables: true},
+		{EvalTables: true, PerThreadL: true},
+		{EvalTables: true, BlockSize: 64},
+	} {
 		got := make([]float64, len(xs))
 		if _, _, err := EvaluateGPU(freshDevice(), g, xs, got, opt); err != nil {
 			t.Fatalf("%+v: %v", opt, err)
@@ -154,15 +161,18 @@ func TestAblationSharedLFaster(t *testing.T) {
 }
 
 func TestAblationBinmatOrdering(t *testing.T) {
-	// Paper Sec. 5.3: on-the-fly binomials make hierarchization ≈ 4×
-	// slower; constant cache is (slightly) fastest. Compare kernel time
-	// net of the fixed launch overhead (at test-scale grids the d·n
-	// launches otherwise dominate everything).
+	// Paper Sec. 5.3: on-the-fly binomials make hierarchization several
+	// times slower; constant cache is (slightly) fastest. The placement
+	// only matters when binomials are read per point — the naive
+	// one-thread-per-point decomposition, whose idx2gp/gp2idx walks hit
+	// binmat in every loadParent. Compare kernel time net of the fixed
+	// launch overhead (at test-scale grids the d·n launches otherwise
+	// dominate everything).
 	g := filledGrid(5, 6)
 	overhead := gpusim.TeslaC1060().LaunchOverheadSec
 	times := map[BinmatMode]float64{}
 	for _, mode := range []BinmatMode{BinmatConst, BinmatShared, BinmatOnTheFly} {
-		rep, sec, err := HierarchizeGPU(freshDevice(), g.Clone(), Options{Binmat: mode})
+		rep, sec, err := HierarchizeGPUNaive(freshDevice(), g.Clone(), Options{Binmat: mode})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -174,6 +184,31 @@ func TestAblationBinmatOrdering(t *testing.T) {
 	}
 	if times[BinmatConst] > times[BinmatShared]*1.5 {
 		t.Errorf("const (%g) should not be much slower than shared (%g)", times[BinmatConst], times[BinmatShared])
+	}
+}
+
+func TestStrideKernelAmortizesBinmat(t *testing.T) {
+	// In the block-per-subspace kernel the stride-based parent lookups
+	// confine binmat reads to the block prologue (master-thread l and
+	// ancestor-base precompute), so binmat placement must no longer move
+	// the needle: every mode within 25% of constant. This is the payoff
+	// of the ancestor-base table — compare TestAblationBinmatOrdering,
+	// where the naive per-point walks keep the paper's ordering alive.
+	g := filledGrid(5, 6)
+	overhead := gpusim.TeslaC1060().LaunchOverheadSec
+	times := map[BinmatMode]float64{}
+	for _, mode := range []BinmatMode{BinmatConst, BinmatShared, BinmatOnTheFly} {
+		rep, sec, err := HierarchizeGPU(freshDevice(), g.Clone(), Options{Binmat: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[mode] = sec - float64(rep.Launches)*overhead
+	}
+	for _, mode := range []BinmatMode{BinmatShared, BinmatOnTheFly} {
+		if times[mode] > times[BinmatConst]*1.25 {
+			t.Errorf("%v (%g) should stay within 25%% of constant (%g): binmat reads are amortized over the block",
+				mode, times[mode], times[BinmatConst])
+		}
 	}
 }
 
@@ -190,6 +225,48 @@ func TestHierarchizationLessCoalescedThanEvalStores(t *testing.T) {
 	}
 	if rep.DivergentBranches == 0 {
 		t.Error("boundary-parent branches should show divergence potential")
+	}
+}
+
+func TestEvalTablesLoseOnGPU(t *testing.T) {
+	// The CPU evaluation rewrite (eval/tables.go) wins by hoisting the
+	// float→int chain out of the subspace loop into per-query 1d tables
+	// that stay L1-resident. The same transformation loses on the GPU:
+	// per-thread tables live in local memory, so each lookup pays device
+	// bandwidth that on the cacheless C1060 dwarfs the saved flops, and
+	// even Fermi's L1 only narrows the gap. The paper's
+	// recompute-in-registers design stays right on both architectures;
+	// this test pins the modeled ordering (and that tables do cut
+	// arithmetic, so the loss is a memory effect, not a modeling slip).
+	g := filledGrid(5, 6)
+	hier.Iterative(g)
+	xs := workload.Points(9, 2000, 5)
+	out := make([]float64, len(xs))
+	ratio := func(cfg gpusim.Config) (float64, *gpusim.Report, *gpusim.Report) {
+		repR, secR, err := EvaluateGPU(gpusim.NewDevice(cfg), g, xs, out, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		repT, secT, err := EvaluateGPU(gpusim.NewDevice(cfg), g, xs, out, Options{EvalTables: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return secT / secR, repR, repT
+	}
+	tesla, repR, repT := ratio(gpusim.TeslaC1060())
+	if tesla <= 2 {
+		t.Errorf("tables on the C1060 should cost well over 2× recompute, got %.2fx", tesla)
+	}
+	if repT.ArithWarpInstr >= repR.ArithWarpInstr {
+		t.Errorf("tables must cut arithmetic: %d vs %d warp instructions",
+			repT.ArithWarpInstr, repR.ArithWarpInstr)
+	}
+	fermi, _, repTF := ratio(gpusim.FermiC2050())
+	if fermi >= tesla {
+		t.Errorf("Fermi's L1 should narrow the table penalty: %.2fx vs %.2fx on Tesla", fermi, tesla)
+	}
+	if repTF.L1Hits == 0 {
+		t.Error("table lookups should hit Fermi's L1")
 	}
 }
 

@@ -2,10 +2,69 @@ package kernels
 
 import (
 	"fmt"
+	"math/bits"
 
 	"compactsg/internal/core"
 	"compactsg/internal/gpusim"
 )
+
+// loadParent computes gp2idx of the hierarchical ancestor in dimension t
+// whose 1d numerator (over 2^(l[t]+1)) is num, and loads its value — the
+// full O(d) per-point walk (index1 rebuild plus Eq. 4 binmat lookups).
+// Only the naive one-thread-per-point decomposition still pays this
+// price: with no block-scope cooperation it cannot amortize a shared
+// ancestor-base table the way hierKernel does (loadParentStride). The
+// instruction stream is warp-uniform: boundary ancestors redirect the
+// load to the device's zero word instead of skipping it.
+func (dg *deviceGrid) loadParent(th *gpusim.Thread, binom binomReader, l []int32, dig []int64, t int, num int64, dim int) float64 {
+	boundary := num == 0 || num == int64(1)<<uint32(l[t]+1)
+	th.Branch(boundary) // potential divergence point
+	var k int32
+	if !boundary {
+		k = int32(bits.TrailingZeros64(uint64(num)))
+	}
+	pl := l[t] - k
+	pdig := num >> uint32(k) >> 1 // (pi-1)/2
+	th.Ops(4)
+	if boundary {
+		// Keep the arithmetic uniform with harmless values.
+		pl, pdig = 0, 0
+	}
+	// index1 over the parent's level vector (dim t replaced by pl).
+	var index1 int64
+	for t2 := dim - 1; t2 >= 0; t2-- {
+		lt, d2 := l[t2], dig[t2]
+		if t2 == t {
+			lt, d2 = pl, pdig
+		}
+		index1 = index1<<uint32(lt) + d2
+	}
+	th.Ops(2 * dim)
+	// index2 = subspaceidx(l') (Eq. 4) with binmat lookups.
+	sum := int(l[0])
+	if t == 0 {
+		sum = int(pl)
+	}
+	var index2 int64
+	for t2 := 1; t2 < dim; t2++ {
+		index2 -= binom(th, t2, sum)
+		if t2 == t {
+			sum += int(pl)
+		} else {
+			sum += int(l[t2])
+		}
+		index2 += binom(th, t2, sum)
+	}
+	th.Ops(4 * dim)
+	// index3 = groupStart[|l'|₁].
+	index3 := dg.groupStartConst(th, sum)
+	addr := dg.base + index3 + index2<<uint(sum) + index1
+	th.Ops(3)
+	if boundary {
+		addr = dg.zero
+	}
+	return th.LoadGlobal(addr)
+}
 
 // HierarchizeGPUNaive is the decomposition the paper implicitly rejects:
 // one thread per grid point instead of one block per subspace. Every

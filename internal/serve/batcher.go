@@ -53,6 +53,14 @@ type evalResult struct {
 	err error
 }
 
+// resChanPool recycles the per-call result channels, the only per-submit
+// allocation on the coalesced path. A channel is returned to the pool
+// only after its caller has received the (single) result run sends, so a
+// pooled channel is always empty; channels abandoned on context
+// cancellation — where run may still deliver into the buffer — are left
+// to the garbage collector instead.
+var resChanPool = sync.Pool{New: func() any { return make(chan evalResult, 1) }}
+
 func newBatcher(g *compactsg.Grid, maxBatch int, maxWait time.Duration, onFlush func(int)) *batcher {
 	if maxBatch < 1 {
 		maxBatch = 1
@@ -82,18 +90,23 @@ func (b *batcher) submit(ctx context.Context, x []float64) (float64, error) {
 	b.inflight.Add(1)
 	b.mu.Unlock()
 
-	call := evalCall{ctx: ctx, x: x, res: make(chan evalResult, 1)}
+	res := resChanPool.Get().(chan evalResult)
+	call := evalCall{ctx: ctx, x: x, res: res}
 	select {
 	case b.in <- call:
 		b.inflight.Done()
 	case <-ctx.Done():
 		b.inflight.Done()
+		resChanPool.Put(res) // never enqueued: run cannot send into it
 		return 0, ctx.Err()
 	}
 	select {
 	case r := <-call.res:
+		resChanPool.Put(res) // drained: run sends at most once per call
 		return r.v, r.err
 	case <-ctx.Done():
+		// Abandoned: run may still deliver into the buffer, so this
+		// channel must not be pooled.
 		return 0, ctx.Err()
 	}
 }
@@ -135,13 +148,20 @@ func (b *batcher) run() {
 		xs    [][]float64
 		out   []float64
 	)
+	// One timer for the life of the loop (go 1.22 semantics: Stop/drain
+	// before every Reset so a stale fire can never cut a batch short).
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
 	for {
 		first, ok := <-b.in
 		if !ok {
 			return
 		}
 		calls = append(calls[:0], first)
-		timer := time.NewTimer(b.maxWait)
+		timer.Reset(b.maxWait)
+		fired := false
 	collect:
 		for len(calls) < b.maxBatch {
 			select {
@@ -151,10 +171,13 @@ func (b *batcher) run() {
 				}
 				calls = append(calls, c)
 			case <-timer.C:
+				fired = true
 				break collect
 			}
 		}
-		timer.Stop()
+		if !fired && !timer.Stop() {
+			<-timer.C
+		}
 
 		// Drop calls whose caller already gave up: their submit has
 		// returned ctx.Err(), nobody reads the result, and evaluating

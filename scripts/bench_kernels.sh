@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+set -euo pipefail
+
+# scripts/bench_kernels.sh — run the kernel hot-path benchmarks and emit
+# BENCH_kernels.json: a machine-readable record of {name, ns/op,
+# allocs/op, ns/point, points/s} for the compact-layout evaluation and
+# hierarchization kernels, so the perf trajectory is diffable across PRs.
+#
+# Usage:
+#   scripts/bench_kernels.sh                  # refresh the "current" run
+#   scripts/bench_kernels.sh --as-baseline    # also stamp the run as the stored baseline
+#   BENCHTIME=1s  scripts/bench_kernels.sh    # longer per-bench time (steadier numbers)
+#   BENCHTIME=1x  scripts/bench_kernels.sh    # CI smoke: one iteration per bench
+#
+# The output keeps two runs side by side: "baseline" (the run last
+# stamped with --as-baseline — for this repo, the pre-table-driven
+# kernels) and "current". Requires jq.
+
+cd "$(dirname "$0")/.."
+
+OUT=${OUT:-BENCH_kernels.json}
+BENCHTIME=${BENCHTIME:-500ms}
+PATTERN=${PATTERN:-'^(BenchmarkKernelEval|BenchmarkKernelHier|BenchmarkFig9Hierarchization|BenchmarkFig9Evaluation)$'}
+AS_BASELINE=0
+if [ "${1:-}" = "--as-baseline" ]; then
+    AS_BASELINE=1
+fi
+
+command -v jq >/dev/null || { echo "bench_kernels.sh: jq is required" >&2; exit 1; }
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -timeout 60m . | tee "$raw"
+
+# Each bench line is: Name N  v1 unit1  v2 unit2 ...; units become JSON
+# keys (ns/op -> ns_per_op, points/s -> points_per_s, ...).
+results=$(awk '
+    /^Benchmark/ {
+        printf "{\"name\":\"%s\",\"iters\":%s", $1, $2
+        for (i = 3; i + 1 <= NF; i += 2) {
+            key = $(i + 1)
+            gsub(/\//, "_per_", key)
+            gsub(/[^A-Za-z0-9_]/, "_", key)
+            printf ",\"%s\":%s", key, $i
+        }
+        print "}"
+    }
+' "$raw" | jq -s .)
+
+if [ "$(jq 'length' <<<"$results")" -eq 0 ]; then
+    echo "bench_kernels.sh: no benchmark lines parsed (pattern \"$PATTERN\")" >&2
+    exit 1
+fi
+
+run=$(jq -n \
+    --arg go "$(go env GOVERSION)" \
+    --arg platform "$(go env GOOS)/$(go env GOARCH)" \
+    --arg benchtime "$BENCHTIME" \
+    --arg date "$(date -u +%FT%TZ)" \
+    --argjson cpus "$(nproc)" \
+    --argjson results "$results" \
+    '{go: $go, platform: $platform, benchtime: $benchtime, date: $date, cpus: $cpus, results: $results}')
+
+if [ "$AS_BASELINE" = 1 ] || [ ! -s "$OUT" ] || ! jq -e '.baseline' "$OUT" >/dev/null 2>&1; then
+    baseline=$run
+else
+    baseline=$(jq '.baseline' "$OUT")
+fi
+
+jq -n --argjson baseline "$baseline" --argjson current "$run" \
+    '{schema: 1, baseline: $baseline, current: $current}' > "$OUT"
+echo "wrote $OUT ($(jq '.current.results | length' "$OUT") benchmarks)"
