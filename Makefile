@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-all experiments examples smoke serve-demo staticcheck stress clean
+.PHONY: all build vet test race bench bench-all experiments examples smoke serve-demo trace-demo staticcheck stress clean
 
 all: build vet test
 
@@ -16,7 +16,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/hier/ ./internal/eval/ ./internal/gpusim/ ./internal/kernels/ ./internal/serve/ .
+	$(GO) test -race ./internal/hier/ ./internal/eval/ ./internal/gpusim/ ./internal/kernels/ ./internal/obs/ ./internal/serve/ .
 
 # End-to-end smoke of the evaluation server (build, serve, curl, drain).
 smoke:
@@ -26,6 +26,12 @@ smoke:
 # recorded in EXPERIMENTS.md §"Serving".
 serve-demo:
 	bash scripts/serve_demo.sh
+
+# Stage-attribution demo: where server-side time goes per request
+# (queue_wait vs dispatch vs eval), from /debug/traces and
+# sgserve_stage_seconds. Numbers recorded in EXPERIMENTS.md.
+trace-demo:
+	bash scripts/trace_demo.sh
 
 # Race-hunting chaos run of the serving layer: concurrent eval across
 # more grids than resident slots, random cancellations, mid-flight

@@ -9,7 +9,10 @@
 //
 // It discovers the grid's dimensionality from GET /v1/grids and, when
 // the server exposes them, prints the mean server-side micro-batch
-// size observed during the run (from the sgserve_batch_size metric).
+// size observed during the run (from the sgserve_batch_size metric)
+// and a per-stage latency breakdown from GET /debug/traces — queue
+// wait vs dispatch vs kernel time percentiles, plus how much of the
+// server-side latency those stages account for.
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"compactsg/internal/obs"
 	"compactsg/internal/workload"
 )
 
@@ -47,6 +51,7 @@ func run(args []string, stdout io.Writer) error {
 	points := fs.Int("points", 64, "points per request in batch mode")
 	seed := fs.Int64("seed", 1, "query point seed")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request client timeout")
+	traces := fs.Bool("traces", true, "pull /debug/traces after the run and report the per-stage breakdown")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -167,7 +172,96 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "server     mean dispatched batch size %.1f (%d batches)\n",
 			mean, after.count-before.count)
 	}
+	if *traces {
+		handler := "eval"
+		if *mode == "batch" {
+			handler = "batch"
+		}
+		reportStages(client, *base, handler, stdout)
+	}
 	return nil
+}
+
+// stageReport is the per-stage view sgload derives from /debug/traces.
+var reportedStages = []obs.Stage{
+	obs.StageDecode, obs.StageValidate, obs.StageLoad, obs.StageLoadWait,
+	obs.StageQueueWait, obs.StageDispatch, obs.StageEval, obs.StageEncode,
+}
+
+// reportStages pulls the server's recent traces and prints queue-wait
+// vs dispatch vs eval percentiles plus the share of server-side
+// latency those three stages explain. Silently skips when the server
+// does not expose /debug/traces (old binary or tracing disabled).
+func reportStages(client *http.Client, base, handler string, stdout io.Writer) {
+	resp, err := client.Get(base + "/debug/traces")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		if resp != nil {
+			resp.Body.Close()
+		}
+		return
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return
+	}
+	all, err := obs.ParseTraces(data)
+	if err != nil {
+		fmt.Fprintf(stdout, "stages     /debug/traces unparseable: %v\n", err)
+		return
+	}
+	var matched []*obs.Trace
+	for _, tr := range all {
+		if tr.Handler == handler && tr.Status == http.StatusOK {
+			matched = append(matched, tr)
+		}
+	}
+	if len(matched) == 0 {
+		return
+	}
+
+	fmt.Fprintf(stdout, "stages     server-side breakdown of the last %d %s requests (/debug/traces)\n",
+		len(matched), handler)
+	var totalMean, coveredMean float64
+	for _, tr := range matched {
+		totalMean += tr.TotalS
+		for _, st := range []obs.Stage{obs.StageQueueWait, obs.StageDispatch, obs.StageEval} {
+			if v, ok := tr.StageS(st); ok {
+				coveredMean += v
+			}
+		}
+	}
+	for _, st := range reportedStages {
+		var vals []float64
+		for _, tr := range matched {
+			if v, ok := tr.StageS(st); ok {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			continue
+		}
+		sort.Float64s(vals)
+		fmt.Fprintf(stdout, "  %-10s p50 %s  p95 %s  p99 %s  (n=%d)\n", st.Name(),
+			fmtSecs(floatQuantile(vals, 0.50)), fmtSecs(floatQuantile(vals, 0.95)),
+			fmtSecs(floatQuantile(vals, 0.99)), len(vals))
+	}
+	if totalMean > 0 {
+		fmt.Fprintf(stdout, "  coverage   queue_wait+dispatch+eval = %.1f%% of mean server-side latency (%s of %s)\n",
+			100*coveredMean/totalMean, fmtSecs(coveredMean/float64(len(matched))),
+			fmtSecs(totalMean/float64(len(matched))))
+	}
+}
+
+func floatQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(q*float64(len(sorted)-1))]
+}
+
+func fmtSecs(s float64) string {
+	return fmtDur(time.Duration(s * float64(time.Second)))
 }
 
 // discoverGrid resolves the grid name and dimensionality via

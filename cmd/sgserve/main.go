@@ -15,6 +15,15 @@
 //	GET  /v1/grids       registered grids and shapes
 //	GET  /healthz        liveness probe
 //	GET  /metrics        Prometheus text exposition
+//	GET  /debug/traces   recent request traces with per-stage timings (JSON)
+//	GET  /debug/pprof/*  runtime profiles (with -pprof)
+//
+// Observability: every request gets a span with per-stage timings
+// (decode, validate, queue_wait, dispatch, eval, encode, plus cold
+// load/load_wait); the last -trace-ring spans are retained for
+// /debug/traces, the stage split is exported as
+// sgserve_stage_seconds{stage=...}, and -access-log emits one
+// structured JSON line per request on stderr.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: it stops
 // accepting connections, waits for running requests, and flushes any
@@ -27,7 +36,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -58,6 +69,10 @@ func run(args []string) error {
 	maxBody := fs.Int64("max-body", 1<<20, "max request body bytes")
 	maxPoints := fs.Int("max-points", 65536, "max points per /v1/eval/batch request")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request evaluation timeout")
+	pprofOn := fs.Bool("pprof", false, "expose runtime profiles at /debug/pprof/")
+	accessLog := fs.Bool("access-log", false, "emit one structured JSON log line per request on stderr")
+	traceRing := fs.Int("trace-ring", 256, "recent request traces retained for /debug/traces (0 disables tracing)")
+	traceSample := fs.Int("trace-sample", 1, "keep every nth trace in the ring (1 = all)")
 	var named []string
 	fs.Func("grid", "grid as name=path (repeatable); bare arguments use the file basename", func(v string) error {
 		if !strings.Contains(v, "=") {
@@ -73,7 +88,7 @@ func run(args []string) error {
 		return errors.New("no grids: pass .sg/.sgs files or -grid name=path")
 	}
 
-	srv := serve.New(serve.Config{
+	cfg := serve.Config{
 		Workers:        *workers,
 		BlockSize:      *block,
 		MaxResident:    *maxGrids,
@@ -83,7 +98,19 @@ func run(args []string) error {
 		MaxBodyBytes:   *maxBody,
 		MaxBatchPoints: *maxPoints,
 		RequestTimeout: *timeout,
-	})
+		TraceSample:    *traceSample,
+		ErrorLog:       slog.New(slog.NewJSONHandler(os.Stderr, nil)),
+	}
+	// Config treats 0 as "default ring"; the flag treats 0 as "off".
+	if *traceRing > 0 {
+		cfg.TraceRing = *traceRing
+	} else {
+		cfg.TraceRing = -1
+	}
+	if *accessLog {
+		cfg.AccessLog = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	srv := serve.New(cfg)
 	defer srv.Close()
 
 	for _, nv := range named {
@@ -116,9 +143,22 @@ func run(args []string) error {
 		}
 	}
 
+	handler := srv.Handler()
+	if *pprofOn {
+		// An explicit mux (not the net/http/pprof init side effects on
+		// DefaultServeMux) so the profiles are opt-in per server.
+		root := http.NewServeMux()
+		root.Handle("/", handler)
+		root.HandleFunc("GET /debug/pprof/", pprof.Index)
+		root.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		handler = root
+	}
 	hs := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -126,7 +166,8 @@ func run(args []string) error {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s (coalesce=%v workers=%d block=%d)", *addr, !*noCoalesce, *workers, *block)
+		log.Printf("listening on %s (coalesce=%v workers=%d block=%d trace-ring=%d pprof=%v)",
+			*addr, !*noCoalesce, *workers, *block, max(*traceRing, 0), *pprofOn)
 		if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 		}

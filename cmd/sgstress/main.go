@@ -39,12 +39,14 @@ import (
 	"path/filepath"
 	"regexp"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"compactsg"
+	"compactsg/internal/obs"
 	"compactsg/internal/serve"
 	"compactsg/internal/serve/metrics"
 )
@@ -154,13 +156,25 @@ func (s *stats) observe(d time.Duration) {
 }
 
 func (s *stats) line() string {
+	p50, c50 := s.lat.QuantileCapped(0.50)
+	p99, c99 := s.lat.QuantileCapped(0.99)
 	return fmt.Sprintf("p50=%s p99=%s max=%s (n=%d)",
-		fmtSec(s.lat.Quantile(0.50)), fmtSec(s.lat.Quantile(0.99)),
+		fmtCapped(p50, c50), fmtCapped(p99, c99),
 		fmtSec(math.Float64frombits(s.max.Load())), s.n.Load())
 }
 
 func fmtSec(s float64) string {
 	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
+}
+
+// fmtCapped flags quantiles that landed in the histogram's +Inf
+// overflow bucket: the true value is only known to be ≥ the last
+// finite bound, so reporting it bare would understate the latency.
+func fmtCapped(s float64, capped bool) string {
+	if capped {
+		return "≥" + fmtSec(s) + "(capped)"
+	}
+	return fmtSec(s)
 }
 
 // firstErr records the first failure across all workers.
@@ -416,6 +430,9 @@ func stress(cfg config) error {
 	mrec := httptest.NewRecorder()
 	h.ServeHTTP(mrec, httptest.NewRequest("GET", "/metrics", nil))
 	mtext := mrec.Body.String()
+	trec := httptest.NewRecorder()
+	h.ServeHTTP(trec, httptest.NewRequest("GET", "/debug/traces", nil))
+	stageLine := summarizeTraces(trec.Body.Bytes())
 
 	if err := srv.Close(); err != nil {
 		return err
@@ -429,10 +446,13 @@ func stress(cfg config) error {
 	fmt.Printf("  hot  %s: %s\n", hotName, hotStats.line())
 	fmt.Printf("  cold grids: %s\n", coldStats.line())
 	fmt.Printf("  cancellers: %s, %d cancelled/timed out\n", cancelStats.line(), cancelled.Load())
-	fmt.Printf("  server: loads=%s load-waits=%s evictions=%s drains=%s resident=%s\n",
+	fmt.Printf("  server: loads=%s load-waits=%s evictions=%s drains=%s resident=%s panics=%s\n",
 		metricValue(mtext, "sgserve_grid_loads_total"), metricValue(mtext, "sgserve_grid_load_waits_total"),
 		metricValue(mtext, "sgserve_grid_evictions_total"), metricValue(mtext, "sgserve_batcher_drains_total"),
-		metricValue(mtext, "sgserve_grids_resident"))
+		metricValue(mtext, "sgserve_grids_resident"), metricValue(mtext, "sgserve_panics_total"))
+	if stageLine != "" {
+		fmt.Printf("  stages: %s\n", stageLine)
+	}
 
 	if err := fail.get(); err != nil {
 		return err
@@ -454,7 +474,16 @@ func stress(cfg config) error {
 		// registry mutex) almost continuously under this traffic, so
 		// EVERY hot request queued behind it and the hot median sat at
 		// or above the load time.
-		p50 := time.Duration(hotStats.lat.Quantile(0.50) * float64(time.Second))
+		p50sec, capped := hotStats.lat.QuantileCapped(0.50)
+		p50 := time.Duration(p50sec * float64(time.Second))
+		if capped {
+			// The median fell in the +Inf overflow bucket: the histogram
+			// only knows it is ≥ the last finite bound. Reporting that
+			// bound as "the median" would silently pass an arbitrary
+			// assertion, so a capped median is always a failure.
+			return fmt.Errorf("hot-grid median overflowed the latency histogram (≥%s): cannot verify the %s bound",
+				p50.Round(time.Microsecond), cfg.assertP50)
+		}
 		if p50 > cfg.assertP50 {
 			return fmt.Errorf("hot-grid median = %s exceeds bound %s: cold loads are blocking the resident fast path",
 				p50.Round(time.Microsecond), cfg.assertP50)
@@ -481,6 +510,41 @@ func checkGoroutines(baseline int) error {
 	buf := make([]byte, 1<<18)
 	n := runtime.Stack(buf, true)
 	return fmt.Errorf("goroutine leak: %d before stress, %d after close\n%s", baseline, now, buf[:n])
+}
+
+// summarizeTraces turns the /debug/traces payload into a one-line
+// queue-wait vs eval percentile comparison over the OK traces — the
+// sampled ground truth for where hot-path time went (batch linger vs
+// kernel), next to the client-side populations above.
+func summarizeTraces(data []byte) string {
+	traces, err := obs.ParseTraces(data)
+	if err != nil || len(traces) == 0 {
+		return ""
+	}
+	var qw, ev []float64
+	for _, tr := range traces {
+		if tr.Status != http.StatusOK {
+			continue
+		}
+		if v, ok := tr.StageS(obs.StageQueueWait); ok {
+			qw = append(qw, v)
+		}
+		if v, ok := tr.StageS(obs.StageEval); ok {
+			ev = append(ev, v)
+		}
+	}
+	if len(qw) == 0 && len(ev) == 0 {
+		return ""
+	}
+	part := func(name string, vals []float64) string {
+		if len(vals) == 0 {
+			return name + " n/a"
+		}
+		sort.Float64s(vals)
+		q := func(q float64) float64 { return vals[int(q*float64(len(vals)-1))] }
+		return fmt.Sprintf("%s p50=%s p99=%s", name, fmtSec(q(0.50)), fmtSec(q(0.99)))
+	}
+	return fmt.Sprintf("%s | %s (%d traced requests)", part("queue_wait", qw), part("eval", ev), len(traces))
 }
 
 var metricLine = regexp.MustCompile(`(?m)^(\S+) (\S+)$`)

@@ -1,0 +1,22 @@
+package obs
+
+import "context"
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying the span. Attaching a nil span is
+// allowed and yields ctx unchanged, so disabled tracing adds no
+// context allocation.
+func NewContext(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the span carried by ctx, or nil. The nil result
+// is safe to use with every Span method, so callers never branch.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}

@@ -1,0 +1,388 @@
+// Package obs is a dependency-free request-tracing layer for the
+// serving path: a Span accumulates monotonic per-stage timings (decode,
+// validate, queue_wait, dispatch, eval, encode, plus the registry's
+// load/load_wait), carries a request ID, and on Finish is published
+// into a lock-free ring buffer of recent traces that the server exports
+// as JSON at /debug/traces.
+//
+// The paper's Sec. 5 evaluation attributes runtime to individual
+// compression/decompression phases; this package brings the same
+// attribution to the live serving path so queue wait, coalesced
+// dispatch and kernel time are separable per request instead of being
+// folded into one total-latency histogram.
+//
+// Concurrency contract: a Span is owned by exactly one goroutine (the
+// request handler). Code running on other goroutines — the batcher's
+// flush loop, a registry load leader — never writes into a caller's
+// Span; instead it hands timings back over the existing result channel
+// and the owning goroutine records them. This keeps Span free of
+// atomics, makes sync.Pool recycling safe, and keeps -race clean. All
+// Span methods are nil-receiver-safe so call sites need no "is tracing
+// on" branches, and none of them allocate: the serving hot path stays
+// zero-alloc with tracing enabled.
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage identifies one phase of a request's lifetime.
+type Stage uint8
+
+// The request stages, in pipeline order. QueueWait/Dispatch/Eval are
+// filled from the batcher's flush-loop timestamps on the coalesced
+// path; Load/LoadWait from the grid registry on cold paths.
+const (
+	StageDecode    Stage = iota // JSON body decode
+	StageValidate               // point shape + domain checks
+	StageLoad                   // cold grid load this request led (read + decode)
+	StageLoadWait               // wait on another request's in-flight load
+	StageQueueWait              // enqueue -> micro-batch flush decision
+	StageDispatch               // flush decision -> EvaluateBatch entry
+	StageEval                   // EvaluateBatch / Evaluate kernel time
+	StageEncode                 // JSON response encode
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	"decode", "validate", "load", "load_wait",
+	"queue_wait", "dispatch", "eval", "encode",
+}
+
+// Name returns the stable wire name of the stage ("queue_wait", ...).
+func (st Stage) Name() string {
+	if int(st) < len(stageNames) {
+		return stageNames[st]
+	}
+	return "unknown"
+}
+
+// StageNames lists all stage names in pipeline order (for metric
+// pre-registration).
+func StageNames() []string { return append([]string(nil), stageNames[:]...) }
+
+// A Span records one request: identity, per-stage durations and
+// outcome. Obtain spans from Tracer.Start, annotate them from the
+// owning goroutine only, and call Finish exactly once; Finish recycles
+// the span, so no method may be called afterwards.
+type Span struct {
+	tracer  *Tracer
+	id      uint64
+	handler string
+	grid    string
+	points  int
+	batch   int
+	status  int
+	errMsg  string
+	start   time.Time
+	marks   [NumStages]time.Time
+	durs    [NumStages]time.Duration
+	touched uint16 // bit per stage that saw Begin/End or Add
+}
+
+// ID returns the span's request ID (unique per tracer, monotonic).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// Begin marks the start of a stage on the owning goroutine.
+func (s *Span) Begin(st Stage) {
+	if s == nil {
+		return
+	}
+	s.marks[st] = time.Now()
+}
+
+// End accumulates time since the stage's Begin mark. Begin/End pairs
+// may repeat (the /v1/eval retry loop re-validates); durations add up.
+func (s *Span) End(st Stage) {
+	if s == nil {
+		return
+	}
+	s.durs[st] += time.Since(s.marks[st])
+	s.touched |= 1 << st
+}
+
+// Add accumulates an externally measured duration, used where the time
+// was taken on another goroutine (the batcher's flush loop) and handed
+// back to the request goroutine.
+func (s *Span) Add(st Stage, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.durs[st] += d
+	s.touched |= 1 << st
+}
+
+// Dur returns the accumulated duration of a stage.
+func (s *Span) Dur(st Stage) time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.durs[st]
+}
+
+// Touched reports whether the stage recorded any time (even 0ns).
+func (s *Span) Touched(st Stage) bool {
+	return s != nil && s.touched&(1<<st) != 0
+}
+
+// SetGrid records the grid the request resolved to.
+func (s *Span) SetGrid(name string) {
+	if s != nil {
+		s.grid = name
+	}
+}
+
+// Grid returns the recorded grid name ("" when unset or s is nil).
+func (s *Span) Grid() string {
+	if s == nil {
+		return ""
+	}
+	return s.grid
+}
+
+// Points returns the recorded request point count.
+func (s *Span) Points() int {
+	if s == nil {
+		return 0
+	}
+	return s.points
+}
+
+// BatchSize returns the recorded dispatched-batch size.
+func (s *Span) BatchSize() int {
+	if s == nil {
+		return 0
+	}
+	return s.batch
+}
+
+// SetPoints records how many points the request asked for.
+func (s *Span) SetPoints(n int) {
+	if s != nil {
+		s.points = n
+	}
+}
+
+// SetBatchSize records the size of the dispatched evaluation batch the
+// request's points rode in (the coalesced micro-batch, or the request's
+// own point count on /v1/eval/batch).
+func (s *Span) SetBatchSize(n int) {
+	if s != nil {
+		s.batch = n
+	}
+}
+
+// SetStatus records the HTTP status the request was answered with.
+func (s *Span) SetStatus(code int) {
+	if s != nil {
+		s.status = code
+	}
+}
+
+// SetError records the error string reported to the client.
+func (s *Span) SetError(err error) {
+	if s != nil && err != nil {
+		s.errMsg = err.Error()
+	}
+}
+
+// Finish seals the span: if sampled, it is published as an immutable
+// Trace into the tracer's ring; the span itself is recycled. The span
+// must not be used after Finish.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	t := s.tracer
+	if s.id%uint64(t.sampleEvery) == 0 {
+		tr := &Trace{
+			ID:      s.id,
+			Handler: s.handler,
+			Grid:    s.grid,
+			Points:  s.points,
+			Batch:   s.batch,
+			Status:  s.status,
+			Error:   s.errMsg,
+			Start:   s.start,
+			TotalS:  time.Since(s.start).Seconds(),
+		}
+		for st := Stage(0); st < NumStages; st++ {
+			if s.touched&(1<<st) != 0 {
+				tr.stages[st] = s.durs[st].Seconds()
+				tr.stageSet |= 1 << st
+			}
+		}
+		slot := &t.ring[(tr.ID/uint64(t.sampleEvery))%uint64(len(t.ring))]
+		slot.Store(tr)
+	}
+	*s = Span{}
+	t.pool.Put(s)
+}
+
+// A Trace is the immutable, exported form of a finished span.
+// Immutability after publication is what makes the ring lock-free: the
+// writer atomically swaps a fresh *Trace into a slot and never touches
+// it again, so readers need no synchronization beyond the pointer load.
+type Trace struct {
+	ID      uint64    `json:"id"`
+	Handler string    `json:"handler"`
+	Grid    string    `json:"grid,omitempty"`
+	Points  int       `json:"points,omitempty"`
+	Batch   int       `json:"batch_size,omitempty"`
+	Status  int       `json:"status"`
+	Error   string    `json:"error,omitempty"`
+	Start   time.Time `json:"start"`
+	TotalS  float64   `json:"total_s"`
+
+	stages   [NumStages]float64
+	stageSet uint16
+}
+
+// StageS returns the stage's duration in seconds and whether the stage
+// was recorded at all.
+func (tr *Trace) StageS(st Stage) (float64, bool) {
+	return tr.stages[st], tr.stageSet&(1<<st) != 0
+}
+
+// MarshalJSON renders the fixed stage array as a {"name": seconds}
+// object holding only the recorded stages.
+func (tr *Trace) MarshalJSON() ([]byte, error) {
+	type alias Trace // no methods: avoids recursing into MarshalJSON
+	aux := struct {
+		*alias
+		Stages map[string]float64 `json:"stages"`
+	}{alias: (*alias)(tr), Stages: make(map[string]float64, NumStages)}
+	for st := Stage(0); st < NumStages; st++ {
+		if tr.stageSet&(1<<st) != 0 {
+			aux.Stages[st.Name()] = tr.stages[st]
+		}
+	}
+	return json.Marshal(aux)
+}
+
+// UnmarshalJSON restores a trace from its wire form (used by sgload and
+// sgstress when pulling /debug/traces).
+func (tr *Trace) UnmarshalJSON(data []byte) error {
+	type alias Trace
+	aux := struct {
+		*alias
+		Stages map[string]float64 `json:"stages"`
+	}{alias: (*alias)(tr)}
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	for st := Stage(0); st < NumStages; st++ {
+		if v, ok := aux.Stages[st.Name()]; ok {
+			tr.stages[st] = v
+			tr.stageSet |= 1 << st
+		}
+	}
+	return nil
+}
+
+// A Tracer hands out spans and keeps the last ringSize sampled traces
+// in a lock-free ring. The zero Tracer is not usable; call New.
+type Tracer struct {
+	ring        []atomic.Pointer[Trace]
+	ids         atomic.Uint64
+	sampleEvery int
+	pool        sync.Pool
+}
+
+// New creates a tracer keeping the last ringSize finished traces.
+// ringSize <= 0 disables tracing entirely: Start returns nil and every
+// Span/Trace operation degrades to a no-op, so a disabled tracer costs
+// one nil check per call site.
+func New(ringSize int) *Tracer {
+	if ringSize <= 0 {
+		return &Tracer{sampleEvery: 1}
+	}
+	t := &Tracer{ring: make([]atomic.Pointer[Trace], ringSize), sampleEvery: 1}
+	t.pool.New = func() any { return new(Span) }
+	return t
+}
+
+// SetSampleEvery keeps only every nth trace in the ring (1 = all, the
+// default). Spans are still created and stage metrics still observed
+// for every request; sampling bounds only the ring-publication cost.
+// Must be called before the tracer sees traffic.
+func (t *Tracer) SetSampleEvery(n int) {
+	if n >= 1 {
+		t.sampleEvery = n
+	}
+}
+
+// Enabled reports whether the tracer records anything.
+func (t *Tracer) Enabled() bool { return t != nil && t.ring != nil }
+
+// Start opens a span for one request. Returns nil (safe everywhere)
+// when the tracer is disabled.
+func (t *Tracer) Start(handler string) *Span {
+	if !t.Enabled() {
+		return nil
+	}
+	s := t.pool.Get().(*Span)
+	s.tracer = t
+	s.id = t.ids.Add(1)
+	s.handler = handler
+	s.start = time.Now()
+	return s
+}
+
+// Snapshot returns the retained traces, newest first.
+func (t *Tracer) Snapshot() []*Trace {
+	if !t.Enabled() {
+		return nil
+	}
+	out := make([]*Trace, 0, len(t.ring))
+	for i := range t.ring {
+		if tr := t.ring[i].Load(); tr != nil {
+			out = append(out, tr)
+		}
+	}
+	// Slot order is insertion-modulo-ring; sort by ID descending for a
+	// stable newest-first view.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].ID > out[j-1].ID; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// tracesResponse is the /debug/traces wire format.
+type tracesResponse struct {
+	Traces []*Trace `json:"traces"`
+}
+
+// Handler serves the retained traces as JSON (newest first), the
+// /debug/traces endpoint.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		snap := t.Snapshot()
+		if snap == nil {
+			snap = []*Trace{}
+		}
+		_ = json.NewEncoder(w).Encode(tracesResponse{Traces: snap})
+	})
+}
+
+// ParseTraces decodes a /debug/traces response body (the client half of
+// Handler, shared by sgload and sgstress).
+func ParseTraces(data []byte) ([]*Trace, error) {
+	var resp tracesResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Traces, nil
+}

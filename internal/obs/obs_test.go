@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanStageAccumulation(t *testing.T) {
+	tr := New(4)
+	s := tr.Start("eval")
+	if s == nil {
+		t.Fatal("Start returned nil on an enabled tracer")
+	}
+	if s.ID() == 0 {
+		t.Error("span ID = 0, want monotonic nonzero")
+	}
+	s.Begin(StageDecode)
+	time.Sleep(time.Millisecond)
+	s.End(StageDecode)
+	s.Add(StageQueueWait, 5*time.Millisecond)
+	s.Add(StageQueueWait, 5*time.Millisecond) // accumulates
+	if d := s.Dur(StageDecode); d < time.Millisecond {
+		t.Errorf("decode dur = %v, want >= 1ms", d)
+	}
+	if d := s.Dur(StageQueueWait); d != 10*time.Millisecond {
+		t.Errorf("queue_wait dur = %v, want 10ms", d)
+	}
+	if !s.Touched(StageDecode) || !s.Touched(StageQueueWait) {
+		t.Error("touched stages not reported")
+	}
+	if s.Touched(StageEval) {
+		t.Error("untouched stage reported as touched")
+	}
+	s.SetGrid("g")
+	s.SetPoints(3)
+	s.SetBatchSize(17)
+	s.SetStatus(200)
+	s.Finish()
+
+	snap := tr.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot holds %d traces, want 1", len(snap))
+	}
+	got := snap[0]
+	if got.Grid != "g" || got.Points != 3 || got.Batch != 17 || got.Status != 200 || got.Handler != "eval" {
+		t.Errorf("trace = %+v", got)
+	}
+	if v, ok := got.StageS(StageQueueWait); !ok || v != 0.01 {
+		t.Errorf("trace queue_wait = %v (recorded=%v), want 0.01", v, ok)
+	}
+	if _, ok := got.StageS(StageEval); ok {
+		t.Error("untouched eval stage recorded in trace")
+	}
+}
+
+func TestNilSpanSafe(t *testing.T) {
+	var s *Span
+	s.Begin(StageDecode)
+	s.End(StageDecode)
+	s.Add(StageEval, time.Second)
+	s.SetGrid("g")
+	s.SetPoints(1)
+	s.SetBatchSize(1)
+	s.SetStatus(200)
+	s.SetError(io.EOF)
+	s.Finish()
+	if s.ID() != 0 || s.Dur(StageEval) != 0 || s.Touched(StageEval) {
+		t.Error("nil span leaked state")
+	}
+}
+
+func TestDisabledTracer(t *testing.T) {
+	for _, size := range []int{0, -1} {
+		tr := New(size)
+		if tr.Enabled() {
+			t.Fatalf("New(%d).Enabled() = true", size)
+		}
+		if s := tr.Start("eval"); s != nil {
+			t.Fatalf("New(%d).Start != nil", size)
+		}
+		if snap := tr.Snapshot(); snap != nil {
+			t.Fatalf("New(%d).Snapshot = %v", size, snap)
+		}
+		rec := httptest.NewRecorder()
+		tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+		if rec.Body.String() != "{\"traces\":[]}\n" {
+			t.Fatalf("disabled handler body = %q", rec.Body.String())
+		}
+	}
+}
+
+func TestRingWraparoundNewestFirst(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 10; i++ {
+		s := tr.Start("eval")
+		s.SetStatus(200 + i)
+		s.Finish()
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot holds %d traces, want ring size 4", len(snap))
+	}
+	for i, want := range []uint64{10, 9, 8, 7} {
+		if snap[i].ID != want {
+			t.Fatalf("snapshot order = [%d %d %d %d], want newest-first 10..7",
+				snap[0].ID, snap[1].ID, snap[2].ID, snap[3].ID)
+		}
+		_ = i
+	}
+}
+
+func TestSampling(t *testing.T) {
+	tr := New(16)
+	tr.SetSampleEvery(4)
+	for i := 0; i < 16; i++ {
+		tr.Start("eval").Finish()
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("with sample-every-4, 16 requests kept %d traces, want 4", len(snap))
+	}
+	for _, tc := range snap {
+		if tc.ID%4 != 0 {
+			t.Errorf("sampled trace ID %d not a multiple of 4", tc.ID)
+		}
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr := New(2)
+	s := tr.Start("batch")
+	s.SetGrid("field")
+	s.SetPoints(64)
+	s.SetBatchSize(64)
+	s.SetStatus(200)
+	s.Add(StageEval, 3*time.Millisecond)
+	s.Add(StageDecode, time.Millisecond)
+	s.Finish()
+
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Errorf("content type = %q", ct)
+	}
+	// The wire format must expose stages as a named object.
+	var raw struct {
+		Traces []map[string]any `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &raw); err != nil {
+		t.Fatalf("/debug/traces is not valid JSON: %v\n%s", err, rec.Body)
+	}
+	stages, ok := raw.Traces[0]["stages"].(map[string]any)
+	if !ok {
+		t.Fatalf("trace has no stages object: %s", rec.Body)
+	}
+	if v := stages["eval"]; v != 0.003 {
+		t.Errorf("stages.eval = %v, want 0.003", v)
+	}
+
+	// And ParseTraces must restore the typed view.
+	parsed, err := ParseTraces(rec.Body.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != 1 || parsed[0].Grid != "field" {
+		t.Fatalf("parsed = %+v", parsed)
+	}
+	if v, ok := parsed[0].StageS(StageEval); !ok || v != 0.003 {
+		t.Errorf("parsed eval stage = %v (recorded=%v), want 0.003", v, ok)
+	}
+	if _, ok := parsed[0].StageS(StageQueueWait); ok {
+		t.Error("parsed trace invented a queue_wait stage")
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	tr := New(2)
+	s := tr.Start("eval")
+	ctx := NewContext(context.Background(), s)
+	if got := FromContext(ctx); got != s {
+		t.Fatalf("FromContext = %p, want %p", got, s)
+	}
+	if got := FromContext(context.Background()); got != nil {
+		t.Fatalf("FromContext on bare ctx = %p, want nil", got)
+	}
+	base := context.Background()
+	if got := NewContext(base, nil); got != base {
+		t.Fatal("NewContext(nil span) must not wrap the context")
+	}
+	s.Finish()
+}
+
+// TestConcurrentSpans hammers Start/Finish and Snapshot from many
+// goroutines; run under -race this proves the ring's lock-freedom is
+// sound (immutable traces + atomic slot swaps).
+func TestConcurrentSpans(t *testing.T) {
+	tr := New(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := tr.Start("eval")
+				s.Begin(StageEval)
+				s.End(StageEval)
+				s.SetGrid(fmt.Sprintf("g%d", w))
+				s.SetStatus(200)
+				s.Finish()
+				if i%16 == 0 {
+					for _, tc := range tr.Snapshot() {
+						if tc.Status != 200 {
+							t.Errorf("trace %d status %d", tc.ID, tc.Status)
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if len(tr.Snapshot()) != 8 {
+		t.Fatalf("ring holds %d, want 8", len(tr.Snapshot()))
+	}
+}
+
+func TestStageNames(t *testing.T) {
+	names := StageNames()
+	if len(names) != int(NumStages) {
+		t.Fatalf("StageNames() has %d entries, want %d", len(names), NumStages)
+	}
+	seen := map[string]bool{}
+	for st := Stage(0); st < NumStages; st++ {
+		n := st.Name()
+		if n == "" || n == "unknown" || seen[n] {
+			t.Fatalf("stage %d has bad name %q", st, n)
+		}
+		seen[n] = true
+	}
+	if StageQueueWait.Name() != "queue_wait" || StageEval.Name() != "eval" {
+		t.Fatal("stage wire names changed; sgload/sgstress parse these")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"compactsg"
+	"compactsg/internal/obs"
 )
 
 func compressedGrid(t *testing.T, dim, level int) *compactsg.Grid {
@@ -82,5 +83,42 @@ func TestBatcherSteadyStateZeroAlloc(t *testing.T) {
 	// via timing jitter — allow a fraction below one object per call.
 	if allocs > 0.5 {
 		t.Fatalf("coalesced submit allocates %v objects per call at steady state, want 0", allocs)
+	}
+}
+
+// TestBatcherTracedSubmitZeroAlloc: attaching an obs.Span must not add
+// steady-state allocations to the coalesced path — the flush loop's
+// timings travel by value in the pooled result channel and land in the
+// span via plain field writes. This is the "tracing is free on the hot
+// path" guarantee the observability layer is built on.
+func TestBatcherTracedSubmitZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates and defeats sync.Pool reuse")
+	}
+	g := compressedGrid(t, 3, 5)
+	b := newBatcher(g, 1, time.Millisecond, nil)
+	defer b.close()
+	tracer := obs.New(64)
+	sp := tracer.Start("eval")
+	defer sp.Finish()
+	// The context is built once per request by instrument; only the
+	// per-submit work below must stay allocation-free.
+	ctx := obs.NewContext(context.Background(), sp)
+	x := []float64{0.25, 0.5, 0.75}
+	for k := 0; k < 8; k++ {
+		if _, err := b.submit(ctx, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := b.submit(ctx, x); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0.5 {
+		t.Fatalf("traced coalesced submit allocates %v objects per call at steady state, want 0", allocs)
+	}
+	if !sp.Touched(obs.StageQueueWait) || !sp.Touched(obs.StageEval) || sp.BatchSize() < 1 {
+		t.Fatal("span did not receive the flush loop's timings")
 	}
 }

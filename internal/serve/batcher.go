@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"compactsg"
+	"compactsg/internal/obs"
 )
 
 // ErrClosed is returned by submit after the batcher (or server) has
@@ -46,11 +47,23 @@ type evalCall struct {
 	ctx context.Context
 	x   []float64
 	res chan evalResult
+	enq time.Time // when submit enqueued the call (queue-wait origin)
 }
 
+// evalResult carries the value plus the flush loop's stage timings.
+// Timings ride the result channel instead of being written into the
+// caller's obs.Span directly: a span is owned by its request goroutine,
+// and an abandoned caller may Finish (and recycle) its span while the
+// flush loop is still mid-batch — delivering timings by value keeps the
+// loop from ever touching a span it does not own.
 type evalResult struct {
 	v   float64
 	err error
+
+	queueWait time.Duration // enqueue -> batch flush decision
+	dispatch  time.Duration // flush decision -> EvaluateBatch entry
+	eval      time.Duration // EvaluateBatch wall time (shared by the batch)
+	batch     int           // points in the dispatched batch
 }
 
 // resChanPool recycles the per-call result channels, the only per-submit
@@ -80,7 +93,9 @@ func newBatcher(g *compactsg.Grid, maxBatch int, maxWait time.Duration, onFlush 
 // submit enqueues one point and waits for its value. ctx bounds the
 // wait; a call abandoned after enqueue is skipped by the flush loop
 // (see run), so the batch result for the remaining callers is
-// unaffected.
+// unaffected. When ctx carries an obs.Span, the flush loop's timings
+// (queue wait, dispatch, eval, batch size) are recorded on it here, on
+// the owning goroutine.
 func (b *batcher) submit(ctx context.Context, x []float64) (float64, error) {
 	b.mu.Lock()
 	if b.closed {
@@ -91,7 +106,7 @@ func (b *batcher) submit(ctx context.Context, x []float64) (float64, error) {
 	b.mu.Unlock()
 
 	res := resChanPool.Get().(chan evalResult)
-	call := evalCall{ctx: ctx, x: x, res: res}
+	call := evalCall{ctx: ctx, x: x, res: res, enq: time.Now()}
 	select {
 	case b.in <- call:
 		b.inflight.Done()
@@ -103,10 +118,20 @@ func (b *batcher) submit(ctx context.Context, x []float64) (float64, error) {
 	select {
 	case r := <-call.res:
 		resChanPool.Put(res) // drained: run sends at most once per call
+		if sp := obs.FromContext(ctx); sp != nil {
+			sp.Add(obs.StageQueueWait, r.queueWait)
+			sp.Add(obs.StageDispatch, r.dispatch)
+			sp.Add(obs.StageEval, r.eval)
+			sp.SetBatchSize(r.batch)
+		}
 		return r.v, r.err
 	case <-ctx.Done():
 		// Abandoned: run may still deliver into the buffer, so this
-		// channel must not be pooled.
+		// channel must not be pooled. The wait so far is still queue
+		// time from the request's point of view.
+		if sp := obs.FromContext(ctx); sp != nil {
+			sp.Add(obs.StageQueueWait, time.Since(call.enq))
+		}
 		return 0, ctx.Err()
 	}
 }
@@ -179,6 +204,10 @@ func (b *batcher) run() {
 			<-timer.C
 		}
 
+		// The batch is closed: everything enqueued before this instant
+		// was waiting in the queue; everything after is dispatch cost.
+		flushed := time.Now()
+
 		// Drop calls whose caller already gave up: their submit has
 		// returned ctx.Err(), nobody reads the result, and evaluating
 		// the point would be wasted batch work.
@@ -198,13 +227,23 @@ func (b *batcher) run() {
 		if cap(out) < len(live) {
 			out = make([]float64, len(live))
 		}
+		evalStart := time.Now()
 		res, err := b.grid.EvaluateBatch(xs, out[:len(live)])
+		evalDur := time.Since(evalStart)
+		dispatch := evalStart.Sub(flushed)
 		for k, c := range live {
-			if err != nil {
-				deliver(c, evalResult{err: err})
-			} else {
-				deliver(c, evalResult{v: res[k]})
+			r := evalResult{
+				queueWait: flushed.Sub(c.enq),
+				dispatch:  dispatch,
+				eval:      evalDur,
+				batch:     len(live),
 			}
+			if err != nil {
+				r.err = err
+			} else {
+				r.v = res[k]
+			}
+			deliver(c, r)
 		}
 		if b.onFlush != nil {
 			b.onFlush(len(live))

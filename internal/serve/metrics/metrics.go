@@ -218,6 +218,16 @@ var DefLatencyBuckets = []float64{
 // DefSizeBuckets is a power-of-two ladder for batch sizes.
 var DefSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
 
+// DefStageBuckets spans 1µs .. 2.5s: request stages (JSON decode,
+// validation, queue wait, dispatch, kernel time) run two decades
+// faster than whole requests, so the per-stage histograms need finer
+// low-end resolution than DefLatencyBuckets.
+var DefStageBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
 // DefLoadBuckets spans 100µs .. 30s, the useful range for grid file
 // loads (read + decode), which run from small test grids on a warm
 // page cache to multi-GB level-11 grids on cold disk.
@@ -262,26 +272,38 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()
 // Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the buckets by
 // linear interpolation within the containing bucket; observations above
 // the last bound report the last bound. It returns 0 with no data.
+//
+// Callers that gate on the result (sgstress -assert-hot-p50) should use
+// QuantileCapped instead: a quantile landing in the +Inf overflow
+// bucket is silently capped here, so arbitrarily slow data can still
+// "pass" a latency bound equal to the last bucket bound.
 func (h *Histogram) Quantile(q float64) float64 {
+	v, _ := h.QuantileCapped(q)
+	return v
+}
+
+// QuantileCapped is Quantile with an explicit cap signal: capped is
+// true when the requested quantile lands in the +Inf overflow bucket,
+// meaning the true value is >= the last bound and the returned value is
+// only a lower bound, not an estimate.
+func (h *Histogram) QuantileCapped(q float64) (v float64, capped bool) {
 	n := h.total.Load()
 	if n == 0 {
-		return 0
+		return 0, false
 	}
 	rank := q * float64(n)
 	var cum uint64
 	for i := range h.counts {
 		c := h.counts[i].Load()
 		if c == 0 {
-			cum += c
 			continue
 		}
 		if float64(cum+c) >= rank {
-			hi := 0.0
-			if i < len(h.bounds) {
-				hi = h.bounds[i]
-			} else {
-				return h.bounds[len(h.bounds)-1]
+			if i == len(h.bounds) {
+				// Overflow bucket: all we know is v >= last bound.
+				return h.bounds[len(h.bounds)-1], true
 			}
+			hi := h.bounds[i]
 			lo := 0.0
 			if i > 0 {
 				lo = h.bounds[i-1]
@@ -292,11 +314,11 @@ func (h *Histogram) Quantile(q float64) float64 {
 			} else if frac > 1 {
 				frac = 1
 			}
-			return lo + frac*(hi-lo)
+			return lo + frac*(hi-lo), false
 		}
 		cum += c
 	}
-	return h.bounds[len(h.bounds)-1]
+	return h.bounds[len(h.bounds)-1], true
 }
 
 type histogramFamily struct {

@@ -129,6 +129,37 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileCapped(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4, 8}, "")
+	if _, capped := h.QuantileCapped(0.5); capped {
+		t.Error("empty histogram reported capped")
+	}
+	h.Observe(0.5)
+	if v, capped := h.QuantileCapped(0.5); capped || math.Abs(v-0.5) > 1e-9 {
+		t.Errorf("in-range p50 = (%g, %v), want (0.5, false)", v, capped)
+	}
+	// Flood the overflow bucket: the median now lands past the last
+	// bound, which Quantile silently caps but QuantileCapped flags.
+	for i := 0; i < 10; i++ {
+		h.Observe(100)
+	}
+	v, capped := h.QuantileCapped(0.5)
+	if !capped {
+		t.Fatal("overflow-bucket median not reported as capped")
+	}
+	if v != 8 {
+		t.Errorf("capped value = %g, want last bound 8", v)
+	}
+	if q := h.Quantile(0.5); q != 8 {
+		t.Errorf("Quantile = %g, want 8 (same value, no signal)", q)
+	}
+	// A quantile still inside the real buckets stays uncapped
+	// (rank 0.05*11 = 0.55 interpolates within the first bucket).
+	if v, capped := h.QuantileCapped(0.05); capped || math.Abs(v-0.55) > 1e-9 {
+		t.Errorf("p5 = (%g, %v), want (0.55, false)", v, capped)
+	}
+}
+
 func TestConcurrentObserve(t *testing.T) {
 	r := NewRegistry()
 	c := r.NewCounter("c", "c")

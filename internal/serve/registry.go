@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"compactsg"
+	"compactsg/internal/obs"
 )
 
 // ErrUnknownGrid is returned for names never registered with Add.
@@ -240,7 +241,13 @@ func (s *GridSet) Get(name string) (*compactsg.Grid, error) {
 // first if it is cold. ctx bounds only the wait for an in-flight load
 // by another goroutine; a load this caller leads always runs to
 // completion so the result can be shared.
+//
+// When ctx carries an obs.Span, cold-path time is attributed on it: a
+// load this caller led as StageLoad, waiting on someone else's
+// in-flight load as StageLoadWait. The resident fast path records
+// nothing.
 func (s *GridSet) Acquire(ctx context.Context, name string) (*Lease, error) {
+	sp := obs.FromContext(ctx)
 	for {
 		// Fast path: resident grid, read lock only. The refcount
 		// increment is safe under the read lock because eviction (which
@@ -260,7 +267,7 @@ func (s *GridSet) Acquire(ctx context.Context, name string) (*Lease, error) {
 		}
 
 		if !inflight {
-			lease, joined, err := s.lead(name)
+			lease, joined, err := s.lead(sp, name)
 			if err != nil {
 				return nil, err
 			}
@@ -272,9 +279,12 @@ func (s *GridSet) Acquire(ctx context.Context, name string) (*Lease, error) {
 			s.OnLoadWait(name)
 		}
 
+		waitStart := time.Now()
 		select {
 		case <-lc.done:
+			sp.Add(obs.StageLoadWait, time.Since(waitStart))
 		case <-ctx.Done():
+			sp.Add(obs.StageLoadWait, time.Since(waitStart))
 			return nil, ctx.Err()
 		}
 		if lc.err != nil {
@@ -287,8 +297,10 @@ func (s *GridSet) Acquire(ctx context.Context, name string) (*Lease, error) {
 
 // lead tries to become the loading leader for name. It returns exactly
 // one of: a lease (grid was or became resident), a loadCall to wait on
-// (someone else is loading), or an error.
-func (s *GridSet) lead(name string) (*Lease, *loadCall, error) {
+// (someone else is loading), or an error. sp is the leading request's
+// span (nil when untraced); the file read + decode is charged to it as
+// StageLoad.
+func (s *GridSet) lead(sp *obs.Span, name string) (*Lease, *loadCall, error) {
 	s.mu.Lock()
 	if e, ok := s.resident[name]; ok {
 		e.refs.Add(1)
@@ -318,6 +330,7 @@ func (s *GridSet) lead(name string) (*Lease, *loadCall, error) {
 	start := time.Now()
 	g, err := s.load(name, path)
 	took := time.Since(start)
+	sp.Add(obs.StageLoad, took)
 
 	var victims []*entry
 	var lease *Lease

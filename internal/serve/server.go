@@ -5,11 +5,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
+	"runtime/debug"
+	"strconv"
 	"sync"
 	"time"
 
 	"compactsg"
+	"compactsg/internal/obs"
 	"compactsg/internal/serve/metrics"
 )
 
@@ -44,6 +49,21 @@ type Config struct {
 	// RequestTimeout bounds how long a request may wait for its
 	// evaluation. Default 10s.
 	RequestTimeout time.Duration
+	// TraceRing is how many recent request traces are retained for
+	// GET /debug/traces. 0 takes the default (256); negative disables
+	// tracing entirely — and with it the per-stage
+	// sgserve_stage_seconds attribution, which is derived from spans.
+	TraceRing int
+	// TraceSample keeps every nth finished trace in the ring (1 = all,
+	// the default). Spans and stage metrics cover every request
+	// regardless; sampling bounds only ring publication.
+	TraceSample int
+	// AccessLog, when non-nil, receives one structured line per request
+	// (request ID, handler, grid, points, status, stage breakdown).
+	AccessLog *slog.Logger
+	// ErrorLog receives handler panic reports (message + stack).
+	// Default slog.Default().
+	ErrorLog *slog.Logger
 }
 
 func (c *Config) fill() {
@@ -68,6 +88,15 @@ func (c *Config) fill() {
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 10 * time.Second
 	}
+	if c.TraceRing == 0 {
+		c.TraceRing = 256
+	}
+	if c.TraceSample < 1 {
+		c.TraceSample = 1
+	}
+	if c.ErrorLog == nil {
+		c.ErrorLog = slog.Default()
+	}
 }
 
 // Server is the HTTP evaluation service: routes, grid registry,
@@ -83,9 +112,10 @@ func (c *Config) fill() {
 // leaking, and callers parked in its last open batch still get their
 // values. Close waits for all such background drains.
 type Server struct {
-	cfg   Config
-	grids *GridSet
-	mux   *http.ServeMux
+	cfg    Config
+	grids  *GridSet
+	mux    *http.ServeMux
+	tracer *obs.Tracer
 
 	mu       sync.Mutex
 	batchers map[string]*gridBatcher
@@ -116,6 +146,11 @@ type serverMetrics struct {
 	evictions   *metrics.Counter
 	batchersNow *metrics.Gauge
 	drainsTotal *metrics.Counter
+	panics      *metrics.Counter
+	// stageSecs holds the sgserve_stage_seconds children pre-resolved
+	// per stage so the per-request observation path takes no vec-map
+	// lock.
+	stageSecs [obs.NumStages]*metrics.Histogram
 }
 
 // New creates a Server. Register grid files with AddGrid before (or
@@ -125,7 +160,9 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg,
 		batchers: make(map[string]*gridBatcher),
+		tracer:   obs.New(cfg.TraceRing),
 	}
+	s.tracer.SetSampleEvery(cfg.TraceSample)
 	s.grids = NewGridSet(cfg.MaxResident,
 		compactsg.WithWorkers(cfg.Workers), compactsg.WithBlockSize(cfg.BlockSize))
 	s.grids.OnLoad = func(_ string, took time.Duration) {
@@ -155,6 +192,13 @@ func New(cfg Config) *Server {
 		evictions:   r.NewCounter("sgserve_grid_evictions_total", "LRU grid evictions."),
 		batchersNow: r.NewGauge("sgserve_batchers_active", "Per-grid micro-batch coalescers currently attached."),
 		drainsTotal: r.NewCounter("sgserve_batcher_drains_total", "Batchers drained and closed after their grid instance was evicted or replaced."),
+		panics:      r.NewCounter("sgserve_panics_total", "Handler panics recovered by the instrumentation wrapper (each answered with a 500)."),
+	}
+	stageVec := r.NewHistogramVec("sgserve_stage_seconds",
+		"Per-request time spent in each serving stage (decode, validate, load, load_wait, queue_wait, dispatch, eval, encode), in seconds.",
+		"stage", metrics.DefStageBuckets)
+	for st := obs.Stage(0); st < obs.NumStages; st++ {
+		s.met.stageSecs[st] = stageVec.With(st.Name())
 	}
 
 	mux := http.NewServeMux()
@@ -163,6 +207,7 @@ func New(cfg Config) *Server {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.Handle("GET /metrics", r.Handler())
+	mux.Handle("GET /debug/traces", s.tracer.Handler())
 	mux.HandleFunc("GET /v1/grids", s.instrument("grids", s.handleGrids))
 	mux.HandleFunc("POST /v1/eval", s.instrument("eval", s.handleEval))
 	mux.HandleFunc("POST /v1/eval/batch", s.instrument("batch", s.handleEvalBatch))
@@ -182,6 +227,10 @@ func (s *Server) Grids() *GridSet { return s.grids }
 
 // Metrics exposes the metrics registry (for embedding in other muxes).
 func (s *Server) Metrics() *metrics.Registry { return s.met.registry }
+
+// Tracer exposes the request tracer (for tests and in-process
+// harnesses like sgstress; HTTP consumers use GET /debug/traces).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // Handler returns the routing handler for an http.Server.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -342,7 +391,13 @@ func httpErrorf(status int, format string, args ...any) *httpError {
 }
 
 // instrument wraps a handler with request counting, latency
-// observation and error accounting.
+// observation, error accounting, panic recovery, span lifecycle and
+// (when configured) structured access logging.
+//
+// Panics must be caught here, not left to net/http: the http.Server
+// recovery aborts the connection without writing a response, so the
+// client would see a dropped connection, no error would be counted and
+// the request's latency would never be observed.
 func (s *Server) instrument(name string, h func(*http.Request) (any, error)) http.HandlerFunc {
 	reqs := s.met.requests.With(name)
 	errs := s.met.errors.With(name)
@@ -350,29 +405,98 @@ func (s *Server) instrument(name string, h func(*http.Request) (any, error)) htt
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		reqs.Inc()
+		sp := s.tracer.Start(name)
+		if sp != nil {
+			w.Header().Set("X-Request-Id", strconv.FormatUint(sp.ID(), 10))
+			r = r.WithContext(obs.NewContext(r.Context(), sp))
+		}
+		status := http.StatusOK
+		defer func() {
+			if p := recover(); p != nil {
+				status = http.StatusInternalServerError
+				errs.Inc()
+				s.met.panics.Inc()
+				s.cfg.ErrorLog.LogAttrs(r.Context(), slog.LevelError, "handler panic",
+					slog.String("handler", name),
+					slog.Uint64("request_id", sp.ID()),
+					slog.String("panic", fmt.Sprint(p)),
+					slog.String("stack", string(debug.Stack())))
+				sp.SetStatus(status)
+				writeJSON(w, status, errorResponse{Error: "internal server error"})
+			}
+			total := time.Since(start)
+			lat.Observe(total.Seconds())
+			s.finishSpan(r.Context(), sp, name, status, total)
+		}()
 		body, err := h(r)
-		lat.Observe(time.Since(start).Seconds())
 		if err != nil {
 			errs.Inc()
-			status := http.StatusInternalServerError
-			var he *httpError
-			switch {
-			case errors.As(err, &he):
-				status = he.status
-			case errors.Is(err, ErrUnknownGrid):
-				status = http.StatusNotFound
-			case errors.Is(err, ErrClosed):
-				status = http.StatusServiceUnavailable
-			case errors.Is(err, context.DeadlineExceeded):
-				status = http.StatusServiceUnavailable
-			case errors.Is(err, context.Canceled):
-				status = 499 // client went away (nginx convention)
-			}
+			status = statusFor(err)
+			sp.SetError(err)
+			sp.SetStatus(status)
 			writeJSON(w, status, errorResponse{Error: err.Error()})
 			return
 		}
+		sp.SetStatus(status)
+		sp.Begin(obs.StageEncode)
 		writeJSON(w, http.StatusOK, body)
+		sp.End(obs.StageEncode)
 	}
+}
+
+// statusFor maps handler errors to HTTP status codes.
+func statusFor(err error) int {
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		return he.status
+	case errors.Is(err, ErrUnknownGrid):
+		return http.StatusNotFound
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled):
+		return 499 // client went away (nginx convention)
+	}
+	return http.StatusInternalServerError
+}
+
+// finishSpan feeds the span's stage durations into the
+// sgserve_stage_seconds histograms, emits the access log line, and
+// recycles the span. Runs once per request, panic or not.
+func (s *Server) finishSpan(ctx context.Context, sp *obs.Span, name string, status int, total time.Duration) {
+	if sp != nil {
+		for st := obs.Stage(0); st < obs.NumStages; st++ {
+			if sp.Touched(st) {
+				s.met.stageSecs[st].Observe(sp.Dur(st).Seconds())
+			}
+		}
+	}
+	if s.cfg.AccessLog != nil {
+		attrs := make([]slog.Attr, 0, 8+int(obs.NumStages))
+		attrs = append(attrs,
+			slog.Uint64("request_id", sp.ID()),
+			slog.String("handler", name),
+			slog.Int("status", status),
+			slog.Duration("total", total))
+		if g := sp.Grid(); g != "" {
+			attrs = append(attrs, slog.String("grid", g))
+		}
+		if n := sp.Points(); n > 0 {
+			attrs = append(attrs, slog.Int("points", n))
+		}
+		if n := sp.BatchSize(); n > 0 {
+			attrs = append(attrs, slog.Int("batch_size", n))
+		}
+		for st := obs.Stage(0); st < obs.NumStages; st++ {
+			if sp.Touched(st) {
+				attrs = append(attrs, slog.Duration(st.Name(), sp.Dur(st)))
+			}
+		}
+		s.cfg.AccessLog.LogAttrs(ctx, slog.LevelInfo, "request", attrs...)
+	}
+	sp.Finish()
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {
@@ -382,7 +506,11 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 	_ = enc.Encode(body)
 }
 
-// decodeJSON reads the body with the configured size cap.
+// decodeJSON reads the body with the configured size cap. The body
+// must hold exactly one JSON value: an empty body and trailing data
+// after the value (`{"point":[0.5]}junk`) are both 400s — a decoder
+// left to its own devices stops at the end of the first value and
+// would silently accept the garbage.
 func (s *Server) decodeJSON(r *http.Request, dst any) error {
 	r.Body = http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
@@ -392,7 +520,13 @@ func (s *Server) decodeJSON(r *http.Request, dst any) error {
 		if errors.As(err, &maxErr) {
 			return httpErrorf(http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", maxErr.Limit)
 		}
+		if errors.Is(err, io.EOF) {
+			return httpErrorf(http.StatusBadRequest, "empty request body")
+		}
 		return httpErrorf(http.StatusBadRequest, "invalid JSON request: %v", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return httpErrorf(http.StatusBadRequest, "request body contains data after the JSON value")
 	}
 	return nil
 }
@@ -428,14 +562,20 @@ func (s *Server) handleGrids(_ *http.Request) (any, error) {
 }
 
 func (s *Server) handleEval(r *http.Request) (any, error) {
+	sp := obs.FromContext(r.Context())
 	var req evalRequest
-	if err := s.decodeJSON(r, &req); err != nil {
+	sp.Begin(obs.StageDecode)
+	err := s.decodeJSON(r, &req)
+	sp.End(obs.StageDecode)
+	if err != nil {
 		return nil, err
 	}
 	name, err := s.resolveGrid(req.Grid)
 	if err != nil {
 		return nil, err
 	}
+	sp.SetGrid(name)
+	sp.SetPoints(1)
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 
@@ -446,13 +586,19 @@ func (s *Server) handleEval(r *http.Request) (any, error) {
 		}
 		defer lease.Release()
 		g := lease.Grid()
-		if err := validatePoint(req.Point, g.Dim(), 0); err != nil {
-			return nil, err
-		}
-		v, err := g.Evaluate(req.Point)
+		sp.Begin(obs.StageValidate)
+		err = validatePoint(req.Point, g.Dim(), 0)
+		sp.End(obs.StageValidate)
 		if err != nil {
 			return nil, err
 		}
+		sp.Begin(obs.StageEval)
+		v, err := g.Evaluate(req.Point)
+		sp.End(obs.StageEval)
+		if err != nil {
+			return nil, err
+		}
+		sp.SetBatchSize(1)
 		s.met.batchSize.Observe(1)
 		s.met.points.Inc()
 		return evalResponse{Value: v}, nil
@@ -461,13 +607,18 @@ func (s *Server) handleEval(r *http.Request) (any, error) {
 	// An ErrClosed from submit normally means "this batcher was retired
 	// because its grid instance was evicted between lookup and enqueue";
 	// retry against a freshly attached batcher (bounded by ctx). Only a
-	// server-wide Close surfaces ErrClosed to the client.
+	// server-wide Close surfaces ErrClosed to the client. Queue wait,
+	// dispatch, eval and batch size are recorded on the span by submit,
+	// from the timings the flush loop hands back.
 	for {
 		b, err := s.batcherFor(ctx, name)
 		if err != nil {
 			return nil, err
 		}
-		if err := validatePoint(req.Point, b.grid.Dim(), 0); err != nil {
+		sp.Begin(obs.StageValidate)
+		err = validatePoint(req.Point, b.grid.Dim(), 0)
+		sp.End(obs.StageValidate)
+		if err != nil {
 			return nil, err
 		}
 		v, err := b.submit(ctx, req.Point)
@@ -482,14 +633,20 @@ func (s *Server) handleEval(r *http.Request) (any, error) {
 }
 
 func (s *Server) handleEvalBatch(r *http.Request) (any, error) {
+	sp := obs.FromContext(r.Context())
 	var req batchRequest
-	if err := s.decodeJSON(r, &req); err != nil {
+	sp.Begin(obs.StageDecode)
+	err := s.decodeJSON(r, &req)
+	sp.End(obs.StageDecode)
+	if err != nil {
 		return nil, err
 	}
 	name, err := s.resolveGrid(req.Grid)
 	if err != nil {
 		return nil, err
 	}
+	sp.SetGrid(name)
+	sp.SetPoints(len(req.Points))
 	if len(req.Points) == 0 {
 		return batchResponse{Values: []float64{}}, nil
 	}
@@ -505,23 +662,37 @@ func (s *Server) handleEvalBatch(r *http.Request) (any, error) {
 	}
 	defer lease.Release()
 	g := lease.Grid()
+	sp.Begin(obs.StageValidate)
 	for k, x := range req.Points {
 		if err := validatePoint(x, g.Dim(), k); err != nil {
+			sp.End(obs.StageValidate)
 			return nil, err
 		}
 	}
+	sp.End(obs.StageValidate)
 
+	// Evaluation timings come back over the channel rather than being
+	// written into sp by the worker goroutine: on ctx expiry the
+	// handler returns (and recycles the span) while the evaluation may
+	// still be running.
 	type res struct {
-		vals []float64
-		err  error
+		vals      []float64
+		err       error
+		evalStart time.Time
+		evalDur   time.Duration
 	}
+	dispatched := time.Now()
 	ch := make(chan res, 1)
 	go func() {
+		t0 := time.Now()
 		vals, err := g.EvaluateBatch(req.Points, nil)
-		ch <- res{vals, err}
+		ch <- res{vals, err, t0, time.Since(t0)}
 	}()
 	select {
 	case out := <-ch:
+		sp.Add(obs.StageDispatch, out.evalStart.Sub(dispatched))
+		sp.Add(obs.StageEval, out.evalDur)
+		sp.SetBatchSize(len(req.Points))
 		if out.err != nil {
 			return nil, out.err
 		}

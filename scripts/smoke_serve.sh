@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Smoke test for cmd/sgserve: compress a small grid, start the server,
-# exercise /healthz, /v1/eval, /v1/eval/batch and /metrics, then shut
-# it down gracefully and require a clean exit. Used by CI and
-# `make smoke`.
+# exercise /healthz, /v1/eval, /v1/eval/batch, /metrics, /debug/traces
+# and /debug/pprof, then shut it down gracefully and require a clean
+# exit. Used by CI and `make smoke`.
 set -euo pipefail
 
 workdir=$(mktemp -d)
@@ -13,7 +13,7 @@ trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
 go build -o "$workdir/sgserve" ./cmd/sgserve
 go run ./cmd/sgcompress -dim 3 -level 5 -fn gaussian -direct -q -o "$workdir/field.sg"
 
-"$workdir/sgserve" -addr ":$port" "$workdir/field.sg" &
+"$workdir/sgserve" -addr ":$port" -pprof "$workdir/field.sg" &
 server_pid=$!
 
 for i in $(seq 1 50); do
@@ -32,7 +32,27 @@ curl -sf -d '{"points":[[0.5,0.5,0.5],[0.25,0.25,0.25]]}' "$base/v1/eval/batch" 
 # error path: out-of-domain point must 400, not 200
 code=$(curl -s -o /dev/null -w '%{http_code}' -d '{"point":[2,0,0]}' "$base/v1/eval")
 [ "$code" = 400 ] || fail "out-of-domain returned $code, want 400"
-curl -sf "$base/metrics" | grep -q 'sgserve_requests_total{handler="eval"}' || fail "/metrics"
+# fetch once, grep the file: piping straight into grep -q kills curl
+# with SIGPIPE now that the stage histograms make /metrics long.
+curl -sf "$base/metrics" -o "$workdir/metrics.txt" || fail "/metrics"
+grep -q 'sgserve_requests_total{handler="eval"}' "$workdir/metrics.txt" || fail "/metrics requests_total"
+grep -q 'sgserve_stage_seconds_count{stage="eval"}' "$workdir/metrics.txt" || fail "stage metrics"
+grep -q 'sgserve_panics_total 0' "$workdir/metrics.txt" || fail "panics counter"
+
+# observability: traces must be well-formed JSON covering the evals above,
+# and pprof must serve a heap profile when -pprof is on.
+traces=$(curl -sf "$base/debug/traces") || fail "/debug/traces"
+if command -v jq >/dev/null 2>&1; then
+    echo "$traces" | jq -e '.traces | type == "array" and length >= 2' >/dev/null \
+        || fail "/debug/traces is not well-formed JSON with >=2 traces"
+    echo "$traces" | jq -e '.traces[0] | has("id") and has("handler") and has("stages")' >/dev/null \
+        || fail "/debug/traces entries missing id/handler/stages"
+else
+    echo "$traces" | grep -q '"traces":\[{' || fail "/debug/traces JSON shape"
+    echo "$traces" | grep -q '"stages":{' || fail "/debug/traces missing stage timings"
+fi
+curl -sf -o "$workdir/heap.pb.gz" "$base/debug/pprof/heap" || fail "/debug/pprof/heap"
+[ -s "$workdir/heap.pb.gz" ] || fail "/debug/pprof/heap is empty"
 
 kill -TERM "$server_pid"
 wait "$server_pid" || fail "server exited non-zero on SIGTERM"

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Stage-attribution demo for the observability layer: serve one grid,
+# drive it with sgload in both modes, and show where server-side time
+# goes — the per-stage percentiles sgload derives from /debug/traces
+# (queue_wait vs dispatch vs eval vs encode), the raw trace JSON, and
+# the sgserve_stage_seconds split from /metrics.
+# Recorded results and analysis: EXPERIMENTS.md §"Stage attribution".
+set -euo pipefail
+
+workdir=$(mktemp -d)
+port=${SGSERVE_PORT:-8177}
+base="http://localhost:$port"
+conc=${SGLOAD_C:-32}
+n=${SGLOAD_N:-4000}
+server_pid=""
+trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/sgserve" ./cmd/sgserve
+go build -o "$workdir/sgload" ./cmd/sgload
+echo "compressing demo grid (d=5, level=7, gaussian)…"
+go run ./cmd/sgcompress -dim 5 -level 7 -fn gaussian -direct -q -o "$workdir/field.sg"
+
+"$workdir/sgserve" -addr ":$port" -pprof -trace-ring 1024 "$workdir/field.sg" >/dev/null 2>&1 &
+server_pid=$!
+for i in $(seq 1 50); do
+    curl -sf "$base/healthz" >/dev/null 2>&1 && break
+    sleep 0.2
+done
+
+echo; echo "== coalesced /v1/eval: latency dominated by the micro-batch linger (queue_wait) =="
+"$workdir/sgload" -url "$base" -c "$conc" -n "$n"
+
+echo; echo "== /v1/eval/batch (64 points/request): latency dominated by kernel time (eval) =="
+"$workdir/sgload" -url "$base" -c "$conc" -n $((n / 16)) -mode batch -points 64
+
+echo; echo "== one raw trace from /debug/traces =="
+if command -v jq >/dev/null 2>&1; then
+    curl -sf "$base/debug/traces" | jq '.traces[0]'
+else
+    curl -sf "$base/debug/traces" | head -c 600; echo
+fi
+
+echo; echo "== sgserve_stage_seconds sums (seconds spent per stage, all requests) =="
+curl -sf "$base/metrics" | grep -E '^sgserve_stage_seconds_(sum|count)' || true
+
+kill -TERM "$server_pid"
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
