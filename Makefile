@@ -2,7 +2,10 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-all experiments examples smoke serve-demo trace-demo staticcheck stress clean
+.PHONY: all build vet test race bench bench-all bench-coldload experiments examples smoke serve-demo trace-demo staticcheck stress fuzz clean
+
+# Per-target budget for `make fuzz` (go's -fuzztime syntax).
+FUZZTIME ?= 30s
 
 all: build vet test
 
@@ -45,10 +48,27 @@ stress:
 staticcheck:
 	staticcheck ./...
 
+# Coverage-guided fuzzing of every decoder that eats untrusted bytes:
+# the dense v1/v2 readers, the SGC2 snapshot codec, the sparse reader,
+# and the format-sniffing LoadAny entry point. Each target gets
+# $(FUZZTIME); the committed corpus under testdata/fuzz/ (including the
+# nonzero-padding crasher FuzzSnapshot found) always replays in plain
+# `go test`.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzReadGrid$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzSnapshot$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzReadSparse$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzLoadAny$$' -fuzztime $(FUZZTIME) .
+
 # Kernel hot-path benchmarks -> BENCH_kernels.json (baseline vs current;
 # see scripts/bench_kernels.sh for BENCHTIME/--as-baseline knobs).
 bench:
 	bash scripts/bench_kernels.sh
+
+# Cold-load routes (legacy copy vs snapshot copy vs zero-copy mmap) ->
+# BENCH_coldload.json with the headline mmap-vs-v1 speedup.
+bench-coldload:
+	bash scripts/bench_coldload.sh
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...

@@ -40,9 +40,13 @@ func run(args []string) error {
 	workers := fs.Int("workers", runtime.NumCPU(), "hierarchization workers")
 	threshold := fs.Float64("threshold", 0, "drop coefficients with |α| ≤ threshold (lossy, 0 = off)")
 	sparse := fs.Bool("sparse", false, "write the sparse (nonzeros-only) container")
+	format := fs.String("format", "v2", "dense container format: v2 (checksummed, mmap-able snapshot) or v1 (legacy)")
 	quiet := fs.Bool("q", false, "suppress the summary")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *format != "v1" && *format != "v2" {
+		return fmt.Errorf("unknown -format %q (want v1 or v2)", *format)
 	}
 	fn, err := workload.ByName(*fnName)
 	if err != nil {
@@ -90,9 +94,12 @@ func run(args []string) error {
 		return err
 	}
 	defer f.Close()
-	if *sparse {
+	switch {
+	case *sparse:
 		err = g.SaveSparse(f)
-	} else {
+	case *format == "v1":
+		err = g.SaveV1(f)
+	default:
 		err = g.Save(f)
 	}
 	if err != nil {

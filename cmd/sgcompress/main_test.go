@@ -114,3 +114,44 @@ func TestThresholdedSparseOutput(t *testing.T) {
 		t.Errorf("peak value %g want ≈ 1", got)
 	}
 }
+
+func TestFormatFlag(t *testing.T) {
+	dir := t.TempDir()
+	v1 := filepath.Join(dir, "v1.sg")
+	v2 := filepath.Join(dir, "v2.sg")
+	if err := run([]string{"-dim", "2", "-level", "4", "-o", v1, "-format", "v1", "-q"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-dim", "2", "-level", "4", "-o", v2, "-q"}); err != nil {
+		t.Fatal(err)
+	}
+	rawV1, err := os.ReadFile(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawV2, err := os.ReadFile(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v1 = state byte + SGC1 stream; v2 = SGC2 snapshot.
+	if string(rawV1[1:5]) != "SGC1" {
+		t.Errorf("-format v1 wrote magic %q", rawV1[1:5])
+	}
+	if string(rawV2[:4]) != "SGC2" {
+		t.Errorf("default format wrote magic %q", rawV2[:4])
+	}
+	// Both load through the sniffing loader and agree bit-for-bit.
+	for _, p := range []string{v1, v2} {
+		og, err := compactsg.Open(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if !og.Compressed() {
+			t.Errorf("%s: compressed state lost", p)
+		}
+		og.Close()
+	}
+	if err := run([]string{"-dim", "2", "-level", "4", "-o", v1, "-format", "v3", "-q"}); err == nil {
+		t.Error("unknown -format accepted")
+	}
+}

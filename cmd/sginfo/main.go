@@ -14,6 +14,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"strings"
 
 	"compactsg"
 	"compactsg/internal/core"
@@ -41,21 +42,20 @@ func run(args []string, w io.Writer) error {
 	var err error
 	switch {
 	case *in != "":
-		f, err := os.Open(*in)
+		if err := printContainer(w, *in); err != nil {
+			return err
+		}
+		og, err := compactsg.Open(*in)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		g, err := compactsg.LoadAny(f)
-		if err != nil {
-			return err
-		}
+		defer og.Close()
 		state := "nodal values"
-		if g.Compressed() {
+		if og.Compressed() {
 			state = "hierarchical coefficients"
 		}
-		fmt.Fprintf(w, "%s: d=%d, level=%d, %s\n", *in, g.Dim(), g.Level(), state)
-		desc = g.Raw().Desc()
+		fmt.Fprintf(w, "%s: d=%d, level=%d, %s (loaded via %s)\n", *in, og.Dim(), og.Level(), state, og.Mode)
+		desc = og.Raw().Desc()
 	case *dim > 0 && *level > 0:
 		desc, err = core.NewDescriptor(*dim, *level)
 		if err != nil {
@@ -90,5 +90,55 @@ func run(args []string, w io.Writer) error {
 	fullPoints := math.Pow(float64(int64(1)<<uint(desc.Level())-1), float64(desc.Dim()))
 	fmt.Fprintf(w, "full grid with the same resolution: (2^%d-1)^%d ≈ %.3g points (compression %.3g×)\n",
 		desc.Level(), desc.Dim(), fullPoints, fullPoints/float64(desc.Size()))
+	return nil
+}
+
+// printContainer describes the on-disk container. For SGC2 snapshots it
+// prints the validated header — version, flags, payload layout, both
+// CRC32-C checksums and whether the payload alignment permits the
+// zero-copy mmap load.
+func printContainer(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var magic [4]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return fmt.Errorf("reading magic of %s: %w", path, err)
+	}
+	switch string(magic[:]) {
+	case core.SnapshotMagic:
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return err
+		}
+		info, err := core.ReadSnapshotInfo(f)
+		if err != nil {
+			return err
+		}
+		flags := make([]string, 0, 2)
+		if info.Compressed() {
+			flags = append(flags, "compressed")
+		}
+		if info.Boundary() {
+			flags = append(flags, "boundary")
+		}
+		if len(flags) == 0 {
+			flags = append(flags, "none")
+		}
+		aligned := "copy only (payload unaligned)"
+		if info.Aligned() {
+			aligned = "mmap-able (8-byte aligned payload)"
+		}
+		fmt.Fprintf(w, "container: SGC2 snapshot v%d, flags %s\n", info.Version, strings.Join(flags, "+"))
+		fmt.Fprintf(w, "payload: %d values (%s) at offset %d, %s\n",
+			info.Count, report.Bytes(info.PayloadBytes()), info.PayloadOffset, aligned)
+		fmt.Fprintf(w, "checksums: header CRC32-C %08x (verified), payload CRC32-C %08x (verified at load)\n",
+			info.HeaderCRC, info.PayloadCRC)
+	case "SGS1":
+		fmt.Fprintf(w, "container: SGS1 sparse (nonzeros only), no checksum\n")
+	default:
+		fmt.Fprintf(w, "container: legacy v1 (SGC1), no checksum, copy only\n")
+	}
 	return nil
 }

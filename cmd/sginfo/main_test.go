@@ -71,3 +71,55 @@ func TestErrors(t *testing.T) {
 		t.Error("missing file accepted")
 	}
 }
+
+func TestFileModeSnapshotHeader(t *testing.T) {
+	g, err := compactsg.New(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Compress(func(x []float64) float64 { return x[0] * x[1] })
+	path := filepath.Join(t.TempDir(), "g.sg")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var out bytes.Buffer
+	if err := run([]string{"-i", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"container: SGC2 snapshot v2",
+		"flags compressed",
+		"offset 4096",
+		"mmap-able",
+		"CRC32-C",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("snapshot header output missing %q in:\n%s", want, s)
+		}
+	}
+
+	// Legacy file: identified, no checksum claims.
+	v1 := filepath.Join(t.TempDir(), "v1.sg")
+	f, err = os.Create(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SaveV1(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	out.Reset()
+	if err := run([]string{"-i", v1}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "legacy v1") {
+		t.Errorf("legacy container not identified:\n%s", out.String())
+	}
+}

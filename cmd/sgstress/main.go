@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"compactsg"
+	"compactsg/internal/core"
 	"compactsg/internal/obs"
 	"compactsg/internal/serve"
 	"compactsg/internal/serve/metrics"
@@ -438,6 +439,10 @@ func stress(cfg config) error {
 		return err
 	}
 	leak := checkGoroutines(goroutinesBefore)
+	var mapLeak error
+	if n := core.ActiveMappings(); n != 0 {
+		mapLeak = fmt.Errorf("closed server leaked %d snapshot mappings", n)
+	}
 
 	fmt.Printf("sgstress: %d grids (+%d churned in), resident bound %d, %s traffic, GOMAXPROCS=%d\n",
 		cfg.grids, churned.Load(), cfg.resident, cfg.duration, runtime.GOMAXPROCS(0))
@@ -450,6 +455,10 @@ func stress(cfg config) error {
 		metricValue(mtext, "sgserve_grid_loads_total"), metricValue(mtext, "sgserve_grid_load_waits_total"),
 		metricValue(mtext, "sgserve_grid_evictions_total"), metricValue(mtext, "sgserve_batcher_drains_total"),
 		metricValue(mtext, "sgserve_grids_resident"), metricValue(mtext, "sgserve_panics_total"))
+	fmt.Printf("  loads by mode: mmap=%s copy=%s, failures=%s, mappings now=%d\n",
+		metricValueOr(mtext, `sgserve_grid_load_mode_total{mode="mmap"}`, "0"),
+		metricValueOr(mtext, `sgserve_grid_load_mode_total{mode="copy"}`, "0"),
+		metricValue(mtext, "sgserve_grid_load_failures_total"), core.ActiveMappings())
 	if stageLine != "" {
 		fmt.Printf("  stages: %s\n", stageLine)
 	}
@@ -459,6 +468,9 @@ func stress(cfg config) error {
 	}
 	if leak != nil {
 		return leak
+	}
+	if mapLeak != nil {
+		return mapLeak
 	}
 	if hotStats.n.Load() == 0 || coldStats.n.Load() == 0 {
 		return fmt.Errorf("a worker population made no requests; stress did not run")
@@ -557,4 +569,13 @@ func metricValue(text, name string) string {
 		}
 	}
 	return "?"
+}
+
+// metricValueOr is metricValue with a default for series that only
+// materialize once incremented (labeled counter-vec children).
+func metricValueOr(text, name, fallback string) string {
+	if v := metricValue(text, name); v != "?" {
+		return v
+	}
+	return fallback
 }

@@ -1,0 +1,104 @@
+// Cold-load benchmarks for the SGC2 snapshot format: how fast a
+// compressed grid goes from a file on disk to answering its first
+// query. V2Mmap is the zero-copy path (payload stays in the page
+// cache); V1Copy and V2Copy decode the payload into the heap.
+// scripts/bench_coldload.sh turns these into BENCH_coldload.json.
+package compactsg_test
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"compactsg"
+	"compactsg/internal/workload"
+)
+
+const (
+	coldDim   = 5
+	coldLevel = 10
+)
+
+func coldLoadFile(b *testing.B, save func(*compactsg.Grid, io.Writer) error) string {
+	b.Helper()
+	g, err := compactsg.New(coldDim, coldLevel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g.Compress(workload.Parabola.F)
+	path := filepath.Join(b.TempDir(), "cold.sg")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := save(g, f); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(st.Size())
+	return path
+}
+
+func benchColdLoad(b *testing.B, path string, wantMode compactsg.LoadMode) {
+	x := workload.Points(11, 1, coldDim)[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		og, err := compactsg.Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if og.Mode != wantMode {
+			b.Fatalf("load mode %v, want %v", og.Mode, wantMode)
+		}
+		if _, err := og.Evaluate(x); err != nil {
+			b.Fatal(err)
+		}
+		if err := og.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkColdLoad(b *testing.B) {
+	b.Run("V1Copy", func(b *testing.B) {
+		path := coldLoadFile(b, (*compactsg.Grid).SaveV1)
+		benchColdLoad(b, path, compactsg.LoadCopy)
+	})
+	b.Run("V2Copy", func(b *testing.B) {
+		// The copying v2 decoder, benchmarked directly: what every
+		// non-linux or big-endian host pays for the same file.
+		path := coldLoadFile(b, (*compactsg.Grid).Save)
+		g, err := compactsg.New(coldDim, coldLevel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g.Compress(workload.Parabola.F)
+		x := workload.Points(11, 1, coldDim)[0]
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f, err := os.Open(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			got, err := compactsg.Load(f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			f.Close()
+			if _, err := got.Evaluate(x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("V2Mmap", func(b *testing.B) {
+		path := coldLoadFile(b, (*compactsg.Grid).Save)
+		benchColdLoad(b, path, compactsg.LoadMmap)
+	})
+}

@@ -1,0 +1,66 @@
+package compactsg
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"compactsg/internal/workload"
+)
+
+// FuzzLoadAny drives the public artifact loader — the one untrusted
+// bytes from disk or the network actually reach — with all three
+// container generations seeded. It must never panic, never allocate
+// unboundedly, and anything it accepts must round-trip through Save
+// bit-identically.
+func FuzzLoadAny(f *testing.F) {
+	g, err := New(2, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	g.Compress(workload.Parabola.F)
+	var v2, v1, sparse bytes.Buffer
+	if err := g.Save(&v2); err != nil {
+		f.Fatal(err)
+	}
+	if err := g.SaveV1(&v1); err != nil {
+		f.Fatal(err)
+	}
+	if err := g.SaveSparse(&sparse); err != nil {
+		f.Fatal(err)
+	}
+	for _, seed := range [][]byte{v2.Bytes(), v1.Bytes(), sparse.Bytes()} {
+		f.Add(seed)
+		f.Add(seed[:len(seed)-1])
+	}
+	f.Add([]byte{})
+	f.Add([]byte("SGS1"))
+	f.Add([]byte("SGC2"))
+	f.Add([]byte{1, 'S', 'G', 'C', '1'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := LoadAny(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := got.Save(&buf); err != nil {
+			t.Fatalf("re-save of accepted grid failed: %v", err)
+		}
+		back, err := LoadAny(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-load of accepted grid failed: %v", err)
+		}
+		if back.Compressed() != got.Compressed() {
+			t.Fatal("compressed state lost in round trip")
+		}
+		a, b := got.Raw().Data, back.Raw().Data
+		if len(a) != len(b) {
+			t.Fatalf("round trip changed size %d → %d", len(a), len(b))
+		}
+		for k := range a {
+			if math.Float64bits(a[k]) != math.Float64bits(b[k]) {
+				t.Fatalf("round trip not bit-identical at %d", k)
+			}
+		}
+	})
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"encoding/binary"
+	"math"
 	"testing"
 )
 
@@ -33,29 +34,90 @@ func validSparseBytes(t testing.TB) []byte {
 	return buf.Bytes()
 }
 
+func validGridBytesV1(t testing.TB) []byte {
+	g := NewGrid(MustDescriptor(2, 3))
+	g.Fill(func(x []float64) float64 { return x[0] + 2*x[1] })
+	var buf bytes.Buffer
+	if _, err := g.WriteToV1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
 func FuzzReadGrid(f *testing.F) {
+	// ReadGrid sniffs the container generation, so the corpus seeds
+	// both: v2 checksummed snapshots and legacy v1 streams.
 	valid := validGridBytes(f)
 	f.Add(valid)
 	f.Add(valid[:len(valid)-1]) // truncated
+	v1 := validGridBytesV1(f)
+	f.Add(v1)
+	f.Add(v1[:len(v1)-1])
 	f.Add([]byte("SGC1"))
+	f.Add([]byte("SGC2"))
 	f.Add([]byte{})
-	// Header with absurd dim/level.
-	bad := append([]byte(nil), valid...)
+	// v1 header with absurd dim/level.
+	bad := append([]byte(nil), v1...)
 	binary.LittleEndian.PutUint32(bad[4:], 1<<30)
 	f.Add(bad)
+	// v2 header with a hostile count and a re-stamped header checksum,
+	// so mutations explore the post-checksum validation too.
+	hostile := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(hostile[24:], 1<<60)
+	restampHeaderCRC(hostile)
+	f.Add(hostile)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		g, err := ReadGrid(bytes.NewReader(data))
 		if err != nil {
 			return
 		}
-		// Anything accepted must be internally consistent and
-		// re-serializable.
+		// Anything accepted must be internally consistent and must
+		// round-trip through the writer bit-identically.
 		if int64(len(g.Data)) != g.Desc().Size() {
 			t.Fatalf("accepted grid with %d values for %d points", len(g.Data), g.Desc().Size())
 		}
 		var buf bytes.Buffer
 		if _, err := g.WriteTo(&buf); err != nil {
 			t.Fatalf("re-serialization failed: %v", err)
+		}
+		back, err := ReadGrid(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of accepted grid failed: %v", err)
+		}
+		for k := range g.Data {
+			if math.Float64bits(g.Data[k]) != math.Float64bits(back.Data[k]) {
+				t.Fatalf("write→read not bit-identical at %d", k)
+			}
+		}
+	})
+}
+
+func FuzzSnapshot(f *testing.F) {
+	// The v2 decoder in isolation: no panic, no unbounded allocation,
+	// and any accepted payload re-encodes to the identical byte stream.
+	valid := validGridBytes(f)
+	f.Add(valid)
+	f.Add(valid[:SnapshotHeaderSize])
+	f.Add(valid[:len(valid)-3])
+	var boundary bytes.Buffer
+	if _, err := EncodeSnapshot(&boundary, 2, 2, SnapBoundary, []float64{1, 2, 3}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(boundary.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		info, payload, err := DecodeSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if int64(len(payload)) != info.Count {
+			t.Fatalf("decoded %d values, header says %d", len(payload), info.Count)
+		}
+		var buf bytes.Buffer
+		if _, err := EncodeSnapshot(&buf, info.Dim, info.Level, info.Flags, payload); err != nil {
+			t.Fatalf("re-encode of accepted snapshot failed: %v", err)
+		}
+		if info.PayloadOffset == SnapshotAlign && !bytes.Equal(buf.Bytes(), data[:buf.Len()]) {
+			t.Fatal("re-encode of an aligned snapshot is not byte-identical")
 		}
 	})
 }

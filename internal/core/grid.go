@@ -89,17 +89,38 @@ func (g *Grid) Clone() *Grid {
 // gp2idx). Descriptor tables are excluded: they are O(d·n) and shared.
 func (g *Grid) MemoryBytes() int64 { return int64(len(g.Data)) * 8 }
 
-// Serialization: a minimal binary container so the compress → storage →
-// visualize pipeline (paper Fig. 1) can move grids between processes.
+// Serialization. Two container generations exist:
 //
-//	magic "SGC1" | uint32 dim | uint32 level | uint64 count | count × float64
+//	v1 "SGC1": magic | uint32 dim | uint32 level | uint64 count |
+//	           count × float64, all little-endian. Legacy; copy-only.
+//	v2 "SGC2": checksummed snapshot with a page-aligned payload that can
+//	           be memory-mapped in place — see snapshot.go.
 //
-// all little-endian.
+// Writers emit v2; ReadGrid sniffs the magic and reads either, so v1
+// artifacts remain loadable forever.
 
 const gridMagic = "SGC1"
 
-// WriteTo serializes the grid. It implements io.WriterTo.
+// WriteTo serializes the grid in the current (v2 snapshot) container
+// with no flags set. It implements io.WriterTo. Callers that need to
+// record payload semantics (compressed, boundary) use WriteSnapshot.
 func (g *Grid) WriteTo(w io.Writer) (int64, error) {
+	return g.WriteSnapshot(w, 0)
+}
+
+// WriteSnapshot serializes the grid as a v2 snapshot with the given
+// flags (SnapBoundary is the boundary layer's business and rejected
+// here).
+func (g *Grid) WriteSnapshot(w io.Writer, flags SnapshotFlags) (int64, error) {
+	if flags&SnapBoundary != 0 {
+		return 0, fmt.Errorf("core: an interior grid cannot carry the boundary snapshot flag")
+	}
+	return EncodeSnapshot(w, g.desc.dim, g.desc.level, flags, g.Data)
+}
+
+// WriteToV1 serializes the grid in the legacy v1 container, for
+// interoperability with consumers that predate SGC2.
+func (g *Grid) WriteToV1(w io.Writer) (int64, error) {
 	bw := bufio.NewWriterSize(w, 1<<16)
 	var n int64
 	m, err := bw.WriteString(gridMagic)
@@ -128,9 +149,27 @@ func (g *Grid) WriteTo(w io.Writer) (int64, error) {
 	return n, bw.Flush()
 }
 
-// ReadGrid deserializes a grid written by WriteTo.
+// ReadGrid deserializes a grid written by WriteTo or WriteToV1,
+// sniffing the container magic. Headers are untrusted: the declared
+// count must match the descriptor exactly and the total payload must
+// fit under MaxDecodeBytes before anything is allocated, and the
+// allocation itself grows only as payload bytes actually arrive — a
+// 29-byte header claiming 2^60 values costs nothing.
 func ReadGrid(r io.Reader) (*Grid, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
+	magic, err := br.Peek(4)
+	if err != nil {
+		return nil, corruptf(gridMagic, noEOF(err), "reading grid magic")
+	}
+	if string(magic) == SnapshotMagic {
+		g, _, err := ReadSnapshotGrid(br)
+		return g, err
+	}
+	return readGridV1(br)
+}
+
+// readGridV1 reads the legacy SGC1 container (no checksum, copy-only).
+func readGridV1(br *bufio.Reader) (*Grid, error) {
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("core: reading grid magic: %w", err)
@@ -150,15 +189,14 @@ func ReadGrid(r io.Reader) (*Grid, error) {
 		return nil, err
 	}
 	if count != uint64(desc.Size()) {
-		return nil, fmt.Errorf("core: grid payload holds %d values, descriptor expects %d", count, desc.Size())
+		return nil, corruptf(gridMagic, nil, "grid payload holds %d values, descriptor expects %d", count, desc.Size())
 	}
-	g := NewGrid(desc)
-	var buf [8]byte
-	for k := range g.Data {
-		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return nil, fmt.Errorf("core: reading grid value %d: %w", k, err)
-		}
-		g.Data[k] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+	if desc.Size() > MaxDecodeBytes/8 {
+		return nil, corruptf(gridMagic, nil, "payload of %d values (%d bytes) exceeds the %d-byte decode cap", desc.Size(), desc.Size()*8, MaxDecodeBytes)
 	}
-	return g, nil
+	data, _, err := readFloats(br, desc.Size(), false)
+	if err != nil {
+		return nil, corruptf(gridMagic, noEOF(err), "reading %d grid values", desc.Size())
+	}
+	return GridFromData(desc, data)
 }

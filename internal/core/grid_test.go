@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"io"
 	"math"
 	"strings"
 	"testing"
@@ -108,23 +109,37 @@ func TestReadGridRejectsGarbage(t *testing.T) {
 			t.Errorf("%s: ReadGrid accepted invalid input", c.name)
 		}
 	}
-	// Header promising the wrong count.
+	// v1 header promising the wrong count.
 	var buf bytes.Buffer
 	g := NewGrid(MustDescriptor(2, 2))
-	if _, err := g.WriteTo(&buf); err != nil {
+	if _, err := g.WriteToV1(&buf); err != nil {
 		t.Fatal(err)
 	}
 	raw := buf.Bytes()
 	raw[12]++ // bump count
 	if _, err := ReadGrid(bytes.NewReader(raw)); err == nil || !strings.Contains(err.Error(), "descriptor expects") {
-		t.Errorf("ReadGrid accepted inconsistent count: %v", err)
+		t.Errorf("ReadGrid accepted inconsistent v1 count: %v", err)
 	}
-	// Truncated payload.
+	// v2 header promising the wrong count, with the header checksum
+	// re-stamped so the count check itself is reached.
 	buf.Reset()
 	if _, err := g.WriteTo(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ReadGrid(bytes.NewReader(buf.Bytes()[:buf.Len()-3])); err == nil {
-		t.Error("ReadGrid accepted truncated payload")
+	raw = buf.Bytes()
+	raw[24]++ // bump count
+	restampHeaderCRC(raw)
+	if _, err := ReadGrid(bytes.NewReader(raw)); err == nil || !strings.Contains(err.Error(), "descriptor expects") {
+		t.Errorf("ReadGrid accepted inconsistent v2 count: %v", err)
+	}
+	// Truncated payloads, both generations.
+	for _, write := range []func(io.Writer) (int64, error){g.WriteTo, g.WriteToV1} {
+		buf.Reset()
+		if _, err := write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadGrid(bytes.NewReader(buf.Bytes()[:buf.Len()-3])); err == nil {
+			t.Error("ReadGrid accepted truncated payload")
+		}
 	}
 }

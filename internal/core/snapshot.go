@@ -1,0 +1,432 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// SGC2 snapshot container.
+//
+// The paper's point is that a regular sparse grid is ONE flat []float64
+// with zero structural overhead; v1 (SGC1) threw that away at load time
+// by copying every coefficient through bufio. The v2 snapshot keeps the
+// property on disk: the coefficient array is stored 8-byte-aligned at a
+// page-aligned offset, so on platforms with mmap the file can be mapped
+// read-only and the payload used in place — a cold load costs a header
+// read plus one checksum pass instead of a full decode.
+//
+// Layout (all little-endian):
+//
+//	offset  size  field
+//	0       4     magic "SGC2"
+//	4       4     uint32 version (2)
+//	8       4     uint32 dim
+//	12      4     uint32 level
+//	16      4     uint32 flags (bit 0 compressed, bit 1 boundary)
+//	20      4     uint32 reserved (must be 0)
+//	24      8     uint64 count   (number of float64 payload values)
+//	32      8     uint64 payload offset (multiple of 8; writer uses 4096)
+//	40      4     uint32 payload CRC32-C (over the count×8 payload bytes)
+//	44      4     uint32 header  CRC32-C (over bytes [0,44))
+//	48..    —     zero padding up to the payload offset
+//	off     8×n   count little-endian float64 values
+//
+// The header checksum lets a reader reject a corrupt header before
+// trusting any of its fields; the payload checksum covers the
+// coefficients whether they are copied or mapped. For an interior grid
+// (boundary flag clear) count must equal NumGridPoints(dim, level); a
+// mismatch is corruption, never an allocation hint — see ReadGrid's
+// history of trusting a hostile count.
+
+const (
+	// SnapshotMagic identifies the v2 container.
+	SnapshotMagic = "SGC2"
+	// SnapshotVersion is the container version this package writes.
+	SnapshotVersion = 2
+	// SnapshotHeaderSize is the fixed byte length of the v2 header.
+	SnapshotHeaderSize = 48
+	// SnapshotAlign is the payload offset the writer emits: one page,
+	// so a mapped payload is both page- and 8-byte-aligned.
+	SnapshotAlign = 4096
+)
+
+// SnapshotFlags is the header flag word.
+type SnapshotFlags uint32
+
+const (
+	// SnapCompressed marks a payload of hierarchical coefficients
+	// (surpluses) rather than nodal values.
+	SnapCompressed SnapshotFlags = 1 << 0
+	// SnapBoundary marks the payload of a boundary-extended grid
+	// (interior + 3^d−1 faces in one array, package boundary's layout)
+	// rather than an interior compact grid.
+	SnapBoundary SnapshotFlags = 1 << 1
+
+	snapKnownFlags = SnapCompressed | SnapBoundary
+)
+
+// MaxDecodeBytes caps how much payload memory any container reader will
+// allocate or map, so a hostile header cannot turn 48 bytes on the wire
+// into a multi-terabyte allocation. The default admits the paper-scale
+// d=10 level=11 grid (≈1 GiB) with an order of magnitude to spare;
+// tools loading genuinely larger snapshots may raise it.
+var MaxDecodeBytes int64 = 8 << 30
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// crcBytes is the CRC32-C of a byte slice (the mapped-payload check).
+func crcBytes(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+// hostLittleEndian reports whether the zero-copy reinterpretation of
+// mapped payload bytes as []float64 is valid on this machine.
+var hostLittleEndian = binary.NativeEndian.Uint16([]byte{0x01, 0x02}) == 0x0201
+
+// ErrChecksum is wrapped by CorruptError when a header or payload
+// CRC32-C does not match; detect it with errors.Is.
+var ErrChecksum = errors.New("checksum mismatch")
+
+// ErrNotMappable is returned (wrapped) by MapGrid when a snapshot
+// cannot be memory-mapped on this platform or with this file layout;
+// OpenSnapshot treats it as "fall back to the copying reader", never as
+// corruption.
+var ErrNotMappable = errors.New("snapshot cannot be memory-mapped")
+
+// A CorruptError reports a structurally invalid grid container: bad
+// magic, lying header fields, truncation, or a checksum mismatch. It
+// wraps the underlying cause (ErrChecksum, io.ErrUnexpectedEOF, a
+// descriptor error) when there is one.
+type CorruptError struct {
+	Format string // "SGC1", "SGC2", "SGS1"
+	Reason string
+	Err    error
+}
+
+func (e *CorruptError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("core: corrupt %s container: %s: %v", e.Format, e.Reason, e.Err)
+	}
+	return fmt.Sprintf("core: corrupt %s container: %s", e.Format, e.Reason)
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+func corruptf(format string, err error, reason string, args ...any) *CorruptError {
+	return &CorruptError{Format: format, Reason: fmt.Sprintf(reason, args...), Err: err}
+}
+
+// NumGridPoints returns the point count of a regular sparse grid of the
+// given shape — the only payload count a well-formed interior container
+// may declare.
+func NumGridPoints(dim, level int) (int64, error) {
+	desc, err := NewDescriptor(dim, level)
+	if err != nil {
+		return 0, err
+	}
+	return desc.Size(), nil
+}
+
+// SnapshotInfo is the parsed, checksum-verified v2 header.
+type SnapshotInfo struct {
+	Version       int
+	Dim           int
+	Level         int
+	Flags         SnapshotFlags
+	Count         int64 // float64 payload values
+	PayloadOffset int64
+	PayloadCRC    uint32
+	HeaderCRC     uint32
+}
+
+// Compressed reports whether the payload holds hierarchical coefficients.
+func (i *SnapshotInfo) Compressed() bool { return i.Flags&SnapCompressed != 0 }
+
+// Boundary reports whether the payload is a boundary-extended grid.
+func (i *SnapshotInfo) Boundary() bool { return i.Flags&SnapBoundary != 0 }
+
+// PayloadBytes returns the payload length in bytes.
+func (i *SnapshotInfo) PayloadBytes() int64 { return i.Count * 8 }
+
+// Aligned reports whether the payload offset permits the zero-copy
+// []float64 reinterpretation of a mapped file (8-byte alignment; the
+// mapping base itself is always page-aligned).
+func (i *SnapshotInfo) Aligned() bool { return i.PayloadOffset%8 == 0 }
+
+// EncodeSnapshot writes a v2 snapshot for a raw coefficient array of
+// the given shape. For interior grids (SnapBoundary clear) len(data)
+// must equal NumGridPoints(dim, level); boundary payload lengths are
+// validated by the boundary layer, which owns that layout.
+func EncodeSnapshot(w io.Writer, dim, level int, flags SnapshotFlags, data []float64) (int64, error) {
+	if flags&^snapKnownFlags != 0 {
+		return 0, fmt.Errorf("core: unknown snapshot flags %#x", uint32(flags&^snapKnownFlags))
+	}
+	desc, err := NewDescriptor(dim, level)
+	if err != nil {
+		return 0, err
+	}
+	if flags&SnapBoundary == 0 && int64(len(data)) != desc.Size() {
+		return 0, fmt.Errorf("core: snapshot payload holds %d values, interior grid d=%d level=%d needs %d",
+			len(data), dim, level, desc.Size())
+	}
+
+	var hdr [SnapshotHeaderSize]byte
+	copy(hdr[0:4], SnapshotMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], SnapshotVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(dim))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(level))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(flags))
+	binary.LittleEndian.PutUint32(hdr[20:], 0) // reserved
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(len(data)))
+	binary.LittleEndian.PutUint64(hdr[32:], SnapshotAlign)
+	binary.LittleEndian.PutUint32(hdr[40:], payloadCRC(data))
+	binary.LittleEndian.PutUint32(hdr[44:], crc32.Checksum(hdr[:44], castagnoli))
+
+	var n int64
+	m, err := w.Write(hdr[:])
+	n += int64(m)
+	if err != nil {
+		return n, err
+	}
+	pad := make([]byte, SnapshotAlign-SnapshotHeaderSize)
+	m, err = w.Write(pad)
+	n += int64(m)
+	if err != nil {
+		return n, err
+	}
+	nn, err := writeFloats(w, data)
+	return n + nn, err
+}
+
+// payloadCRC computes the CRC32-C of data's little-endian byte image.
+func payloadCRC(data []float64) uint32 {
+	if hostLittleEndian {
+		return crc32.Checksum(floatsAsBytes(data), castagnoli)
+	}
+	var crc uint32
+	var buf [8]byte
+	for _, v := range data {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		crc = crc32.Update(crc, castagnoli, buf[:])
+	}
+	return crc
+}
+
+// writeFloats streams data little-endian. On little-endian hosts the
+// slice's byte image is written directly (one bulk write, no per-value
+// conversion).
+func writeFloats(w io.Writer, data []float64) (int64, error) {
+	if len(data) == 0 {
+		return 0, nil
+	}
+	if hostLittleEndian {
+		m, err := w.Write(floatsAsBytes(data))
+		return int64(m), err
+	}
+	buf := make([]byte, 1<<16)
+	var n int64
+	for len(data) > 0 {
+		chunk := len(buf) / 8
+		if chunk > len(data) {
+			chunk = len(data)
+		}
+		for k := 0; k < chunk; k++ {
+			binary.LittleEndian.PutUint64(buf[8*k:], math.Float64bits(data[k]))
+		}
+		m, err := w.Write(buf[:8*chunk])
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+		data = data[chunk:]
+	}
+	return n, nil
+}
+
+// parseSnapshotHeader validates a raw 48-byte v2 header, including its
+// own checksum, and returns the parsed fields. It allocates nothing
+// proportional to the declared payload.
+func parseSnapshotHeader(hdr []byte) (*SnapshotInfo, error) {
+	if len(hdr) < SnapshotHeaderSize {
+		return nil, corruptf(SnapshotMagic, io.ErrUnexpectedEOF, "header is %d bytes, need %d", len(hdr), SnapshotHeaderSize)
+	}
+	hdr = hdr[:SnapshotHeaderSize]
+	if string(hdr[0:4]) != SnapshotMagic {
+		return nil, corruptf(SnapshotMagic, nil, "bad magic %q", hdr[0:4])
+	}
+	if got, want := crc32.Checksum(hdr[:44], castagnoli), binary.LittleEndian.Uint32(hdr[44:]); got != want {
+		return nil, corruptf(SnapshotMagic, ErrChecksum, "header CRC32-C %08x, header claims %08x", got, want)
+	}
+	info := &SnapshotInfo{
+		Version:    int(binary.LittleEndian.Uint32(hdr[4:])),
+		Dim:        int(binary.LittleEndian.Uint32(hdr[8:])),
+		Level:      int(binary.LittleEndian.Uint32(hdr[12:])),
+		Flags:      SnapshotFlags(binary.LittleEndian.Uint32(hdr[16:])),
+		PayloadCRC: binary.LittleEndian.Uint32(hdr[40:]),
+		HeaderCRC:  binary.LittleEndian.Uint32(hdr[44:]),
+	}
+	if info.Version != SnapshotVersion {
+		return nil, corruptf(SnapshotMagic, nil, "unsupported version %d", info.Version)
+	}
+	if info.Flags&^snapKnownFlags != 0 {
+		return nil, corruptf(SnapshotMagic, nil, "unknown flags %#x", uint32(info.Flags&^snapKnownFlags))
+	}
+	if reserved := binary.LittleEndian.Uint32(hdr[20:]); reserved != 0 {
+		return nil, corruptf(SnapshotMagic, nil, "reserved field is %#x, must be 0", reserved)
+	}
+	count := binary.LittleEndian.Uint64(hdr[24:])
+	off := binary.LittleEndian.Uint64(hdr[32:])
+	if count > uint64(MaxDecodeBytes/8) {
+		return nil, corruptf(SnapshotMagic, nil, "payload of %d values (%d bytes) exceeds the %d-byte decode cap", count, count*8, MaxDecodeBytes)
+	}
+	info.Count = int64(count)
+	if off < SnapshotHeaderSize || off > 1<<30 {
+		return nil, corruptf(SnapshotMagic, nil, "payload offset %d outside [%d, 2^30]", off, SnapshotHeaderSize)
+	}
+	info.PayloadOffset = int64(off)
+	// Shape sanity: an interior payload count must match the descriptor
+	// exactly. The descriptor itself rejects out-of-range dim/level and
+	// overflowing shapes.
+	if info.Flags&SnapBoundary == 0 {
+		want, err := NumGridPoints(info.Dim, info.Level)
+		if err != nil {
+			return nil, corruptf(SnapshotMagic, err, "invalid grid shape d=%d level=%d", info.Dim, info.Level)
+		}
+		if info.Count != want {
+			return nil, corruptf(SnapshotMagic, nil, "payload holds %d values, descriptor expects %d", info.Count, want)
+		}
+	} else if info.Dim < 1 || info.Dim > 32 || info.Level < 1 || info.Level > MaxLevel {
+		// Boundary grids pack face masks into uint32 (package boundary);
+		// exact counts are validated by that layer.
+		return nil, corruptf(SnapshotMagic, nil, "invalid boundary grid shape d=%d level=%d", info.Dim, info.Level)
+	}
+	return info, nil
+}
+
+// ReadSnapshotInfo reads and validates only the v2 header (48 bytes)
+// from r. The payload checksum in the result is the header's claim;
+// DecodeSnapshot verifies it against the actual payload.
+func ReadSnapshotInfo(r io.Reader) (*SnapshotInfo, error) {
+	var hdr [SnapshotHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, corruptf(SnapshotMagic, err, "reading header")
+	}
+	return parseSnapshotHeader(hdr[:])
+}
+
+// DecodeSnapshot is the copying v2 reader: it validates the header,
+// checks the alignment padding is all-zero (padding is outside both
+// CRCs, so the encoding stays canonical only if nothing hides there),
+// reads the payload in bounded chunks (allocation grows only as data
+// actually arrives, so a lying header cannot force a large up-front
+// allocation) and verifies the payload CRC32-C. It returns the parsed
+// header and the coefficient array.
+func DecodeSnapshot(r io.Reader) (*SnapshotInfo, []float64, error) {
+	info, err := ReadSnapshotInfo(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := consumeZeroPadding(r, info.PayloadOffset-SnapshotHeaderSize); err != nil {
+		return nil, nil, err
+	}
+	data, crc, err := readFloats(r, info.Count, true)
+	if err != nil {
+		return nil, nil, corruptf(SnapshotMagic, noEOF(err), "reading %d payload values", info.Count)
+	}
+	if crc != info.PayloadCRC {
+		return nil, nil, corruptf(SnapshotMagic, ErrChecksum, "payload CRC32-C %08x, header claims %08x", crc, info.PayloadCRC)
+	}
+	return info, data, nil
+}
+
+// ReadSnapshotGrid decodes an interior-grid v2 snapshot into a Grid.
+// Boundary-flagged snapshots belong to the boundary layer and are
+// rejected here.
+func ReadSnapshotGrid(r io.Reader) (*Grid, SnapshotFlags, error) {
+	info, data, err := DecodeSnapshot(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	if info.Boundary() {
+		return nil, 0, fmt.Errorf("core: snapshot holds a boundary-extended grid, not an interior compact grid")
+	}
+	desc, err := NewDescriptor(info.Dim, info.Level)
+	if err != nil {
+		return nil, 0, err
+	}
+	g, err := GridFromData(desc, data)
+	if err != nil {
+		return nil, 0, err
+	}
+	return g, info.Flags, nil
+}
+
+// consumeZeroPadding reads n padding bytes from r and rejects any
+// nonzero byte. PayloadOffset is already capped by the header parser,
+// so n is small (< 1 GiB, normally SnapshotAlign-48).
+func consumeZeroPadding(r io.Reader, n int64) error {
+	if n <= 0 {
+		return nil
+	}
+	buf := make([]byte, 1<<12)
+	for n > 0 {
+		chunk := buf
+		if n < int64(len(chunk)) {
+			chunk = chunk[:n]
+		}
+		m, err := io.ReadFull(r, chunk)
+		for _, b := range chunk[:m] {
+			if b != 0 {
+				return corruptf(SnapshotMagic, nil, "nonzero byte in alignment padding")
+			}
+		}
+		if err != nil {
+			return corruptf(SnapshotMagic, noEOF(err), "reading %d padding bytes", n)
+		}
+		n -= int64(m)
+	}
+	return nil
+}
+
+// readFloats reads exactly n little-endian float64 values from r. The
+// destination grows as bytes arrive rather than being allocated from
+// the declared count, bounding memory by the actual input size. When
+// withCRC is set it also returns the CRC32-C of the bytes read.
+func readFloats(r io.Reader, n int64, withCRC bool) ([]float64, uint32, error) {
+	prealloc := n
+	if prealloc > 1<<16 {
+		prealloc = 1 << 16
+	}
+	out := make([]float64, 0, prealloc)
+	var crc uint32
+	buf := make([]byte, 1<<16)
+	remaining := n * 8
+	for remaining > 0 {
+		chunk := int64(len(buf))
+		if chunk > remaining {
+			chunk = remaining
+		}
+		if _, err := io.ReadFull(r, buf[:chunk]); err != nil {
+			return nil, 0, err
+		}
+		if withCRC {
+			crc = crc32.Update(crc, castagnoli, buf[:chunk])
+		}
+		for off := int64(0); off < chunk; off += 8 {
+			out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(buf[off:])))
+		}
+		remaining -= chunk
+	}
+	return out, crc, nil
+}
+
+// noEOF upgrades a bare io.EOF to io.ErrUnexpectedEOF: inside a
+// container body a clean EOF still means truncation.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

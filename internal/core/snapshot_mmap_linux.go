@@ -1,0 +1,18 @@
+//go:build linux
+
+package core
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the zero-copy snapshot path; on other platforms
+// OpenSnapshot silently takes the copying reader instead.
+const mmapSupported = true
+
+func mmapFile(f *os.File, n int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, n, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(b []byte) error { return syscall.Munmap(b) }

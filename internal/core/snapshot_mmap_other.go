@@ -1,0 +1,11 @@
+//go:build !linux
+
+package core
+
+import "os"
+
+const mmapSupported = false
+
+func mmapFile(*os.File, int) ([]byte, error) { return nil, ErrNotMappable }
+
+func munmapFile([]byte) error { return nil }

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// activeMappings counts live snapshot mappings; tests use it to prove
+// that error paths and registry retirement never leak an mmap.
+var activeMappings atomic.Int64
+
+// ActiveMappings returns the number of snapshot memory mappings
+// currently held open process-wide.
+func ActiveMappings() int64 { return activeMappings.Load() }
+
+// A Snapshot is one opened v2 snapshot file: its parsed header and its
+// coefficient payload, either memory-mapped in place (zero-copy, the
+// payload lives in the page cache) or decoded into a private copy.
+//
+// A mapped payload is READ-ONLY: writing through Data/Grid faults. The
+// holder must keep the Snapshot alive for as long as the payload is in
+// use and call Close exactly when done — after Close a mapped payload
+// dangles. Copied snapshots tolerate Close at any time.
+type Snapshot struct {
+	info   *SnapshotInfo
+	grid   *Grid     // non-nil iff the payload is an interior grid
+	data   []float64 // the payload (mapped view or private copy)
+	mapped []byte    // whole-file mapping; nil when copied
+	once   sync.Once
+}
+
+// Info returns the parsed header.
+func (s *Snapshot) Info() *SnapshotInfo { return s.info }
+
+// Grid returns the interior grid view of the payload, or nil for a
+// boundary-flagged snapshot (whose layout belongs to the boundary
+// layer; use Data).
+func (s *Snapshot) Grid() *Grid { return s.grid }
+
+// Data returns the raw coefficient payload.
+func (s *Snapshot) Data() []float64 { return s.data }
+
+// Mapped reports whether the payload is an mmap view rather than a copy.
+func (s *Snapshot) Mapped() bool { return s.mapped != nil }
+
+// Close releases the mapping (a no-op for copied snapshots). It is
+// idempotent. The payload must not be used afterwards.
+func (s *Snapshot) Close() error {
+	var err error
+	s.once.Do(func() {
+		if s.mapped != nil {
+			err = munmapFile(s.mapped)
+			s.mapped = nil
+			activeMappings.Add(-1)
+		}
+	})
+	return err
+}
+
+// MapGrid memory-maps the v2 snapshot at path read-only and returns the
+// payload in place — the zero-copy cold load. Both checksums are
+// verified against the mapped bytes before the snapshot is handed out.
+// When mapping is impossible for non-corruption reasons (no mmap on
+// this platform, big-endian host, unaligned payload offset) the error
+// wraps ErrNotMappable so OpenSnapshot can fall back to copying;
+// corruption never falls back.
+func MapGrid(path string) (*Snapshot, error) {
+	if !mmapSupported || !hostLittleEndian {
+		return nil, fmt.Errorf("core: %s: %w on this platform", path, ErrNotMappable)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() // the mapping outlives the descriptor
+
+	var hdr [SnapshotHeaderSize]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return nil, corruptf(SnapshotMagic, noEOF(err), "reading header of %s", path)
+	}
+	info, err := parseSnapshotHeader(hdr[:])
+	if err != nil {
+		return nil, err
+	}
+	if !info.Aligned() {
+		return nil, fmt.Errorf("core: %s: payload offset %d is not 8-byte aligned: %w", path, info.PayloadOffset, ErrNotMappable)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	end := info.PayloadOffset + info.PayloadBytes()
+	if st.Size() < end {
+		return nil, corruptf(SnapshotMagic, nil, "%s is %d bytes, header promises %d", path, st.Size(), end)
+	}
+	m, err := mmapFile(f, int(end))
+	if err != nil {
+		return nil, fmt.Errorf("core: mapping %s: %w (%v)", path, ErrNotMappable, err)
+	}
+	for _, b := range m[SnapshotHeaderSize:info.PayloadOffset] {
+		if b != 0 {
+			_ = munmapFile(m)
+			return nil, corruptf(SnapshotMagic, nil, "nonzero byte in alignment padding of %s", path)
+		}
+	}
+	payload := m[info.PayloadOffset:end]
+	if crc := crcBytes(payload); crc != info.PayloadCRC {
+		_ = munmapFile(m)
+		return nil, corruptf(SnapshotMagic, ErrChecksum, "payload CRC32-C %08x, header claims %08x", crc, info.PayloadCRC)
+	}
+	s := &Snapshot{info: info, mapped: m}
+	if info.Count > 0 {
+		s.data = unsafe.Slice((*float64)(unsafe.Pointer(&payload[0])), info.Count)
+	}
+	if !info.Boundary() {
+		desc, err := NewDescriptor(info.Dim, info.Level)
+		if err != nil {
+			_ = munmapFile(m)
+			return nil, err
+		}
+		g, err := GridFromData(desc, s.data)
+		if err != nil {
+			_ = munmapFile(m)
+			return nil, err
+		}
+		s.grid = g
+	}
+	activeMappings.Add(1)
+	return s, nil
+}
+
+// OpenSnapshot opens the v2 snapshot at path: memory-mapped when the
+// platform and file layout allow it, otherwise decoded through the
+// copying reader. Corruption (bad magic, truncation, checksum
+// mismatch) is an error either way, never a silent fallback.
+func OpenSnapshot(path string) (*Snapshot, error) {
+	s, err := MapGrid(path)
+	if err == nil {
+		return s, nil
+	}
+	if !errors.Is(err, ErrNotMappable) {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	info, data, err := DecodeSnapshot(bufio.NewReaderSize(f, 1<<16))
+	if err != nil {
+		return nil, err
+	}
+	s = &Snapshot{info: info, data: data}
+	if !info.Boundary() {
+		desc, err := NewDescriptor(info.Dim, info.Level)
+		if err != nil {
+			return nil, err
+		}
+		if s.grid, err = GridFromData(desc, data); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// floatsAsBytes reinterprets a []float64 as its in-memory byte image.
+// Callers gate on hostLittleEndian when the bytes must be the
+// serialized little-endian form.
+func floatsAsBytes(data []float64) []byte {
+	if len(data) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&data[0])), len(data)*8)
+}

@@ -1,0 +1,544 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"flag"
+	"hash/crc32"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+// -update regenerates the golden container files under testdata/. The
+// byte-stability tests exist precisely so that regeneration is a
+// deliberate, reviewed act: the on-disk formats must never drift.
+var updateGolden = flag.Bool("update", false, "rewrite golden container files under testdata/")
+
+// restampHeaderCRC rewrites the header checksum of a raw v2 snapshot
+// after a test has tampered with header bytes, so the tampered field
+// itself (not the checksum) trips the reader.
+func restampHeaderCRC(raw []byte) {
+	binary.LittleEndian.PutUint32(raw[44:], crc32.Checksum(raw[:44], castagnoli))
+}
+
+func snapshotBytes(t testing.TB, dim, level int, flags SnapshotFlags) []byte {
+	t.Helper()
+	g := NewGrid(MustDescriptor(dim, level))
+	g.Fill(func(x []float64) float64 {
+		s := 1.0
+		for k, v := range x {
+			s *= 4 * v * (1 - v) * float64(k+1)
+		}
+		return s
+	})
+	var buf bytes.Buffer
+	if _, err := g.WriteSnapshot(&buf, flags); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSnapshotHeaderRoundTrip(t *testing.T) {
+	raw := snapshotBytes(t, 3, 4, SnapCompressed)
+	info, err := ReadSnapshotInfo(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := NumGridPoints(3, 4)
+	switch {
+	case info.Version != SnapshotVersion:
+		t.Errorf("version = %d", info.Version)
+	case info.Dim != 3 || info.Level != 4:
+		t.Errorf("shape = d=%d level=%d", info.Dim, info.Level)
+	case !info.Compressed() || info.Boundary():
+		t.Errorf("flags = %#x", info.Flags)
+	case info.Count != want:
+		t.Errorf("count = %d want %d", info.Count, want)
+	case info.PayloadOffset != SnapshotAlign:
+		t.Errorf("payload offset = %d want %d", info.PayloadOffset, SnapshotAlign)
+	case !info.Aligned():
+		t.Error("writer-produced snapshot must be mappable-aligned")
+	case int64(len(raw)) != SnapshotAlign+info.PayloadBytes():
+		t.Errorf("file is %d bytes, want %d", len(raw), SnapshotAlign+info.PayloadBytes())
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	desc := MustDescriptor(3, 5)
+	g := NewGrid(desc)
+	rng := rand.New(rand.NewSource(7))
+	for k := range g.Data {
+		g.Data[k] = rng.NormFloat64()
+	}
+	g.Data[3] = math.Inf(-1)
+	g.Data[4] = math.NaN()
+	var buf bytes.Buffer
+	n, err := g.WriteSnapshot(&buf, SnapCompressed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteSnapshot reported %d bytes, wrote %d", n, buf.Len())
+	}
+	back, flags, err := ReadSnapshotGrid(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flags != SnapCompressed {
+		t.Errorf("flags = %#x want %#x", flags, SnapCompressed)
+	}
+	for k := range g.Data {
+		if math.Float64bits(g.Data[k]) != math.Float64bits(back.Data[k]) {
+			t.Fatalf("value %d not bit-identical: %x vs %x", k,
+				math.Float64bits(g.Data[k]), math.Float64bits(back.Data[k]))
+		}
+	}
+}
+
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	valid := snapshotBytes(t, 2, 3, 0)
+	cases := []struct {
+		name     string
+		mutate   func([]byte) []byte
+		checksum bool // must surface ErrChecksum
+	}{
+		{"flipped payload bit", func(b []byte) []byte {
+			b[SnapshotAlign+5] ^= 0x10
+			return b
+		}, true},
+		{"flipped payload checksum", func(b []byte) []byte {
+			b[40] ^= 0xff
+			restampHeaderCRC(b)
+			return b
+		}, true},
+		{"flipped header byte", func(b []byte) []byte {
+			b[9] ^= 0x01 // dim, without re-stamping the header CRC
+			return b
+		}, true},
+		{"nonzero padding byte", func(b []byte) []byte {
+			b[SnapshotHeaderSize+100] = 0x19 // outside both CRCs
+			return b
+		}, false},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-7] }, false},
+		{"truncated padding", func(b []byte) []byte { return b[:100] }, false},
+		{"truncated header", func(b []byte) []byte { return b[:20] }, false},
+		{"bad version", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[4:], 9)
+			restampHeaderCRC(b)
+			return b
+		}, false},
+		{"unknown flags", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[16:], 1<<7)
+			restampHeaderCRC(b)
+			return b
+		}, false},
+		{"nonzero reserved", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[20:], 1)
+			restampHeaderCRC(b)
+			return b
+		}, false},
+		{"payload offset under header", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[32:], 8)
+			restampHeaderCRC(b)
+			return b
+		}, false},
+	}
+	for _, c := range cases {
+		raw := c.mutate(append([]byte(nil), valid...))
+		_, _, err := DecodeSnapshot(bytes.NewReader(raw))
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Errorf("%s: error is %T, want *CorruptError: %v", c.name, err, err)
+		}
+		if c.checksum && !errors.Is(err, ErrChecksum) {
+			t.Errorf("%s: error does not wrap ErrChecksum: %v", c.name, err)
+		}
+	}
+}
+
+// TestHostileCountAllocatesNothing is the regression for the
+// untrusted-header allocation bug: a tiny header declaring 2^60 values
+// (or a legal-looking shape whose payload would be petabytes) must be
+// rejected by validation, never answered with an allocation.
+func TestHostileCountAllocatesNothing(t *testing.T) {
+	// v1, count field = 2^60, tiny actual payload.
+	v1 := make([]byte, 0, 28)
+	v1 = append(v1, gridMagic...)
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], 2)
+	binary.LittleEndian.PutUint32(hdr[4:], 3)
+	binary.LittleEndian.PutUint64(hdr[8:], 1<<60)
+	v1 = append(v1, hdr[:]...)
+	allocated := testing.AllocsPerRun(1, func() {
+		if _, err := ReadGrid(bytes.NewReader(v1)); err == nil {
+			t.Fatal("v1 reader accepted a 2^60 count")
+		}
+	})
+	// The exact number is irrelevant; what must not appear is the
+	// 2^63-byte payload allocation (or anything within orders of
+	// magnitude of it). A handful of small header/error allocs is fine.
+	if allocated > 64 {
+		t.Errorf("v1 hostile count cost %v allocations", allocated)
+	}
+
+	// v2, count field = 2^60 with a valid header checksum.
+	v2 := snapshotBytes(t, 2, 3, 0)
+	binary.LittleEndian.PutUint64(v2[24:], 1<<60)
+	restampHeaderCRC(v2)
+	_, _, err := DecodeSnapshot(bytes.NewReader(v2))
+	var ce *CorruptError
+	if err == nil || !errors.As(err, &ce) {
+		t.Fatalf("v2 reader: got %v, want *CorruptError for a 2^60 count", err)
+	}
+
+	// A consistent v1 header for a shape whose payload exceeds the
+	// decode cap: d=3 level=45 is a valid descriptor of ~1.4e17 bytes.
+	desc, err := NewDescriptor(3, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desc.Size()*8 <= MaxDecodeBytes {
+		t.Fatal("test shape no longer exceeds the cap; pick a bigger one")
+	}
+	big := make([]byte, 0, 28)
+	big = append(big, gridMagic...)
+	binary.LittleEndian.PutUint32(hdr[0:], 3)
+	binary.LittleEndian.PutUint32(hdr[4:], 45)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(desc.Size()))
+	big = append(big, hdr[:]...)
+	if _, err := ReadGrid(bytes.NewReader(big)); err == nil || !errors.As(err, &ce) {
+		t.Fatalf("v1 reader: got %v, want decode-cap *CorruptError", err)
+	}
+}
+
+// --- golden files -----------------------------------------------------
+
+// goldenGrid builds the deterministic grid every golden container file
+// is generated from.
+func goldenGrid(t testing.TB, dim, level int) *Grid {
+	t.Helper()
+	g := NewGrid(MustDescriptor(dim, level))
+	g.Fill(func(x []float64) float64 {
+		s := 0.0
+		for k, v := range x {
+			s += float64(k+1) * v * (1 - v)
+		}
+		return s
+	})
+	return g
+}
+
+func goldenPath(name string) string { return filepath.Join("testdata", name) }
+
+func checkGolden(t *testing.T, name string, generate func(io.Writer) error) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := generate(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := goldenPath(name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/core -run Golden -update` to generate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("%s: serialization drifted from the golden file (%d vs %d bytes); the on-disk format must stay byte-for-byte stable", name, buf.Len(), len(want))
+	}
+	return want
+}
+
+func TestGoldenV1Interior(t *testing.T) {
+	g := goldenGrid(t, 2, 3)
+	raw := checkGolden(t, "v1_interior_d2l3.sg", func(w io.Writer) error {
+		_, err := g.WriteToV1(w)
+		return err
+	})
+	back, err := ReadGrid(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range g.Data {
+		if math.Float64bits(back.Data[k]) != math.Float64bits(g.Data[k]) {
+			t.Fatalf("golden v1 value %d drifted", k)
+		}
+	}
+}
+
+func TestGoldenV2Interior(t *testing.T) {
+	g := goldenGrid(t, 2, 3)
+	raw := checkGolden(t, "v2_interior_d2l3.sg", func(w io.Writer) error {
+		_, err := g.WriteSnapshot(w, SnapCompressed)
+		return err
+	})
+	back, flags, err := ReadSnapshotGrid(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flags != SnapCompressed {
+		t.Errorf("golden v2 flags = %#x", flags)
+	}
+	for k := range g.Data {
+		if math.Float64bits(back.Data[k]) != math.Float64bits(g.Data[k]) {
+			t.Fatalf("golden v2 value %d drifted", k)
+		}
+	}
+}
+
+// --- property tests ---------------------------------------------------
+
+func TestQuickSnapshotWriteReadIdentity(t *testing.T) {
+	desc := MustDescriptor(3, 4)
+	rng := rand.New(rand.NewSource(41))
+	f := func() bool {
+		g := NewGrid(desc)
+		for k := range g.Data {
+			g.Data[k] = rng.NormFloat64()
+		}
+		var buf bytes.Buffer
+		if _, err := g.WriteSnapshot(&buf, SnapCompressed); err != nil {
+			return false
+		}
+		back, _, err := ReadSnapshotGrid(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return false
+		}
+		for k := range g.Data {
+			if math.Float64bits(g.Data[k]) != math.Float64bits(back.Data[k]) {
+				return false
+			}
+		}
+		// Idempotence: re-serializing the decoded grid reproduces the
+		// bytes exactly.
+		var again bytes.Buffer
+		if _, err := back.WriteSnapshot(&again, SnapCompressed); err != nil {
+			return false
+		}
+		return bytes.Equal(buf.Bytes(), again.Bytes())
+	}
+	if err := quick.Check(func() bool { return f() }, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickV1ToV2Migration: decoding any v1 artifact and re-encoding it
+// as v2 preserves every coefficient bit-exactly.
+func TestQuickV1ToV2Migration(t *testing.T) {
+	desc := MustDescriptor(2, 5)
+	rng := rand.New(rand.NewSource(42))
+	f := func() bool {
+		g := NewGrid(desc)
+		for k := range g.Data {
+			g.Data[k] = rng.NormFloat64()
+		}
+		var v1 bytes.Buffer
+		if _, err := g.WriteToV1(&v1); err != nil {
+			return false
+		}
+		mid, err := ReadGrid(bytes.NewReader(v1.Bytes()))
+		if err != nil {
+			return false
+		}
+		var v2 bytes.Buffer
+		if _, err := mid.WriteSnapshot(&v2, 0); err != nil {
+			return false
+		}
+		back, _, err := ReadSnapshotGrid(bytes.NewReader(v2.Bytes()))
+		if err != nil {
+			return false
+		}
+		for k := range g.Data {
+			if math.Float64bits(g.Data[k]) != math.Float64bits(back.Data[k]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(func() bool { return f() }, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- mmap -------------------------------------------------------------
+
+func writeSnapshotFile(t testing.TB, dim, level int, flags SnapshotFlags) (string, *Grid) {
+	t.Helper()
+	g := goldenGrid(t, dim, level)
+	path := filepath.Join(t.TempDir(), "snap.sg")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.WriteSnapshot(f, flags); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, g
+}
+
+func TestMapGrid(t *testing.T) {
+	if !mmapSupported || !hostLittleEndian {
+		t.Skip("no mmap snapshot support on this platform")
+	}
+	path, want := writeSnapshotFile(t, 3, 4, SnapCompressed)
+	before := ActiveMappings()
+	s, err := MapGrid(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Mapped() {
+		t.Fatal("MapGrid returned an unmapped snapshot")
+	}
+	if got := ActiveMappings(); got != before+1 {
+		t.Errorf("ActiveMappings = %d want %d", got, before+1)
+	}
+	g := s.Grid()
+	if g == nil {
+		t.Fatal("interior snapshot has no grid view")
+	}
+	for k := range want.Data {
+		if math.Float64bits(g.Data[k]) != math.Float64bits(want.Data[k]) {
+			t.Fatalf("mapped value %d differs", k)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if got := ActiveMappings(); got != before {
+		t.Errorf("ActiveMappings after Close = %d want %d", got, before)
+	}
+}
+
+func TestMapGridRejectsCorruptionWithoutLeak(t *testing.T) {
+	if !mmapSupported || !hostLittleEndian {
+		t.Skip("no mmap snapshot support on this platform")
+	}
+	path, _ := writeSnapshotFile(t, 2, 3, 0)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[SnapshotAlign+3] ^= 0x40 // payload bit flip
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before := ActiveMappings()
+	if _, err := MapGrid(path); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("MapGrid on corrupt payload: %v", err)
+	}
+	if got := ActiveMappings(); got != before {
+		t.Errorf("corrupt-payload MapGrid leaked a mapping: %d -> %d", before, got)
+	}
+	// Corruption must NOT fall back to the copying reader.
+	if _, err := OpenSnapshot(path); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("OpenSnapshot on corrupt payload: %v", err)
+	}
+}
+
+func TestOpenSnapshotFallsBackOnUnalignedOffset(t *testing.T) {
+	// Handcraft a v2 file whose payload offset is 52 (valid but not
+	// 8-byte aligned): MapGrid must refuse with ErrNotMappable and
+	// OpenSnapshot must decode it through the copying reader.
+	g := goldenGrid(t, 2, 3)
+	var payload bytes.Buffer
+	if _, err := writeFloats(&payload, g.Data); err != nil {
+		t.Fatal(err)
+	}
+	var hdr [SnapshotHeaderSize]byte
+	copy(hdr[0:4], SnapshotMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], SnapshotVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], 2)
+	binary.LittleEndian.PutUint32(hdr[12:], 3)
+	binary.LittleEndian.PutUint32(hdr[16:], 0)
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(len(g.Data)))
+	binary.LittleEndian.PutUint64(hdr[32:], 52)
+	binary.LittleEndian.PutUint32(hdr[40:], payloadCRC(g.Data))
+	restampHeaderCRC(hdr[:])
+	raw := append(hdr[:], 0, 0, 0, 0) // 4 padding bytes to offset 52
+	raw = append(raw, payload.Bytes()...)
+
+	path := filepath.Join(t.TempDir(), "unaligned.sg")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if mmapSupported && hostLittleEndian {
+		if _, err := MapGrid(path); !errors.Is(err, ErrNotMappable) {
+			t.Fatalf("MapGrid on unaligned payload: %v", err)
+		}
+	}
+	s, err := OpenSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Mapped() {
+		t.Error("unaligned snapshot must not be mapped")
+	}
+	for k := range g.Data {
+		if math.Float64bits(s.Grid().Data[k]) != math.Float64bits(g.Data[k]) {
+			t.Fatalf("fallback value %d differs", k)
+		}
+	}
+}
+
+func TestSnapshotBoundaryPayloadHasNoGridView(t *testing.T) {
+	// A boundary-flagged payload round-trips as raw data; the interior
+	// Grid view must be absent and ReadSnapshotGrid must refuse it.
+	data := []float64{1, 2, 3, 4, 5}
+	var buf bytes.Buffer
+	if _, err := EncodeSnapshot(&buf, 1, 1, SnapBoundary|SnapCompressed, data); err != nil {
+		t.Fatal(err)
+	}
+	info, got, err := DecodeSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Boundary() || !info.Compressed() {
+		t.Errorf("flags = %#x", info.Flags)
+	}
+	for k := range data {
+		if got[k] != data[k] {
+			t.Fatalf("boundary payload value %d differs", k)
+		}
+	}
+	if _, _, err := ReadSnapshotGrid(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("ReadSnapshotGrid accepted a boundary snapshot")
+	}
+	path := filepath.Join(t.TempDir(), "b.sg")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Grid() != nil {
+		t.Error("boundary snapshot must not expose an interior grid view")
+	}
+	if len(s.Data()) != len(data) {
+		t.Errorf("boundary payload length %d want %d", len(s.Data()), len(data))
+	}
+}

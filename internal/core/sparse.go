@@ -109,6 +109,13 @@ func ReadSparse(r io.Reader) (*Grid, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The dense rehydration target must fit under the decode cap before
+	// anything is allocated — a dim/level pair can be individually valid
+	// yet describe a grid too large to materialize (untrusted input must
+	// never reach makeslice with a hostile size).
+	if desc.Size() > MaxDecodeBytes/8 {
+		return nil, corruptf(sparseMagic, nil, "dense form of %d values (%d bytes) exceeds the %d-byte decode cap", desc.Size(), desc.Size()*8, MaxDecodeBytes)
+	}
 	nnz := binary.LittleEndian.Uint64(hdr[8:])
 	if nnz > uint64(desc.Size()) {
 		return nil, fmt.Errorf("core: sparse container claims %d nonzeros for a %d-point grid", nnz, desc.Size())

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -139,6 +140,19 @@ func TestReadSparseRejectsGarbage(t *testing.T) {
 	big.Write(hdr[:])
 	if _, err := ReadSparse(&big); err == nil {
 		t.Error("oversized nnz accepted")
+	}
+	// Individually valid dim/level whose dense form exceeds the decode
+	// cap: must be rejected as corrupt before any allocation (the fuzzer
+	// drove this shape into makeslice once).
+	var huge bytes.Buffer
+	huge.WriteString("SGS1")
+	var hhdr [16]byte
+	hhdr[0] = 3  // d=3, level=48: valid descriptor,
+	hhdr[4] = 48 // ~7.9e14-point dense form (the fuzzer's shape)
+	huge.Write(hhdr[:])
+	var cerr *CorruptError
+	if _, err := ReadSparse(&huge); !errors.As(err, &cerr) {
+		t.Errorf("dense form beyond the decode cap: got %v, want CorruptError", err)
 	}
 }
 

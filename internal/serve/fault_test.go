@@ -1,0 +1,308 @@
+package serve
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"compactsg"
+	"compactsg/internal/core"
+)
+
+// Fault injection for the cold-load path: every way a grid file can be
+// bad must surface as a clean typed error with nothing cached, nothing
+// mapped and the failure counted — and the registry must recover as
+// soon as the file is healthy again.
+//
+// None of these tests may run in parallel: they assert on the global
+// core.ActiveMappings counter.
+
+// restampHeaderCRC recomputes the v2 header checksum after a deliberate
+// header mutation, so corruption deeper in the pipeline is reached.
+func restampHeaderCRC(raw []byte) {
+	table := crc32.MakeTable(crc32.Castagnoli)
+	binary.LittleEndian.PutUint32(raw[44:], crc32.Checksum(raw[:44], table))
+}
+
+func corruptFile(t *testing.T, path string, mutate func([]byte) []byte) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, mutate(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadFaultInjection(t *testing.T) {
+	errHook := errors.New("injected hook failure")
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte // nil: corrupt nothing, fail via LoadHook
+		check   func(t *testing.T, err error)
+		hookErr error
+	}{
+		{
+			name:   "truncated file",
+			mutate: func(raw []byte) []byte { return raw[:len(raw)-100] },
+			check: func(t *testing.T, err error) {
+				var ce *core.CorruptError
+				if !errors.As(err, &ce) {
+					t.Errorf("truncation error is not a CorruptError: %v", err)
+				}
+			},
+		},
+		{
+			name: "flipped payload bit",
+			mutate: func(raw []byte) []byte {
+				raw[core.SnapshotAlign+17] ^= 0x04
+				return raw
+			},
+			check: func(t *testing.T, err error) {
+				if !errors.Is(err, core.ErrChecksum) {
+					t.Errorf("payload corruption not reported as checksum mismatch: %v", err)
+				}
+			},
+		},
+		{
+			name: "flipped payload checksum",
+			mutate: func(raw []byte) []byte {
+				raw[40] ^= 0xff // payload CRC field
+				restampHeaderCRC(raw)
+				return raw
+			},
+			check: func(t *testing.T, err error) {
+				if !errors.Is(err, core.ErrChecksum) {
+					t.Errorf("checksum corruption not reported as checksum mismatch: %v", err)
+				}
+			},
+		},
+		{
+			name: "flipped header byte",
+			mutate: func(raw []byte) []byte {
+				raw[8] ^= 0x01 // dim, header CRC left stale
+				return raw
+			},
+			check: func(t *testing.T, err error) {
+				if !errors.Is(err, core.ErrChecksum) {
+					t.Errorf("header corruption not reported as checksum mismatch: %v", err)
+				}
+			},
+		},
+		{
+			name:    "load hook error",
+			hookErr: errHook,
+			check: func(t *testing.T, err error) {
+				if !errors.Is(err, errHook) {
+					t.Errorf("hook error not propagated: %v", err)
+				}
+			},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			baseline := core.ActiveMappings()
+			dir := t.TempDir()
+			path, want := writeGrid(t, dir, 2, 4)
+			healthy, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.mutate != nil {
+				corruptFile(t, path, c.mutate)
+			}
+
+			var fails atomic.Int64
+			s := NewGridSet(2)
+			s.OnLoadFail = func(string, error) { fails.Add(1) }
+			if c.hookErr != nil {
+				s.LoadHook = func(string) error { return c.hookErr }
+			}
+			if err := s.Add("g", path); err != nil {
+				t.Fatal(err)
+			}
+
+			_, err = s.Get("g")
+			if err == nil {
+				t.Fatal("Get succeeded on a faulty load")
+			}
+			c.check(t, err)
+			if n := s.ResidentCount(); n != 0 {
+				t.Errorf("failed load left %d grids resident", n)
+			}
+			if got := core.ActiveMappings(); got != baseline {
+				t.Errorf("failed load leaked a mapping: ActiveMappings %d, baseline %d", got, baseline)
+			}
+			if n := fails.Load(); n != 1 {
+				t.Errorf("OnLoadFail fired %d times, want 1", n)
+			}
+
+			// Recovery: restore the healthy bytes (and drop the failing
+			// hook) and the very next Get must succeed.
+			s.LoadHook = nil
+			if err := os.WriteFile(path, healthy, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			g, err := s.Get("g")
+			if err != nil {
+				t.Fatalf("Get after repair: %v", err)
+			}
+			if g.Dim() != want.Dim() || g.Level() != want.Level() {
+				t.Errorf("repaired grid has wrong shape d=%d l=%d", g.Dim(), g.Level())
+			}
+			if n := fails.Load(); n != 1 {
+				t.Errorf("successful load bumped the failure count to %d", n)
+			}
+			s.Purge()
+			if got := core.ActiveMappings(); got != baseline {
+				t.Errorf("purged registry still holds mappings: %d, baseline %d", got, baseline)
+			}
+		})
+	}
+}
+
+// TestEvictionReleasesMappingAfterLastLease: an evicted mmap-loaded
+// grid must stay readable for its lease holders and be unmapped only
+// when the last lease goes away.
+func TestEvictionReleasesMappingAfterLastLease(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("mmap load path is linux-only")
+	}
+	baseline := core.ActiveMappings()
+	s := newTestSet(t, 1, 2)
+
+	lease, err := s.Acquire(context.Background(), "q0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := core.ActiveMappings(); got != baseline+1 {
+		t.Fatalf("after first load: ActiveMappings %d, want %d", got, baseline+1)
+	}
+
+	// Loading q1 evicts q0 (maxResident = 1) — but q0's lease is live,
+	// so its mapping must survive the eviction.
+	if _, err := s.Get("q1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := core.ActiveMappings(); got != baseline+2 {
+		t.Fatalf("after eviction with live lease: ActiveMappings %d, want %d", got, baseline+2)
+	}
+	if _, err := lease.Grid().Evaluate([]float64{0.3, 0.7}); err != nil {
+		t.Fatalf("evicted leased grid unreadable: %v", err)
+	}
+
+	lease.Release()
+	if got := core.ActiveMappings(); got != baseline+1 {
+		t.Fatalf("after last lease release: ActiveMappings %d, want %d (q0 unmapped)", got, baseline+1)
+	}
+	lease.Release() // double release is a no-op
+	if got := core.ActiveMappings(); got != baseline+1 {
+		t.Fatalf("double release changed mappings: %d", core.ActiveMappings())
+	}
+
+	s.Purge()
+	if got := core.ActiveMappings(); got != baseline {
+		t.Fatalf("after Purge: ActiveMappings %d, want %d", got, baseline)
+	}
+}
+
+// TestServerFaultEndToEnd drives a corrupt grid file through the full
+// HTTP stack: the request must fail cleanly, the failure metric must
+// show on /metrics, and after Close no goroutine or mapping survives.
+func TestServerFaultEndToEnd(t *testing.T) {
+	baseline := core.ActiveMappings()
+	goroutines := runtime.NumGoroutine()
+	dir := t.TempDir()
+	goodPath, _ := writeGrid(t, dir, 2, 3)
+	badPath, _ := writeGrid(t, dir, 2, 4)
+	corruptFile(t, badPath, func(raw []byte) []byte {
+		raw[core.SnapshotAlign+3] ^= 0x40
+		return raw
+	})
+
+	srv := New(Config{Coalesce: true, MaxResident: 2})
+	if err := srv.AddGrid("good", goodPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddGrid("bad", badPath); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+
+	post := func(body string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/eval", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	if status, body := post(`{"grid":"bad","point":[0.5,0.5]}`); status/100 == 2 {
+		t.Fatalf("eval on corrupt grid returned %d: %s", status, body)
+	}
+	if status, body := post(`{"grid":"good","point":[0.5,0.5]}`); status != http.StatusOK {
+		t.Fatalf("eval on good grid returned %d: %s", status, body)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"sgserve_grid_load_failures_total 1",
+		`sgserve_grid_load_mode_total{mode="mmap"} 1`,
+	} {
+		if !strings.Contains(string(metricsBody), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Tear down the HTTP plumbing before the leak check so only the
+	// Server's own goroutines could still be running.
+	ts.Close()
+	http.DefaultClient.CloseIdleConnections()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := core.ActiveMappings(); got != baseline {
+		t.Errorf("closed server still holds mappings: %d, baseline %d", got, baseline)
+	}
+	assertNoGoroutineLeak(t, goroutines)
+}
+
+// TestPurgeIsReloadSafe: a purged grid is reloaded on the next access,
+// so Purge mid-traffic only costs a reload, never an error.
+func TestPurgeIsReloadSafe(t *testing.T) {
+	s := newTestSet(t, 2, 1)
+	var loads atomic.Int64
+	s.OnLoad = func(string, compactsg.LoadMode, time.Duration) { loads.Add(1) }
+	if _, err := s.Get("q0"); err != nil {
+		t.Fatal(err)
+	}
+	s.Purge()
+	if n := s.ResidentCount(); n != 0 {
+		t.Fatalf("%d grids resident after Purge", n)
+	}
+	if _, err := s.Get("q0"); err != nil {
+		t.Fatalf("Get after Purge: %v", err)
+	}
+	if n := loads.Load(); n != 2 {
+		t.Errorf("loads = %d, want 2 (initial + post-purge reload)", n)
+	}
+}

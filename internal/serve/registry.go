@@ -12,7 +12,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -61,13 +60,17 @@ type GridSet struct {
 	// set before the registry sees traffic and not changed afterwards.
 	//
 	// OnLoad fires after a grid file was read and installed (took is
-	// the wall time of the read+decode). OnLoadWait fires for each
-	// caller that piggybacked on another goroutine's in-flight load of
-	// the same grid. OnEvict fires right after a grid leaves the
-	// resident set. OnRetire fires when the last lease of an evicted
-	// grid is released (never for resident grids, which always hold
-	// the registry's own reference).
-	OnLoad     func(name string, took time.Duration)
+	// the wall time of the cold load; mode says whether the payload was
+	// memory-mapped or copied). OnLoadFail fires for each load attempt
+	// that ended in an error. OnLoadWait fires for each caller that
+	// piggybacked on another goroutine's in-flight load of the same
+	// grid. OnEvict fires right after a grid leaves the resident set.
+	// OnRetire fires when the last lease of an evicted grid is released
+	// (never for resident grids, which always hold the registry's own
+	// reference); the grid's file mapping, if any, is unmapped right
+	// after OnRetire returns.
+	OnLoad     func(name string, mode compactsg.LoadMode, took time.Duration)
+	OnLoadFail func(name string, err error)
 	OnLoadWait func(name string)
 	OnEvict    func(name string, g *compactsg.Grid)
 	OnRetire   func(name string, g *compactsg.Grid)
@@ -94,6 +97,10 @@ type source struct {
 type entry struct {
 	name string
 	grid *compactsg.Grid
+	// open owns the grid's backing storage: for mmap loads closing it
+	// unmaps the file, so it must happen only after the last lease is
+	// gone. Closed by whoever drops refs to zero, after OnRetire.
+	open *compactsg.OpenGrid
 	el   *list.Element
 	// refs counts outstanding leases plus one reference owned by the
 	// registry while the entry is resident. Eviction drops the registry
@@ -226,7 +233,10 @@ func (s *GridSet) Info() []GridInfo {
 // least-recently-used resident grid if the bound is exceeded) as
 // needed. Every Get marks the grid most-recently-used. Get does not
 // pin the grid; callers that must keep using the instance across
-// evictions (the batcher does) should use Acquire instead.
+// evictions (the batcher does) should use Acquire instead. This
+// matters doubly for memory-mapped grids: once an evicted grid's last
+// lease is released its mapping is unmapped, and an unpinned instance
+// then faults on access.
 func (s *GridSet) Get(name string) (*compactsg.Grid, error) {
 	l, err := s.Acquire(context.Background(), name)
 	if err != nil {
@@ -325,22 +335,24 @@ func (s *GridSet) lead(sp *obs.Span, name string) (*Lease, *loadCall, error) {
 	path := src.path
 	s.mu.Unlock()
 
-	// The file read + decode happens here, with no registry lock held:
-	// a cold load of one grid never blocks Acquire/Get on any other.
+	// The file read happens here, with no registry lock held: a cold
+	// load of one grid never blocks Acquire/Get on any other.
 	start := time.Now()
-	g, err := s.load(name, path)
+	og, err := s.load(name, path)
 	took := time.Since(start)
 	sp.Add(obs.StageLoad, took)
 
+	var g *compactsg.Grid
 	var victims []*entry
 	var lease *Lease
 	s.mu.Lock()
 	delete(s.loading, name)
 	if err == nil {
+		g = og.Grid
 		src.known = true
 		src.dim, src.level = g.Dim(), g.Level()
 		src.points, src.bytes = g.Points(), g.MemoryBytes()
-		e := &entry{name: name, grid: g}
+		e := &entry{name: name, grid: g, open: og}
 		e.refs.Store(2) // the registry's reference + this caller's lease
 		s.resident[name] = e
 		s.lruMu.Lock()
@@ -360,10 +372,13 @@ func (s *GridSet) lead(sp *obs.Span, name string) (*Lease, *loadCall, error) {
 	close(lc.done)
 
 	if err != nil {
+		if s.OnLoadFail != nil {
+			s.OnLoadFail(name, err)
+		}
 		return nil, nil, err
 	}
 	if s.OnLoad != nil {
-		s.OnLoad(name, took)
+		s.OnLoad(name, og.Mode, took)
 	}
 	for _, v := range victims {
 		s.finishEvict(v)
@@ -390,12 +405,35 @@ func (s *GridSet) finishEvict(v *entry) {
 }
 
 // releaseEntry drops one reference; the goroutine that drops the last
-// reference of an evicted entry fires OnRetire.
+// reference of an evicted entry fires OnRetire and then releases the
+// grid's backing storage (for mmap loads, the munmap — deferred to this
+// point precisely so leased-out evicted grids stay readable).
 func (s *GridSet) releaseEntry(e *entry) {
 	if e.refs.Add(-1) == 0 {
 		if s.OnRetire != nil {
 			s.OnRetire(e.name, e.grid)
 		}
+		e.open.Close()
+	}
+}
+
+// Purge evicts every resident grid. Grids with outstanding leases stay
+// usable until those are released; everything else is retired (and
+// unmapped) before Purge returns. The server calls it on Close so a
+// shut-down server holds no file mappings.
+func (s *GridSet) Purge() {
+	var victims []*entry
+	s.mu.Lock()
+	s.lruMu.Lock()
+	for name, e := range s.resident {
+		delete(s.resident, name)
+		s.lru.Remove(e.el)
+		victims = append(victims, e)
+	}
+	s.lruMu.Unlock()
+	s.mu.Unlock()
+	for _, v := range victims {
+		s.finishEvict(v)
 	}
 }
 
@@ -430,24 +468,23 @@ func (s *GridSet) Preload() error {
 	return errors.Join(errs...)
 }
 
-// load reads and validates one grid file. No registry lock is held.
-func (s *GridSet) load(name, path string) (*compactsg.Grid, error) {
+// load reads and validates one grid file through compactsg.Open, so
+// SGC2 snapshots arrive zero-copy (memory-mapped) where the platform
+// allows and everything else goes through the copying decoders. No
+// registry lock is held.
+func (s *GridSet) load(name, path string) (*compactsg.OpenGrid, error) {
 	if s.LoadHook != nil {
 		if err := s.LoadHook(name); err != nil {
 			return nil, fmt.Errorf("serve: loading %s: %w", path, err)
 		}
 	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("serve: %w", err)
-	}
-	defer f.Close()
-	g, err := compactsg.LoadAny(f, s.opts...)
+	og, err := compactsg.Open(path, s.opts...)
 	if err != nil {
 		return nil, fmt.Errorf("serve: loading %s: %w", path, err)
 	}
-	if !g.Compressed() {
+	if !og.Compressed() {
+		og.Close()
 		return nil, fmt.Errorf("serve: %s holds nodal values, not hierarchical coefficients; compress it first", path)
 	}
-	return g, nil
+	return og, nil
 }

@@ -141,6 +141,8 @@ type serverMetrics struct {
 	points      *metrics.Counter
 	resident    *metrics.Gauge
 	loads       *metrics.Counter
+	loadModes   *metrics.CounterVec
+	loadFails   *metrics.Counter
 	loadSecs    *metrics.Histogram
 	loadWaits   *metrics.Counter
 	evictions   *metrics.Counter
@@ -165,11 +167,13 @@ func New(cfg Config) *Server {
 	s.tracer.SetSampleEvery(cfg.TraceSample)
 	s.grids = NewGridSet(cfg.MaxResident,
 		compactsg.WithWorkers(cfg.Workers), compactsg.WithBlockSize(cfg.BlockSize))
-	s.grids.OnLoad = func(_ string, took time.Duration) {
+	s.grids.OnLoad = func(_ string, mode compactsg.LoadMode, took time.Duration) {
 		s.met.loads.Inc()
+		s.met.loadModes.With(mode.String()).Inc()
 		s.met.loadSecs.Observe(took.Seconds())
 		s.met.resident.Set(float64(s.grids.ResidentCount()))
 	}
+	s.grids.OnLoadFail = func(string, error) { s.met.loadFails.Inc() }
 	s.grids.OnLoadWait = func(string) { s.met.loadWaits.Inc() }
 	s.grids.OnEvict = func(name string, g *compactsg.Grid) {
 		s.met.evictions.Inc()
@@ -187,6 +191,8 @@ func New(cfg Config) *Server {
 		points:      r.NewCounter("sgserve_points_evaluated_total", "Grid points evaluated."),
 		resident:    r.NewGauge("sgserve_grids_resident", "Grids currently loaded in memory."),
 		loads:       r.NewCounter("sgserve_grid_loads_total", "Grid loads from disk."),
+		loadModes:   r.NewCounterVec("sgserve_grid_load_mode_total", "Successful grid loads by payload materialization: mmap (zero-copy snapshot mapping) or copy (decoded into the heap).", "mode"),
+		loadFails:   r.NewCounter("sgserve_grid_load_failures_total", "Grid load attempts that failed (missing file, corruption, checksum mismatch, load hook error)."),
 		loadSecs:    r.NewHistogram("sgserve_grid_load_seconds", "Wall time of grid file loads (read + decode), in seconds.", metrics.DefLoadBuckets),
 		loadWaits:   r.NewCounter("sgserve_grid_load_waits_total", "Requests that piggybacked on another request's in-flight load of the same grid (singleflight followers)."),
 		evictions:   r.NewCounter("sgserve_grid_evictions_total", "LRU grid evictions."),
@@ -235,10 +241,11 @@ func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 // Handler returns the routing handler for an http.Server.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close drains and stops every per-grid coalescer, then waits for the
-// background drains of already-evicted batchers. Call it after
-// http.Server.Shutdown so enqueued requests still get their values;
-// requests arriving later fail with 503.
+// Close drains and stops every per-grid coalescer, waits for the
+// background drains of already-evicted batchers, then purges the grid
+// registry so no grid (and no snapshot file mapping) outlives the
+// server. Call it after http.Server.Shutdown so enqueued requests
+// still get their values; requests arriving later fail with 503.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -259,6 +266,7 @@ func (s *Server) Close() error {
 		gb.lease.Release()
 	}
 	s.drains.Wait()
+	s.grids.Purge()
 	return nil
 }
 

@@ -1,0 +1,118 @@
+package compactsg
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"compactsg/internal/core"
+)
+
+// LoadMode says how Open materialized a grid's coefficients.
+type LoadMode int
+
+const (
+	// LoadCopy: the coefficients were decoded into private heap memory.
+	LoadCopy LoadMode = iota
+	// LoadMmap: the coefficients are a read-only memory mapping of the
+	// snapshot file — the cold load copied nothing.
+	LoadMmap
+)
+
+// String returns "copy" or "mmap" (the label used by the serve metrics).
+func (m LoadMode) String() string {
+	if m == LoadMmap {
+		return "mmap"
+	}
+	return "copy"
+}
+
+// OpenGrid is a grid opened from a file by Open, together with how its
+// payload was materialized. When Mode is LoadMmap the grid is read-only
+// and backed by the file mapping: keep the OpenGrid alive while the
+// grid is in use and call Close exactly when done (after Close a mapped
+// payload dangles). Close is idempotent and a no-op for copy loads.
+type OpenGrid struct {
+	*Grid
+	Mode LoadMode
+	snap *core.Snapshot // non-nil iff Mode == LoadMmap
+}
+
+// Close releases the file mapping backing a LoadMmap grid. The grid
+// must not be used afterwards.
+func (o *OpenGrid) Close() error {
+	if o.snap != nil {
+		return o.snap.Close()
+	}
+	return nil
+}
+
+// Open loads the grid artifact at path, preferring the zero-copy path:
+// SGC2 snapshots with a page-aligned payload are memory-mapped in place
+// (on platforms with mmap and little-endian byte order), so the cold
+// load touches no payload bytes and the kernel pages coefficients in
+// on demand. Unmappable snapshots, legacy v1 files and sparse "SGS1"
+// files are decoded through the copying readers. Corruption — bad
+// checksum, truncation, inconsistent header — is always an error,
+// never a silent fallback to another mode.
+func Open(path string, opts ...Option) (*OpenGrid, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var magic [4]byte
+	_, err = io.ReadFull(f, magic[:])
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("compactsg: reading container magic of %s: %w", path, err)
+	}
+
+	if string(magic[:]) == core.SnapshotMagic {
+		f.Close()
+		return openSnapshot(path, opts...)
+	}
+
+	// Legacy or sparse container: stream it through the copying loader.
+	defer f.Close()
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	g, err := LoadAny(bufio.NewReaderSize(f, 1<<16), opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &OpenGrid{Grid: g, Mode: LoadCopy}, nil
+}
+
+// openSnapshot opens an SGC2 file, mapped when possible.
+func openSnapshot(path string, opts ...Option) (*OpenGrid, error) {
+	snap, err := core.OpenSnapshot(path)
+	if err != nil {
+		return nil, err
+	}
+	info := snap.Info()
+	if info.Boundary() {
+		snap.Close()
+		return nil, errors.New("compactsg: snapshot holds a boundary-extended grid (use LoadBoundary)")
+	}
+	g := &Grid{
+		g:          snap.Grid(),
+		compressed: info.Compressed(),
+		workers:    1,
+		readonly:   snap.Mapped(),
+	}
+	for _, o := range opts {
+		if err := o(g); err != nil {
+			snap.Close()
+			return nil, err
+		}
+	}
+	og := &OpenGrid{Grid: g, Mode: LoadCopy}
+	if snap.Mapped() {
+		og.Mode = LoadMmap
+		og.snap = snap
+	}
+	return og, nil
+}

@@ -1,0 +1,262 @@
+package compactsg
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"compactsg/internal/core"
+	"compactsg/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden snapshot files")
+
+// saveToFile writes a compressed test grid to a temp file with the
+// given saver and returns the path.
+func saveToFile(t *testing.T, save func(*Grid, io.Writer) error) (*Grid, string) {
+	t.Helper()
+	g, err := New(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Compress(workload.Parabola.F)
+	path := filepath.Join(t.TempDir(), "grid.sg")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := save(g, f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return g, path
+}
+
+func checkEvaluatesLike(t *testing.T, want, got *Grid) {
+	t.Helper()
+	if got.Dim() != want.Dim() || got.Level() != want.Level() {
+		t.Fatalf("shape: got d=%d l=%d want d=%d l=%d", got.Dim(), got.Level(), want.Dim(), want.Level())
+	}
+	if got.Compressed() != want.Compressed() {
+		t.Fatalf("compressed state: got %v want %v", got.Compressed(), want.Compressed())
+	}
+	for _, x := range workload.Points(7, 25, want.Dim()) {
+		a, err := want.Evaluate(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := got.Evaluate(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("evaluate at %v: %g != %g", x, a, b)
+		}
+	}
+}
+
+func TestOpenMmapZeroCopy(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("mmap load path is linux-only")
+	}
+	before := core.ActiveMappings()
+	want, path := saveToFile(t, (*Grid).Save)
+	og, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if og.Mode != LoadMmap {
+		t.Fatalf("Open mode = %v, want mmap for an aligned v2 snapshot", og.Mode)
+	}
+	if core.ActiveMappings() != before+1 {
+		t.Fatalf("ActiveMappings = %d, want %d", core.ActiveMappings(), before+1)
+	}
+	if !og.ReadOnly() {
+		t.Error("mapped grid not marked read-only")
+	}
+	checkEvaluatesLike(t, want, og.Grid)
+
+	// Mutators must refuse, not fault.
+	if err := og.CompressValues(); err != ErrReadOnly {
+		t.Errorf("CompressValues on mapped grid: %v, want ErrReadOnly", err)
+	}
+	if err := og.Decompress(); err != ErrReadOnly {
+		t.Errorf("Decompress on mapped grid: %v, want ErrReadOnly", err)
+	}
+	if err := og.SetNodal([]int32{0, 0, 0}, []int32{1, 1, 1}, 1); err != ErrReadOnly {
+		t.Errorf("SetNodal on mapped grid: %v, want ErrReadOnly", err)
+	}
+	if _, _, err := og.Threshold(0.1); err != ErrReadOnly {
+		t.Errorf("Threshold on mapped grid: %v, want ErrReadOnly", err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Compress on mapped grid did not panic")
+			}
+		}()
+		og.Compress(workload.Parabola.F)
+	}()
+
+	if err := og.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := og.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if core.ActiveMappings() != before {
+		t.Fatalf("mapping leaked: ActiveMappings = %d, want %d", core.ActiveMappings(), before)
+	}
+}
+
+func TestOpenCopiesLegacyAndSparse(t *testing.T) {
+	want, v1 := saveToFile(t, (*Grid).SaveV1)
+	og, err := Open(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer og.Close()
+	if og.Mode != LoadCopy {
+		t.Fatalf("v1 load mode = %v, want copy", og.Mode)
+	}
+	if og.ReadOnly() {
+		t.Error("copied grid marked read-only")
+	}
+	checkEvaluatesLike(t, want, og.Grid)
+
+	_, sparsePath := saveToFile(t, func(g *Grid, w io.Writer) error { return g.SaveSparse(w) })
+	og2, err := Open(sparsePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer og2.Close()
+	if og2.Mode != LoadCopy {
+		t.Fatalf("sparse load mode = %v, want copy", og2.Mode)
+	}
+	checkEvaluatesLike(t, want, og2.Grid)
+}
+
+func TestLoadReadsBothGenerations(t *testing.T) {
+	g, err := New(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Compress(workload.Parabola.F)
+	for _, save := range []struct {
+		name string
+		fn   func(*Grid, *bytes.Buffer) error
+	}{
+		{"v2", func(g *Grid, b *bytes.Buffer) error { return g.Save(b) }},
+		{"v1", func(g *Grid, b *bytes.Buffer) error { return g.SaveV1(b) }},
+	} {
+		var buf bytes.Buffer
+		if err := save.fn(g, &buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := LoadAny(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", save.name, err)
+		}
+		checkEvaluatesLike(t, g, back)
+	}
+	// The compressed state must survive through the v2 header flags.
+	nodal, _ := New(2, 4)
+	nodal.g.Fill(workload.Parabola.F)
+	var buf bytes.Buffer
+	if err := nodal.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Compressed() {
+		t.Error("nodal grid came back marked compressed")
+	}
+}
+
+func TestBoundarySnapshotRoundTrip(t *testing.T) {
+	g, err := NewWithBoundary(2, 3, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(x []float64) float64 { return 1 + x[0] + 2*x[1] }
+	g.Compress(f)
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBoundary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range workload.Points(3, 25, 2) {
+		a, err := g.Evaluate(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := back.Evaluate(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("evaluate at %v: %g != %g", x, a, b)
+		}
+	}
+
+	// Interior and boundary snapshots must not cross-load.
+	if _, err := LoadBoundary(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	var interior bytes.Buffer
+	ig, _ := New(2, 3)
+	ig.Compress(workload.Parabola.F)
+	if err := ig.Save(&interior); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBoundary(bytes.NewReader(interior.Bytes())); err == nil {
+		t.Error("LoadBoundary accepted an interior snapshot")
+	}
+	if _, err := Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("Load accepted a boundary snapshot")
+	}
+}
+
+// TestGoldenV2Boundary pins the boundary snapshot encoding byte-for-byte.
+// The golden lives beside the interior goldens in internal/core/testdata
+// (the boundary layout cannot be constructed from package core, so the
+// file is generated here).
+func TestGoldenV2Boundary(t *testing.T) {
+	g, err := NewWithBoundary(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Compress(func(x []float64) float64 { return 1 + x[0]*(1-x[0]) + 2*x[1] })
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("internal", "core", "testdata", "v2_boundary_d2l3.sg")
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test . -run GoldenV2Boundary -update` to generate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("boundary snapshot encoding drifted from golden %s (%d vs %d bytes)", path, buf.Len(), len(want))
+	}
+	if _, err := LoadBoundary(bytes.NewReader(want)); err != nil {
+		t.Fatalf("golden boundary snapshot no longer loads: %v", err)
+	}
+}

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+set -euo pipefail
+
+# scripts/bench_coldload.sh — measure the cold-load path (file on disk →
+# first evaluation) for the three dense-container routes and emit
+# BENCH_coldload.json:
+#
+#   V1Copy  legacy SGC1 stream, decoded and copied into fresh arrays
+#   V2Copy  SGC2 snapshot read through the copying decoder
+#   V2Mmap  SGC2 snapshot mapped read-only in place (zero copy)
+#
+# plus the headline "speedup_mmap_vs_v1" ratio the serving layer banks
+# on. The grid is the level-10 d=5 compressed snapshot (~554k points,
+# ~4.4 MB) — big enough that payload I/O dominates the header work.
+#
+# Usage:
+#   scripts/bench_coldload.sh                 # refresh BENCH_coldload.json
+#   BENCHTIME=1s scripts/bench_coldload.sh    # steadier numbers
+#   BENCHTIME=1x scripts/bench_coldload.sh    # CI smoke: one iteration
+#
+# Requires jq. Note: with BENCHTIME=1x the first iteration pays the page
+# cache warm-up, so the ratio is only meaningful at >=100ms benchtimes.
+
+cd "$(dirname "$0")/.."
+
+OUT=${OUT:-BENCH_coldload.json}
+BENCHTIME=${BENCHTIME:-500ms}
+PATTERN=${PATTERN:-'^BenchmarkColdLoad$'}
+
+command -v jq >/dev/null || { echo "bench_coldload.sh: jq is required" >&2; exit 1; }
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -timeout 30m . | tee "$raw"
+
+results=$(awk '
+    /^BenchmarkColdLoad\// {
+        printf "{\"name\":\"%s\",\"iters\":%s", $1, $2
+        for (i = 3; i + 1 <= NF; i += 2) {
+            key = $(i + 1)
+            gsub(/\//, "_per_", key)
+            gsub(/[^A-Za-z0-9_]/, "_", key)
+            printf ",\"%s\":%s", key, $i
+        }
+        print "}"
+    }
+' "$raw" | jq -s .)
+
+if [ "$(jq 'length' <<<"$results")" -lt 3 ]; then
+    echo "bench_coldload.sh: expected the V1Copy/V2Copy/V2Mmap sub-benchmarks, parsed $(jq 'length' <<<"$results")" >&2
+    exit 1
+fi
+
+# ns/op for a named route (sub-bench names may carry a -GOMAXPROCS suffix).
+ns_of() {
+    jq --arg route "$1" '[.[] | select(.name | test("/" + $route + "(-[0-9]+)?$"))][0].ns_per_op' <<<"$results"
+}
+
+v1=$(ns_of V1Copy)
+v2copy=$(ns_of V2Copy)
+v2mmap=$(ns_of V2Mmap)
+
+jq -n \
+    --arg go "$(go env GOVERSION)" \
+    --arg platform "$(go env GOOS)/$(go env GOARCH)" \
+    --arg benchtime "$BENCHTIME" \
+    --arg date "$(date -u +%FT%TZ)" \
+    --argjson cpus "$(nproc)" \
+    --argjson results "$results" \
+    --argjson v1 "$v1" --argjson v2copy "$v2copy" --argjson v2mmap "$v2mmap" \
+    '{schema: 1, go: $go, platform: $platform, benchtime: $benchtime, date: $date, cpus: $cpus,
+      grid: {dim: 5, level: 10},
+      results: $results,
+      speedup_mmap_vs_v1: (if $v2mmap > 0 then ($v1 / $v2mmap * 100 | round / 100) else null end),
+      speedup_mmap_vs_v2copy: (if $v2mmap > 0 then ($v2copy / $v2mmap * 100 | round / 100) else null end)}' > "$OUT"
+
+echo "wrote $OUT (mmap vs v1 copy: $(jq '.speedup_mmap_vs_v1' "$OUT")x, vs v2 copy: $(jq '.speedup_mmap_vs_v2copy' "$OUT")x)"
