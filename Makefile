@@ -19,7 +19,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/hier/ ./internal/eval/ ./internal/gpusim/ ./internal/kernels/ ./internal/obs/ ./internal/serve/ .
+	$(GO) test -race ./internal/par/ ./internal/hier/ ./internal/eval/ ./internal/boundary/ ./internal/gpusim/ ./internal/kernels/ ./internal/obs/ ./internal/serve/ .
 
 # End-to-end smoke of the evaluation server (build, serve, curl, drain).
 smoke:
@@ -59,6 +59,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzSnapshot$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzReadSparse$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzLoadAny$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzParallelHierIdentity$$' -fuzztime $(FUZZTIME) ./internal/hier
 
 # Kernel hot-path benchmarks -> BENCH_kernels.json (baseline vs current;
 # see scripts/bench_kernels.sh for BENCHTIME/--as-baseline knobs).

@@ -8,6 +8,7 @@ package compactsg_test
 import (
 	"fmt"
 	"math"
+	"os"
 	"testing"
 
 	"compactsg/internal/adaptive"
@@ -574,6 +575,78 @@ func BenchmarkKernelHier(b *testing.B) {
 				reportPerPoint(b, int64(b.N)*desc.Size())
 			})
 		}
+	}
+}
+
+// BenchmarkKernelHierScaling — hierarchization of the l7/d5 grid at
+// 1..8 workers over the static per-level-group decomposition
+// (DESIGN.md §10). On a single-core host the w>1 rows measure the
+// pool+barrier overhead, not speedup; BENCH_kernels.json records both
+// so the trajectory is honest about the machine it ran on.
+func BenchmarkKernelHierScaling(b *testing.B) {
+	desc := benchDesc(b)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			g := core.NewGrid(desc)
+			for k := 0; k < b.N; k++ {
+				b.StopTimer()
+				g.Fill(workload.Parabola.F)
+				b.StartTimer()
+				hier.Parallel(g, w)
+			}
+			reportPerPoint(b, int64(b.N)*desc.Size())
+		})
+	}
+}
+
+// BenchmarkKernelEvalScaling — batch evaluation of 512 query points on
+// the l7/d5 grid at 1..8 workers (static per-query decomposition with
+// line-aligned output chunks).
+func BenchmarkKernelEvalScaling(b *testing.B) {
+	desc := benchDesc(b)
+	g := core.NewGrid(desc)
+	g.Fill(workload.Parabola.F)
+	hier.Iterative(g)
+	xs := workload.Points(14, 512, benchDim)
+	out := make([]float64, len(xs))
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			for k := 0; k < b.N; k++ {
+				eval.Batch(g, xs, out, eval.Options{Workers: w})
+			}
+			reportPerPoint(b, int64(b.N)*int64(len(xs)))
+		})
+	}
+}
+
+// BenchmarkPaperscaleHier — hierarchization of the paper's flagship
+// grid (d=10, level 11: 127,574,017 points, ~1 GB) per worker count.
+// Gated behind SG_PAPERSCALE=1: the grid is filled once (~10 s) and
+// each timed transform is undone by an untimed dehierarchization, so
+// iterations reuse the array instead of re-sampling 127.5M points.
+// (The inverse reintroduces a few ulps of rounding per round trip —
+// irrelevant for timing, which only depends on the layout.)
+func BenchmarkPaperscaleHier(b *testing.B) {
+	if os.Getenv("SG_PAPERSCALE") == "" {
+		b.Skip("set SG_PAPERSCALE=1 to run the 127.5M-point paperscale benchmark (~1 GB, minutes)")
+	}
+	desc, err := core.NewDescriptor(10, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := core.NewGrid(desc)
+	g.Fill(workload.Parabola.F)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			b.ResetTimer()
+			for k := 0; k < b.N; k++ {
+				hier.Parallel(g, w)
+				b.StopTimer()
+				hier.DehierarchizeParallel(g, w)
+				b.StartTimer()
+			}
+			reportPerPoint(b, int64(b.N)*desc.Size())
+		})
 	}
 }
 

@@ -15,6 +15,7 @@
 //	sgbench threshold           ext.     — lossy compression via surplus truncation
 //	sgbench ablation-decomp     ext.     — GPU work decomposition study
 //	sgbench paperscale          §1/§6    — the full d=10, level-11, 127.5M-point grid end to end
+//	sgbench scaling             §5       — strong scaling of the real CPU kernels over 1..N workers
 //	sgbench all                 everything above with default parameters
 //
 // Defaults are scaled to finish on a laptop-class host (level 6 instead
@@ -43,6 +44,7 @@ type params struct {
 	seed       int64
 	fn         string
 	maxWorkers int
+	paper      bool
 	csv        bool
 }
 
@@ -66,12 +68,13 @@ func run(args []string) error {
 	fs.IntVar(&p.reps, "reps", 3, "repetitions per measurement (best-of)")
 	fs.Int64Var(&p.seed, "seed", 42, "query point generator seed")
 	fs.StringVar(&p.fn, "fn", "parabola", "workload function (parabola|sinprod|gaussian|oscillatory)")
-	fs.IntVar(&p.maxWorkers, "workers", runtime.NumCPU(), "maximum measured worker count for Figs. 10/11")
+	fs.IntVar(&p.maxWorkers, "workers", runtime.NumCPU(), "maximum measured worker count for Figs. 10/11 and scaling")
+	fs.BoolVar(&p.paper, "paper", false, "scaling: include the d=10 level-11 paperscale grid (127.5M points, ~2 GB)")
 	fs.BoolVar(&p.csv, "csv", false, "emit CSV instead of aligned tables")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: sgbench [flags] <experiment>")
 		fmt.Fprintln(fs.Output(), "experiments: table1 fig8 fig9a fig9b fig10a fig10b fig11a fig11b")
-		fmt.Fprintln(fs.Output(), "             ablation-sharedl ablation-binmat ablation-blocking ablation-decomp combi fermi adaptive threshold paperscale all")
+		fmt.Fprintln(fs.Output(), "             ablation-sharedl ablation-binmat ablation-blocking ablation-decomp combi fermi adaptive threshold paperscale scaling all")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -107,6 +110,7 @@ func run(args []string) error {
 		"threshold":         runThreshold,
 		"ablation-decomp":   runDecomp,
 		"paperscale":        runPaperScale,
+		"scaling":           runScaling,
 	}
 	name := fs.Arg(0)
 	if name == "all" {

@@ -15,7 +15,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 
 	"compactsg"
 	"compactsg/internal/fullgrid"
@@ -37,7 +36,7 @@ func run(args []string) error {
 	fnName := fs.String("fn", "parabola", "workload function to compress")
 	out := fs.String("o", "grid.sg", "output file")
 	direct := fs.Bool("direct", false, "sample sparse grid points directly (skip the full grid stage)")
-	workers := fs.Int("workers", runtime.NumCPU(), "hierarchization workers")
+	workers := fs.Int("workers", 0, "hierarchization workers (0 = auto: GOMAXPROCS)")
 	threshold := fs.Float64("threshold", 0, "drop coefficients with |α| ≤ threshold (lossy, 0 = off)")
 	sparse := fs.Bool("sparse", false, "write the sparse (nonzeros-only) container")
 	format := fs.String("format", "v2", "dense container format: v2 (checksummed, mmap-able snapshot) or v1 (legacy)")

@@ -13,7 +13,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
 	"strconv"
 	"strings"
 
@@ -34,7 +33,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	in := fs.String("i", "grid.sg", "compressed grid file")
 	random := fs.Int("random", 0, "evaluate at N random points instead of reading them")
 	seed := fs.Int64("seed", 1, "random point seed")
-	workers := fs.Int("workers", runtime.NumCPU(), "evaluation workers")
+	workers := fs.Int("workers", 0, "evaluation workers (0 = auto: GOMAXPROCS)")
 	block := fs.Int("block", 0, "cache blocking size (0 = off)")
 	timing := fs.Bool("time", false, "print timing to stderr")
 	if err := fs.Parse(args); err != nil {

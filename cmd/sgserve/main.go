@@ -60,7 +60,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("sgserve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8177", "listen address")
-	workers := fs.Int("workers", runtime.NumCPU(), "evaluation worker pool size per grid")
+	workers := fs.Int("workers", 0, "evaluation worker pool size per grid (0 = auto: GOMAXPROCS)")
 	block := fs.Int("block", 64, "cache-blocking block size for batch dispatch (0 = off)")
 	maxGrids := fs.Int("max-grids", 8, "max grids resident in memory (LRU beyond)")
 	noCoalesce := fs.Bool("no-coalesce", false, "disable micro-batching: evaluate each /v1/eval on its own goroutine")
@@ -166,8 +166,12 @@ func run(args []string) error {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() {
+		resolved := *workers
+		if resolved == 0 {
+			resolved = runtime.GOMAXPROCS(0)
+		}
 		log.Printf("listening on %s (coalesce=%v workers=%d block=%d trace-ring=%d pprof=%v)",
-			*addr, !*noCoalesce, *workers, *block, max(*traceRing, 0), *pprofOn)
+			*addr, !*noCoalesce, resolved, *block, max(*traceRing, 0), *pprofOn)
 		if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 		}

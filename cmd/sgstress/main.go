@@ -96,7 +96,7 @@ func run(args []string) error {
 	fs.IntVar(&cfg.maxBatch, "max-batch", 64, "micro-batch size cap")
 	fs.DurationVar(&cfg.batchWait, "batch-wait", time.Millisecond, "micro-batch linger")
 	fs.DurationVar(&cfg.timeout, "timeout", 10*time.Second, "per-request timeout for hot/cold workers")
-	fs.IntVar(&cfg.workers, "workers", 2, "evaluation worker pool per grid")
+	fs.IntVar(&cfg.workers, "workers", 2, "evaluation worker pool per grid (0 = auto: GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

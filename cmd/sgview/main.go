@@ -13,7 +13,6 @@ import (
 	"image/color"
 	"io"
 	"os"
-	"runtime"
 	"strconv"
 	"strings"
 
@@ -40,7 +39,7 @@ func run(args []string, stdout io.Writer) error {
 	cmName := fs.String("colormap", "inferno", "colormap: inferno|gray|diverging")
 	isoStr := fs.String("iso", "", "comma-separated isoline levels")
 	ascii := fs.Bool("ascii", false, "print an ASCII heatmap instead of writing a PNG")
-	workers := fs.Int("workers", runtime.NumCPU(), "evaluation workers")
+	workers := fs.Int("workers", 0, "evaluation workers (0 = auto: GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

@@ -59,12 +59,16 @@ var ErrReadOnly = errors.New("compactsg: grid is memory-mapped read-only")
 type Option func(*Grid) error
 
 // WithWorkers sets the number of goroutines used by Compress,
-// Decompress and EvaluateBatch (default 1; the algorithms are
-// deterministic for any value).
+// Decompress and EvaluateBatch. 0 means auto: the count resolves to
+// GOMAXPROCS at each call, so the same artifact saturates a large host
+// and stays sequential on a 1-CPU one. The default is 1 (sequential).
+// The algorithms are bit-deterministic for any value — the static
+// decomposition only changes which worker applies an update, never the
+// update or its operand order.
 func WithWorkers(n int) Option {
 	return func(g *Grid) error {
-		if n < 1 {
-			return fmt.Errorf("compactsg: workers %d < 1", n)
+		if n < 0 {
+			return fmt.Errorf("compactsg: workers %d < 0 (0 means auto)", n)
 		}
 		g.workers = n
 		return nil
@@ -162,7 +166,7 @@ func (g *Grid) Decompress() error {
 	if !g.compressed {
 		return errors.New("compactsg: grid is not compressed")
 	}
-	hier.Dehierarchize(g.g)
+	hier.DehierarchizeParallel(g.g, g.workers)
 	g.compressed = false
 	return nil
 }

@@ -15,8 +15,11 @@ func TestNewValidation(t *testing.T) {
 	if _, err := New(3, 0); err == nil {
 		t.Error("level 0 accepted")
 	}
-	if _, err := New(3, 4, WithWorkers(0)); err == nil {
-		t.Error("workers 0 accepted")
+	if _, err := New(3, 4, WithWorkers(0)); err != nil {
+		t.Errorf("workers 0 (auto) rejected: %v", err)
+	}
+	if _, err := New(3, 4, WithWorkers(-1)); err == nil {
+		t.Error("workers -1 accepted")
 	}
 	if _, err := New(3, 4, WithBlockSize(-1)); err == nil {
 		t.Error("negative block size accepted")

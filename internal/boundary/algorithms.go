@@ -5,6 +5,7 @@ import (
 
 	"compactsg/internal/core"
 	"compactsg/internal/eval"
+	"compactsg/internal/par"
 )
 
 // Hierarchize transforms the extended grid's nodal values into
@@ -30,9 +31,10 @@ func (g *Grid) Hierarchize() {
 // HierarchizeParallel distributes each dimension pass's faces over
 // workers. Faces with the working dimension free update only their own
 // slots and read only faces where that dimension is fixed (untouched in
-// the pass), so the faces of one pass are independent. Results are
-// bit-identical to Hierarchize.
+// the pass), so the faces of one pass are independent. workers = 0
+// means auto (GOMAXPROCS). Results are bit-identical to Hierarchize.
 func (g *Grid) HierarchizeParallel(workers int) {
+	workers = par.Resolve(workers)
 	if workers <= 1 {
 		g.Hierarchize()
 		return
@@ -42,8 +44,10 @@ func (g *Grid) HierarchizeParallel(workers int) {
 	}
 }
 
-// DehierarchizeParallel is the parallel inverse transform.
+// DehierarchizeParallel is the parallel inverse transform; workers = 0
+// means auto (GOMAXPROCS).
 func (g *Grid) DehierarchizeParallel(workers int) {
+	workers = par.Resolve(workers)
 	if workers <= 1 {
 		g.Dehierarchize()
 		return

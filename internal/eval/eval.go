@@ -21,6 +21,7 @@ import (
 	"compactsg/internal/basis"
 	"compactsg/internal/core"
 	"compactsg/internal/grids"
+	"compactsg/internal/par"
 )
 
 // Iterative evaluates the hierarchized compact grid at x (paper Alg. 7).
@@ -118,6 +119,7 @@ func RecursiveBatch(s grids.Store, xs [][]float64, out []float64, workers int) [
 	if out == nil {
 		out = make([]float64, len(xs))
 	}
+	workers = par.Resolve(workers)
 	if workers <= 1 {
 		for k, x := range xs {
 			out[k] = Recursive(s, x)
@@ -147,7 +149,9 @@ func RecursiveBatch(s grids.Store, xs [][]float64, out []float64, workers int) [
 // Options configures batch evaluation.
 type Options struct {
 	// Workers is the number of goroutines evaluating query points
-	// (static decomposition, paper Sec. 5.3); ≤ 1 means sequential.
+	// (static decomposition, paper Sec. 5.3). 0 means auto: the count
+	// resolves to GOMAXPROCS at call time, so a 1-CPU host always takes
+	// the sequential path. 1 forces sequential.
 	Workers int
 	// BlockSize switches on the paper's cache-blocking optimization
 	// (Sec. 4.3): the subspace loop becomes the outer loop and each
@@ -178,7 +182,11 @@ func batchInto(g *core.Grid, xs [][]float64, out []float64, opt Options) {
 		return
 	}
 	desc := g.Desc()
-	if opt.Workers <= 1 {
+	workers := par.Resolve(opt.Workers)
+	if workers > len(xs) {
+		workers = len(xs)
+	}
+	if workers <= 1 {
 		s := getScratch(desc.Dim(), desc.Level())
 		for k, x := range xs {
 			s.tb.build(x)
@@ -187,13 +195,15 @@ func batchInto(g *core.Grid, xs [][]float64, out []float64, opt Options) {
 		putScratch(s)
 		return
 	}
+	// Static decomposition over query points: one contiguous chunk of
+	// out per worker, boundaries rounded to cache-line multiples so two
+	// workers never write the same 64-byte line of results (each worker
+	// also carries its own pooled basis tables, DESIGN.md §10).
 	var wg sync.WaitGroup
-	chunk := (len(xs) + opt.Workers - 1) / opt.Workers
-	for w := 0; w < opt.Workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, len(xs))
+	for w := 0; w < workers; w++ {
+		lo, hi := par.AlignedSplit(int64(len(xs)), workers, w, par.LineFloat64s)
 		if lo >= hi {
-			break
+			continue
 		}
 		wg.Add(1)
 		go func(lo, hi int) {
@@ -204,7 +214,7 @@ func batchInto(g *core.Grid, xs [][]float64, out []float64, opt Options) {
 				out[k] = iterativeInto(g, &s.tb, s.l)
 			}
 			putScratch(s)
-		}(lo, hi)
+		}(int(lo), int(hi))
 	}
 	wg.Wait()
 }
@@ -215,7 +225,7 @@ func batchInto(g *core.Grid, xs [][]float64, out []float64, opt Options) {
 // block (paper Sec. 4.3, last paragraph).
 func batchBlocked(g *core.Grid, xs [][]float64, out []float64, opt Options) {
 	bs := opt.BlockSize
-	workers := max(opt.Workers, 1)
+	workers := par.Resolve(opt.Workers)
 	var wg sync.WaitGroup
 	blocks := (len(xs) + bs - 1) / bs
 	next := make(chan int, blocks)

@@ -29,6 +29,7 @@ import (
 
 	"compactsg/internal/core"
 	"compactsg/internal/grids"
+	"compactsg/internal/par"
 )
 
 // Iterative hierarchizes the compact grid in place (paper Alg. 6):
@@ -110,61 +111,148 @@ func hierarchizeSubspace(data []float64, desc *core.Descriptor, l []int32, start
 	}
 }
 
-// Parallel hierarchizes the compact grid in place using static workload
-// decomposition over the subspaces of each level group, with a barrier
-// between groups (paper Sec. 4.3: "a global barrier must be executed
-// after each group of subspaces is updated"). workers ≤ 1 falls back to
-// the sequential version. Results are bit-identical to Iterative.
+// Parallel hierarchizes the compact grid in place using the paper's
+// static workload decomposition (Sec. 5, DESIGN.md §10): one persistent
+// pool of workers walks the same (dimension, level-group) phase
+// schedule as Iterative, each phase deals the group's subspaces to the
+// workers in contiguous cache-line-aligned chunks, and a cyclic barrier
+// separates phases (paper Sec. 4.3: "a global barrier must be executed
+// after each group of subspaces is updated"). workers = 0 means auto
+// (GOMAXPROCS); a resolved count of 1 — including every 1-CPU host —
+// takes the sequential path, so single-core numbers never pay
+// goroutine overhead. Results are bit-identical to Iterative at any
+// worker count: the decomposition only changes which worker applies a
+// subspace's update, never the update itself.
 func Parallel(g *core.Grid, workers int) {
+	workers = poolWorkers(g, workers)
 	if workers <= 1 {
 		Iterative(g)
 		return
 	}
-	desc := g.Desc()
-	d := desc.Dim()
-	for t := 0; t < d; t++ {
-		for grp := desc.Groups() - 1; grp >= 0; grp-- {
-			parallelGroup(g, grp, t, workers)
-		}
-	}
+	runPool(g, workers, hierarchizeSubspace, false)
 }
 
-// parallelGroup updates one level group in dimension t: the group's
-// subspaces are dealt to workers in contiguous chunks (static
-// decomposition; each thread block on the GPU gets one subspace).
-func parallelGroup(g *core.Grid, grp, t, workers int) {
-	desc := g.Desc()
-	nsub := desc.Subspaces(grp)
-	if int64(workers) > nsub {
-		workers = int(nsub)
+// DehierarchizeParallel is Dehierarchize on the same persistent
+// worker-pool decomposition as Parallel (ascending groups, reverse
+// dimension order). workers = 0 means auto; bit-identical to the
+// sequential version for any worker count.
+func DehierarchizeParallel(g *core.Grid, workers int) {
+	workers = poolWorkers(g, workers)
+	if workers <= 1 {
+		Dehierarchize(g)
+		return
 	}
-	chunk := (nsub + int64(workers) - 1) / int64(workers)
+	runPool(g, workers, dehierarchizeSubspace, true)
+}
+
+// subspaceKernel is the per-subspace update applied by the worker pool:
+// hierarchizeSubspace or dehierarchizeSubspace.
+type subspaceKernel func(data []float64, desc *core.Descriptor, l []int32, start int64, t int, bases []int64)
+
+// poolWorkers resolves the Workers option (0 = GOMAXPROCS) and caps it
+// at the grid's point count so degenerate grids (d=1, level=1, fewer
+// points than cores) never spin up workers that could not possibly
+// receive a subspace in any phase.
+func poolWorkers(g *core.Grid, workers int) int {
+	workers = par.Resolve(workers)
+	if n := g.Desc().Size(); int64(workers) > n {
+		workers = int(n)
+	}
+	return workers
+}
+
+// workerScratch is the per-worker lookup state for one transform: the
+// current subspace level vector and the ancestor-base table (DESIGN.md
+// §8.2). Pooled so repeated transforms — every Compress/Decompress on
+// the serve path — allocate nothing per worker in steady state.
+type workerScratch struct {
+	l     []int32
+	bases []int64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(workerScratch) }}
+
+func getScratch(desc *core.Descriptor) *workerScratch {
+	sc := scratchPool.Get().(*workerScratch)
+	if cap(sc.l) < desc.Dim() {
+		sc.l = make([]int32, desc.Dim())
+	}
+	sc.l = sc.l[:desc.Dim()]
+	if cap(sc.bases) < desc.Level() {
+		sc.bases = make([]int64, desc.Level())
+	}
+	sc.bases = sc.bases[:desc.Level()]
+	return sc
+}
+
+func putScratch(sc *workerScratch) { scratchPool.Put(sc) }
+
+// runPool spawns the worker pool once per transform and drives every
+// (dimension, level-group) phase through it, instead of spawning fresh
+// goroutines per group (which would pay creation and scheduling cost
+// d·levels times). Every worker executes the full phase schedule —
+// workers with an empty span in some phase still arrive at that
+// phase's barrier, which keeps the barrier population constant and the
+// schedule in lockstep. inverse selects the dehierarchization order:
+// ascending groups, dimensions unwound in reverse.
+func runPool(g *core.Grid, workers int, kernel subspaceKernel, inverse bool) {
+	desc := g.Desc()
+	data := g.Data
+	d := desc.Dim()
+	groups := desc.Groups()
+	barrier := par.NewBarrier(workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		lo := int64(w) * chunk
-		hi := lo + chunk
-		if hi > nsub {
-			hi = nsub
-		}
-		if lo >= hi {
-			break
-		}
 		wg.Add(1)
-		go func(lo, hi int64) {
+		go func(w int) {
 			defer wg.Done()
-			data := g.Data
-			l := make([]int32, desc.Dim())
-			bases := make([]int64, desc.Level())
-			desc.SubspaceFromIndex(grp, lo, l)
-			start := desc.GroupStart(grp) + lo<<uint(grp)
-			for s := lo; s < hi; s++ {
-				hierarchizeSubspace(data, desc, l, start, t, bases)
-				start += int64(1) << uint(grp)
-				core.Next(l)
+			sc := getScratch(desc)
+			defer putScratch(sc)
+			if inverse {
+				for t := d - 1; t >= 0; t-- {
+					for grp := 0; grp < groups; grp++ {
+						workerSpan(data, desc, grp, t, workers, w, sc, kernel)
+						barrier.Wait()
+					}
+				}
+			} else {
+				for t := 0; t < d; t++ {
+					for grp := groups - 1; grp >= 0; grp-- {
+						workerSpan(data, desc, grp, t, workers, w, sc, kernel)
+						barrier.Wait()
+					}
+				}
 			}
-		}(lo, hi)
+		}(w)
 	}
 	wg.Wait()
+}
+
+// workerSpan applies the kernel to worker w's statically assigned
+// subspace span of one level group. A subspace of group grp spans
+// 2^grp float64s, so chunk boundaries are rounded to
+// max(1, LineFloat64s >> grp) subspaces: for the shallow groups whose
+// subspaces are smaller than a cache line, adjacent workers would
+// otherwise write the same 64-byte line at their seam and ping-pong it
+// between cores on every phase. (Alignment is relative to the group
+// start; Go's allocator places the large data arrays on line-aligned
+// boundaries, making this exact in practice and best-effort otherwise.)
+func workerSpan(data []float64, desc *core.Descriptor, grp, t, workers, w int, sc *workerScratch, kernel subspaceKernel) {
+	align := int64(1)
+	if grp < 3 {
+		align = int64(par.LineFloat64s >> uint(grp))
+	}
+	lo, hi := par.AlignedSplit(desc.Subspaces(grp), workers, w, align)
+	if lo >= hi {
+		return
+	}
+	desc.SubspaceFromIndex(grp, lo, sc.l)
+	start := desc.GroupStart(grp) + lo<<uint(grp)
+	for s := lo; s < hi; s++ {
+		kernel(data, desc, sc.l, start, t, sc.bases)
+		start += int64(1) << uint(grp)
+		core.Next(sc.l)
+	}
 }
 
 // Dehierarchize inverts Iterative in place: hierarchical coefficients
@@ -228,54 +316,6 @@ func dehierarchizeSubspace(data []float64, desc *core.Descriptor, l []int32, sta
 	}
 }
 
-// DehierarchizeParallel is Dehierarchize with static decomposition over
-// subspaces and a barrier per level group (ascending). Bit-identical to
-// the sequential version for any worker count.
-func DehierarchizeParallel(g *core.Grid, workers int) {
-	if workers <= 1 {
-		Dehierarchize(g)
-		return
-	}
-	desc := g.Desc()
-	for t := desc.Dim() - 1; t >= 0; t-- {
-		for grp := 0; grp < desc.Groups(); grp++ {
-			dehierParallelGroup(g, grp, t, workers)
-		}
-	}
-}
-
-func dehierParallelGroup(g *core.Grid, grp, t, workers int) {
-	desc := g.Desc()
-	nsub := desc.Subspaces(grp)
-	if int64(workers) > nsub {
-		workers = int(nsub)
-	}
-	chunk := (nsub + int64(workers) - 1) / int64(workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := int64(w) * chunk
-		hi := min(lo+chunk, nsub)
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int64) {
-			defer wg.Done()
-			data := g.Data
-			l := make([]int32, desc.Dim())
-			bases := make([]int64, desc.Level())
-			desc.SubspaceFromIndex(grp, lo, l)
-			start := desc.GroupStart(grp) + lo<<uint(grp)
-			for s := lo; s < hi; s++ {
-				dehierarchizeSubspace(data, desc, l, start, t, bases)
-				start += int64(1) << uint(grp)
-				core.Next(l)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-}
-
 // Recursive hierarchizes any store with the classic algorithm (paper
 // Alg. 1 generalized): for each dimension t, the 1d recursion runs from
 // every chain root (points with l_t = 0), carrying the ancestor values
@@ -320,8 +360,9 @@ func hierarchize1D(s grids.Store, l, i []int32, t int, leftVal, rightVal float64
 // (the paper parallelizes the classic algorithms with OpenMP tasking):
 // within one dimension, distinct chains touch disjoint points, so tasks
 // only need a barrier between dimensions. Results are bit-identical to
-// Recursive.
+// Recursive. workers = 0 means auto (GOMAXPROCS).
 func RecursiveParallel(s grids.Store, workers int) {
+	workers = par.Resolve(workers)
 	if workers <= 1 {
 		Recursive(s)
 		return

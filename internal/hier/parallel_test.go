@@ -1,0 +1,141 @@
+package hier
+
+import (
+	"math/rand"
+	"testing"
+
+	"compactsg/internal/core"
+)
+
+// The parallel transforms promise bit-identity with the sequential
+// kernels at every worker count: the static decomposition (DESIGN.md
+// §10) only changes which worker applies a subspace's update, never
+// the update itself or any accumulation order. These tests pin that
+// promise across the shapes where the decomposition degenerates —
+// d=1 (single chain per dimension), level=1 (one point, one group),
+// and grids with fewer subspaces than workers (every phase leaves some
+// workers with an empty span, which must still hit the barrier).
+
+var parallelShapes = []struct{ d, n int }{
+	{1, 1},  // 1 point: fewer points than any worker pool
+	{1, 7},  // single dimension, deep chains
+	{2, 1},  // level 1, d-dim: still one point
+	{2, 2},  // 5 points < 8 workers
+	{3, 3},  // 17 points, shallow groups
+	{4, 5},  // the usual mid-size shape
+	{10, 4}, // high-d, each group has many subspaces of few points
+}
+
+var parallelWorkerCounts = []int{1, 2, 3, 8}
+
+func TestParallelBitIdenticalShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for _, c := range parallelShapes {
+		g := randomGrid(rng, c.d, c.n)
+		want := g.Clone()
+		Iterative(want)
+		for _, workers := range parallelWorkerCounts {
+			got := g.Clone()
+			Parallel(got, workers)
+			requireBitEqual(t, "Parallel", got, want)
+		}
+	}
+}
+
+func TestDehierarchizeParallelBitIdenticalShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, c := range parallelShapes {
+		g := randomGrid(rng, c.d, c.n)
+		want := g.Clone()
+		Dehierarchize(want)
+		for _, workers := range parallelWorkerCounts {
+			got := g.Clone()
+			DehierarchizeParallel(got, workers)
+			requireBitEqual(t, "DehierarchizeParallel", got, want)
+		}
+	}
+}
+
+// Workers = 0 resolves to GOMAXPROCS (par.Resolve); the result must
+// still be bit-identical to the sequential transform.
+func TestParallelAutoWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	g := randomGrid(rng, 3, 5)
+	want := g.Clone()
+	Iterative(want)
+	got := g.Clone()
+	Parallel(got, 0)
+	requireBitEqual(t, "Parallel auto", got, want)
+
+	deWant := g.Clone()
+	Dehierarchize(deWant)
+	deGot := g.Clone()
+	DehierarchizeParallel(deGot, 0)
+	requireBitEqual(t, "DehierarchizeParallel auto", deGot, deWant)
+}
+
+// The pooled scratch must not leak state between transforms of
+// different shapes: run a big grid, then a small one, then the big one
+// again — pool reuse with stale lengths would corrupt the second run.
+func TestParallelScratchReuseAcrossShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	big := randomGrid(rng, 6, 6)
+	small := randomGrid(rng, 1, 2)
+
+	wantBig := big.Clone()
+	Iterative(wantBig)
+	wantSmall := small.Clone()
+	Iterative(wantSmall)
+
+	for round := 0; round < 3; round++ {
+		gotBig := big.Clone()
+		Parallel(gotBig, 4)
+		requireBitEqual(t, "big after pool reuse", gotBig, wantBig)
+		gotSmall := small.Clone()
+		Parallel(gotSmall, 4)
+		requireBitEqual(t, "small after pool reuse", gotSmall, wantSmall)
+	}
+}
+
+// FuzzParallelHierIdentity fuzzes whole-grid parallel hierarchization
+// against the sequential kernel: random shape, random worker count,
+// random data. Run under -race this also exercises the barrier
+// schedule for phase overlap.
+func FuzzParallelHierIdentity(f *testing.F) {
+	f.Add(int64(1), 2, 5, 2)
+	f.Add(int64(2), 1, 1, 8)
+	f.Add(int64(3), 3, 4, 3)
+	f.Add(int64(4), 4, 6, 7)
+	f.Fuzz(func(t *testing.T, seed int64, d, n, workers int) {
+		if d < 1 || d > 5 || n < 1 || n > 6 || workers < 0 || workers > 16 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGrid(rng, d, n)
+		want := g.Clone()
+		Iterative(want)
+		got := g.Clone()
+		Parallel(got, workers)
+		requireBitEqual(t, "Parallel", got, want)
+
+		// And the inverse path on the hierarchized data.
+		deWant := want.Clone()
+		Dehierarchize(deWant)
+		deGot := want.Clone()
+		DehierarchizeParallel(deGot, workers)
+		requireBitEqual(t, "DehierarchizeParallel", deGot, deWant)
+	})
+}
+
+func BenchmarkParallelPoolOverhead(b *testing.B) {
+	// The persistent-pool transform on a small grid: the cost floor of
+	// spawning the pool and running the full barrier schedule.
+	g := core.NewGrid(core.MustDescriptor(4, 5))
+	for k := range g.Data {
+		g.Data[k] = float64(k%17) - 8
+	}
+	b.ReportAllocs()
+	for b.Loop() {
+		Parallel(g, 4)
+	}
+}

@@ -1,0 +1,131 @@
+// Package par is the static workload decomposition layer for the
+// multicore kernels (paper Sec. 5: "the hierarchization and evaluation
+// algorithms allow a static decomposition of the workload"). It owns
+// the three ingredients every parallel kernel shares, so hier, eval and
+// the serve dispatch path agree on one policy:
+//
+//   - worker-count resolution gated on GOMAXPROCS (Resolve): a Workers
+//     option of 0 means "use the host", and a 1-CPU host always resolves
+//     to the sequential path so CI numbers stay honest;
+//   - contiguous range splitting (Split, AlignedSplit): each worker gets
+//     one statically assigned chunk, with chunk boundaries optionally
+//     rounded to cache-line multiples so two workers never write the
+//     same line (false sharing);
+//   - a reusable cyclic Barrier: the paper's Alg. 6 requires "a global
+//     barrier ... after each group of subspaces is updated", and one
+//     persistent worker pool with a barrier per phase replaces
+//     spawn-per-phase goroutines.
+//
+// The decomposition is static by design (DESIGN.md §10): within one
+// level group every subspace holds exactly 2^g points, so equal
+// subspace counts are equal work and no work stealing or dynamic queue
+// is needed — the same property that maps the kernels onto GPU blocks.
+package par
+
+import "runtime"
+
+// LineFloat64s is the number of float64 values per cache line (64-byte
+// lines, the x86/arm64 default). Chunk boundaries in float64 result
+// arrays are aligned to this so adjacent workers do not share a line.
+const LineFloat64s = 8
+
+// Auto returns the worker count for Workers = 0: the scheduler's
+// GOMAXPROCS. On a 1-CPU host (or GOMAXPROCS=1) this is 1, which every
+// kernel maps to its sequential path — parallel overhead is never paid
+// where it cannot win, and single-core benchmark numbers measure the
+// sequential kernel, not goroutine scheduling.
+func Auto() int { return runtime.GOMAXPROCS(0) }
+
+// Resolve maps a Workers option to an effective worker count: n > 0 is
+// taken as given (explicit requests are honored even beyond the core
+// count — the identity tests rely on oversubscription), anything else
+// resolves to Auto().
+func Resolve(n int) int {
+	if n > 0 {
+		return n
+	}
+	return Auto()
+}
+
+// Split statically assigns the range [0, n) to worker w of workers,
+// returning the half-open chunk [lo, hi). Chunks are contiguous,
+// disjoint, cover the range exactly, and differ in length by at most
+// one (the remainder is dealt to the lowest-numbered workers). Workers
+// beyond n get empty chunks.
+func Split(n int64, workers, w int) (lo, hi int64) {
+	q := n / int64(workers)
+	r := n % int64(workers)
+	lo = int64(w)*q + min(int64(w), r)
+	hi = lo + q
+	if int64(w) < r {
+		hi++
+	}
+	return lo, hi
+}
+
+// AlignedSplit is Split with chunk boundaries rounded to multiples of
+// align (the final boundary stays n): splitting n result slots so that
+// every internal boundary lands on an align-multiple. With align =
+// LineFloat64s and a line-aligned array base, no two workers ever
+// write the same cache line, so phase after phase of parallel updates
+// cannot ping-pong boundary lines between cores. align ≤ 1 degrades to
+// Split.
+func AlignedSplit(n int64, workers, w int, align int64) (lo, hi int64) {
+	if align <= 1 {
+		return Split(n, workers, w)
+	}
+	units := (n + align - 1) / align
+	ulo, uhi := Split(units, workers, w)
+	lo = min(ulo*align, n)
+	hi = min(uhi*align, n)
+	return lo, hi
+}
+
+// Barrier is a reusable (cyclic) synchronization barrier for a fixed
+// set of n workers: every worker calls Wait at the end of a phase, and
+// all of them block until the n-th arrives. The paper's static
+// decomposition needs exactly this shape — one pool of workers, a
+// barrier after every level group — instead of spawning fresh
+// goroutines per group, which would re-pay creation and scheduling
+// cost d·n times per transform.
+//
+// The implementation is a generation-counted channel broadcast: the
+// last arrival of a generation closes the generation's channel, which
+// releases the waiters, and installs a fresh channel for the next
+// phase. Channel close/receive establishes the happens-before edge the
+// race detector (and the memory model) wants between the phases.
+type Barrier struct {
+	n    int
+	ch   chan struct{} // current generation's release channel
+	gate chan struct{} // capacity-1 mutex guarding count+ch swap
+	cnt  int
+}
+
+// NewBarrier creates a barrier for n workers. n must be ≥ 1.
+func NewBarrier(n int) *Barrier {
+	if n < 1 {
+		panic("par: barrier size < 1")
+	}
+	b := &Barrier{n: n, ch: make(chan struct{}), gate: make(chan struct{}, 1)}
+	b.gate <- struct{}{}
+	return b
+}
+
+// Wait blocks until all n workers of the current phase have called
+// Wait, then releases them together and resets for the next phase.
+func (b *Barrier) Wait() {
+	<-b.gate
+	b.cnt++
+	if b.cnt == b.n {
+		// Last arrival: release this generation and start the next.
+		release := b.ch
+		b.cnt = 0
+		b.ch = make(chan struct{})
+		b.gate <- struct{}{}
+		close(release)
+		return
+	}
+	release := b.ch
+	b.gate <- struct{}{}
+	<-release
+}

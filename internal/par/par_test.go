@@ -1,0 +1,130 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(3); got != 3 {
+		t.Fatalf("Resolve(3) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	for _, n := range []int{0, -1, -100} {
+		if got := Resolve(n); got != want {
+			t.Fatalf("Resolve(%d) = %d, want GOMAXPROCS %d", n, got, want)
+		}
+	}
+}
+
+// Split must partition [0,n) into contiguous disjoint chunks covering
+// the range exactly, with sizes differing by at most one.
+func TestSplitPartition(t *testing.T) {
+	for _, n := range []int64{0, 1, 2, 7, 8, 9, 63, 64, 1000} {
+		for workers := 1; workers <= 12; workers++ {
+			var prev int64
+			minSz, maxSz := int64(1<<62), int64(0)
+			for w := 0; w < workers; w++ {
+				lo, hi := Split(n, workers, w)
+				if lo != prev {
+					t.Fatalf("n=%d W=%d w=%d: lo=%d, want %d (gap/overlap)", n, workers, w, lo, prev)
+				}
+				if hi < lo {
+					t.Fatalf("n=%d W=%d w=%d: hi=%d < lo=%d", n, workers, w, hi, lo)
+				}
+				sz := hi - lo
+				if sz < minSz {
+					minSz = sz
+				}
+				if sz > maxSz {
+					maxSz = sz
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("n=%d W=%d: chunks end at %d, want %d", n, workers, prev, n)
+			}
+			if maxSz-minSz > 1 {
+				t.Fatalf("n=%d W=%d: chunk sizes range [%d,%d], want spread ≤ 1", n, workers, minSz, maxSz)
+			}
+		}
+	}
+}
+
+// AlignedSplit must still partition exactly, and every internal chunk
+// boundary must be a multiple of align.
+func TestAlignedSplitPartition(t *testing.T) {
+	for _, align := range []int64{1, 2, 8, 16} {
+		for _, n := range []int64{0, 1, 5, 8, 9, 17, 64, 65, 129, 1000} {
+			for workers := 1; workers <= 9; workers++ {
+				var prev int64
+				for w := 0; w < workers; w++ {
+					lo, hi := AlignedSplit(n, workers, w, align)
+					if lo != prev {
+						t.Fatalf("align=%d n=%d W=%d w=%d: lo=%d, want %d", align, n, workers, w, lo, prev)
+					}
+					if hi < lo || hi > n {
+						t.Fatalf("align=%d n=%d W=%d w=%d: bad hi=%d (lo=%d)", align, n, workers, w, hi, lo)
+					}
+					if align > 1 && hi != n && hi%align != 0 {
+						t.Fatalf("align=%d n=%d W=%d w=%d: internal boundary %d not aligned", align, n, workers, w, hi)
+					}
+					prev = hi
+				}
+				if prev != n {
+					t.Fatalf("align=%d n=%d W=%d: chunks end at %d, want %d", align, n, workers, prev, n)
+				}
+			}
+		}
+	}
+}
+
+// The barrier must be cyclic: phase k+1 cannot start before every
+// worker finished phase k. Each worker bumps a per-phase counter before
+// Wait; after Wait the counter must read exactly n for everyone.
+func TestBarrierPhases(t *testing.T) {
+	const workers = 8
+	const phases = 50
+	b := NewBarrier(workers)
+	arrived := make([]atomic.Int32, phases)
+	var wg sync.WaitGroup
+	errs := make(chan string, workers*phases)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := 0; p < phases; p++ {
+				arrived[p].Add(1)
+				b.Wait()
+				if got := arrived[p].Load(); got != workers {
+					errs <- "phase released before all workers arrived"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+func TestBarrierSingleWorker(t *testing.T) {
+	b := NewBarrier(1)
+	for i := 0; i < 10; i++ {
+		b.Wait() // must never block
+	}
+}
+
+func TestNewBarrierPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBarrier(0) did not panic")
+		}
+	}()
+	NewBarrier(0)
+}

@@ -22,8 +22,10 @@ import (
 // the listed defaults.
 type Config struct {
 	// Workers is the size of the evaluation worker pool each loaded
-	// grid uses for batch dispatch (compactsg.WithWorkers).
-	// Default 1.
+	// grid uses for batch dispatch (compactsg.WithWorkers). Default 0
+	// = auto: resolves to GOMAXPROCS per call, so one large
+	// /v1/eval/batch saturates every core while a 1-CPU host stays on
+	// the sequential kernels.
 	Workers int
 	// BlockSize is the cache-blocking block for batch evaluation
 	// (compactsg.WithBlockSize). Default 0 (off).
@@ -67,8 +69,8 @@ type Config struct {
 }
 
 func (c *Config) fill() {
-	if c.Workers < 1 {
-		c.Workers = 1
+	if c.Workers < 0 {
+		c.Workers = 0 // auto (GOMAXPROCS)
 	}
 	if c.MaxResident < 1 {
 		c.MaxResident = 8

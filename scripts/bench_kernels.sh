@@ -11,6 +11,12 @@ set -euo pipefail
 #   scripts/bench_kernels.sh --as-baseline    # also stamp the run as the stored baseline
 #   BENCHTIME=1s  scripts/bench_kernels.sh    # longer per-bench time (steadier numbers)
 #   BENCHTIME=1x  scripts/bench_kernels.sh    # CI smoke: one iteration per bench
+#   PAPERSCALE=1  scripts/bench_kernels.sh    # include the d=10 level-11 127.5M-point
+#                                             # hierarchization (per worker count; minutes)
+#
+# The *Scaling benches record per-worker-count ns/pt (w1, w2, w4, w8)
+# so the trajectory captures how the static decomposition scales; the
+# run's "cpus" field says how many cores those numbers had to work with.
 #
 # The output keeps two runs side by side: "baseline" (the run last
 # stamped with --as-baseline — for this repo, the pre-table-driven
@@ -20,7 +26,12 @@ cd "$(dirname "$0")/.."
 
 OUT=${OUT:-BENCH_kernels.json}
 BENCHTIME=${BENCHTIME:-500ms}
-PATTERN=${PATTERN:-'^(BenchmarkKernelEval|BenchmarkKernelHier|BenchmarkFig9Hierarchization|BenchmarkFig9Evaluation)$'}
+PATTERN=${PATTERN:-'^(BenchmarkKernelEval|BenchmarkKernelHier|BenchmarkKernelHierScaling|BenchmarkKernelEvalScaling|BenchmarkPaperscaleHier|BenchmarkFig9Hierarchization|BenchmarkFig9Evaluation)$'}
+# PAPERSCALE=1 un-skips BenchmarkPaperscaleHier (it is gated behind
+# SG_PAPERSCALE in bench_test.go; a skipped bench emits no lines).
+if [ "${PAPERSCALE:-0}" = 1 ]; then
+    export SG_PAPERSCALE=1
+fi
 AS_BASELINE=0
 if [ "${1:-}" = "--as-baseline" ]; then
     AS_BASELINE=1

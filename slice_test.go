@@ -121,8 +121,11 @@ func TestBoundaryGridWorkersAndCoarsen(t *testing.T) {
 			t.Fatalf("parallel boundary compress differs at %v", x)
 		}
 	}
-	if _, err := NewWithBoundary(3, 4, WithWorkers(0)); err == nil {
-		t.Error("workers 0 accepted")
+	if _, err := NewWithBoundary(3, 4, WithWorkers(0)); err != nil {
+		t.Errorf("workers 0 (auto) rejected: %v", err)
+	}
+	if _, err := NewWithBoundary(3, 4, WithWorkers(-1)); err == nil {
+		t.Error("workers -1 accepted")
 	}
 
 	// Public adaptive coarsening.
