@@ -60,6 +60,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadSparse$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzLoadAny$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzParallelHierIdentity$$' -fuzztime $(FUZZTIME) ./internal/hier
+	$(GO) test -run '^$$' -fuzz '^FuzzBinaryFrame$$' -fuzztime $(FUZZTIME) ./internal/serve
 
 # Kernel hot-path benchmarks -> BENCH_kernels.json (baseline vs current;
 # see scripts/bench_kernels.sh for BENCHTIME/--as-baseline knobs).

@@ -6,6 +6,7 @@
 //
 //	sgload -c 64 -n 20000                     # single-point requests
 //	sgload -c 8 -n 500 -mode batch -points 64 # client-side batching
+//	sgload -protocol bin -mode batch          # binary frames, /v1/eval/bin
 //
 // It discovers the grid's dimensionality from GET /v1/grids and, when
 // the server exposes them, prints the mean server-side micro-batch
@@ -31,6 +32,7 @@ import (
 	"time"
 
 	"compactsg/internal/obs"
+	"compactsg/internal/serve"
 	"compactsg/internal/workload"
 )
 
@@ -48,6 +50,7 @@ func run(args []string, stdout io.Writer) error {
 	conc := fs.Int("c", 64, "concurrent closed-loop workers")
 	n := fs.Int("n", 20000, "total requests to send")
 	mode := fs.String("mode", "single", "single (one point per /v1/eval request) or batch (/v1/eval/batch)")
+	protocol := fs.String("protocol", "json", "wire protocol: json, or bin (length-prefixed float64 frames against /v1/eval/bin)")
 	points := fs.Int("points", 64, "points per request in batch mode")
 	seed := fs.Int64("seed", 1, "query point seed")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request client timeout")
@@ -57,6 +60,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *mode != "single" && *mode != "batch" {
 		return fmt.Errorf("unknown -mode %q", *mode)
+	}
+	if *protocol != "json" && *protocol != "bin" {
+		return fmt.Errorf("unknown -protocol %q", *protocol)
 	}
 	if *conc < 1 || *n < 1 {
 		return fmt.Errorf("-c and -n must be ≥ 1")
@@ -75,16 +81,34 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	// Pre-render request bodies so the measured loop is I/O only.
+	// Pre-render request bodies so the measured loop is I/O only. The
+	// binary protocol carries the same points as frames against
+	// /v1/eval/bin — one point per frame in single mode, -points per
+	// frame in batch mode — so json-vs-bin runs are apples-to-apples.
 	const pool = 512 // distinct query points cycled through
 	xs := workload.Points(*seed, pool, dim)
 	var bodies [][]byte
-	if *mode == "single" {
+	switch {
+	case *protocol == "bin" && *mode == "single":
+		bodies = make([][]byte, pool)
+		for k, x := range xs {
+			bodies[k] = serve.AppendEvalFrame(nil, name, [][]float64{x})
+		}
+	case *protocol == "bin":
+		bodies = make([][]byte, 64)
+		for k := range bodies {
+			batch := make([][]float64, *points)
+			for j := range batch {
+				batch[j] = xs[(k**points+j)%pool]
+			}
+			bodies[k] = serve.AppendEvalFrame(nil, name, batch)
+		}
+	case *mode == "single":
 		bodies = make([][]byte, pool)
 		for k, x := range xs {
 			bodies[k], _ = json.Marshal(map[string]any{"grid": name, "point": x})
 		}
-	} else {
+	default:
 		bodies = make([][]byte, 64)
 		for k := range bodies {
 			batch := make([][]float64, *points)
@@ -95,8 +119,13 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	url := *base + "/v1/eval"
+	contentType := "application/json"
 	if *mode == "batch" {
 		url = *base + "/v1/eval/batch"
+	}
+	if *protocol == "bin" {
+		url = *base + "/v1/eval/bin"
+		contentType = serve.BinContentType
 	}
 
 	before, beforeOK := scrapeBatchStats(client, *base)
@@ -120,7 +149,7 @@ func run(args []string, stdout io.Writer) error {
 				}
 				body := bodies[int(k)%len(bodies)]
 				t0 := time.Now()
-				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				resp, err := client.Post(url, contentType, bytes.NewReader(body))
 				if err != nil {
 					errCount.Add(1)
 					continue
@@ -157,7 +186,7 @@ func run(args []string, stdout io.Writer) error {
 		sum += d
 	}
 
-	fmt.Fprintf(stdout, "grid %q (d=%d)  mode=%s  c=%d\n", name, dim, *mode, *conc)
+	fmt.Fprintf(stdout, "grid %q (d=%d)  mode=%s  protocol=%s  c=%d\n", name, dim, *mode, *protocol, *conc)
 	fmt.Fprintf(stdout, "requests   %d ok, %d errors in %.2fs\n", len(all), errCount.Load(), wall.Seconds())
 	fmt.Fprintf(stdout, "throughput %.0f req/s, %.0f points/s\n",
 		float64(len(all))/wall.Seconds(), float64(pts)/wall.Seconds())
@@ -176,6 +205,9 @@ func run(args []string, stdout io.Writer) error {
 		handler := "eval"
 		if *mode == "batch" {
 			handler = "batch"
+		}
+		if *protocol == "bin" {
+			handler = "eval_bin"
 		}
 		reportStages(client, *base, handler, stdout)
 	}

@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"compactsg/internal/serve"
+	"compactsg/internal/serve/middleware"
 )
 
 func main() {
@@ -73,6 +74,15 @@ func run(args []string) error {
 	accessLog := fs.Bool("access-log", false, "emit one structured JSON log line per request on stderr")
 	traceRing := fs.Int("trace-ring", 256, "recent request traces retained for /debug/traces (0 disables tracing)")
 	traceSample := fs.Int("trace-sample", 1, "keep every nth trace in the ring (1 = all)")
+	apiKeys := fs.String("api-keys", "", "API key file (one name:key or bare key per line); enables authentication")
+	apiKeyEnv := fs.String("api-key-env", "", "environment variable holding comma-separated name:key API keys; enables authentication")
+	rateLimit := fs.Float64("rate-limit", 0, "per-caller request rate cap in req/s (0 = unlimited); keyed by API-key name, else client IP")
+	rateBurst := fs.Int("rate-burst", 0, "rate-limit burst capacity (0 = 2×rate, min 1)")
+	trustedProxies := fs.String("trusted-proxies", "", "comma-separated CIDRs whose X-Forwarded-For / X-Request-Id headers are trusted")
+	corsOrigin := fs.String("cors-origin", "", "comma-separated allowed CORS origins (\"*\" allows any; empty disables CORS)")
+	readTimeout := fs.Duration("read-timeout", 30*time.Second, "max time to read a full request including the body")
+	writeTimeout := fs.Duration("write-timeout", 0, "max time to write a response (0 = request timeout + 5s slack)")
+	idleTimeout := fs.Duration("idle-timeout", 120*time.Second, "max keep-alive idle time per connection")
 	var named []string
 	fs.Func("grid", "grid as name=path (repeatable); bare arguments use the file basename", func(v string) error {
 		if !strings.Contains(v, "=") {
@@ -144,9 +154,53 @@ func run(args []string) error {
 	}
 
 	handler := srv.Handler()
+
+	// Middleware chain, outermost first: RequestID → RealIP → CORS →
+	// Auth → RateLimit → mux. CORS sits above Auth so browser
+	// preflights (sent without credentials) succeed; RateLimit sits
+	// below Auth so authenticated callers are limited by key name, not
+	// by whatever IP their proxy presents.
+	proxies, err := middleware.ParseProxies(*trustedProxies)
+	if err != nil {
+		return fmt.Errorf("-trusted-proxies: %w", err)
+	}
+	var keys *middleware.Keyring
+	if *apiKeys != "" {
+		if keys, err = middleware.LoadKeys(*apiKeys); err != nil {
+			return err
+		}
+	} else if *apiKeyEnv != "" {
+		if keys, err = middleware.KeysFromEnv(*apiKeyEnv); err != nil {
+			return err
+		}
+		if keys == nil {
+			return fmt.Errorf("-api-key-env: $%s is empty", *apiKeyEnv)
+		}
+	}
+	chain := []middleware.Middleware{
+		middleware.RequestID(proxies),
+		middleware.RealIP(proxies),
+	}
+	if *corsOrigin != "" {
+		chain = append(chain, middleware.CORS(strings.Split(*corsOrigin, ",")))
+	}
+	if keys != nil {
+		chain = append(chain, middleware.Auth(keys, "/healthz"))
+		log.Printf("auth: %d API key(s) loaded", keys.Len())
+	}
+	if *rateLimit > 0 {
+		burst := *rateBurst
+		if burst <= 0 {
+			burst = max(int(2**rateLimit), 1)
+		}
+		chain = append(chain, middleware.RateLimit(middleware.NewLimiter(*rateLimit, burst), "/healthz"))
+		log.Printf("rate limit: %.3g req/s per caller, burst %d", *rateLimit, burst)
+	}
 	if *pprofOn {
 		// An explicit mux (not the net/http/pprof init side effects on
-		// DefaultServeMux) so the profiles are opt-in per server.
+		// DefaultServeMux) so the profiles are opt-in per server. Mounted
+		// under the middleware chain below, so -api-keys covers the
+		// profiles too.
 		root := http.NewServeMux()
 		root.Handle("/", handler)
 		root.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -156,10 +210,22 @@ func run(args []string) error {
 		root.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 		handler = root
 	}
+	handler = middleware.Chain(handler, chain...)
+
+	// WriteTimeout must outlast the request timeout (plus encode/flush
+	// slack), or the server would cut off responses the handler was
+	// still entitled to produce.
+	wt := *writeTimeout
+	if wt <= 0 {
+		wt = *timeout + 5*time.Second
+	}
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      wt,
+		IdleTimeout:       *idleTimeout,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -76,6 +76,7 @@ type config struct {
 	batchWait  time.Duration
 	timeout    time.Duration
 	workers    int
+	protocol   string
 }
 
 func run(args []string) error {
@@ -97,8 +98,12 @@ func run(args []string) error {
 	fs.DurationVar(&cfg.batchWait, "batch-wait", time.Millisecond, "micro-batch linger")
 	fs.DurationVar(&cfg.timeout, "timeout", 10*time.Second, "per-request timeout for hot/cold workers")
 	fs.IntVar(&cfg.workers, "workers", 2, "evaluation worker pool per grid (0 = auto: GOMAXPROCS)")
+	fs.StringVar(&cfg.protocol, "protocol", "mix", "wire protocol for eval traffic: json, bin, or mix (each request flips a coin)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if cfg.protocol != "json" && cfg.protocol != "bin" && cfg.protocol != "mix" {
+		return fmt.Errorf("unknown -protocol %q", cfg.protocol)
 	}
 	if cfg.grids < 2 {
 		return fmt.Errorf("-grids must be at least 2 (one hot, one churning)")
@@ -298,27 +303,62 @@ func stress(cfg config) error {
 		}
 		return x
 	}
-	// checkEval fires one request and verifies status and value.
+	postBin := func(ctx context.Context, frame []byte) *httptest.ResponseRecorder {
+		req := httptest.NewRequest("POST", "/v1/eval/bin", strings.NewReader(string(frame))).WithContext(ctx)
+		req.Header.Set("Content-Type", serve.BinContentType)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+	// useBin decides each request's wire protocol per -protocol.
+	useBin := func(rng *rand.Rand) bool {
+		switch cfg.protocol {
+		case "bin":
+			return true
+		case "json":
+			return false
+		}
+		return rng.Intn(2) == 1
+	}
+	// checkEval fires one request — JSON against the coalescing
+	// /v1/eval or a binary frame against /v1/eval/bin — and verifies
+	// status and value against the reference grid either way.
 	checkEval := func(ctx context.Context, name string, ref *compactsg.Grid, rng *rand.Rand, st *stats) error {
 		x := randPoint(rng, cfg.dim)
-		start := time.Now()
-		rec := post(ctx, evalBody(name, x))
-		st.observe(time.Since(start))
-		if rec.Code != http.StatusOK {
-			return fmt.Errorf("eval %s: status %d body %s", name, rec.Code, strings.TrimSpace(rec.Body.String()))
-		}
-		var resp struct {
-			Value float64 `json:"value"`
-		}
-		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
-			return fmt.Errorf("eval %s: bad body %q: %v", name, rec.Body, err)
+		var got float64
+		if useBin(rng) {
+			start := time.Now()
+			rec := postBin(ctx, serve.AppendEvalFrame(nil, name, [][]float64{x}))
+			st.observe(time.Since(start))
+			if rec.Code != http.StatusOK {
+				return fmt.Errorf("eval/bin %s: status %d body %s", name, rec.Code, strings.TrimSpace(rec.Body.String()))
+			}
+			vals, err := serve.ParseValuesFrame(rec.Body.Bytes())
+			if err != nil || len(vals) != 1 {
+				return fmt.Errorf("eval/bin %s: bad response frame (%d bytes): %v", name, rec.Body.Len(), err)
+			}
+			got = vals[0]
+		} else {
+			start := time.Now()
+			rec := post(ctx, evalBody(name, x))
+			st.observe(time.Since(start))
+			if rec.Code != http.StatusOK {
+				return fmt.Errorf("eval %s: status %d body %s", name, rec.Code, strings.TrimSpace(rec.Body.String()))
+			}
+			var resp struct {
+				Value float64 `json:"value"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				return fmt.Errorf("eval %s: bad body %q: %v", name, rec.Body, err)
+			}
+			got = resp.Value
 		}
 		want, err := ref.Evaluate(x)
 		if err != nil {
 			return err
 		}
-		if math.Abs(resp.Value-want) > 1e-9 {
-			return fmt.Errorf("eval %s at %v: got %g want %g (served the wrong grid instance?)", name, x, resp.Value, want)
+		if math.Abs(got-want) > 1e-9 {
+			return fmt.Errorf("eval %s at %v: got %g want %g (served the wrong grid instance?)", name, x, got, want)
 		}
 		return nil
 	}
@@ -374,7 +414,15 @@ func stress(cfg config) error {
 				d := time.Duration(rng.Int63n(int64(2*cfg.batchWait) + 1))
 				rctx, cancel := context.WithTimeout(context.Background(), d)
 				start := time.Now()
-				rec := post(rctx, evalBody(name, randPoint(rng, cfg.dim)))
+				var rec *httptest.ResponseRecorder
+				if useBin(rng) {
+					// Deadline expiry on the bin path abandons the pooled
+					// frame while the detached eval goroutine still owns it
+					// — the exact ownership hand-off chaos should cover.
+					rec = postBin(rctx, serve.AppendEvalFrame(nil, name, [][]float64{randPoint(rng, cfg.dim)}))
+				} else {
+					rec = post(rctx, evalBody(name, randPoint(rng, cfg.dim)))
+				}
 				cancelStats.observe(time.Since(start))
 				cancel()
 				switch rec.Code {
@@ -440,7 +488,7 @@ func stress(cfg config) error {
 	}
 	leak := checkGoroutines(goroutinesBefore)
 	var mapLeak error
-	if n := core.ActiveMappings(); n != 0 {
+	if n := settleMappings(); n != 0 {
 		mapLeak = fmt.Errorf("closed server leaked %d snapshot mappings", n)
 	}
 
@@ -505,6 +553,23 @@ func stress(cfg config) error {
 	}
 	fmt.Println("  PASS")
 	return nil
+}
+
+// settleMappings waits for the snapshot mapping count to drain to zero
+// and returns the count it settled at. The wait mirrors checkGoroutines'
+// tolerance: timed-out requests leave detached eval goroutines that
+// release their grid lease only after EvaluateBatch returns (the
+// use-after-release fix), so the last un-mappings can trail Close by a
+// scheduling quantum.
+func settleMappings() int64 {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := core.ActiveMappings()
+		if n == 0 || time.Now().After(deadline) {
+			return n
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
 }
 
 // checkGoroutines waits for the goroutine count to settle back near the

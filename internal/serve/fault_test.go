@@ -11,6 +11,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -284,6 +285,141 @@ func TestServerFaultEndToEnd(t *testing.T) {
 		t.Errorf("closed server still holds mappings: %d, baseline %d", got, baseline)
 	}
 	assertNoGoroutineLeak(t, goroutines)
+}
+
+// waitMappings polls core.ActiveMappings until it reaches want or the
+// deadline passes, returning the last observed value. Needed wherever a
+// detached eval goroutine performs the release: the unmap trails the
+// HTTP response by a scheduling quantum.
+func waitMappings(t *testing.T, want int64) int64 {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got := core.ActiveMappings()
+		if got == want || time.Now().After(deadline) {
+			return got
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestBatchTimeoutEvictionHoldsMapping is the regression test for the
+// batch-timeout use-after-release: a batch request times out while its
+// evaluation is still running, the grid is LRU-evicted mid-flight, and
+// the snapshot mapping must survive until EvaluateBatch returns.
+//
+// Before the fix, handleEvalBatch released its lease in a handler
+// defer, so the timeout response dropped the evicted grid's last lease
+// and munmapped the payload under the running read — in production a
+// SIGSEGV, here observable deterministically as ActiveMappings dropping
+// while the eval goroutine is still parked inside the gate. Exercises
+// both detached-goroutine handlers: /v1/eval/batch and /v1/eval/bin.
+func TestBatchTimeoutEvictionHoldsMapping(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("mmap load path is linux-only")
+	}
+	cases := []struct {
+		name string
+		fire func(t *testing.T, h http.Handler) *httptest.ResponseRecorder
+	}{
+		{
+			name: "json batch",
+			fire: func(t *testing.T, h http.Handler) *httptest.ResponseRecorder {
+				req := httptest.NewRequest("POST", "/v1/eval/batch",
+					strings.NewReader(`{"grid":"a","points":[[0.25,0.75]]}`))
+				req.Header.Set("Content-Type", "application/json")
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				return rec
+			},
+		},
+		{
+			name: "binary frame",
+			fire: func(t *testing.T, h http.Handler) *httptest.ResponseRecorder {
+				frame := AppendEvalFrame(nil, "a", [][]float64{{0.25, 0.75}})
+				req := httptest.NewRequest("POST", "/v1/eval/bin",
+					strings.NewReader(string(frame)))
+				req.Header.Set("Content-Type", BinContentType)
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				return rec
+			},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			baseline := core.ActiveMappings()
+			goroutines := runtime.NumGoroutine()
+			dir := t.TempDir()
+			pathA, _ := writeGrid(t, dir, 2, 4)
+			pathB, _ := writeGrid(t, dir, 2, 3)
+
+			srv := New(Config{MaxResident: 1, Coalesce: false, RequestTimeout: 100 * time.Millisecond})
+			if err := srv.AddGrid("a", pathA); err != nil {
+				t.Fatal(err)
+			}
+			if err := srv.AddGrid("b", pathB); err != nil {
+				t.Fatal(err)
+			}
+			// The gate parks grid a's first evaluation until released, so
+			// the request timeout and the eviction both happen while
+			// EvaluateBatch is (logically) still reading the mapping.
+			entered := make(chan struct{})
+			release := make(chan struct{})
+			var once sync.Once
+			srv.batchEvalGate = func(grid string) {
+				if grid == "a" {
+					once.Do(func() { close(entered) })
+					<-release
+				}
+			}
+			h := srv.Handler()
+
+			done := make(chan *httptest.ResponseRecorder, 1)
+			go func() { done <- c.fire(t, h) }()
+			<-entered
+			if got := core.ActiveMappings(); got != baseline+1 {
+				t.Fatalf("with batch in flight: ActiveMappings %d, want %d", got, baseline+1)
+			}
+
+			// Evict grid a mid-flight (MaxResident = 1): its mapping must
+			// survive on the eval goroutine's lease.
+			rec := postJSON(t, h, "/v1/eval", map[string]any{"grid": "b", "point": []float64{0.5, 0.5}})
+			if rec.Code != http.StatusOK {
+				t.Fatalf("eval b: status %d body %s", rec.Code, rec.Body)
+			}
+			if got := core.ActiveMappings(); got != baseline+2 {
+				t.Fatalf("after eviction with eval in flight: ActiveMappings %d, want %d", got, baseline+2)
+			}
+
+			// The request times out and answers 503 — while the eval
+			// goroutine still holds the gate.
+			brec := <-done
+			if brec.Code != http.StatusServiceUnavailable {
+				t.Fatalf("timed-out batch: status %d body %s, want 503", brec.Code, brec.Body)
+			}
+			// THE regression assertion: the evicted grid's mapping is
+			// still alive, because only EvaluateBatch returning may drop
+			// the last lease. The pre-fix handler released on return,
+			// munmapping the payload under the running read.
+			if got := core.ActiveMappings(); got != baseline+2 {
+				t.Fatalf("timeout response released the mapping under the running eval: ActiveMappings %d, want %d",
+					got, baseline+2)
+			}
+
+			close(release)
+			if got := waitMappings(t, baseline+1); got != baseline+1 {
+				t.Fatalf("after eval finished: ActiveMappings %d, want %d (grid a unmapped)", got, baseline+1)
+			}
+			if err := srv.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if got := waitMappings(t, baseline); got != baseline {
+				t.Fatalf("after Close: ActiveMappings %d, want %d", got, baseline)
+			}
+			assertNoGoroutineLeak(t, goroutines)
+		})
+	}
 }
 
 // TestPurgeIsReloadSafe: a purged grid is reloaded on the next access,

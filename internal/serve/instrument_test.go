@@ -129,7 +129,7 @@ func TestInstrumentStatusMapping(t *testing.T) {
 		}()
 		// Wait until the call is parked in the open batch, then cancel.
 		deadline := time.Now().Add(2 * time.Second)
-		for s.met.requests.With("eval").Value() == 0 && time.Now().Before(deadline) {
+		for s.met.requests.With("eval", "json").Value() == 0 && time.Now().Before(deadline) {
 			time.Sleep(time.Millisecond)
 		}
 		time.Sleep(10 * time.Millisecond)

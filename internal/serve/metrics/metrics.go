@@ -90,7 +90,7 @@ func (c *Counter) Value() uint64 { return c.n.Load() }
 type counterFamily struct {
 	fname, help string
 	single      *Counter // nil for a vec
-	label       string
+	labels      []string
 	mu          sync.Mutex
 	children    map[string]*Counter
 }
@@ -130,24 +130,30 @@ func (r *Registry) NewCounter(name, help string) *Counter {
 	return c
 }
 
-// A CounterVec is a counter family partitioned by one label.
+// A CounterVec is a counter family partitioned by one or more labels.
 type CounterVec struct{ f *counterFamily }
 
-// NewCounterVec registers a counter family with the given label name.
-func (r *Registry) NewCounterVec(name, help, label string) *CounterVec {
-	f := &counterFamily{fname: name, help: help, label: label, children: make(map[string]*Counter)}
+// NewCounterVec registers a counter family with the given label names
+// (at least one).
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	if len(labels) == 0 {
+		panic("metrics: NewCounterVec needs at least one label")
+	}
+	f := &counterFamily{fname: name, help: help, labels: labels, children: make(map[string]*Counter)}
 	r.register(f)
 	return &CounterVec{f: f}
 }
 
-// With returns (creating on first use) the child for the label value.
-func (v *CounterVec) With(value string) *Counter {
+// With returns (creating on first use) the child for the label values,
+// given in registration order.
+func (v *CounterVec) With(values ...string) *Counter {
+	key := childKey(v.f.fname, v.f.labels, values)
 	v.f.mu.Lock()
 	defer v.f.mu.Unlock()
-	c, ok := v.f.children[value]
+	c, ok := v.f.children[key]
 	if !ok {
-		c = &Counter{labels: labelPair(v.f.label, value)}
-		v.f.children[value] = c
+		c = &Counter{labels: labelPairs(v.f.labels, values)}
+		v.f.children[key] = c
 	}
 	return c
 }
@@ -324,7 +330,7 @@ func (h *Histogram) QuantileCapped(q float64) (v float64, capped bool) {
 type histogramFamily struct {
 	fname, help string
 	single      *Histogram
-	label       string
+	labels      []string
 	mu          sync.Mutex
 	children    map[string]*Histogram
 }
@@ -348,8 +354,8 @@ func (f *histogramFamily) write(w io.Writer) {
 		hs[i] = f.children[k]
 	}
 	f.mu.Unlock()
-	for i, h := range hs {
-		writeHistogram(w, f.fname, h, labelPair(f.label, keys[i]))
+	for _, h := range hs {
+		writeHistogram(w, f.fname, h, h.labels)
 	}
 }
 
@@ -373,27 +379,33 @@ func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram 
 	return h
 }
 
-// A HistogramVec is a histogram family partitioned by one label.
+// A HistogramVec is a histogram family partitioned by one or more
+// labels.
 type HistogramVec struct {
 	f      *histogramFamily
 	bounds []float64
 }
 
-// NewHistogramVec registers a histogram family with one label.
-func (r *Registry) NewHistogramVec(name, help, label string, bounds []float64) *HistogramVec {
-	f := &histogramFamily{fname: name, help: help, label: label, children: make(map[string]*Histogram)}
+// NewHistogramVec registers a histogram family with the given label
+// names (at least one). bounds precede the labels' variadic tail, so
+// the signature stays compatible with single-label call sites.
+func (r *Registry) NewHistogramVec(name, help, label string, bounds []float64, moreLabels ...string) *HistogramVec {
+	labels := append([]string{label}, moreLabels...)
+	f := &histogramFamily{fname: name, help: help, labels: labels, children: make(map[string]*Histogram)}
 	r.register(f)
 	return &HistogramVec{f: f, bounds: append([]float64(nil), bounds...)}
 }
 
-// With returns (creating on first use) the child for the label value.
-func (v *HistogramVec) With(value string) *Histogram {
+// With returns (creating on first use) the child for the label values,
+// given in registration order.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	key := childKey(v.f.fname, v.f.labels, values)
 	v.f.mu.Lock()
 	defer v.f.mu.Unlock()
-	h, ok := v.f.children[value]
+	h, ok := v.f.children[key]
 	if !ok {
-		h = newHistogram(v.bounds, labelPair(v.f.label, value))
-		v.f.children[value] = h
+		h = newHistogram(v.bounds, labelPairs(v.f.labels, values))
+		v.f.children[key] = h
 	}
 	return h
 }
@@ -405,8 +417,30 @@ func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-func labelPair(name, value string) string {
-	return "{" + name + `="` + escapeLabel(value) + `"}`
+// labelPairs renders a full label set {k1="v1",k2="v2",...}.
+func labelPairs(names, values []string) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// childKey builds the map key for one labeled child and enforces the
+// label-arity contract at the call site that violated it.
+func childKey(fname string, names, values []string) string {
+	if len(values) != len(names) {
+		panic(fmt.Sprintf("metrics: %s wants %d label values, got %d", fname, len(names), len(values)))
+	}
+	return strings.Join(values, "\x00")
 }
 
 // mergeLabels appends an extra pair to a pre-rendered label set.

@@ -1,0 +1,167 @@
+package middleware
+
+import (
+	"bufio"
+	"context"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+)
+
+// Keyring holds the accepted API keys as SHA-256 digests. Hashing
+// before comparison does two jobs: the plaintext keys never sit in
+// server memory longer than the load path, and every comparison runs
+// over equal-length digests, so subtle.ConstantTimeCompare leaks
+// neither content nor length.
+type Keyring struct {
+	names  []string
+	hashes [][sha256.Size]byte
+}
+
+// Len reports how many keys the ring holds.
+func (k *Keyring) Len() int {
+	if k == nil {
+		return 0
+	}
+	return len(k.hashes)
+}
+
+// add registers one key. An empty name derives one from the hash so
+// rate-limit identities and logs can name the key without revealing it.
+func (k *Keyring) add(name, key string) {
+	h := sha256.Sum256([]byte(key))
+	if name == "" {
+		name = "key-" + hex.EncodeToString(h[:4])
+	}
+	k.names = append(k.names, name)
+	k.hashes = append(k.hashes, h)
+}
+
+// lookup returns the name of the matching key. Every stored hash is
+// compared on every call — no early exit on match — so timing reveals
+// only the (public) ring size.
+func (k *Keyring) lookup(presented string) (string, bool) {
+	h := sha256.Sum256([]byte(presented))
+	match := -1
+	for i := range k.hashes {
+		if subtle.ConstantTimeCompare(h[:], k.hashes[i][:]) == 1 {
+			match = i
+		}
+	}
+	if match < 0 {
+		return "", false
+	}
+	return k.names[match], true
+}
+
+// LoadKeys reads a keyring from path: one key per line, either
+// "name:key" or a bare key, with blank lines and #-comments ignored.
+func LoadKeys(path string) (*Keyring, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	k := &Keyring{}
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		name, key, found := strings.Cut(text, ":")
+		if !found {
+			name, key = "", text
+		}
+		if key = strings.TrimSpace(key); key == "" {
+			return nil, fmt.Errorf("middleware: %s:%d: empty API key", path, line)
+		}
+		k.add(strings.TrimSpace(name), key)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if k.Len() == 0 {
+		return nil, fmt.Errorf("middleware: %s holds no API keys", path)
+	}
+	return k, nil
+}
+
+// KeysFromEnv builds a keyring from a comma-separated environment
+// variable of "name:key" or bare-key entries. Returns nil (no ring, no
+// error) when the variable is unset or empty.
+func KeysFromEnv(name string) (*Keyring, error) {
+	v := strings.TrimSpace(os.Getenv(name))
+	if v == "" {
+		return nil, nil
+	}
+	k := &Keyring{}
+	for _, entry := range strings.Split(v, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		kn, key, found := strings.Cut(entry, ":")
+		if !found {
+			kn, key = "", entry
+		}
+		if key = strings.TrimSpace(key); key == "" {
+			return nil, fmt.Errorf("middleware: $%s holds an empty API key", name)
+		}
+		k.add(strings.TrimSpace(kn), key)
+	}
+	if k.Len() == 0 {
+		return nil, fmt.Errorf("middleware: $%s holds no API keys", name)
+	}
+	return k, nil
+}
+
+// presentedKey extracts the API key from Authorization: Bearer or
+// X-API-Key (Bearer wins when both are present).
+func presentedKey(r *http.Request) string {
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		if key, ok := strings.CutPrefix(auth, "Bearer "); ok {
+			return strings.TrimSpace(key)
+		}
+		return "" // a non-Bearer Authorization header never matches
+	}
+	return strings.TrimSpace(r.Header.Get("X-API-Key"))
+}
+
+// Auth rejects requests that do not present a key from the ring, as
+// 401 with a WWW-Authenticate challenge. exempt paths (health probes)
+// pass through without credentials. The matched key's name lands in
+// the request context for the rate limiter and access logs.
+func Auth(keys *Keyring, exempt ...string) Middleware {
+	exemptSet := make(map[string]bool, len(exempt))
+	for _, p := range exempt {
+		exemptSet[p] = true
+	}
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if exemptSet[r.URL.Path] {
+				next.ServeHTTP(w, r)
+				return
+			}
+			key := presentedKey(r)
+			if key == "" {
+				w.Header().Set("WWW-Authenticate", `Bearer realm="sgserve"`)
+				writeError(w, http.StatusUnauthorized, "missing API key")
+				return
+			}
+			name, ok := keys.lookup(key)
+			if !ok {
+				w.Header().Set("WWW-Authenticate", `Bearer realm="sgserve", error="invalid_token"`)
+				writeError(w, http.StatusUnauthorized, "invalid API key")
+				return
+			}
+			next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), ctxAPIKeyName, name)))
+		})
+	}
+}

@@ -1,0 +1,293 @@
+// Package middleware provides the production HTTP layers an
+// internet-facing sgserve deployment needs — request-ID propagation,
+// trusted-proxy-aware client IPs, CORS, API-key authentication and
+// per-key rate limiting — as composable func(http.Handler)
+// http.Handler wrappers with no dependencies outside the standard
+// library.
+//
+// The layers are deliberately independent of internal/serve: they see
+// only http.Handler, communicate through request context values, and
+// render their own (JSON) error bodies in the same {"error": ...}
+// shape the server uses, so clients need a single error decoder.
+package middleware
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net"
+	"net/http"
+	"net/netip"
+	"strings"
+)
+
+// Middleware wraps an http.Handler with one processing layer.
+type Middleware func(http.Handler) http.Handler
+
+// Chain applies mw to h with mw[0] outermost: Chain(h, a, b) serves
+// requests through a → b → h.
+func Chain(h http.Handler, mw ...Middleware) http.Handler {
+	for i := len(mw) - 1; i >= 0; i-- {
+		if mw[i] != nil {
+			h = mw[i](h)
+		}
+	}
+	return h
+}
+
+// ctxKey namespaces this package's context values.
+type ctxKey int
+
+const (
+	ctxRequestID ctxKey = iota
+	ctxClientIP
+	ctxAPIKeyName
+)
+
+// RequestIDFrom returns the request ID stamped by RequestID ("" if the
+// middleware is not installed).
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ctxRequestID).(string)
+	return id
+}
+
+// ClientIPFrom returns the client IP resolved by RealIP, falling back
+// to the empty string when the middleware is not installed.
+func ClientIPFrom(ctx context.Context) string {
+	ip, _ := ctx.Value(ctxClientIP).(string)
+	return ip
+}
+
+// APIKeyNameFrom returns the name of the API key that authenticated
+// this request ("" when Auth is not installed or the path was exempt).
+func APIKeyNameFrom(ctx context.Context) string {
+	name, _ := ctx.Value(ctxAPIKeyName).(string)
+	return name
+}
+
+// writeError renders the same JSON error shape internal/serve uses,
+// without importing it.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	// The message is operator-controlled (fixed strings below), so
+	// hand-rolling the body avoids a json dependency on the hot 4xx path.
+	b := make([]byte, 0, len(msg)+16)
+	b = append(b, `{"error":"`...)
+	b = append(b, msg...)
+	b = append(b, `"}`...)
+	b = append(b, '\n')
+	w.Write(b)
+}
+
+// ---------------------------------------------------------------------
+// trusted proxies
+
+// Proxies is a set of CIDR prefixes whose forwarding headers
+// (X-Forwarded-For, X-Request-Id) are believed. Connections from
+// anywhere else have those headers ignored — a spoofed
+// X-Forwarded-For from an untrusted client must not launder its
+// identity past the rate limiter.
+type Proxies struct {
+	prefixes []netip.Prefix
+}
+
+// ParseProxies parses a comma-separated list of CIDR prefixes or bare
+// IPs ("10.0.0.0/8, 127.0.0.1"). Empty input yields a Proxies that
+// trusts nothing.
+func ParseProxies(csv string) (*Proxies, error) {
+	p := &Proxies{}
+	for _, part := range strings.Split(csv, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if !strings.Contains(part, "/") {
+			addr, err := netip.ParseAddr(part)
+			if err != nil {
+				return nil, err
+			}
+			p.prefixes = append(p.prefixes, netip.PrefixFrom(addr, addr.BitLen()))
+			continue
+		}
+		pfx, err := netip.ParsePrefix(part)
+		if err != nil {
+			return nil, err
+		}
+		p.prefixes = append(p.prefixes, pfx)
+	}
+	return p, nil
+}
+
+// Trusted reports whether remoteAddr ("ip:port" or bare IP) belongs to
+// a trusted proxy.
+func (p *Proxies) Trusted(remoteAddr string) bool {
+	if p == nil || len(p.prefixes) == 0 {
+		return false
+	}
+	host := remoteAddr
+	if h, _, err := net.SplitHostPort(remoteAddr); err == nil {
+		host = h
+	}
+	addr, err := netip.ParseAddr(host)
+	if err != nil {
+		return false
+	}
+	addr = addr.Unmap()
+	for _, pfx := range p.prefixes {
+		if pfx.Contains(addr) {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------
+// request IDs
+
+// maxRequestID bounds an inbound X-Request-Id; anything longer (or
+// containing unexpected bytes) is replaced, not truncated, so a
+// hostile value never reaches the logs.
+const maxRequestID = 64
+
+func validRequestID(id string) bool {
+	if id == "" || len(id) > maxRequestID {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '-', c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func newRequestID() string {
+	var b [8]byte
+	rand.Read(b[:]) // crypto/rand.Read never fails (panics instead since go1.24; earlier it blocks)
+	return hex.EncodeToString(b[:])
+}
+
+// RequestID stamps every request with an X-Request-Id — reusing the
+// inbound header only when the connection comes from a trusted proxy
+// and the value is well-formed, minting a fresh random one otherwise —
+// and echoes it on the response so clients and operators can correlate.
+func RequestID(proxies *Proxies) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			id := ""
+			if proxies.Trusted(r.RemoteAddr) {
+				if v := r.Header.Get("X-Request-Id"); validRequestID(v) {
+					id = v
+				}
+			}
+			if id == "" {
+				id = newRequestID()
+			}
+			w.Header().Set("X-Request-Id", id)
+			r.Header.Set("X-Request-Id", id)
+			next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), ctxRequestID, id)))
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// client IP
+
+// RealIP resolves the client IP: the rightmost X-Forwarded-For entry
+// not belonging to a trusted proxy when the connection itself comes
+// from one, the connection's remote address otherwise. The result is
+// stored in the request context for the rate limiter and access logs.
+//
+// Walking right-to-left is what makes the header trustworthy: each
+// proxy appends the address it accepted the connection from, so the
+// first untrusted hop from the right is the real client — everything
+// left of it is client-controlled fiction.
+func RealIP(proxies *Proxies) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			ip := remoteHost(r.RemoteAddr)
+			if proxies.Trusted(r.RemoteAddr) {
+				if fwd := forwardedClient(r.Header.Values("X-Forwarded-For"), proxies); fwd != "" {
+					ip = fwd
+				}
+			}
+			next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), ctxClientIP, ip)))
+		})
+	}
+}
+
+func remoteHost(remoteAddr string) string {
+	if h, _, err := net.SplitHostPort(remoteAddr); err == nil {
+		return h
+	}
+	return remoteAddr
+}
+
+// forwardedClient walks the X-Forwarded-For chain right to left and
+// returns the first address that is not a trusted proxy.
+func forwardedClient(headers []string, proxies *Proxies) string {
+	var hops []string
+	for _, h := range headers {
+		for _, part := range strings.Split(h, ",") {
+			if part = strings.TrimSpace(part); part != "" {
+				hops = append(hops, part)
+			}
+		}
+	}
+	for i := len(hops) - 1; i >= 0; i-- {
+		if _, err := netip.ParseAddr(hops[i]); err != nil {
+			return "" // malformed chain: fall back to the socket address
+		}
+		if !proxies.Trusted(hops[i]) {
+			return hops[i]
+		}
+	}
+	if len(hops) > 0 {
+		return hops[0] // every hop trusted: the leftmost is the origin
+	}
+	return ""
+}
+
+// ---------------------------------------------------------------------
+// CORS
+
+// CORS answers cross-origin requests for the allowed origins ("*"
+// allows any). Preflight OPTIONS requests are answered 204 here and
+// never reach the handler chain below — in particular they pass
+// unauthenticated, as browsers send preflights without credentials.
+func CORS(origins []string) Middleware {
+	allowAny := false
+	allowed := make(map[string]bool, len(origins))
+	for _, o := range origins {
+		if o == "*" {
+			allowAny = true
+		}
+		allowed[o] = true
+	}
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			origin := r.Header.Get("Origin")
+			if origin != "" && (allowAny || allowed[origin]) {
+				h := w.Header()
+				if allowAny {
+					h.Set("Access-Control-Allow-Origin", "*")
+				} else {
+					h.Set("Access-Control-Allow-Origin", origin)
+					h.Add("Vary", "Origin")
+				}
+				if r.Method == http.MethodOptions {
+					h.Set("Access-Control-Allow-Methods", "GET, POST, OPTIONS")
+					h.Set("Access-Control-Allow-Headers", "Authorization, Content-Type, X-API-Key, X-Request-Id")
+					h.Set("Access-Control-Max-Age", "600")
+					w.WriteHeader(http.StatusNoContent)
+					return
+				}
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}

@@ -1,0 +1,362 @@
+package middleware
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// okHandler answers 200 and records the context values the middleware
+// chain stamped, so tests can assert on what the inner handler saw.
+type seen struct {
+	requestID string
+	clientIP  string
+	keyName   string
+	hits      int
+}
+
+func okHandler(s *seen) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.hits++
+		s.requestID = RequestIDFrom(r.Context())
+		s.clientIP = ClientIPFrom(r.Context())
+		s.keyName = APIKeyNameFrom(r.Context())
+		w.WriteHeader(http.StatusOK)
+	})
+}
+
+func get(h http.Handler, remote string, hdr map[string]string) *httptest.ResponseRecorder {
+	r := httptest.NewRequest(http.MethodGet, "/v1/eval", nil)
+	r.RemoteAddr = remote
+	for k, v := range hdr {
+		r.Header.Set(k, v)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	return w
+}
+
+func TestChainOrder(t *testing.T) {
+	var order []string
+	tag := func(name string) Middleware {
+		return func(next http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				order = append(order, name)
+				next.ServeHTTP(w, r)
+			})
+		}
+	}
+	h := Chain(okHandler(&seen{}), tag("a"), nil, tag("b"))
+	get(h, "1.2.3.4:1", nil)
+	if got := strings.Join(order, ","); got != "a,b" {
+		t.Fatalf("chain order = %q, want a,b (mw[0] outermost, nil skipped)", got)
+	}
+}
+
+func TestRequestID(t *testing.T) {
+	proxies, err := ParseProxies("10.0.0.0/8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &seen{}
+	h := Chain(okHandler(s), RequestID(proxies))
+
+	// Untrusted connection: the inbound header is ignored and a fresh
+	// 16-hex-char ID is minted.
+	w := get(h, "203.0.113.9:4242", map[string]string{"X-Request-Id": "spoofed-id"})
+	id := w.Header().Get("X-Request-Id")
+	if id == "spoofed-id" || len(id) != 16 {
+		t.Fatalf("untrusted X-Request-Id not replaced: response header %q", id)
+	}
+	if s.requestID != id {
+		t.Fatalf("context ID %q != response header %q", s.requestID, id)
+	}
+
+	// Trusted proxy with a well-formed ID: propagated verbatim.
+	w = get(h, "10.1.2.3:80", map[string]string{"X-Request-Id": "trace-ABC_123"})
+	if got := w.Header().Get("X-Request-Id"); got != "trace-ABC_123" {
+		t.Fatalf("trusted X-Request-Id = %q, want trace-ABC_123", got)
+	}
+
+	// Trusted proxy with a hostile value: replaced, never truncated.
+	w = get(h, "10.1.2.3:80", map[string]string{"X-Request-Id": "bad id\n" + strings.Repeat("x", 100)})
+	if got := w.Header().Get("X-Request-Id"); len(got) != 16 {
+		t.Fatalf("malformed trusted X-Request-Id not replaced: %q", got)
+	}
+}
+
+func TestRealIP(t *testing.T) {
+	proxies, err := ParseProxies("10.0.0.0/8, 127.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &seen{}
+	h := Chain(okHandler(s), RealIP(proxies))
+
+	cases := []struct {
+		name   string
+		remote string
+		fwd    string
+		want   string
+	}{
+		{"no proxy", "203.0.113.9:4242", "", "203.0.113.9"},
+		{"untrusted ignores XFF", "203.0.113.9:4242", "198.51.100.7", "203.0.113.9"},
+		{"trusted takes rightmost untrusted", "10.0.0.2:80", "198.51.100.7, 10.0.0.5", "198.51.100.7"},
+		{"trusted single hop", "127.0.0.1:80", "198.51.100.7", "198.51.100.7"},
+		{"all hops trusted", "10.0.0.2:80", "10.9.9.9", "10.9.9.9"},
+		{"malformed chain falls back", "10.0.0.2:80", "not-an-ip", "10.0.0.2"},
+	}
+	for _, tc := range cases {
+		hdr := map[string]string{}
+		if tc.fwd != "" {
+			hdr["X-Forwarded-For"] = tc.fwd
+		}
+		get(h, tc.remote, hdr)
+		if s.clientIP != tc.want {
+			t.Errorf("%s: client IP = %q, want %q", tc.name, s.clientIP, tc.want)
+		}
+	}
+}
+
+func TestCORS(t *testing.T) {
+	s := &seen{}
+	h := Chain(okHandler(s), CORS([]string{"https://app.example"}))
+
+	// Preflight from an allowed origin: 204, never reaches the handler.
+	r := httptest.NewRequest(http.MethodOptions, "/v1/eval", nil)
+	r.Header.Set("Origin", "https://app.example")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	if w.Code != http.StatusNoContent {
+		t.Fatalf("preflight status = %d, want 204", w.Code)
+	}
+	if s.hits != 0 {
+		t.Fatal("preflight reached the inner handler")
+	}
+	if got := w.Header().Get("Access-Control-Allow-Origin"); got != "https://app.example" {
+		t.Fatalf("Allow-Origin = %q", got)
+	}
+	if !strings.Contains(w.Header().Get("Access-Control-Allow-Headers"), "X-API-Key") {
+		t.Fatalf("Allow-Headers missing X-API-Key: %q", w.Header().Get("Access-Control-Allow-Headers"))
+	}
+
+	// Disallowed origin: no CORS headers, request passes through.
+	w = get(h, "1.2.3.4:1", map[string]string{"Origin": "https://evil.example"})
+	if got := w.Header().Get("Access-Control-Allow-Origin"); got != "" {
+		t.Fatalf("disallowed origin got Allow-Origin %q", got)
+	}
+	if w.Code != http.StatusOK {
+		t.Fatalf("disallowed-origin GET status = %d, want 200", w.Code)
+	}
+
+	// Wildcard ring.
+	any := Chain(okHandler(&seen{}), CORS([]string{"*"}))
+	w = get(any, "1.2.3.4:1", map[string]string{"Origin": "https://anything.example"})
+	if got := w.Header().Get("Access-Control-Allow-Origin"); got != "*" {
+		t.Fatalf("wildcard Allow-Origin = %q, want *", got)
+	}
+}
+
+func TestAuth(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "keys")
+	content := "# comment\nalice:s3cret-a\n\ns3cret-bare\n"
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := LoadKeys(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keys.Len() != 2 {
+		t.Fatalf("keyring holds %d keys, want 2", keys.Len())
+	}
+
+	s := &seen{}
+	h := Chain(okHandler(s), Auth(keys, "/healthz"))
+
+	// No credentials: 401 with a challenge.
+	w := get(h, "1.2.3.4:1", nil)
+	if w.Code != http.StatusUnauthorized {
+		t.Fatalf("no-key status = %d, want 401", w.Code)
+	}
+	if got := w.Header().Get("WWW-Authenticate"); !strings.Contains(got, "Bearer") {
+		t.Fatalf("WWW-Authenticate = %q", got)
+	}
+	if !strings.Contains(w.Body.String(), `"error"`) {
+		t.Fatalf("401 body = %q, want JSON error", w.Body.String())
+	}
+
+	// Wrong key: 401.
+	if w = get(h, "1.2.3.4:1", map[string]string{"Authorization": "Bearer nope"}); w.Code != http.StatusUnauthorized {
+		t.Fatalf("bad-key status = %d, want 401", w.Code)
+	}
+
+	// Non-Bearer Authorization never matches, even with the right key.
+	if w = get(h, "1.2.3.4:1", map[string]string{"Authorization": "Basic s3cret-a"}); w.Code != http.StatusUnauthorized {
+		t.Fatalf("Basic-scheme status = %d, want 401", w.Code)
+	}
+
+	// Named key via Bearer: accepted, name lands in the context.
+	if w = get(h, "1.2.3.4:1", map[string]string{"Authorization": "Bearer s3cret-a"}); w.Code != http.StatusOK {
+		t.Fatalf("good Bearer status = %d, want 200", w.Code)
+	}
+	if s.keyName != "alice" {
+		t.Fatalf("key name = %q, want alice", s.keyName)
+	}
+
+	// Bare key via X-API-Key: accepted under its derived name.
+	if w = get(h, "1.2.3.4:1", map[string]string{"X-API-Key": "s3cret-bare"}); w.Code != http.StatusOK {
+		t.Fatalf("good X-API-Key status = %d, want 200", w.Code)
+	}
+	if !strings.HasPrefix(s.keyName, "key-") {
+		t.Fatalf("derived key name = %q, want key-<hex> prefix", s.keyName)
+	}
+
+	// Exempt path passes with no credentials at all.
+	r := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	r.RemoteAddr = "1.2.3.4:1"
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	if w.Code != http.StatusOK {
+		t.Fatalf("exempt /healthz status = %d, want 200", w.Code)
+	}
+}
+
+func TestKeysFromEnv(t *testing.T) {
+	t.Setenv("SG_TEST_KEYS", "alice: s3cret-a , s3cret-bare")
+	keys, err := KeysFromEnv("SG_TEST_KEYS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keys.Len() != 2 {
+		t.Fatalf("env keyring holds %d keys, want 2", keys.Len())
+	}
+	if name, ok := keys.lookup("s3cret-a"); !ok || name != "alice" {
+		t.Fatalf("lookup(s3cret-a) = %q, %v", name, ok)
+	}
+
+	t.Setenv("SG_TEST_KEYS", "")
+	if keys, err = KeysFromEnv("SG_TEST_KEYS"); err != nil || keys != nil {
+		t.Fatalf("unset env: keys=%v err=%v, want nil,nil", keys, err)
+	}
+
+	t.Setenv("SG_TEST_KEYS", "alice:")
+	if _, err = KeysFromEnv("SG_TEST_KEYS"); err == nil {
+		t.Fatal("empty key in env accepted")
+	}
+}
+
+func TestRateLimit(t *testing.T) {
+	l := NewLimiter(1, 2) // 1 token/s, burst 2
+	clock := time.Unix(1_700_000_000, 0)
+	l.now = func() time.Time { return clock }
+
+	s := &seen{}
+	h := Chain(okHandler(s), RateLimit(l, "/healthz"))
+
+	// Burst of 2 passes, third is rejected with a Retry-After hint.
+	for i := 0; i < 2; i++ {
+		if w := get(h, "203.0.113.9:1", nil); w.Code != http.StatusOK {
+			t.Fatalf("request %d status = %d, want 200", i, w.Code)
+		}
+	}
+	w := get(h, "203.0.113.9:1", nil)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-budget status = %d, want 429", w.Code)
+	}
+	secs, err := strconv.Atoi(w.Header().Get("Retry-After"))
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want integer >= 1", w.Header().Get("Retry-After"))
+	}
+
+	// A different identity has its own bucket.
+	if w = get(h, "198.51.100.7:1", nil); w.Code != http.StatusOK {
+		t.Fatalf("other-client status = %d, want 200", w.Code)
+	}
+
+	// After the advertised wait, the original client gets a token back.
+	clock = clock.Add(time.Duration(secs) * time.Second)
+	if w = get(h, "203.0.113.9:1", nil); w.Code != http.StatusOK {
+		t.Fatalf("post-wait status = %d, want 200", w.Code)
+	}
+
+	// Exempt path ignores the limiter even when the bucket is dry.
+	r := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	r.RemoteAddr = "203.0.113.9:1"
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, r)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("exempt /healthz status = %d, want 200", rec.Code)
+	}
+}
+
+func TestRateLimitKeyIdentity(t *testing.T) {
+	// When Auth ran, the limiter keys by API-key name: two clients on
+	// different IPs presenting the same key share one bucket.
+	l := NewLimiter(1, 1)
+	clock := time.Unix(1_700_000_000, 0)
+	l.now = func() time.Time { return clock }
+
+	keys := &Keyring{}
+	keys.add("alice", "s3cret")
+	h := Chain(okHandler(&seen{}), Auth(keys), RateLimit(l))
+
+	hdr := map[string]string{"Authorization": "Bearer s3cret"}
+	if w := get(h, "203.0.113.9:1", hdr); w.Code != http.StatusOK {
+		t.Fatalf("first request status = %d, want 200", w.Code)
+	}
+	if w := get(h, "198.51.100.7:1", hdr); w.Code != http.StatusTooManyRequests {
+		t.Fatalf("same-key different-IP status = %d, want 429 (shared bucket)", w.Code)
+	}
+}
+
+func TestLimiterPrune(t *testing.T) {
+	l := NewLimiter(1, 1)
+	clock := time.Unix(1_700_000_000, 0)
+	l.now = func() time.Time { return clock }
+	for i := 0; i < pruneAbove; i++ {
+		l.allow("id-" + strconv.Itoa(i))
+	}
+	if n := len(l.buckets); n != pruneAbove {
+		t.Fatalf("bucket count = %d, want %d", n, pruneAbove)
+	}
+	clock = clock.Add(pruneIdle + time.Second)
+	l.allow("fresh")
+	if n := len(l.buckets); n != 1 {
+		t.Fatalf("bucket count after prune = %d, want 1 (only the fresh identity)", n)
+	}
+}
+
+func TestParseProxies(t *testing.T) {
+	if _, err := ParseProxies("10.0.0.0/8, nonsense"); err == nil {
+		t.Fatal("malformed proxy list accepted")
+	}
+	p, err := ParseProxies("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Trusted("10.0.0.1:80") {
+		t.Fatal("empty proxy list trusts 10.0.0.1")
+	}
+	p, err = ParseProxies("::1, 192.0.2.0/24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for addr, want := range map[string]bool{
+		"[::1]:9090":           true,
+		"192.0.2.77:80":        true,
+		"198.51.100.1:80":      false,
+		"not an address":       false,
+		"[::ffff:192.0.2.8]:1": true, // 4-in-6 mapped form of a trusted v4
+	} {
+		if got := p.Trusted(addr); got != want {
+			t.Errorf("Trusted(%q) = %v, want %v", addr, got, want)
+		}
+	}
+}

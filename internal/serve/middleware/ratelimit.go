@@ -1,0 +1,128 @@
+package middleware
+
+import (
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// bucket is one identity's token bucket. tokens is the balance as of
+// last; both are guarded by the limiter's mutex (the map is the
+// contention point anyway, and per-identity locks would only matter
+// far beyond this server's request rates).
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// Limiter is a token-bucket rate limiter keyed by caller identity:
+// the authenticated API-key name when Auth ran, the RealIP-resolved
+// client address otherwise. Each identity accrues rate tokens per
+// second up to burst; a request costs one token.
+type Limiter struct {
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+
+	// now is the clock, swappable by tests.
+	now func() time.Time
+}
+
+// pruning bounds the bucket map: once it outgrows pruneAbove entries,
+// identities idle longer than pruneIdle are dropped on the next
+// request (an idle bucket is at full burst anyway, so dropping it is
+// behaviorally invisible).
+const (
+	pruneAbove = 1024
+	pruneIdle  = 10 * time.Minute
+)
+
+// NewLimiter creates a limiter granting rate requests per second with
+// the given burst capacity.
+func NewLimiter(rate float64, burst int) *Limiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &Limiter{
+		rate:    rate,
+		burst:   float64(burst),
+		buckets: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// allow spends one token for id. When the bucket is empty it returns
+// false and how long until a full token has accrued (the Retry-After
+// hint).
+func (l *Limiter) allow(id string) (bool, time.Duration) {
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[id]
+	if !ok {
+		if len(l.buckets) >= pruneAbove {
+			l.pruneLocked(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[id] = b
+	} else {
+		b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / l.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+func (l *Limiter) pruneLocked(now time.Time) {
+	for id, b := range l.buckets {
+		if now.Sub(b.last) > pruneIdle {
+			delete(l.buckets, id)
+		}
+	}
+}
+
+// RateLimit rejects over-budget requests with 429 and a Retry-After
+// hint (seconds, rounded up — a client that waits that long is
+// guaranteed one full token). Install after Auth and RealIP so the
+// identity is the API-key name when present and the proxy-resolved
+// client IP otherwise.
+func RateLimit(l *Limiter, exempt ...string) Middleware {
+	exemptSet := make(map[string]bool, len(exempt))
+	for _, p := range exempt {
+		exemptSet[p] = true
+	}
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if exemptSet[r.URL.Path] {
+				next.ServeHTTP(w, r)
+				return
+			}
+			id := APIKeyNameFrom(r.Context())
+			if id == "" {
+				id = ClientIPFrom(r.Context())
+			}
+			if id == "" {
+				id = remoteHost(r.RemoteAddr)
+			}
+			ok, wait := l.allow(id)
+			if !ok {
+				secs := int(math.Ceil(wait.Seconds()))
+				if secs < 1 {
+					secs = 1
+				}
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+				writeError(w, http.StatusTooManyRequests, "rate limit exceeded")
+				return
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}

@@ -82,6 +82,7 @@ type GridSet struct {
 }
 
 type source struct {
+	name string // the registry's own copy of the key (see CanonicalName)
 	path string
 	// Metadata cached from the first successful load so /v1/grids can
 	// describe evicted grids without touching the file again. Guarded
@@ -168,8 +169,24 @@ func (s *GridSet) Add(name, path string) error {
 	if _, dup := s.sources[name]; dup {
 		return fmt.Errorf("serve: grid %q registered twice", name)
 	}
-	s.sources[name] = &source{path: path}
+	s.sources[name] = &source{name: name, path: path}
 	return nil
+}
+
+// CanonicalName maps a grid name given as raw bytes (the binary wire
+// protocol's name field) to the registry's own interned string for it.
+// The map lookup with a string(b) key does not allocate, which keeps
+// the binary decode path allocation-free for registered grids; unknown
+// names report ok=false and the caller builds its error however it
+// likes.
+func (s *GridSet) CanonicalName(b []byte) (string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	src, ok := s.sources[string(b)]
+	if !ok {
+		return "", false
+	}
+	return src.name, true
 }
 
 // Names returns all registered grid names, sorted.

@@ -386,7 +386,7 @@ func TestServerGridsHealthzMetrics(t *testing.T) {
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
 	out := rec.Body.String()
 	for _, want := range []string{
-		`sgserve_requests_total{handler="eval"} 2`,
+		`sgserve_requests_total{handler="eval",protocol="json"} 2`,
 		`sgserve_errors_total{handler="eval"} 1`,
 		`sgserve_request_seconds_bucket{handler="eval",le="+Inf"} 2`,
 		"sgserve_batch_size_bucket",
@@ -427,7 +427,7 @@ func TestServerShutdownDrainsInflight(t *testing.T) {
 	}
 	// Give the handlers time to enqueue into the open batch.
 	deadline := time.Now().Add(2 * time.Second)
-	for s.met.requests.With("eval").Value() < uint64(len(xs)) && time.Now().Before(deadline) {
+	for s.met.requests.With("eval", "json").Value() < uint64(len(xs)) && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
 	if err := s.Close(); err != nil {

@@ -124,6 +124,12 @@ type Server struct {
 	closed   bool
 	drains   sync.WaitGroup // background batcher drains after eviction
 
+	// batchEvalGate, when non-nil, runs on the detached eval goroutine
+	// right before EvaluateBatch. It exists so the use-after-release
+	// regression tests can hold an eval mid-flight while the request
+	// times out and the grid is evicted. Set before serving traffic.
+	batchEvalGate func(grid string)
+
 	met serverMetrics
 }
 
@@ -151,6 +157,7 @@ type serverMetrics struct {
 	batchersNow *metrics.Gauge
 	drainsTotal *metrics.Counter
 	panics      *metrics.Counter
+	writeErrs   *metrics.Counter
 	// stageSecs holds the sgserve_stage_seconds children pre-resolved
 	// per stage so the per-request observation path takes no vec-map
 	// lock.
@@ -186,7 +193,7 @@ func New(cfg Config) *Server {
 	r := metrics.NewRegistry()
 	s.met = serverMetrics{
 		registry:    r,
-		requests:    r.NewCounterVec("sgserve_requests_total", "HTTP requests received, by handler.", "handler"),
+		requests:    r.NewCounterVec("sgserve_requests_total", "HTTP requests received, by handler and wire protocol (json or bin).", "handler", "protocol"),
 		errors:      r.NewCounterVec("sgserve_errors_total", "Requests answered with a non-2xx status, by handler.", "handler"),
 		latency:     r.NewHistogramVec("sgserve_request_seconds", "Request latency in seconds, by handler.", "handler", metrics.DefLatencyBuckets),
 		batchSize:   r.NewHistogram("sgserve_batch_size", "Points per dispatched evaluation batch (coalesced micro-batches and explicit batch requests).", metrics.DefSizeBuckets),
@@ -201,6 +208,7 @@ func New(cfg Config) *Server {
 		batchersNow: r.NewGauge("sgserve_batchers_active", "Per-grid micro-batch coalescers currently attached."),
 		drainsTotal: r.NewCounter("sgserve_batcher_drains_total", "Batchers drained and closed after their grid instance was evicted or replaced."),
 		panics:      r.NewCounter("sgserve_panics_total", "Handler panics recovered by the instrumentation wrapper (each answered with a 500)."),
+		writeErrs:   r.NewCounter("sgserve_write_errors_total", "Response bodies that failed mid-write (client gone, connection reset): the client saw a truncated response despite the logged status."),
 	}
 	stageVec := r.NewHistogramVec("sgserve_stage_seconds",
 		"Per-request time spent in each serving stage (decode, validate, load, load_wait, queue_wait, dispatch, eval, encode), in seconds.",
@@ -219,6 +227,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/grids", s.instrument("grids", s.handleGrids))
 	mux.HandleFunc("POST /v1/eval", s.instrument("eval", s.handleEval))
 	mux.HandleFunc("POST /v1/eval/batch", s.instrument("batch", s.handleEvalBatch))
+	mux.HandleFunc("POST /v1/eval/bin", s.instrumentRaw("eval_bin", "bin", s.handleEvalBin))
 	s.mux = mux
 	return s
 }
@@ -400,16 +409,36 @@ func httpErrorf(status int, format string, args ...any) *httpError {
 	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
 }
 
-// instrument wraps a handler with request counting, latency
-// observation, error accounting, panic recovery, span lifecycle and
-// (when configured) structured access logging.
+// instrument wraps a JSON handler with the full instrumentation stack
+// (see instrumentRaw) plus the shared JSON success encoding.
+func (s *Server) instrument(name string, h func(*http.Request) (any, error)) http.HandlerFunc {
+	return s.instrumentRaw(name, "json", func(w http.ResponseWriter, r *http.Request) error {
+		body, err := h(r)
+		if err != nil {
+			return err
+		}
+		sp := obs.FromContext(r.Context())
+		sp.SetStatus(http.StatusOK)
+		sp.Begin(obs.StageEncode)
+		s.writeJSON(w, http.StatusOK, body)
+		sp.End(obs.StageEncode)
+		return nil
+	})
+}
+
+// instrumentRaw wraps a handler with request counting (labeled by
+// handler and wire protocol), latency observation, error accounting,
+// panic recovery, span lifecycle and (when configured) structured
+// access logging. The handler writes its own success response (and is
+// responsible for the span's status + encode stage); errors it returns
+// are rendered as JSON error bodies with the mapped status.
 //
 // Panics must be caught here, not left to net/http: the http.Server
 // recovery aborts the connection without writing a response, so the
 // client would see a dropped connection, no error would be counted and
 // the request's latency would never be observed.
-func (s *Server) instrument(name string, h func(*http.Request) (any, error)) http.HandlerFunc {
-	reqs := s.met.requests.With(name)
+func (s *Server) instrumentRaw(name, protocol string, h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
+	reqs := s.met.requests.With(name, protocol)
 	errs := s.met.errors.With(name)
 	lat := s.met.latency.With(name)
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -417,7 +446,11 @@ func (s *Server) instrument(name string, h func(*http.Request) (any, error)) htt
 		reqs.Inc()
 		sp := s.tracer.Start(name)
 		if sp != nil {
-			w.Header().Set("X-Request-Id", strconv.FormatUint(sp.ID(), 10))
+			// The middleware chain may already have stamped a
+			// (proxy-propagated) request ID; keep it if so.
+			if w.Header().Get("X-Request-Id") == "" {
+				w.Header().Set("X-Request-Id", strconv.FormatUint(sp.ID(), 10))
+			}
 			r = r.WithContext(obs.NewContext(r.Context(), sp))
 		}
 		status := http.StatusOK
@@ -432,25 +465,19 @@ func (s *Server) instrument(name string, h func(*http.Request) (any, error)) htt
 					slog.String("panic", fmt.Sprint(p)),
 					slog.String("stack", string(debug.Stack())))
 				sp.SetStatus(status)
-				writeJSON(w, status, errorResponse{Error: "internal server error"})
+				s.writeJSON(w, status, errorResponse{Error: "internal server error"})
 			}
 			total := time.Since(start)
 			lat.Observe(total.Seconds())
 			s.finishSpan(r.Context(), sp, name, status, total)
 		}()
-		body, err := h(r)
-		if err != nil {
+		if err := h(w, r); err != nil {
 			errs.Inc()
 			status = statusFor(err)
 			sp.SetError(err)
 			sp.SetStatus(status)
-			writeJSON(w, status, errorResponse{Error: err.Error()})
-			return
+			s.writeJSON(w, status, errorResponse{Error: err.Error()})
 		}
-		sp.SetStatus(status)
-		sp.Begin(obs.StageEncode)
-		writeJSON(w, http.StatusOK, body)
-		sp.End(obs.StageEncode)
 	}
 }
 
@@ -509,11 +536,25 @@ func (s *Server) finishSpan(ctx context.Context, sp *obs.Span, name string, stat
 	sp.Finish()
 }
 
-func writeJSON(w http.ResponseWriter, status int, body any) {
+// writeJSON renders a JSON response body. Encoder errors after
+// WriteHeader mean the client received a truncated body under an
+// already-committed (often 200) status — invisible in the status-code
+// metrics, so they are counted separately and logged at debug.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, body any) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	_ = enc.Encode(body)
+	if err := json.NewEncoder(w).Encode(body); err != nil {
+		s.countWriteError("json", status, err)
+	}
+}
+
+// countWriteError records a response body that failed mid-write.
+func (s *Server) countWriteError(protocol string, status int, err error) {
+	s.met.writeErrs.Inc()
+	s.cfg.ErrorLog.LogAttrs(context.Background(), slog.LevelDebug, "response write failed",
+		slog.String("protocol", protocol),
+		slog.Int("status", status),
+		slog.String("error", err.Error()))
 }
 
 // decodeJSON reads the body with the configured size cap. The body
@@ -594,6 +635,9 @@ func (s *Server) handleEval(r *http.Request) (any, error) {
 		if err != nil {
 			return nil, err
 		}
+		// A defer is safe here (unlike handleEvalBatch/handleEvalBin):
+		// Evaluate runs synchronously on this goroutine, so the lease
+		// cannot be released while the read is still in flight.
 		defer lease.Release()
 		g := lease.Grid()
 		sp.Begin(obs.StageValidate)
@@ -670,12 +714,12 @@ func (s *Server) handleEvalBatch(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer lease.Release()
 	g := lease.Grid()
 	sp.Begin(obs.StageValidate)
 	for k, x := range req.Points {
 		if err := validatePoint(x, g.Dim(), k); err != nil {
 			sp.End(obs.StageValidate)
+			lease.Release()
 			return nil, err
 		}
 	}
@@ -693,9 +737,24 @@ func (s *Server) handleEvalBatch(r *http.Request) (any, error) {
 	}
 	dispatched := time.Now()
 	ch := make(chan res, 1)
+	// The lease is released by the eval goroutine, NOT by a handler
+	// defer: when the request times out the handler returns while
+	// EvaluateBatch is still reading the grid, and if the grid was
+	// LRU-evicted mid-flight, releasing the last lease munmaps its
+	// snapshot payload under the running read (SIGSEGV). Holding the
+	// lease until EvaluateBatch returns keeps the mapping alive exactly
+	// as long as anything dereferences it.
 	go func() {
+		if s.batchEvalGate != nil {
+			s.batchEvalGate(name)
+		}
 		t0 := time.Now()
 		vals, err := g.EvaluateBatch(req.Points, nil)
+		// Release BEFORE delivering the result: vals no longer reference
+		// the mapping, and releasing first means a caller that saw the
+		// response can never observe the mapping still pinned by its own
+		// already-answered request.
+		lease.Release()
 		ch <- res{vals, err, t0, time.Since(t0)}
 	}()
 	select {

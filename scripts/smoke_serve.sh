@@ -32,10 +32,30 @@ curl -sf -d '{"points":[[0.5,0.5,0.5],[0.25,0.25,0.25]]}' "$base/v1/eval/batch" 
 # error path: out-of-domain point must 400, not 200
 code=$(curl -s -o /dev/null -w '%{http_code}' -d '{"point":[2,0,0]}' "$base/v1/eval")
 [ "$code" = 400 ] || fail "out-of-domain returned $code, want 400"
+
+# binary wire protocol: hand-rolled frame for grid "field", one point
+# (0.5, 0.5, 0.5) — u16 nameLen=5 | "field" | 1 pad byte | u32 n=1 |
+# u32 d=3 | 3 little-endian float64 0.5. The gaussian peak is exactly
+# 1.0, so the 16-byte response must end with f64 1.0 (…f03f).
+printf '\x05\x00field\x00\x01\x00\x00\x00\x03\x00\x00\x00' > "$workdir/frame.bin"
+printf '\x00\x00\x00\x00\x00\x00\xe0\x3f%.0s' 1 2 3 >> "$workdir/frame.bin"
+curl -sf -H 'Content-Type: application/x-compactsg-frame' \
+    --data-binary @"$workdir/frame.bin" "$base/v1/eval/bin" -o "$workdir/values.bin" \
+    || fail "/v1/eval/bin"
+[ "$(wc -c < "$workdir/values.bin")" = 16 ] || fail "/v1/eval/bin response size"
+od -An -tx1 "$workdir/values.bin" | tr -d ' \n' | \
+    grep -q '^0100000000000000000000000000f03f$' \
+    || fail "/v1/eval/bin values frame (want n=1, value=1.0)"
+# malformed frame (truncated) must 400
+code=$(curl -s -o /dev/null -w '%{http_code}' \
+    -H 'Content-Type: application/x-compactsg-frame' \
+    --data-binary $'\x05\x00fie' "$base/v1/eval/bin")
+[ "$code" = 400 ] || fail "truncated binary frame returned $code, want 400"
 # fetch once, grep the file: piping straight into grep -q kills curl
 # with SIGPIPE now that the stage histograms make /metrics long.
 curl -sf "$base/metrics" -o "$workdir/metrics.txt" || fail "/metrics"
-grep -q 'sgserve_requests_total{handler="eval"}' "$workdir/metrics.txt" || fail "/metrics requests_total"
+grep -q 'sgserve_requests_total{handler="eval",protocol="json"}' "$workdir/metrics.txt" || fail "/metrics requests_total"
+grep -q 'sgserve_requests_total{handler="eval_bin",protocol="bin"}' "$workdir/metrics.txt" || fail "/metrics requests_total bin"
 grep -q 'sgserve_stage_seconds_count{stage="eval"}' "$workdir/metrics.txt" || fail "stage metrics"
 grep -q 'sgserve_panics_total 0' "$workdir/metrics.txt" || fail "panics counter"
 
@@ -56,4 +76,22 @@ curl -sf -o "$workdir/heap.pb.gz" "$base/debug/pprof/heap" || fail "/debug/pprof
 
 kill -TERM "$server_pid"
 wait "$server_pid" || fail "server exited non-zero on SIGTERM"
+
+# middleware: restart with API-key auth + rate limiting and check the
+# production chain — 401 without a key, 200 with one, exempt /healthz.
+echo "smoke-key:s3cret" > "$workdir/keys.txt"
+"$workdir/sgserve" -addr ":$port" -api-keys "$workdir/keys.txt" -rate-limit 1000 \
+    "$workdir/field.sg" &
+server_pid=$!
+for i in $(seq 1 50); do
+    if curl -sf "$base/healthz" >/dev/null 2>&1; then break; fi
+    sleep 0.2
+done
+curl -sf "$base/healthz" | grep -q ok || fail "auth server /healthz (must stay exempt)"
+code=$(curl -s -o /dev/null -w '%{http_code}' -d '{"point":[0.5,0.5,0.5]}' "$base/v1/eval")
+[ "$code" = 401 ] || fail "unauthenticated /v1/eval returned $code, want 401"
+curl -sf -H 'Authorization: Bearer s3cret' -d '{"point":[0.5,0.5,0.5]}' "$base/v1/eval" \
+    | grep -q '"value":1' || fail "authenticated /v1/eval"
+kill -TERM "$server_pid"
+wait "$server_pid" || fail "auth server exited non-zero on SIGTERM"
 echo "smoke: ok"
