@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-all bench-coldload experiments examples smoke serve-demo trace-demo staticcheck stress fuzz clean
+.PHONY: all build vet test race bench bench-all bench-coldload experiments examples smoke serve-demo trace-demo proxy-demo staticcheck stress fuzz clean
 
 # Per-target budget for `make fuzz` (go's -fuzztime syntax).
 FUZZTIME ?= 30s
@@ -19,7 +19,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/par/ ./internal/hier/ ./internal/eval/ ./internal/boundary/ ./internal/gpusim/ ./internal/kernels/ ./internal/obs/ ./internal/serve/ .
+	$(GO) test -race ./internal/par/ ./internal/hier/ ./internal/eval/ ./internal/boundary/ ./internal/gpusim/ ./internal/kernels/ ./internal/obs/ ./internal/serve/ ./internal/shard/ .
 
 # End-to-end smoke of the evaluation server (build, serve, curl, drain).
 smoke:
@@ -36,6 +36,13 @@ serve-demo:
 trace-demo:
 	bash scripts/trace_demo.sh
 
+# Sharded serving end to end with real binaries: 3 sgserve shards
+# behind sgproxy, mixed-protocol traffic, one shard hard-killed
+# mid-run (failover must hide it), replacement swapped in via an
+# epoch-bumped topology POST, recovery asserted.
+proxy-demo:
+	bash scripts/proxy_demo.sh
+
 # Race-hunting chaos run of the serving layer: concurrent eval across
 # more grids than resident slots, random cancellations, mid-flight
 # registry churn, inflated loads, goroutine-leak check. The median
@@ -43,6 +50,7 @@ trace-demo:
 stress:
 	$(GO) run -race ./cmd/sgstress -duration 3s
 	$(GO) run -race ./cmd/sgstress -duration 3s -load-delay 25ms -assert-hot-p50 20ms
+	$(GO) run -race ./cmd/sgstress -shard-chaos -duration 3s
 
 # Optional: requires staticcheck on PATH (honnef.co/go/tools).
 staticcheck:

@@ -7,6 +7,8 @@
 //	sgload -c 64 -n 20000                     # single-point requests
 //	sgload -c 8 -n 500 -mode batch -points 64 # client-side batching
 //	sgload -protocol bin -mode batch          # binary frames, /v1/eval/bin
+//	sgload -protocol mix                      # each worker rolls json or bin
+//	sgload -targets http://:8177,http://:8178 # spread workers across servers
 //
 // It discovers the grid's dimensionality from GET /v1/grids and, when
 // the server exposes them, prints the mean server-side micro-batch
@@ -22,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
@@ -46,26 +49,39 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("sgload", flag.ContinueOnError)
 	base := fs.String("url", "http://localhost:8177", "sgserve base URL")
+	targetList := fs.String("targets", "", "comma-separated base URLs; workers are spread round-robin across them (overrides -url)")
 	grid := fs.String("grid", "", "grid name (default: the only registered grid)")
 	conc := fs.Int("c", 64, "concurrent closed-loop workers")
 	n := fs.Int("n", 20000, "total requests to send")
 	mode := fs.String("mode", "single", "single (one point per /v1/eval request) or batch (/v1/eval/batch)")
-	protocol := fs.String("protocol", "json", "wire protocol: json, or bin (length-prefixed float64 frames against /v1/eval/bin)")
+	protocol := fs.String("protocol", "json", "wire protocol: json, bin (length-prefixed float64 frames against /v1/eval/bin), or mix (each worker randomly picks json or bin)")
 	points := fs.Int("points", 64, "points per request in batch mode")
-	seed := fs.Int64("seed", 1, "query point seed")
+	seed := fs.Int64("seed", 1, "query point seed (also seeds the mix-protocol roll)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request client timeout")
-	traces := fs.Bool("traces", true, "pull /debug/traces after the run and report the per-stage breakdown")
+	traces := fs.Bool("traces", true, "pull /debug/traces after the run and report the per-stage breakdown (single-target runs only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *mode != "single" && *mode != "batch" {
 		return fmt.Errorf("unknown -mode %q", *mode)
 	}
-	if *protocol != "json" && *protocol != "bin" {
-		return fmt.Errorf("unknown -protocol %q", *protocol)
+	if *protocol != "json" && *protocol != "bin" && *protocol != "mix" {
+		return fmt.Errorf("unknown -protocol %q (want json, bin or mix)", *protocol)
 	}
 	if *conc < 1 || *n < 1 {
 		return fmt.Errorf("-c and -n must be ≥ 1")
+	}
+	targets := []string{*base}
+	if *targetList != "" {
+		targets = targets[:0]
+		for _, t := range strings.Split(*targetList, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				targets = append(targets, strings.TrimSuffix(t, "/"))
+			}
+		}
+		if len(targets) == 0 {
+			return fmt.Errorf("-targets has no usable URLs")
+		}
 	}
 
 	client := &http.Client{
@@ -76,7 +92,7 @@ func run(args []string, stdout io.Writer) error {
 		},
 	}
 
-	name, dim, err := discoverGrid(client, *base, *grid)
+	name, dim, err := discoverGrid(client, targets[0], *grid)
 	if err != nil {
 		return err
 	}
@@ -85,50 +101,77 @@ func run(args []string, stdout io.Writer) error {
 	// binary protocol carries the same points as frames against
 	// /v1/eval/bin — one point per frame in single mode, -points per
 	// frame in batch mode — so json-vs-bin runs are apples-to-apples.
+	// -protocol mix renders both sets; each worker rolls one of them.
 	const pool = 512 // distinct query points cycled through
 	xs := workload.Points(*seed, pool, dim)
-	var bodies [][]byte
-	switch {
-	case *protocol == "bin" && *mode == "single":
-		bodies = make([][]byte, pool)
-		for k, x := range xs {
-			bodies[k] = serve.AppendEvalFrame(nil, name, [][]float64{x})
-		}
-	case *protocol == "bin":
-		bodies = make([][]byte, 64)
-		for k := range bodies {
-			batch := make([][]float64, *points)
-			for j := range batch {
-				batch[j] = xs[(k**points+j)%pool]
+	renderBodies := func(proto string) [][]byte {
+		var bodies [][]byte
+		switch {
+		case proto == "bin" && *mode == "single":
+			bodies = make([][]byte, pool)
+			for k, x := range xs {
+				bodies[k] = serve.AppendEvalFrame(nil, name, [][]float64{x})
 			}
-			bodies[k] = serve.AppendEvalFrame(nil, name, batch)
-		}
-	case *mode == "single":
-		bodies = make([][]byte, pool)
-		for k, x := range xs {
-			bodies[k], _ = json.Marshal(map[string]any{"grid": name, "point": x})
-		}
-	default:
-		bodies = make([][]byte, 64)
-		for k := range bodies {
-			batch := make([][]float64, *points)
-			for j := range batch {
-				batch[j] = xs[(k**points+j)%pool]
+		case proto == "bin":
+			bodies = make([][]byte, 64)
+			for k := range bodies {
+				batch := make([][]float64, *points)
+				for j := range batch {
+					batch[j] = xs[(k**points+j)%pool]
+				}
+				bodies[k] = serve.AppendEvalFrame(nil, name, batch)
 			}
-			bodies[k], _ = json.Marshal(map[string]any{"grid": name, "points": batch})
+		case *mode == "single":
+			bodies = make([][]byte, pool)
+			for k, x := range xs {
+				bodies[k], _ = json.Marshal(map[string]any{"grid": name, "point": x})
+			}
+		default:
+			bodies = make([][]byte, 64)
+			for k := range bodies {
+				batch := make([][]float64, *points)
+				for j := range batch {
+					batch[j] = xs[(k**points+j)%pool]
+				}
+				bodies[k], _ = json.Marshal(map[string]any{"grid": name, "points": batch})
+			}
 		}
+		return bodies
 	}
-	url := *base + "/v1/eval"
-	contentType := "application/json"
-	if *mode == "batch" {
-		url = *base + "/v1/eval/batch"
+	// One bodySet per wire protocol in play; workers index into it.
+	type bodySet struct {
+		proto       string
+		path        string
+		contentType string
+		bodies      [][]byte
 	}
-	if *protocol == "bin" {
-		url = *base + "/v1/eval/bin"
-		contentType = serve.BinContentType
+	pathFor := func(proto string) (string, string) {
+		if proto == "bin" {
+			return "/v1/eval/bin", serve.BinContentType
+		}
+		if *mode == "batch" {
+			return "/v1/eval/batch", "application/json"
+		}
+		return "/v1/eval", "application/json"
+	}
+	var sets []bodySet
+	protos := []string{*protocol}
+	if *protocol == "mix" {
+		protos = []string{"json", "bin"}
+	}
+	for _, proto := range protos {
+		path, ct := pathFor(proto)
+		sets = append(sets, bodySet{proto: proto, path: path, contentType: ct, bodies: renderBodies(proto)})
 	}
 
-	before, beforeOK := scrapeBatchStats(client, *base)
+	type snapshot struct {
+		st batchStats
+		ok bool
+	}
+	before := make([]snapshot, len(targets))
+	for i, t := range targets {
+		before[i].st, before[i].ok = scrapeBatchStats(client, t)
+	}
 
 	var (
 		next     atomic.Int64
@@ -136,20 +179,29 @@ func run(args []string, stdout io.Writer) error {
 		wg       sync.WaitGroup
 	)
 	latencies := make([][]time.Duration, *conc)
+	mixRand := rand.New(rand.NewSource(*seed))
+	workerSet := make([]int, *conc)
+	for w := range workerSet {
+		if len(sets) > 1 {
+			workerSet[w] = mixRand.Intn(len(sets))
+		}
+	}
 	start := time.Now()
 	for w := 0; w < *conc; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			set := sets[workerSet[w]]
+			url := targets[w%len(targets)] + set.path
 			lat := make([]time.Duration, 0, *n / *conc + 1)
 			for {
 				k := next.Add(1) - 1
 				if k >= int64(*n) {
 					break
 				}
-				body := bodies[int(k)%len(bodies)]
+				body := set.bodies[int(k)%len(set.bodies)]
 				t0 := time.Now()
-				resp, err := client.Post(url, contentType, bytes.NewReader(body))
+				resp, err := client.Post(url, set.contentType, bytes.NewReader(body))
 				if err != nil {
 					errCount.Add(1)
 					continue
@@ -186,7 +238,8 @@ func run(args []string, stdout io.Writer) error {
 		sum += d
 	}
 
-	fmt.Fprintf(stdout, "grid %q (d=%d)  mode=%s  protocol=%s  c=%d\n", name, dim, *mode, *protocol, *conc)
+	fmt.Fprintf(stdout, "grid %q (d=%d)  mode=%s  protocol=%s  c=%d  targets=%d\n",
+		name, dim, *mode, *protocol, *conc, len(targets))
 	fmt.Fprintf(stdout, "requests   %d ok, %d errors in %.2fs\n", len(all), errCount.Load(), wall.Seconds())
 	fmt.Fprintf(stdout, "throughput %.0f req/s, %.0f points/s\n",
 		float64(len(all))/wall.Seconds(), float64(pts)/wall.Seconds())
@@ -196,12 +249,26 @@ func run(args []string, stdout io.Writer) error {
 		fmtDur(quantile(all, 0.95)), fmtDur(quantile(all, 0.99)),
 		fmtDur(all[len(all)-1]))
 
-	if after, afterOK := scrapeBatchStats(client, *base); beforeOK && afterOK && after.count > before.count {
-		mean := (after.sum - before.sum) / float64(after.count-before.count)
-		fmt.Fprintf(stdout, "server     mean dispatched batch size %.1f (%d batches)\n",
-			mean, after.count-before.count)
+	// Batch-size deltas aggregate across every target (each shard
+	// dispatches its own micro-batches).
+	var dSum float64
+	var dCount uint64
+	for i, t := range targets {
+		if !before[i].ok {
+			continue
+		}
+		if after, ok := scrapeBatchStats(client, t); ok && after.count > before[i].st.count {
+			dSum += after.sum - before[i].st.sum
+			dCount += after.count - before[i].st.count
+		}
 	}
-	if *traces {
+	if dCount > 0 {
+		fmt.Fprintf(stdout, "server     mean dispatched batch size %.1f (%d batches across %d target(s))\n",
+			dSum/float64(dCount), dCount, len(targets))
+	}
+	// The per-stage report reads one server's trace ring; with several
+	// targets the rings tell several interleaved stories, so skip it.
+	if *traces && len(targets) == 1 && *protocol != "mix" {
 		handler := "eval"
 		if *mode == "batch" {
 			handler = "batch"
@@ -209,7 +276,7 @@ func run(args []string, stdout io.Writer) error {
 		if *protocol == "bin" {
 			handler = "eval_bin"
 		}
-		reportStages(client, *base, handler, stdout)
+		reportStages(client, targets[0], handler, stdout)
 	}
 	return nil
 }

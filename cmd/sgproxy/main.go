@@ -1,0 +1,167 @@
+// Command sgproxy is the sharded-serving front door: it terminates
+// client HTTP/JSON and binary-frame evaluation requests, routes each
+// grid name to its owning sgserve shard through a consistent-hash
+// ring, and forwards upstream over persistent connections speaking the
+// binary frame protocol regardless of the client's protocol — so JSON
+// clients get sharding without paying a JSON re-encode on the inner
+// hop.
+//
+//	sgproxy -shard s0=127.0.0.1:8177 -shard s1=127.0.0.1:8178
+//	sgproxy -addr :8170 -replicas 2 -shard s0=... -shard s1=... -shard s2=...
+//
+// Endpoints:
+//
+//	POST /v1/eval        JSON single point; forwarded as a binary frame
+//	POST /v1/eval/batch  JSON batch; forwarded as a binary frame
+//	POST /v1/eval/bin    binary frame; forwarded verbatim (zero-copy route)
+//	GET  /v1/grids       relayed from the first healthy shard
+//	GET  /healthz        proxy + per-shard health detail (JSON)
+//	GET  /metrics        Prometheus text exposition (sgproxy_*)
+//	GET  /debug/traces   recent request traces (JSON)
+//	GET  /admin/topology current topology
+//	POST /admin/topology swap in a strictly newer topology (epoch-ordered)
+//
+// Failover: each grid name is assigned to -replicas distinct shards.
+// Shard health is tracked actively (periodic /healthz probes) and
+// passively (a circuit breaker fed by request failures); an
+// evaluation that hits a dead shard is retried on the next replica —
+// evaluations are idempotent, so the retry is always safe. Replacing a
+// dead shard is a POST /admin/topology with a bumped epoch; routing
+// rebalances atomically and surviving shards keep their warm
+// connection pools.
+//
+// Run the shards with -trusted-proxies covering this proxy's address
+// so the X-Request-Id the proxy propagates survives the shard's own
+// middleware and one client request is traceable in every hop's
+// /debug/traces.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"compactsg/internal/serve/middleware"
+	"compactsg/internal/shard"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sgproxy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sgproxy", flag.ContinueOnError)
+	addr := fs.String("addr", ":8170", "listen address")
+	epoch := fs.Uint64("epoch", 1, "epoch of the initial topology")
+	replicas := fs.Int("replicas", 2, "distinct shards each grid name is assigned to (primary + failover)")
+	vnodes := fs.Int("vnodes", shard.DefaultVirtualNodes, "virtual nodes per shard on the hash ring")
+	retries := fs.Int("retries", 0, "upstream attempts beyond the first (0 = replicas-1)")
+	upstreamTimeout := fs.Duration("upstream-timeout", 10*time.Second, "timeout per upstream attempt")
+	healthInterval := fs.Duration("health-interval", 250*time.Millisecond, "period between /healthz probes of each shard")
+	healthTimeout := fs.Duration("health-timeout", time.Second, "timeout per health probe")
+	breakerFails := fs.Int("breaker-fails", 3, "consecutive request failures that open a shard's circuit breaker")
+	breakerCooloff := fs.Duration("breaker-cooloff", 500*time.Millisecond, "how long an open breaker sidelines a shard")
+	maxBody := fs.Int64("max-body", 1<<20, "max client request body bytes")
+	traceRing := fs.Int("trace-ring", 256, "recent request traces retained for /debug/traces (0 disables tracing)")
+	trustedProxies := fs.String("trusted-proxies", "", "comma-separated CIDRs whose X-Request-Id headers are trusted")
+	readTimeout := fs.Duration("read-timeout", 30*time.Second, "max time to read a full request including the body")
+	idleTimeout := fs.Duration("idle-timeout", 120*time.Second, "max keep-alive idle time per connection")
+	var shards []shard.Shard
+	fs.Func("shard", "shard as id=host:port (repeatable)", func(v string) error {
+		id, sa, ok := strings.Cut(v, "=")
+		if !ok || id == "" || sa == "" {
+			return fmt.Errorf("-shard wants id=host:port, got %q", v)
+		}
+		shards = append(shards, shard.Shard{ID: id, Addr: sa})
+		return nil
+	})
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(shards) == 0 {
+		return errors.New("no shards: pass -shard id=host:port at least once")
+	}
+
+	topo := shard.Topology{Epoch: *epoch, Shards: shards}
+	cfg := shard.Config{
+		Replicas:        *replicas,
+		VirtualNodes:    *vnodes,
+		Retries:         *retries,
+		UpstreamTimeout: *upstreamTimeout,
+		HealthInterval:  *healthInterval,
+		HealthTimeout:   *healthTimeout,
+		BreakerFails:    *breakerFails,
+		BreakerCooloff:  *breakerCooloff,
+		MaxBodyBytes:    *maxBody,
+		ErrorLog:        slog.New(slog.NewJSONHandler(os.Stderr, nil)),
+	}
+	if *traceRing > 0 {
+		cfg.TraceRing = *traceRing
+	} else {
+		cfg.TraceRing = -1
+	}
+	p, err := shard.New(cfg, topo)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	p.Start()
+
+	proxies, err := middleware.ParseProxies(*trustedProxies)
+	if err != nil {
+		return fmt.Errorf("-trusted-proxies: %w", err)
+	}
+	handler := middleware.Chain(p.Handler(),
+		middleware.RequestID(proxies),
+		middleware.RealIP(proxies),
+	)
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *upstreamTimeout*time.Duration(*retries+2) + 5*time.Second,
+		IdleTimeout:       *idleTimeout,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("routing %d shard(s), epoch %d, replicas=%d vnodes=%d on %s",
+			len(shards), *epoch, *replicas, *vnodes, *addr)
+		for _, s := range shards {
+			log.Printf("shard %q at %s", s.ID, s.Addr)
+		}
+		if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Print("shutting down: draining connections")
+	sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return err
+	}
+	p.Close()
+	return nil
+}

@@ -79,6 +79,7 @@ func run(args []string) error {
 	rateLimit := fs.Float64("rate-limit", 0, "per-caller request rate cap in req/s (0 = unlimited); keyed by API-key name, else client IP")
 	rateBurst := fs.Int("rate-burst", 0, "rate-limit burst capacity (0 = 2×rate, min 1)")
 	trustedProxies := fs.String("trusted-proxies", "", "comma-separated CIDRs whose X-Forwarded-For / X-Request-Id headers are trusted")
+	shardID := fs.String("shard-id", "", "shard identity when fronted by sgproxy (reported by /healthz?detail=1 and sgserve_shard_info)")
 	corsOrigin := fs.String("cors-origin", "", "comma-separated allowed CORS origins (\"*\" allows any; empty disables CORS)")
 	readTimeout := fs.Duration("read-timeout", 30*time.Second, "max time to read a full request including the body")
 	writeTimeout := fs.Duration("write-timeout", 0, "max time to write a response (0 = request timeout + 5s slack)")
@@ -109,6 +110,7 @@ func run(args []string) error {
 		MaxBatchPoints: *maxPoints,
 		RequestTimeout: *timeout,
 		TraceSample:    *traceSample,
+		ShardID:        *shardID,
 		ErrorLog:       slog.New(slog.NewJSONHandler(os.Stderr, nil)),
 	}
 	// Config treats 0 as "default ring"; the flag treats 0 as "off".
@@ -226,6 +228,7 @@ func run(args []string) error {
 		ReadTimeout:       *readTimeout,
 		WriteTimeout:      wt,
 		IdleTimeout:       *idleTimeout,
+		ConnState:         srv.ConnState, // feeds sgserve_open_connections
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -77,6 +77,9 @@ type config struct {
 	timeout    time.Duration
 	workers    int
 	protocol   string
+	shardChaos bool
+	shardCount int
+	replicas   int
 }
 
 func run(args []string) error {
@@ -99,6 +102,9 @@ func run(args []string) error {
 	fs.DurationVar(&cfg.timeout, "timeout", 10*time.Second, "per-request timeout for hot/cold workers")
 	fs.IntVar(&cfg.workers, "workers", 2, "evaluation worker pool per grid (0 = auto: GOMAXPROCS)")
 	fs.StringVar(&cfg.protocol, "protocol", "mix", "wire protocol for eval traffic: json, bin, or mix (each request flips a coin)")
+	fs.BoolVar(&cfg.shardChaos, "shard-chaos", false, "run the sharded-proxy chaos scenario instead: kill and replace a shard mid-traffic behind an in-process sgproxy")
+	fs.IntVar(&cfg.shardCount, "shard-count", 3, "shards behind the proxy in -shard-chaos")
+	fs.IntVar(&cfg.replicas, "replicas", 2, "replica assignment per grid name in -shard-chaos")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -107,6 +113,15 @@ func run(args []string) error {
 	}
 	if cfg.grids < 2 {
 		return fmt.Errorf("-grids must be at least 2 (one hot, one churning)")
+	}
+	if cfg.shardChaos {
+		if cfg.shardCount < 3 {
+			return fmt.Errorf("-shard-chaos needs at least 3 shards (one dies mid-run)")
+		}
+		if cfg.replicas < 2 {
+			return fmt.Errorf("-shard-chaos needs -replicas >= 2 (failover must have somewhere to go)")
+		}
+		return shardChaos(cfg)
 	}
 	return stress(cfg)
 }

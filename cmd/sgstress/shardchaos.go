@@ -1,0 +1,387 @@
+// Shard-chaos scenario: a three-shard sgproxy deployment under
+// continuous verified traffic while one shard is hard-killed and later
+// replaced. Everything runs in this process so the whole scenario —
+// proxy routing, upstream pooling, breaker trips, topology swap — is
+// visible to the race detector; the proxy still reaches the shards
+// over real TCP, so connection death behaves like production. The
+// separate scripts/proxy_demo.sh covers the real-binaries,
+// real-processes version of the same story.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"compactsg"
+	"compactsg/internal/core"
+	"compactsg/internal/serve"
+	"compactsg/internal/serve/metrics"
+	"compactsg/internal/shard"
+)
+
+// shardProc is one in-process "shard": a serve.Server behind a real
+// TCP listener, so the proxy's persistent connections die for real
+// when the shard is killed.
+type shardProc struct {
+	id   string
+	addr string
+	srv  *serve.Server
+	hs   *http.Server
+}
+
+func startShard(id string, gridFiles map[string]string, cfg config) (*shardProc, error) {
+	srv := serve.New(serve.Config{
+		Workers:        cfg.workers,
+		MaxResident:    len(gridFiles), // chaos targets shard death, not LRU churn
+		Coalesce:       true,
+		MaxBatch:       cfg.maxBatch,
+		BatchWait:      cfg.batchWait,
+		RequestTimeout: cfg.timeout,
+		ShardID:        id,
+	})
+	for name, path := range gridFiles {
+		if err := srv.AddGrid(name, path); err != nil {
+			srv.Close()
+			return nil, err
+		}
+	}
+	if err := srv.Preload(); err != nil {
+		srv.Close()
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler(), ConnState: srv.ConnState}
+	go hs.Serve(ln) //nolint:errcheck // ErrServerClosed on kill
+	return &shardProc{id: id, addr: ln.Addr().String(), srv: srv, hs: hs}, nil
+}
+
+// kill hard-closes the listener and every open connection — the
+// in-process equivalent of the process dying mid-request.
+func (s *shardProc) kill() {
+	s.hs.Close()
+	s.srv.Close()
+}
+
+func shardChaos(cfg config) error {
+	goroutinesBefore := runtime.NumGoroutine()
+	dir, err := os.MkdirTemp("", "sgstress-shard")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// One grid file set shared by every shard (in production each shard
+	// registers the same artifact store).
+	gridFiles := make(map[string]string, cfg.grids)
+	refs := make(map[string]*compactsg.Grid, cfg.grids)
+	names := make([]string, 0, cfg.grids)
+	for k := 0; k < cfg.grids; k++ {
+		name := fmt.Sprintf("g%d", k)
+		path, ref, err := writeGridFile(dir, name, cfg.dim, cfg.level, float64(k+1))
+		if err != nil {
+			return err
+		}
+		gridFiles[name] = path
+		refs[name] = ref
+		names = append(names, name)
+	}
+
+	shards := make([]*shardProc, cfg.shardCount)
+	for i := range shards {
+		if shards[i], err = startShard(fmt.Sprintf("s%d", i), gridFiles, cfg); err != nil {
+			return err
+		}
+	}
+
+	topo := shard.Topology{Epoch: 1}
+	for _, s := range shards {
+		topo.Shards = append(topo.Shards, shard.Shard{ID: s.id, Addr: s.addr})
+	}
+	p, err := shard.New(shard.Config{
+		Replicas:        cfg.replicas,
+		UpstreamTimeout: cfg.timeout,
+		HealthInterval:  100 * time.Millisecond,
+		HealthTimeout:   500 * time.Millisecond,
+		BreakerFails:    2,
+		BreakerCooloff:  200 * time.Millisecond,
+	}, topo)
+	if err != nil {
+		return err
+	}
+	p.Start()
+	h := p.Handler()
+
+	post := func(path, contentType, reqID string, body []byte) *httptest.ResponseRecorder {
+		req := httptest.NewRequest("POST", path, strings.NewReader(string(body)))
+		req.Header.Set("Content-Type", contentType)
+		if reqID != "" {
+			req.Header.Set("X-Request-Id", reqID)
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+	scrapeProxy := func() string {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+		return rec.Body.String()
+	}
+
+	reg := metrics.NewRegistry()
+	trafficStats := newStats(reg, "chaos_seconds")
+	var okCount, errCount, reqCount atomic.Uint64
+	fail := &firstErr{}
+
+	ctx, stop := context.WithTimeout(context.Background(), cfg.duration)
+	defer stop()
+	var wg sync.WaitGroup
+
+	// Traffic: every worker verifies every value against the reference
+	// grid. A non-200 during chaos is budgeted; a wrong value never is.
+	workerCount := cfg.hot + cfg.cold
+	for w := 0; w < workerCount; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + int64(w)))
+			for ctx.Err() == nil {
+				name := names[rng.Intn(len(names))]
+				ref := refs[name]
+				x := make([]float64, cfg.dim)
+				for t := range x {
+					x[t] = rng.Float64()
+				}
+				reqID := fmt.Sprintf("chaos-%d-%d", w, reqCount.Add(1))
+				var got float64
+				var code int
+				var bodyText string
+				start := time.Now()
+				switch rng.Intn(3) {
+				case 0: // binary frame, forwarded verbatim
+					rec := post("/v1/eval/bin", serve.BinContentType, reqID,
+						serve.AppendEvalFrame(nil, name, [][]float64{x}))
+					code, bodyText = rec.Code, rec.Body.String()
+					if code == http.StatusOK {
+						vals, err := serve.ParseValuesFrame(rec.Body.Bytes())
+						if err != nil || len(vals) != 1 {
+							fail.set(fmt.Errorf("worker %d: bad values frame (%d bytes): %v", w, rec.Body.Len(), err))
+							return
+						}
+						got = vals[0]
+					}
+				case 1: // JSON single point, re-encoded at the proxy
+					body, _ := json.Marshal(map[string]any{"grid": name, "point": x})
+					rec := post("/v1/eval", "application/json", reqID, body)
+					code, bodyText = rec.Code, rec.Body.String()
+					if code == http.StatusOK {
+						var resp struct {
+							Value float64 `json:"value"`
+						}
+						if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+							fail.set(fmt.Errorf("worker %d: bad eval body %q: %v", w, bodyText, err))
+							return
+						}
+						got = resp.Value
+					}
+				default: // JSON batch (the point is verified via its slot)
+					body, _ := json.Marshal(map[string]any{"grid": name, "points": [][]float64{x, x}})
+					rec := post("/v1/eval/batch", "application/json", reqID, body)
+					code, bodyText = rec.Code, rec.Body.String()
+					if code == http.StatusOK {
+						var resp struct {
+							Values []float64 `json:"values"`
+						}
+						if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil || len(resp.Values) != 2 {
+							fail.set(fmt.Errorf("worker %d: bad batch body %q: %v", w, bodyText, err))
+							return
+						}
+						if resp.Values[0] != resp.Values[1] {
+							fail.set(fmt.Errorf("worker %d: identical points answered %g and %g", w, resp.Values[0], resp.Values[1]))
+							return
+						}
+						got = resp.Values[0]
+					}
+				}
+				trafficStats.observe(time.Since(start))
+				if code != http.StatusOK {
+					errCount.Add(1)
+					continue
+				}
+				want, err := ref.Evaluate(x)
+				if err != nil {
+					fail.set(err)
+					return
+				}
+				if math.Abs(got-want) > 1e-9 {
+					fail.set(fmt.Errorf("worker %d: grid %s at %v: got %g want %g — failover served a wrong value", w, name, x, got, want))
+					return
+				}
+				okCount.Add(1)
+			}
+		}(w)
+	}
+
+	// Chaos controller: kill the middle shard a third in, resurrect it
+	// (same ID, fresh port) another third in, and require the proxy to
+	// route traffic to the replacement within 2s of the epoch bump.
+	victim := shards[1]
+	var replacement *shardProc
+	var recoveryTook time.Duration
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		third := cfg.duration / 3
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(third):
+		}
+		victim.kill()
+
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(third):
+		}
+		repl, err := startShard(victim.id, gridFiles, cfg)
+		if err != nil {
+			fail.set(fmt.Errorf("restarting shard %s: %w", victim.id, err))
+			return
+		}
+		replacement = repl
+		victimSeries := fmt.Sprintf(`sgproxy_upstream_requests_total{shard=%q}`, victim.id)
+		before := metricValue(scrapeProxy(), victimSeries)
+
+		newTopo := shard.Topology{Epoch: 2}
+		for _, s := range shards {
+			a := s.addr
+			if s.id == victim.id {
+				a = repl.addr
+			}
+			newTopo.Shards = append(newTopo.Shards, shard.Shard{ID: s.id, Addr: a})
+		}
+		body, _ := json.Marshal(newTopo)
+		bump := time.Now()
+		rec := post("/admin/topology", "application/json", "", body)
+		if rec.Code != http.StatusOK {
+			fail.set(fmt.Errorf("topology bump: status %d body %s", rec.Code, strings.TrimSpace(rec.Body.String())))
+			return
+		}
+		for {
+			if now := metricValue(scrapeProxy(), victimSeries); now != before && now != "?" {
+				recoveryTook = time.Since(bump)
+				return
+			}
+			if time.Since(bump) > 2*time.Second {
+				fail.set(fmt.Errorf("replacement shard %s got no traffic within 2s of the epoch bump", victim.id))
+				return
+			}
+			select {
+			case <-ctx.Done():
+				fail.set(fmt.Errorf("run ended before the replacement shard saw traffic (raise -duration)"))
+				return
+			case <-time.After(20 * time.Millisecond):
+			}
+		}
+	}()
+
+	wg.Wait()
+	stop()
+
+	// The proxy must have converged: epoch 2, every shard available.
+	hrec := httptest.NewRecorder()
+	h.ServeHTTP(hrec, httptest.NewRequest("GET", "/healthz", nil))
+	var health struct {
+		Status string `json:"status"`
+		Epoch  uint64 `json:"epoch"`
+		Shards []struct {
+			ID          string `json:"id"`
+			Healthy     bool   `json:"healthy"`
+			BreakerOpen bool   `json:"breaker_open"`
+		} `json:"shards"`
+	}
+	if err := json.Unmarshal(hrec.Body.Bytes(), &health); err != nil {
+		fail.set(fmt.Errorf("proxy /healthz unparseable: %v", err))
+	} else {
+		if health.Epoch != 2 {
+			fail.set(fmt.Errorf("proxy still routes epoch %d after the bump", health.Epoch))
+		}
+		for _, s := range health.Shards {
+			if !s.Healthy || s.BreakerOpen {
+				fail.set(fmt.Errorf("shard %s not recovered after chaos: healthy=%v breaker_open=%v", s.ID, s.Healthy, s.BreakerOpen))
+			}
+		}
+	}
+	mtext := scrapeProxy()
+
+	p.Close()
+	shards[0].kill()
+	shards[2].kill()
+	if replacement != nil {
+		replacement.kill()
+	}
+	leak := checkGoroutines(goroutinesBefore)
+	var mapLeak error
+	if n := settleMappings(); n != 0 {
+		mapLeak = fmt.Errorf("closed shards leaked %d snapshot mappings", n)
+	}
+
+	ok, errs := okCount.Load(), errCount.Load()
+	total := ok + errs
+	fmt.Printf("sgstress: shard chaos — %d shards, replicas=%d, %d grids, %s traffic, GOMAXPROCS=%d\n",
+		cfg.shardCount, cfg.replicas, cfg.grids, cfg.duration, runtime.GOMAXPROCS(0))
+	fmt.Printf("  traffic: %s\n", trafficStats.line())
+	fmt.Printf("  requests: %d ok, %d failed (shard killed at T+%s, replaced at T+%s)\n",
+		ok, errs, cfg.duration/3, 2*cfg.duration/3)
+	if recoveryTook > 0 {
+		fmt.Printf("  recovery: replacement serving %s after the epoch bump\n", recoveryTook.Round(time.Millisecond))
+	}
+	fmt.Printf("  proxy: retries=%s failovers=%s upstream-failures(victim)=%s open-conns=%s\n",
+		metricValue(mtext, "sgproxy_retries_total"),
+		metricValue(mtext, "sgproxy_failovers_total"),
+		metricValueOr(mtext, fmt.Sprintf(`sgproxy_upstream_failures_total{shard=%q}`, victim.id), "0"),
+		metricValue(mtext, "sgproxy_upstream_open_connections"))
+	fmt.Printf("  mappings now=%d\n", core.ActiveMappings())
+
+	if err := fail.get(); err != nil {
+		return err
+	}
+	if leak != nil {
+		return leak
+	}
+	if mapLeak != nil {
+		return mapLeak
+	}
+	if ok == 0 {
+		return fmt.Errorf("no request succeeded; chaos never served traffic")
+	}
+	// With -replicas failover candidates every kill-window request gets
+	// retried onto a live shard, so client-visible failures should be a
+	// thin sliver: the in-flight requests at the instant of the kill
+	// plus breaker races. Budget 1%% of traffic (min 20 requests).
+	budget := total / 100
+	if budget < 20 {
+		budget = 20
+	}
+	if errs > budget {
+		return fmt.Errorf("%d of %d requests failed; exceeds the failover budget of %d — retries are not absorbing the shard death", errs, total, budget)
+	}
+	fmt.Println("  PASS")
+	return nil
+}

@@ -72,6 +72,7 @@ func StageNames() []string { return append([]string(nil), stageNames[:]...) }
 type Span struct {
 	tracer  *Tracer
 	id      uint64
+	extID   string
 	handler string
 	grid    string
 	points  int
@@ -90,6 +91,16 @@ func (s *Span) ID() uint64 {
 		return 0
 	}
 	return s.id
+}
+
+// SetExtID records the externally assigned request ID (the
+// X-Request-Id header a proxy propagated), so one client request is
+// findable in every hop's /debug/traces under the same ID even though
+// each process numbers its spans independently.
+func (s *Span) SetExtID(id string) {
+	if s != nil {
+		s.extID = id
+	}
 }
 
 // Begin marks the start of a stage on the owning goroutine.
@@ -206,6 +217,7 @@ func (s *Span) Finish() {
 	if s.id%uint64(t.sampleEvery) == 0 {
 		tr := &Trace{
 			ID:      s.id,
+			ExtID:   s.extID,
 			Handler: s.handler,
 			Grid:    s.grid,
 			Points:  s.points,
@@ -234,6 +246,7 @@ func (s *Span) Finish() {
 // it again, so readers need no synchronization beyond the pointer load.
 type Trace struct {
 	ID      uint64    `json:"id"`
+	ExtID   string    `json:"ext_id,omitempty"`
 	Handler string    `json:"handler"`
 	Grid    string    `json:"grid,omitempty"`
 	Points  int       `json:"points,omitempty"`

@@ -237,6 +237,24 @@ func AppendEvalFrame(dst []byte, grid string, pts [][]float64) []byte {
 	return dst
 }
 
+// FrameGridName returns the grid-name bytes of a request frame without
+// decoding the coordinate block — just enough for a routing layer
+// (cmd/sgproxy) to pick the owning shard before forwarding the frame
+// verbatim. The returned slice aliases raw.
+func FrameGridName(raw []byte) ([]byte, error) {
+	if len(raw) < 2 {
+		return nil, errFrameTruncated
+	}
+	nameLen := int(binary.LittleEndian.Uint16(raw))
+	if nameLen > binMaxName {
+		return nil, errFrameName
+	}
+	if len(raw) < 2+nameLen {
+		return nil, errFrameTruncated
+	}
+	return raw[2 : 2+nameLen], nil
+}
+
 // ParseValuesFrame decodes a /v1/eval/bin response frame.
 func ParseValuesFrame(data []byte) ([]float64, error) {
 	if len(data) < 8 {

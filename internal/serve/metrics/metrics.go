@@ -163,7 +163,8 @@ func (v *CounterVec) With(values ...string) *Counter {
 
 // A Gauge is a float64 that can go up and down.
 type Gauge struct {
-	bits atomic.Uint64
+	bits   atomic.Uint64
+	labels string
 }
 
 // Set stores v.
@@ -184,20 +185,72 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 type gaugeFamily struct {
 	fname, help string
-	g           *Gauge
+	g           *Gauge // nil for a vec
+	labels      []string
+	mu          sync.Mutex
+	children    map[string]*Gauge
 }
 
 func (f *gaugeFamily) name() string { return f.fname }
 
 func (f *gaugeFamily) write(w io.Writer) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
-		f.fname, f.help, f.fname, f.fname, formatFloat(f.g.Value()))
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", f.fname, f.help, f.fname)
+	if f.g != nil {
+		fmt.Fprintf(w, "%s %s\n", f.fname, formatFloat(f.g.Value()))
+		return
+	}
+	for _, g := range f.sorted() {
+		fmt.Fprintf(w, "%s%s %s\n", f.fname, g.labels, formatFloat(g.Value()))
+	}
+}
+
+func (f *gaugeFamily) sorted() []*Gauge {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*Gauge, len(keys))
+	for i, k := range keys {
+		out[i] = f.children[k]
+	}
+	return out
 }
 
 // NewGauge registers and returns a gauge.
 func (r *Registry) NewGauge(name, help string) *Gauge {
 	g := &Gauge{}
 	r.register(&gaugeFamily{fname: name, help: help, g: g})
+	return g
+}
+
+// A GaugeVec is a gauge family partitioned by one or more labels.
+type GaugeVec struct{ f *gaugeFamily }
+
+// NewGaugeVec registers a gauge family with the given label names (at
+// least one).
+func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	if len(labels) == 0 {
+		panic("metrics: NewGaugeVec needs at least one label")
+	}
+	f := &gaugeFamily{fname: name, help: help, labels: labels, children: make(map[string]*Gauge)}
+	r.register(f)
+	return &GaugeVec{f: f}
+}
+
+// With returns (creating on first use) the child for the label values,
+// given in registration order.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	key := childKey(v.f.fname, v.f.labels, values)
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	g, ok := v.f.children[key]
+	if !ok {
+		g = &Gauge{labels: labelPairs(v.f.labels, values)}
+		v.f.children[key] = g
+	}
 	return g
 }
 

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	"runtime/debug"
 	"strconv"
@@ -60,6 +61,11 @@ type Config struct {
 	// the default). Spans and stage metrics cover every request
 	// regardless; sampling bounds only ring publication.
 	TraceSample int
+	// ShardID, when non-empty, labels this server as one shard of a
+	// sgproxy-fronted deployment: it is reported by /healthz?detail=1
+	// and exported as sgserve_shard_info{shard_id="..."} so scrapes from
+	// many shards can be told apart after aggregation.
+	ShardID string
 	// AccessLog, when non-nil, receives one structured line per request
 	// (request ID, handler, grid, points, status, stage breakdown).
 	AccessLog *slog.Logger
@@ -158,6 +164,7 @@ type serverMetrics struct {
 	drainsTotal *metrics.Counter
 	panics      *metrics.Counter
 	writeErrs   *metrics.Counter
+	openConns   *metrics.Gauge
 	// stageSecs holds the sgserve_stage_seconds children pre-resolved
 	// per stage so the per-request observation path takes no vec-map
 	// lock.
@@ -209,6 +216,12 @@ func New(cfg Config) *Server {
 		drainsTotal: r.NewCounter("sgserve_batcher_drains_total", "Batchers drained and closed after their grid instance was evicted or replaced."),
 		panics:      r.NewCounter("sgserve_panics_total", "Handler panics recovered by the instrumentation wrapper (each answered with a 500)."),
 		writeErrs:   r.NewCounter("sgserve_write_errors_total", "Response bodies that failed mid-write (client gone, connection reset): the client saw a truncated response despite the logged status."),
+		openConns:   r.NewGauge("sgserve_open_connections", "TCP connections currently open on the server (accepted and not yet closed or hijacked); wire http.Server.ConnState to Server.ConnState to feed it."),
+	}
+	if cfg.ShardID != "" {
+		r.NewGaugeVec("sgserve_shard_info",
+			"Constant 1, labeled with this server's shard ID so per-shard scrapes stay distinguishable after aggregation.",
+			"shard_id").With(cfg.ShardID).Set(1)
 	}
 	stageVec := r.NewHistogramVec("sgserve_stage_seconds",
 		"Per-request time spent in each serving stage (decode, validate, load, load_wait, queue_wait, dispatch, eval, encode), in seconds.",
@@ -218,10 +231,7 @@ func New(cfg Config) *Server {
 	}
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /metrics", r.Handler())
 	mux.Handle("GET /debug/traces", s.tracer.Handler())
 	mux.HandleFunc("GET /v1/grids", s.instrument("grids", s.handleGrids))
@@ -230,6 +240,42 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/eval/bin", s.instrumentRaw("eval_bin", "bin", s.handleEvalBin))
 	s.mux = mux
 	return s
+}
+
+// handleHealthz answers liveness probes. The default body stays the
+// plain "ok" line (scripts grep for it); ?detail=1 switches to a JSON
+// document with the shard identity and registry occupancy that
+// sgproxy operators read when deciding which shard is misbehaving.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("detail") == "" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, struct {
+		Status   string `json:"status"`
+		ShardID  string `json:"shard_id,omitempty"`
+		Resident int    `json:"resident"`
+		Grids    int    `json:"grids"`
+	}{
+		Status:   "ok",
+		ShardID:  s.cfg.ShardID,
+		Resident: s.grids.ResidentCount(),
+		Grids:    len(s.grids.Info()),
+	})
+}
+
+// ConnState maintains the sgserve_open_connections gauge; wire it as
+// http.Server.ConnState. Hijacked connections leave the count — the
+// server no longer owns them — and net/http fires StateClosed only for
+// connections it still owns, so the pairing stays balanced.
+func (s *Server) ConnState(_ net.Conn, st http.ConnState) {
+	switch st {
+	case http.StateNew:
+		s.met.openConns.Add(1)
+	case http.StateClosed, http.StateHijacked:
+		s.met.openConns.Add(-1)
+	}
 }
 
 // AddGrid registers a compressed grid file under name.
@@ -450,6 +496,13 @@ func (s *Server) instrumentRaw(name, protocol string, h func(http.ResponseWriter
 			// (proxy-propagated) request ID; keep it if so.
 			if w.Header().Get("X-Request-Id") == "" {
 				w.Header().Set("X-Request-Id", strconv.FormatUint(sp.ID(), 10))
+			}
+			// Record the inbound request ID too, so a proxied request is
+			// findable in this shard's /debug/traces under the same ID
+			// the proxy logged (requires the proxy to be listed in
+			// -trusted-proxies, or the middleware replaces the header).
+			if ext := r.Header.Get("X-Request-Id"); ext != "" {
+				sp.SetExtID(ext)
 			}
 			r = r.WithContext(obs.NewContext(r.Context(), sp))
 		}

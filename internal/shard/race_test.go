@@ -1,0 +1,8 @@
+//go:build race
+
+package shard
+
+// raceEnabled reports that this binary was built with -race, whose
+// instrumentation allocates and makes sync.Pool drop items at random —
+// both of which break steady-state allocation accounting.
+const raceEnabled = true

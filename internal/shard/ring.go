@@ -1,0 +1,209 @@
+// Package shard is the horizontal-scale layer over the single-process
+// evaluation server: a consistent-hash ring that assigns grid names to
+// sgserve shards, a topology snapshot with an epoch counter so routing
+// can be swapped atomically when shards join or die, and the routing
+// proxy (Proxy, cmd/sgproxy) that terminates client HTTP/JSON and
+// binary-frame requests and forwards them upstream over persistent
+// connections speaking the binary protocol.
+//
+// The design leans on two properties earlier PRs bought: SGC2 mmap
+// cold loads at ~0.4ms make shard failover cheap (a replacement shard
+// pages in its assignment in well under a second), and the binary
+// frame protocol makes the extra proxy hop a frame copy instead of a
+// JSON round trip.
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// A Shard is one sgserve backend.
+type Shard struct {
+	// ID names the shard stably across address changes ("s0", "s1").
+	// Ring placement hashes the ID, so a replacement shard that reuses
+	// a dead shard's ID inherits its assignment exactly — the cheap
+	// failover path — while a fresh ID triggers a 1/n rebalance.
+	ID string `json:"id"`
+	// Addr is the shard's host:port (no scheme; upstream connections
+	// speak HTTP/1.1 over plain TCP).
+	Addr string `json:"addr"`
+}
+
+// A Topology is an immutable snapshot of the shard set. Epoch orders
+// snapshots: the router only ever moves to a strictly newer epoch, so
+// a delayed or replayed update can never roll routing back.
+type Topology struct {
+	Epoch  uint64  `json:"epoch"`
+	Shards []Shard `json:"shards"`
+}
+
+// Validate checks a topology for structural problems before it is
+// allowed to become the routing state.
+func (t Topology) Validate() error {
+	if len(t.Shards) == 0 {
+		return fmt.Errorf("shard: topology %d has no shards", t.Epoch)
+	}
+	// OwnersInto tracks visited shards in a uint64 bitmask; 64 shards
+	// is far beyond what one proxy should front anyway.
+	if len(t.Shards) > 64 {
+		return fmt.Errorf("shard: topology %d has %d shards, max 64", t.Epoch, len(t.Shards))
+	}
+	ids := make(map[string]bool, len(t.Shards))
+	for _, s := range t.Shards {
+		if s.ID == "" || s.Addr == "" {
+			return fmt.Errorf("shard: topology %d has a shard with empty id or addr", t.Epoch)
+		}
+		if ids[s.ID] {
+			return fmt.Errorf("shard: topology %d repeats shard id %q", t.Epoch, s.ID)
+		}
+		ids[s.ID] = true
+	}
+	return nil
+}
+
+// DefaultVirtualNodes is the per-shard vnode count. 128 points per
+// shard keeps the keyspace share within a few percent of uniform for
+// small clusters while the ring (n·128 entries) stays cache-resident.
+const DefaultVirtualNodes = 128
+
+// mix64 is the murmur3 64-bit finalizer. Raw FNV-1a over short,
+// nearly-identical keys (vnode labels "s0#0".."s0#127") leaves its
+// outputs correlated enough that one shard can end up owning half the
+// circle; the avalanche pass makes the arc lengths behave like uniform
+// draws (TestRingBalance pins this).
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// fnv1a is finalized FNV-1a 64 over b, inlined so ring lookups hash
+// wire-decoded name bytes without converting them to a string (no
+// allocation on the forwarding hot path).
+func fnv1a(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return mix64(h)
+}
+
+// fnv1aString is fnv1a for string keys (vnode labels at build time).
+func fnv1aString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return mix64(h)
+}
+
+// A Ring maps grid names to shards by consistent hashing: every shard
+// contributes vnodes points on a 64-bit circle, a name routes to the
+// first point clockwise of its hash, and the replica set is the first
+// n distinct shards continuing clockwise. Rings are immutable once
+// built; topology changes build a new Ring and swap it in atomically.
+type Ring struct {
+	topo   Topology
+	hashes []uint64 // sorted vnode positions
+	owner  []int32  // hashes[i] belongs to topo.Shards[owner[i]]
+}
+
+// NewRing builds the ring for t with the given vnodes per shard
+// (<=0 takes DefaultVirtualNodes). Vnode positions depend only on
+// shard IDs, so every proxy that sees the same topology routes
+// identically — the assignment is deterministic, not seeded.
+func NewRing(t Topology, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	r := &Ring{
+		topo:   t,
+		hashes: make([]uint64, 0, len(t.Shards)*vnodes),
+		owner:  make([]int32, 0, len(t.Shards)*vnodes),
+	}
+	type point struct {
+		h     uint64
+		shard int32
+	}
+	pts := make([]point, 0, len(t.Shards)*vnodes)
+	for si, s := range t.Shards {
+		for v := 0; v < vnodes; v++ {
+			h := fnv1aString(s.ID + "#" + strconv.Itoa(v))
+			pts = append(pts, point{h, int32(si)})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].h != pts[j].h {
+			return pts[i].h < pts[j].h
+		}
+		// Ties broken by shard index so the order is fully determined
+		// by the topology (hash collisions are astronomically rare but
+		// must not make two proxies disagree).
+		return pts[i].shard < pts[j].shard
+	})
+	for _, p := range pts {
+		r.hashes = append(r.hashes, p.h)
+		r.owner = append(r.owner, p.shard)
+	}
+	return r
+}
+
+// Topology returns the snapshot the ring was built from.
+func (r *Ring) Topology() Topology { return r.topo }
+
+// OwnersInto appends the indices (into Topology().Shards) of the first
+// n distinct shards owning name, in preference order, to dst and
+// returns it. The primary owner comes first; the rest are the failover
+// replicas. n is clamped to the shard count. dst is reused so the
+// forwarding hot path does not allocate.
+func (r *Ring) OwnersInto(dst []int, name []byte, n int) []int {
+	if n > len(r.topo.Shards) {
+		n = len(r.topo.Shards)
+	}
+	if n <= 0 || len(r.hashes) == 0 {
+		return dst
+	}
+	h := fnv1a(name)
+	// First vnode clockwise of h (wrapping).
+	i := sort.Search(len(r.hashes), func(k int) bool { return r.hashes[k] >= h })
+	if i == len(r.hashes) {
+		i = 0
+	}
+	var seen uint64 // bitmask over shard indices; topologies are small
+	for k := 0; k < len(r.hashes) && n > 0; k++ {
+		s := r.owner[(i+k)%len(r.hashes)]
+		if seen&(1<<uint(s)) != 0 {
+			continue
+		}
+		seen |= 1 << uint(s)
+		dst = append(dst, int(s))
+		n--
+	}
+	return dst
+}
+
+// Owner returns the primary shard for name (convenience over
+// OwnersInto for callers off the hot path).
+func (r *Ring) Owner(name string) Shard {
+	var buf [1]int
+	out := r.OwnersInto(buf[:0], []byte(name), 1)
+	if len(out) == 0 {
+		return Shard{}
+	}
+	return r.topo.Shards[out[0]]
+}

@@ -1,0 +1,181 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func topoN(n int) Topology {
+	t := Topology{Epoch: 1}
+	for i := 0; i < n; i++ {
+		t.Shards = append(t.Shards, Shard{ID: fmt.Sprintf("s%d", i), Addr: fmt.Sprintf("127.0.0.1:%d", 9000+i)})
+	}
+	return t
+}
+
+func randNames(seed int64, n int) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	names := make([][]byte, n)
+	for i := range names {
+		names[i] = []byte(fmt.Sprintf("grid-%d-%d", rng.Int63(), i))
+	}
+	return names
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		topo Topology
+		ok   bool
+	}{
+		{"good", topoN(3), true},
+		{"single shard", topoN(1), true},
+		{"max shards", topoN(64), true},
+		{"empty", Topology{Epoch: 1}, false},
+		{"over the bitmask cap", topoN(65), false},
+		{"empty id", Topology{Shards: []Shard{{ID: "", Addr: "a:1"}}}, false},
+		{"empty addr", Topology{Shards: []Shard{{ID: "s0", Addr: ""}}}, false},
+		{"duplicate id", Topology{Shards: []Shard{{ID: "s0", Addr: "a:1"}, {ID: "s0", Addr: "a:2"}}}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.topo.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+// TestRingDeterministicAcrossShardOrder: routing must depend only on
+// shard IDs, never on the order shards were listed — two proxies
+// handed the same topology in different orders must agree on every
+// assignment, or a sharded deployment double-serves grids.
+func TestRingDeterministicAcrossShardOrder(t *testing.T) {
+	topo := topoN(5)
+	reversed := Topology{Epoch: 1, Shards: make([]Shard, len(topo.Shards))}
+	for i, s := range topo.Shards {
+		reversed.Shards[len(topo.Shards)-1-i] = s
+	}
+	a := NewRing(topo, 0)
+	b := NewRing(reversed, 0)
+	for _, name := range randNames(1, 2000) {
+		var bufA, bufB [3]int
+		oa := a.OwnersInto(bufA[:0], name, 3)
+		ob := b.OwnersInto(bufB[:0], name, 3)
+		for k := range oa {
+			if a.Topology().Shards[oa[k]].ID != b.Topology().Shards[ob[k]].ID {
+				t.Fatalf("name %q replica %d: %s vs %s depending on shard order",
+					name, k, a.Topology().Shards[oa[k]].ID, b.Topology().Shards[ob[k]].ID)
+			}
+		}
+	}
+}
+
+// TestOwnersDistinct: the replica set must be n distinct shards with
+// the primary first, clamped at the shard count.
+func TestOwnersDistinct(t *testing.T) {
+	r := NewRing(topoN(5), 0)
+	for _, name := range randNames(2, 1000) {
+		var buf [8]int
+		owners := r.OwnersInto(buf[:0], name, 3)
+		if len(owners) != 3 {
+			t.Fatalf("name %q: %d owners, want 3", name, len(owners))
+		}
+		seen := map[int]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("name %q: duplicate owner %d in %v", name, o, owners)
+			}
+			seen[o] = true
+		}
+		if got := r.Owner(string(name)); got.ID != r.Topology().Shards[owners[0]].ID {
+			t.Fatalf("name %q: Owner() = %s, OwnersInto primary = %s",
+				name, got.ID, r.Topology().Shards[owners[0]].ID)
+		}
+		// Asking for more replicas than shards clamps.
+		if all := r.OwnersInto(buf[:0], name, 99); len(all) != 5 {
+			t.Fatalf("name %q: %d owners for n=99 over 5 shards", name, len(all))
+		}
+	}
+}
+
+// TestConsistentHashingMinimalMovement is the property the ring exists
+// for: adding a shard to n must move only ~1/(n+1) of the keyspace,
+// and every moved name must move TO the new shard — a name whose old
+// owner survives must keep it.
+func TestConsistentHashingMinimalMovement(t *testing.T) {
+	before := NewRing(topoN(4), 0)
+	after5 := topoN(5)
+	after5.Epoch = 2
+	after := NewRing(after5, 0)
+
+	names := randNames(3, 10000)
+	moved := 0
+	for _, name := range names {
+		oldOwner := before.Owner(string(name)).ID
+		newOwner := after.Owner(string(name)).ID
+		if oldOwner == newOwner {
+			continue
+		}
+		moved++
+		if newOwner != "s4" {
+			t.Fatalf("name %q moved %s → %s, but only the new shard s4 may gain names", name, oldOwner, newOwner)
+		}
+	}
+	// Expect ~1/5 = 2000 moved; vnode variance keeps it loose.
+	frac := float64(moved) / float64(len(names))
+	if frac < 0.10 || frac > 0.35 {
+		t.Fatalf("%.1f%% of names moved when growing 4 → 5 shards; want ≈20%%", 100*frac)
+	}
+}
+
+// TestReplacementInheritsAssignment: ring placement hashes shard IDs,
+// not addresses, so a replacement shard reusing a dead shard's ID at a
+// new address inherits its assignment exactly — the cheap failover
+// path the proxy's topology bump relies on.
+func TestReplacementInheritsAssignment(t *testing.T) {
+	orig := topoN(3)
+	repl := topoN(3)
+	repl.Epoch = 2
+	repl.Shards[1].Addr = "127.0.0.1:19999"
+	a, b := NewRing(orig, 0), NewRing(repl, 0)
+	for _, name := range randNames(4, 2000) {
+		var bufA, bufB [3]int
+		oa := a.OwnersInto(bufA[:0], name, 2)
+		ob := b.OwnersInto(bufB[:0], name, 2)
+		for k := range oa {
+			if oa[k] != ob[k] {
+				t.Fatalf("name %q: assignment changed when only an address changed: %v vs %v", name, oa, ob)
+			}
+		}
+	}
+}
+
+// TestRingBalance: with the default vnode count, no shard's share of a
+// large random keyspace should stray wildly from uniform.
+func TestRingBalance(t *testing.T) {
+	const shards = 4
+	r := NewRing(topoN(shards), 0)
+	counts := make([]int, shards)
+	names := randNames(5, 20000)
+	for _, name := range names {
+		var buf [1]int
+		counts[r.OwnersInto(buf[:0], name, 1)[0]]++
+	}
+	want := float64(len(names)) / shards
+	for i, c := range counts {
+		if ratio := float64(c) / want; ratio < 0.5 || ratio > 1.6 {
+			t.Fatalf("shard %d owns %d of %d names (%.2f× uniform); ring badly unbalanced: %v",
+				i, c, len(names), ratio, counts)
+		}
+	}
+}
+
+func BenchmarkOwnersInto(b *testing.B) {
+	r := NewRing(topoN(8), 0)
+	name := []byte("benchmark-grid-name")
+	var buf [2]int
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.OwnersInto(buf[:0], name, 2)
+	}
+}

@@ -1,0 +1,439 @@
+package shard
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"compactsg/internal/serve"
+	"compactsg/internal/serve/metrics"
+)
+
+// An upstream is the proxy's view of one shard: a pool of persistent
+// TCP connections speaking HTTP/1.1 binary frames, plus the shard's
+// health state (active /healthz verdict and the passive circuit
+// breaker fed by request failures).
+//
+// The round trip is hand-rolled instead of going through net/http
+// because the forwarding hot path must not allocate: request headers
+// are appended into the caller's pooled buffer, the response head is
+// parsed from the connection's bufio window in place, and the body
+// lands in another pooled buffer. net/http's client allocates a
+// Request, a Response, header maps and body wrappers per call.
+type upstream struct {
+	shard Shard
+	dial  func(addr string) (net.Conn, error)
+
+	mu     sync.Mutex
+	idle   []*upConn
+	closed bool
+
+	// Passive circuit breaker: consecFails counts consecutive request
+	// failures; once it reaches the threshold the breaker opens until
+	// openUntil (unixnano). A success closes it again.
+	consecFails atomic.Int32
+	openUntil   atomic.Int64
+
+	// Active health: the poller's last /healthz verdict. Starts true so
+	// a shard is routable before the first poll completes.
+	unhealthy atomic.Bool
+
+	// Pre-resolved per-shard metric children so the hot path never
+	// takes the metric-vec map lock.
+	metReq   *metrics.Counter
+	metFail  *metrics.Counter
+	metConns *metrics.Gauge // shared gauge counting live upstream conns
+}
+
+// maxIdlePerShard bounds the idle pool; extra connections returned
+// beyond it are closed rather than hoarded.
+const maxIdlePerShard = 64
+
+type upConn struct {
+	c  net.Conn
+	br *bufio.Reader
+}
+
+func newUpstream(s Shard, dial func(string) (net.Conn, error), conns *metrics.Gauge) *upstream {
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 2*time.Second)
+		}
+	}
+	return &upstream{shard: s, dial: dial, metConns: conns}
+}
+
+// available reports whether the shard should be offered traffic:
+// actively healthy and breaker closed (or cooled off).
+func (u *upstream) available(now time.Time) bool {
+	return !u.unhealthy.Load() && now.UnixNano() >= u.openUntil.Load()
+}
+
+// fail records one request failure toward the breaker.
+func (u *upstream) fail(threshold int32, cooloff time.Duration) {
+	if u.consecFails.Add(1) >= threshold {
+		u.openUntil.Store(time.Now().Add(cooloff).UnixNano())
+		// Leave consecFails at the threshold so one more failure after
+		// the cooloff re-opens immediately (classic half-open probe:
+		// the first request through gets to prove the shard back).
+		u.consecFails.Store(threshold)
+	}
+}
+
+// success closes the breaker.
+func (u *upstream) success() {
+	u.consecFails.Store(0)
+	u.openUntil.Store(0)
+}
+
+// get returns a pooled idle connection or dials a fresh one.
+func (u *upstream) get() (*upConn, error) {
+	u.mu.Lock()
+	if n := len(u.idle); n > 0 {
+		c := u.idle[n-1]
+		u.idle = u.idle[:n-1]
+		u.mu.Unlock()
+		return c, nil
+	}
+	closed := u.closed
+	u.mu.Unlock()
+	if closed {
+		return nil, errors.New("shard: upstream closed")
+	}
+	c, err := u.dial(u.shard.Addr)
+	if err != nil {
+		return nil, err
+	}
+	u.metConns.Add(1)
+	return &upConn{c: c, br: bufio.NewReaderSize(c, 4096)}, nil
+}
+
+// put returns a healthy keep-alive connection to the pool.
+func (u *upstream) put(c *upConn) {
+	u.mu.Lock()
+	if !u.closed && len(u.idle) < maxIdlePerShard {
+		u.idle = append(u.idle, c)
+		u.mu.Unlock()
+		return
+	}
+	u.mu.Unlock()
+	u.discard(c)
+}
+
+// discard closes a connection that must not be reused.
+func (u *upstream) discard(c *upConn) {
+	c.c.Close()
+	u.metConns.Add(-1)
+}
+
+// close drains the idle pool. In-flight connections are discarded as
+// they come back (put refuses them once closed).
+func (u *upstream) close() {
+	u.mu.Lock()
+	idle := u.idle
+	u.idle = nil
+	u.closed = true
+	u.mu.Unlock()
+	for _, c := range idle {
+		u.discard(c)
+	}
+}
+
+// rtBuf carries the pooled buffers one upstream round trip needs; the
+// proxy embeds it in its per-request buffer set.
+type rtBuf struct {
+	wbuf []byte // request head
+	resp []byte // response body
+	// respBin reports whether the response body is a binary values
+	// frame (Content-Type matched) as opposed to a JSON error body.
+	respBin bool
+}
+
+var (
+	errStatusLine = errors.New("shard: upstream sent a malformed status line")
+	errHeaders    = errors.New("shard: upstream sent malformed headers")
+	errBodyLen    = errors.New("shard: upstream response has no usable length")
+)
+
+// roundTrip POSTs frame to the shard's /v1/eval/bin over a pooled
+// persistent connection and reads the full response into b.resp. It
+// returns the upstream HTTP status; transport-level problems (dial,
+// write, read, parse) come back as errors and the connection is
+// discarded. reqID, when non-empty, is propagated as X-Request-Id so
+// the request is traceable in the shard's /debug/traces too.
+func (u *upstream) roundTrip(b *rtBuf, frame []byte, reqID string, deadline time.Time) (int, error) {
+	c, err := u.get()
+	if err != nil {
+		return 0, err
+	}
+	status, reuse, err := u.exchange(c, b, frame, reqID, deadline)
+	if err != nil {
+		u.discard(c)
+		return 0, err
+	}
+	if reuse {
+		u.put(c)
+	} else {
+		u.discard(c)
+	}
+	return status, nil
+}
+
+func (u *upstream) exchange(c *upConn, b *rtBuf, frame []byte, reqID string, deadline time.Time) (status int, reuse bool, err error) {
+	if err := c.c.SetDeadline(deadline); err != nil {
+		return 0, false, err
+	}
+	w := b.wbuf[:0]
+	w = append(w, "POST /v1/eval/bin HTTP/1.1\r\nHost: "...)
+	w = append(w, u.shard.Addr...)
+	w = append(w, "\r\nContent-Type: "...)
+	w = append(w, serve.BinContentType...)
+	w = append(w, "\r\nContent-Length: "...)
+	w = strconv.AppendInt(w, int64(len(frame)), 10)
+	if reqID != "" {
+		w = append(w, "\r\nX-Request-Id: "...)
+		w = append(w, reqID...)
+	}
+	w = append(w, "\r\n\r\n"...)
+	b.wbuf = w
+	if _, err := c.c.Write(w); err != nil {
+		return 0, false, err
+	}
+	if _, err := c.c.Write(frame); err != nil {
+		return 0, false, err
+	}
+
+	// Status line: "HTTP/1.1 200 OK".
+	line, err := readLine(c.br)
+	if err != nil {
+		return 0, false, err
+	}
+	if len(line) < 12 || string(line[:7]) != "HTTP/1." {
+		return 0, false, errStatusLine
+	}
+	status = 0
+	for _, d := range line[9:12] {
+		if d < '0' || d > '9' {
+			return 0, false, errStatusLine
+		}
+		status = status*10 + int(d-'0')
+	}
+
+	// Headers.
+	contentLength := int64(-1)
+	chunked := false
+	connClose := false
+	b.respBin = false
+	for {
+		line, err := readLine(c.br)
+		if err != nil {
+			return 0, false, err
+		}
+		if len(line) == 0 {
+			break
+		}
+		k, v, ok := splitHeader(line)
+		if !ok {
+			return 0, false, errHeaders
+		}
+		switch {
+		case asciiEqualFold(k, "content-length"):
+			// Parsed byte-wise: strconv.ParseInt(string(v), ...) would
+			// heap-allocate the string on every response.
+			n, ok := parseDecimal(v)
+			if !ok {
+				return 0, false, errHeaders
+			}
+			contentLength = n
+		case asciiEqualFold(k, "transfer-encoding"):
+			chunked = asciiEqualFold(v, "chunked")
+		case asciiEqualFold(k, "connection"):
+			connClose = asciiEqualFold(v, "close")
+		case asciiEqualFold(k, "content-type"):
+			b.respBin = len(v) >= len(serve.BinContentType) &&
+				asciiEqualFold(v[:len(serve.BinContentType)], serve.BinContentType)
+		}
+	}
+
+	// Body.
+	b.resp = b.resp[:0]
+	switch {
+	case chunked:
+		b.resp, err = readChunked(c.br, b.resp)
+		if err != nil {
+			return 0, false, err
+		}
+	case contentLength >= 0:
+		b.resp, err = readN(c.br, b.resp, contentLength)
+		if err != nil {
+			return 0, false, err
+		}
+	case status == 204 || status == 304:
+		// No body by definition.
+	default:
+		// Identity encoding without a length means read-until-close;
+		// sgserve never does that, so treat it as a broken upstream
+		// rather than stalling a pooled connection on it.
+		return 0, false, errBodyLen
+	}
+	return status, !connClose, nil
+}
+
+// readLine reads one CRLF- (or LF-) terminated line, returning it
+// without the terminator. The returned slice aliases the bufio buffer
+// and is valid only until the next read. Lines longer than the buffer
+// are an error (sgserve's response heads are far smaller).
+func readLine(br *bufio.Reader) ([]byte, error) {
+	line, err := br.ReadSlice('\n')
+	if err != nil {
+		if errors.Is(err, bufio.ErrBufferFull) {
+			return nil, errHeaders
+		}
+		return nil, err
+	}
+	line = line[:len(line)-1]
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line, nil
+}
+
+// parseDecimal parses a non-negative base-10 integer from b without
+// converting it to a string.
+func parseDecimal(b []byte) (int64, bool) {
+	if len(b) == 0 || len(b) > 18 {
+		return 0, false
+	}
+	var n int64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int64(c-'0')
+	}
+	return n, true
+}
+
+// splitHeader splits "Key: value" with optional whitespace.
+func splitHeader(line []byte) (k, v []byte, ok bool) {
+	for i, c := range line {
+		if c == ':' {
+			k = line[:i]
+			v = line[i+1:]
+			for len(v) > 0 && (v[0] == ' ' || v[0] == '\t') {
+				v = v[1:]
+			}
+			for len(v) > 0 && (v[len(v)-1] == ' ' || v[len(v)-1] == '\t') {
+				v = v[:len(v)-1]
+			}
+			return k, v, true
+		}
+	}
+	return nil, nil, false
+}
+
+// asciiEqualFold reports ASCII case-insensitive equality of b and s.
+func asciiEqualFold[T []byte | string](b T, s string) bool {
+	if len(b) != len(s) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		cb, cs := b[i], s[i]
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if 'A' <= cs && cs <= 'Z' {
+			cs += 'a' - 'A'
+		}
+		if cb != cs {
+			return false
+		}
+	}
+	return true
+}
+
+// maxUpstreamBody bounds one response body; matches the server-side
+// request cap order of magnitude so a broken upstream cannot balloon
+// the pooled buffers.
+const maxUpstreamBody = 16 << 20
+
+// readN appends exactly n bytes from br to dst.
+func readN(br *bufio.Reader, dst []byte, n int64) ([]byte, error) {
+	if n > maxUpstreamBody {
+		return dst, fmt.Errorf("shard: upstream response of %d bytes exceeds the %d cap", n, maxUpstreamBody)
+	}
+	need := len(dst) + int(n)
+	if cap(dst) < need {
+		grown := make([]byte, len(dst), need)
+		copy(grown, dst)
+		dst = grown
+	}
+	for int64(len(dst)) < int64(need) {
+		chunk := dst[len(dst):need]
+		m, err := br.Read(chunk)
+		dst = dst[:len(dst)+m]
+		if err != nil {
+			return dst, err
+		}
+	}
+	return dst, nil
+}
+
+// readChunked decodes a chunked body into dst. Only error bodies ever
+// arrive chunked (success frames carry Content-Length), so this path
+// is not allocation-sensitive.
+func readChunked(br *bufio.Reader, dst []byte) ([]byte, error) {
+	for {
+		line, err := readLine(br)
+		if err != nil {
+			return dst, err
+		}
+		// Chunk size is hex, possibly followed by extensions.
+		size := int64(0)
+		for _, c := range line {
+			var d int64
+			switch {
+			case c >= '0' && c <= '9':
+				d = int64(c - '0')
+			case c >= 'a' && c <= 'f':
+				d = int64(c-'a') + 10
+			case c >= 'A' && c <= 'F':
+				d = int64(c-'A') + 10
+			case c == ';':
+				goto sized
+			default:
+				return dst, errHeaders
+			}
+			size = size*16 + d
+			if size > maxUpstreamBody {
+				return dst, errBodyLen
+			}
+		}
+	sized:
+		if size == 0 {
+			// Trailer section: read until the blank line.
+			for {
+				line, err := readLine(br)
+				if err != nil {
+					return dst, err
+				}
+				if len(line) == 0 {
+					return dst, nil
+				}
+			}
+		}
+		if dst, err = readN(br, dst, size); err != nil {
+			return dst, err
+		}
+		if line, err = readLine(br); err != nil {
+			return dst, err
+		} else if len(line) != 0 {
+			return dst, errHeaders
+		}
+	}
+}
