@@ -128,12 +128,26 @@ func run(args []string) error {
 		middleware.RealIP(proxies),
 	)
 
+	// WriteTimeout must outlast the worst-case failover chain, so resolve
+	// the -retries sentinel (0 = replicas-1 effective retries) the same
+	// way shard.Config does before sizing it.
+	effReplicas := *replicas
+	if effReplicas < 1 {
+		effReplicas = 2
+	}
+	effRetries := *retries
+	switch {
+	case effRetries < 0:
+		effRetries = 0
+	case effRetries == 0:
+		effRetries = effReplicas - 1
+	}
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       *readTimeout,
-		WriteTimeout:      *upstreamTimeout*time.Duration(*retries+2) + 5*time.Second,
+		WriteTimeout:      *upstreamTimeout*time.Duration(effRetries+2) + 5*time.Second,
 		IdleTimeout:       *idleTimeout,
 	}
 

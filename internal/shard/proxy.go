@@ -32,7 +32,8 @@ type Config struct {
 	VirtualNodes int
 	// Retries is how many additional shards are tried after the first
 	// attempt fails (evaluations are idempotent, so replica retry is
-	// always safe). Default Replicas-1.
+	// always safe). Zero means the default, Replicas-1; to disable
+	// retries entirely pass a negative value.
 	Retries int
 	// UpstreamTimeout bounds one upstream attempt. Default 10s.
 	UpstreamTimeout time.Duration
@@ -505,8 +506,14 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 }
 
 // relayUpstream writes the upstream's response (binary values frame or
-// JSON error body) to the client verbatim.
-func (p *Proxy) relayUpstream(w http.ResponseWriter, sp *obs.Span, pb *proxyBuf, status int) {
+// JSON error body) to the client verbatim. Relayed error statuses are
+// counted toward sgproxy_errors_total here because they return nil from
+// the handler and never take instrument's error path.
+func (p *Proxy) relayUpstream(w http.ResponseWriter, sp *obs.Span, pb *proxyBuf, handler string, status int) {
+	if status >= 400 {
+		// Off the 2xx hot path, so the vec lookup's map lock is fine.
+		p.met.errors.With(handler).Inc()
+	}
 	sp.SetStatus(status)
 	sp.Begin(obs.StageEncode)
 	if pb.rt.respBin {
@@ -552,7 +559,7 @@ func (p *Proxy) handleEvalBin(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return errorf(http.StatusBadGateway, "no shard answered for grid %q: %v", name, err)
 	}
-	p.relayUpstream(w, sp, pb, status)
+	p.relayUpstream(w, sp, pb, "eval_bin", status)
 	return nil
 }
 
@@ -584,7 +591,7 @@ func (p *Proxy) handleEvalJSON(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	if status != http.StatusOK {
-		p.relayUpstream(w, sp, pb, status)
+		p.relayUpstream(w, sp, pb, "eval", status)
 		return nil
 	}
 	if len(vals) != 1 {
@@ -616,7 +623,7 @@ func (p *Proxy) handleBatchJSON(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	if status != http.StatusOK {
-		p.relayUpstream(w, sp, pb, status)
+		p.relayUpstream(w, sp, pb, "batch", status)
 		return nil
 	}
 	p.met.points.Add(uint64(len(vals)))

@@ -196,6 +196,9 @@ func TestProxyRelaysUpstreamErrors(t *testing.T) {
 	if got := p.met.retries.Value(); got != 0 {
 		t.Fatalf("a 404 caused %d retries; client errors must not burn the failover budget", got)
 	}
+	if got := p.met.errors.With("eval_bin").Value(); got != 1 {
+		t.Fatalf("sgproxy_errors_total{eval_bin} = %d after a relayed 404, want 1 (relayed errors are client-visible failures)", got)
+	}
 }
 
 // TestProxyFailover: with one of three shards dead, every request must

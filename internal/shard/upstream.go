@@ -54,9 +54,16 @@ type upstream struct {
 // beyond it are closed rather than hoarded.
 const maxIdlePerShard = 64
 
+// idleConnTTL bounds how long a pooled connection may sit idle before
+// get refuses to reuse it. Kept well below sgserve's default keep-alive
+// IdleTimeout (120s) so the proxy drops idle sockets before the shard
+// closes them out from under the pool.
+const idleConnTTL = 30 * time.Second
+
 type upConn struct {
-	c  net.Conn
-	br *bufio.Reader
+	c        net.Conn
+	br       *bufio.Reader
+	lastUsed time.Time // stamped on put; entries idle past idleConnTTL are discarded
 }
 
 func newUpstream(s Shard, dial func(string) (net.Conn, error), conns *metrics.Gauge) *upstream {
@@ -91,20 +98,37 @@ func (u *upstream) success() {
 	u.openUntil.Store(0)
 }
 
-// get returns a pooled idle connection or dials a fresh one.
-func (u *upstream) get() (*upConn, error) {
+// get returns a pooled idle connection or dials a fresh one. pooled
+// reports whether the connection was reused from the idle pool — a
+// reused connection may have been closed by the shard's keep-alive
+// idle timeout since its last use, so the caller treats its failures
+// differently from a fresh connection's.
+func (u *upstream) get() (c *upConn, pooled bool, err error) {
+	now := time.Now()
 	u.mu.Lock()
-	if n := len(u.idle); n > 0 {
+	// The pool is LIFO, so the top entry is the most recently used; once
+	// it is past the TTL everything below it is too and the loop drains
+	// the pool. discard takes no locks and Close does not block.
+	for n := len(u.idle); n > 0; n = len(u.idle) {
 		c := u.idle[n-1]
 		u.idle = u.idle[:n-1]
-		u.mu.Unlock()
-		return c, nil
+		if now.Sub(c.lastUsed) <= idleConnTTL {
+			u.mu.Unlock()
+			return c, true, nil
+		}
+		u.discard(c)
 	}
 	closed := u.closed
 	u.mu.Unlock()
 	if closed {
-		return nil, errors.New("shard: upstream closed")
+		return nil, false, errors.New("shard: upstream closed")
 	}
+	c, err = u.dialFresh()
+	return c, false, err
+}
+
+// dialFresh opens a new connection to the shard.
+func (u *upstream) dialFresh() (*upConn, error) {
 	c, err := u.dial(u.shard.Addr)
 	if err != nil {
 		return nil, err
@@ -115,6 +139,7 @@ func (u *upstream) get() (*upConn, error) {
 
 // put returns a healthy keep-alive connection to the pool.
 func (u *upstream) put(c *upConn) {
+	c.lastUsed = time.Now()
 	u.mu.Lock()
 	if !u.closed && len(u.idle) < maxIdlePerShard {
 		u.idle = append(u.idle, c)
@@ -167,11 +192,25 @@ var (
 // discarded. reqID, when non-empty, is propagated as X-Request-Id so
 // the request is traceable in the shard's /debug/traces too.
 func (u *upstream) roundTrip(b *rtBuf, frame []byte, reqID string, deadline time.Time) (int, error) {
-	c, err := u.get()
+	c, pooled, err := u.get()
 	if err != nil {
 		return 0, err
 	}
-	status, reuse, err := u.exchange(c, b, frame, reqID, deadline)
+	status, reuse, started, err := u.exchange(c, b, frame, reqID, deadline)
+	if err != nil && pooled && !started {
+		// The pooled connection failed before a single response byte
+		// arrived — the classic signature of the shard's keep-alive idle
+		// timeout having closed it since its last use. Retry once on a
+		// freshly dialed connection before reporting a shard failure
+		// (mirrors net/http's idempotent-retry rule for reused
+		// connections), so a traffic lull doesn't turn into spurious
+		// failovers and breaker trips against healthy shards.
+		u.discard(c)
+		if c, err = u.dialFresh(); err != nil {
+			return 0, err
+		}
+		status, reuse, _, err = u.exchange(c, b, frame, reqID, deadline)
+	}
 	if err != nil {
 		u.discard(c)
 		return 0, err
@@ -184,9 +223,12 @@ func (u *upstream) roundTrip(b *rtBuf, frame []byte, reqID string, deadline time
 	return status, nil
 }
 
-func (u *upstream) exchange(c *upConn, b *rtBuf, frame []byte, reqID string, deadline time.Time) (status int, reuse bool, err error) {
+// exchange runs one request/response on c. started reports whether any
+// response byte was received before a failure; a reused connection that
+// fails with started=false is retried on a fresh dial by roundTrip.
+func (u *upstream) exchange(c *upConn, b *rtBuf, frame []byte, reqID string, deadline time.Time) (status int, reuse, started bool, err error) {
 	if err := c.c.SetDeadline(deadline); err != nil {
-		return 0, false, err
+		return 0, false, false, err
 	}
 	w := b.wbuf[:0]
 	w = append(w, "POST /v1/eval/bin HTTP/1.1\r\nHost: "...)
@@ -202,24 +244,25 @@ func (u *upstream) exchange(c *upConn, b *rtBuf, frame []byte, reqID string, dea
 	w = append(w, "\r\n\r\n"...)
 	b.wbuf = w
 	if _, err := c.c.Write(w); err != nil {
-		return 0, false, err
+		return 0, false, false, err
 	}
 	if _, err := c.c.Write(frame); err != nil {
-		return 0, false, err
+		return 0, false, false, err
 	}
 
 	// Status line: "HTTP/1.1 200 OK".
 	line, err := readLine(c.br)
 	if err != nil {
-		return 0, false, err
+		return 0, false, false, err
 	}
+	started = true
 	if len(line) < 12 || string(line[:7]) != "HTTP/1." {
-		return 0, false, errStatusLine
+		return 0, false, true, errStatusLine
 	}
 	status = 0
 	for _, d := range line[9:12] {
 		if d < '0' || d > '9' {
-			return 0, false, errStatusLine
+			return 0, false, true, errStatusLine
 		}
 		status = status*10 + int(d-'0')
 	}
@@ -232,14 +275,14 @@ func (u *upstream) exchange(c *upConn, b *rtBuf, frame []byte, reqID string, dea
 	for {
 		line, err := readLine(c.br)
 		if err != nil {
-			return 0, false, err
+			return 0, false, true, err
 		}
 		if len(line) == 0 {
 			break
 		}
 		k, v, ok := splitHeader(line)
 		if !ok {
-			return 0, false, errHeaders
+			return 0, false, true, errHeaders
 		}
 		switch {
 		case asciiEqualFold(k, "content-length"):
@@ -247,7 +290,7 @@ func (u *upstream) exchange(c *upConn, b *rtBuf, frame []byte, reqID string, dea
 			// heap-allocate the string on every response.
 			n, ok := parseDecimal(v)
 			if !ok {
-				return 0, false, errHeaders
+				return 0, false, true, errHeaders
 			}
 			contentLength = n
 		case asciiEqualFold(k, "transfer-encoding"):
@@ -266,12 +309,12 @@ func (u *upstream) exchange(c *upConn, b *rtBuf, frame []byte, reqID string, dea
 	case chunked:
 		b.resp, err = readChunked(c.br, b.resp)
 		if err != nil {
-			return 0, false, err
+			return 0, false, true, err
 		}
 	case contentLength >= 0:
 		b.resp, err = readN(c.br, b.resp, contentLength)
 		if err != nil {
-			return 0, false, err
+			return 0, false, true, err
 		}
 	case status == 204 || status == 304:
 		// No body by definition.
@@ -279,9 +322,9 @@ func (u *upstream) exchange(c *upConn, b *rtBuf, frame []byte, reqID string, dea
 		// Identity encoding without a length means read-until-close;
 		// sgserve never does that, so treat it as a broken upstream
 		// rather than stalling a pooled connection on it.
-		return 0, false, errBodyLen
+		return 0, false, true, errBodyLen
 	}
-	return status, !connClose, nil
+	return status, !connClose, true, nil
 }
 
 // readLine reads one CRLF- (or LF-) terminated line, returning it
@@ -415,6 +458,12 @@ func readChunked(br *bufio.Reader, dst []byte) ([]byte, error) {
 			}
 		}
 	sized:
+		// Cap the decoded total, not just each chunk, so many small
+		// chunks cannot grow the pooled buffer past what the
+		// Content-Length path would allow.
+		if size > maxUpstreamBody-int64(len(dst)) {
+			return dst, errBodyLen
+		}
 		if size == 0 {
 			// Trailer section: read until the blank line.
 			for {

@@ -1,0 +1,142 @@
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"compactsg/internal/serve/metrics"
+)
+
+func testConnGauge() *metrics.Gauge {
+	return metrics.NewRegistry().NewGauge("test_upstream_conns", "test")
+}
+
+// oneShotServer accepts connections, answers exactly one HTTP request
+// on each, then closes the connection — the shape of a shard whose
+// keep-alive idle timeout fires between the proxy's requests, leaving
+// the proxy's pooled connection dead without it knowing.
+func oneShotServer(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				req, err := http.ReadRequest(bufio.NewReader(c))
+				if err != nil {
+					return
+				}
+				io.Copy(io.Discard, req.Body)
+				req.Body.Close()
+				c.Write([]byte("HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok"))
+			}(c)
+		}
+	}()
+	return ln
+}
+
+// TestRoundTripRetriesStalePooledConn: after a shard closes a pooled
+// keep-alive connection, the next roundTrip through that pool must
+// transparently redial instead of reporting a shard failure — a
+// traffic lull must not burn the failover budget or trip breakers on
+// healthy shards.
+func TestRoundTripRetriesStalePooledConn(t *testing.T) {
+	ln := oneShotServer(t)
+	var dials atomic.Int32
+	u := newUpstream(Shard{ID: "s0", Addr: ln.Addr().String()}, func(addr string) (net.Conn, error) {
+		dials.Add(1)
+		return net.DialTimeout("tcp", addr, time.Second)
+	}, testConnGauge())
+	defer u.close()
+
+	var b rtBuf
+	frame := []byte("frame-bytes")
+	status, err := u.roundTrip(&b, frame, "", time.Now().Add(2*time.Second))
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("first roundTrip: status=%d err=%v", status, err)
+	}
+	if got := dials.Load(); got != 1 {
+		t.Fatalf("first roundTrip dialed %d times, want 1", got)
+	}
+	// The server has closed the pooled connection by now (give its
+	// Close a moment to land so the stale path is taken, not a race).
+	time.Sleep(50 * time.Millisecond)
+	status, err = u.roundTrip(&b, frame, "", time.Now().Add(2*time.Second))
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("roundTrip on a stale pooled conn: status=%d err=%v; want a silent fresh-dial retry", status, err)
+	}
+	if got := dials.Load(); got != 2 {
+		t.Fatalf("stale retry dialed %d times total, want 2 (one fresh redial)", got)
+	}
+}
+
+// TestGetDiscardsExpiredIdleConns: pool entries idle past idleConnTTL
+// must be closed and skipped, not handed out, so the pool never serves
+// sockets the shard's (longer) keep-alive timeout is about to kill.
+func TestGetDiscardsExpiredIdleConns(t *testing.T) {
+	near, far := net.Pipe()
+	defer far.Close()
+	var dials atomic.Int32
+	u := newUpstream(Shard{ID: "s0", Addr: "unused"}, func(string) (net.Conn, error) {
+		dials.Add(1)
+		c, _ := net.Pipe()
+		return c, nil
+	}, testConnGauge())
+	defer u.close()
+
+	uc := &upConn{c: near, br: bufio.NewReaderSize(near, 4096)}
+	u.metConns.Add(1) // mirror dialFresh's accounting for the hand-made conn
+	u.put(uc)
+	uc.lastUsed = time.Now().Add(-idleConnTTL - time.Second)
+
+	got, pooled, err := u.get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.discard(got)
+	if pooled || got == uc {
+		t.Fatalf("get reused an expired idle conn (pooled=%v)", pooled)
+	}
+	if dials.Load() != 1 {
+		t.Fatalf("get dialed %d times, want 1 fresh dial", dials.Load())
+	}
+	// The expired entry must have been closed, which the peer sees as EOF.
+	far.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := far.Read(make([]byte, 1)); err != io.EOF && !errors.Is(err, io.ErrClosedPipe) {
+		t.Fatalf("expired conn not closed: peer read err=%v", err)
+	}
+}
+
+// TestReadChunkedCapsTotalBody: the body cap must be cumulative across
+// chunks — many under-cap chunks must not grow the pooled buffer past
+// what the Content-Length path would allow.
+func TestReadChunkedCapsTotalBody(t *testing.T) {
+	var stream bytes.Buffer
+	chunk := bytes.Repeat([]byte{'x'}, 1<<20)
+	for i := 0; i < maxUpstreamBody/(1<<20)+1; i++ {
+		fmt.Fprintf(&stream, "%x\r\n", len(chunk))
+		stream.Write(chunk)
+		stream.WriteString("\r\n")
+	}
+	stream.WriteString("0\r\n\r\n")
+	_, err := readChunked(bufio.NewReader(&stream), nil)
+	if !errors.Is(err, errBodyLen) {
+		t.Fatalf("17 MiB of 1 MiB chunks: err=%v, want errBodyLen", err)
+	}
+}
