@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-all bench-coldload experiments examples smoke serve-demo trace-demo proxy-demo staticcheck stress fuzz clean
+.PHONY: all build vet test race bench bench-all bench-coldload experiments examples smoke serve-demo trace-demo proxy-demo swap-demo staticcheck stress fuzz clean
 
 # Per-target budget for `make fuzz` (go's -fuzztime syntax).
 FUZZTIME ?= 30s
@@ -19,7 +19,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/par/ ./internal/hier/ ./internal/eval/ ./internal/boundary/ ./internal/gpusim/ ./internal/kernels/ ./internal/obs/ ./internal/serve/ ./internal/shard/ .
+	$(GO) test -race ./internal/par/ ./internal/hier/ ./internal/eval/ ./internal/boundary/ ./internal/gpusim/ ./internal/kernels/ ./internal/obs/ ./internal/adaptive/ ./internal/serve/ ./internal/shard/ .
 
 # End-to-end smoke of the evaluation server (build, serve, curl, drain).
 smoke:
@@ -43,6 +43,13 @@ trace-demo:
 proxy-demo:
 	bash scripts/proxy_demo.sh
 
+# Online refinement end to end with real binaries: an -online sgserve
+# behind sgproxy, observations through the write relay, two refine →
+# snapshot → hot-swap rounds, monotonic version and snapshot-lifecycle
+# assertions.
+swap-demo:
+	bash scripts/swap_demo.sh
+
 # Race-hunting chaos run of the serving layer: concurrent eval across
 # more grids than resident slots, random cancellations, mid-flight
 # registry churn, inflated loads, goroutine-leak check. The median
@@ -51,6 +58,7 @@ stress:
 	$(GO) run -race ./cmd/sgstress -duration 3s
 	$(GO) run -race ./cmd/sgstress -duration 3s -load-delay 25ms -assert-hot-p50 20ms
 	$(GO) run -race ./cmd/sgstress -shard-chaos -duration 3s
+	$(GO) run -race ./cmd/sgstress -swap-chaos -duration 3s
 
 # Optional: requires staticcheck on PATH (honnef.co/go/tools).
 staticcheck:
@@ -69,6 +77,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzLoadAny$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzParallelHierIdentity$$' -fuzztime $(FUZZTIME) ./internal/hier
 	$(GO) test -run '^$$' -fuzz '^FuzzBinaryFrame$$' -fuzztime $(FUZZTIME) ./internal/serve
+	$(GO) test -run '^$$' -fuzz '^FuzzAdaptiveInvariants$$' -fuzztime $(FUZZTIME) ./internal/adaptive
 
 # Kernel hot-path benchmarks -> BENCH_kernels.json (baseline vs current;
 # see scripts/bench_kernels.sh for BENCHTIME/--as-baseline knobs).
@@ -94,6 +103,7 @@ examples:
 	$(GO) run ./examples/uq
 	$(GO) run ./examples/finance
 	$(GO) run ./examples/explorer
+	$(GO) run ./examples/steering
 
 clean:
 	$(GO) clean ./...

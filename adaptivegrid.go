@@ -66,3 +66,74 @@ func (a *AdaptiveGrid) Evaluate(x []float64) (float64, error) {
 	}
 	return a.g.Evaluate(x), nil
 }
+
+// RefineStats is the detailed outcome of one refinement step.
+type RefineStats = adaptive.RefineStats
+
+// NewAdaptiveObserved creates an adaptive grid with no captive target
+// function: values arrive through Observe instead of being sampled.
+// This is the online-steering mode — the caller measures (simulates,
+// benchmarks, queries) f at the points NeedValues asks for, feeds the
+// results back, and the surplus/commit machinery stays exact.
+func NewAdaptiveObserved(dim, initialLevel, maxLevel int) (*AdaptiveGrid, error) {
+	g, err := adaptive.NewObserved(dim, initialLevel, maxLevel)
+	if err != nil {
+		return nil, err
+	}
+	return &AdaptiveGrid{g: g}, nil
+}
+
+// Observed reports whether the grid is in observation-fed mode.
+func (a *AdaptiveGrid) Observed() bool { return a.g.Observed() }
+
+// Observe records y = f(x) at a lattice point x of the enclosing
+// sparse grid, inserting the point (with its closure ancestors) if
+// new. Only valid on observed grids.
+func (a *AdaptiveGrid) Observe(x []float64, y float64) error { return a.g.Observe(x, y) }
+
+// ObserveBatch records a batch of observations, skipping invalid
+// points instead of aborting; it returns how many applied and how many
+// were rejected (err describes the first rejection).
+func (a *AdaptiveGrid) ObserveBatch(xs [][]float64, ys []float64) (applied, rejected int, err error) {
+	return a.g.ObserveBatch(xs, ys)
+}
+
+// NeedValues lists up to limit coordinates (coarsest first) whose
+// values the grid is waiting on before more surpluses can commit.
+func (a *AdaptiveGrid) NeedValues(limit int) [][]float64 { return a.g.NeedValues(limit) }
+
+// Commit converts pending observations whose ancestors are all
+// committed into hierarchical surpluses; it returns how many committed.
+func (a *AdaptiveGrid) Commit() int { return a.g.Commit() }
+
+// RefineDetailed is Refine with the full outcome: points added,
+// candidates considered, candidates dropped at the level cap, and
+// observations committed beforehand.
+func (a *AdaptiveGrid) RefineDetailed(eps float64, maxNew int) RefineStats {
+	return a.g.RefineDetailed(eps, maxNew)
+}
+
+// CappedTotal returns how many refinement candidates have ever been
+// dropped because their children would exceed MaxLevel — the silent
+// truncation signal: a nonzero value means eps-convergence was
+// declared against a level-limited basis.
+func (a *AdaptiveGrid) CappedTotal() int { return a.g.CappedTotal() }
+
+// Export materializes the adaptive grid into the smallest enclosing
+// regular compact grid (SGC2 layout, compressed state): committed
+// surpluses land at their gp2idx slots, absent points hold zero, and
+// the interpolant is identical. The result is ready for Save /
+// WriteSnapshot and the batched evaluation paths.
+func (a *AdaptiveGrid) Export(opts ...Option) (*Grid, error) {
+	cg, err := a.g.ExportCompact()
+	if err != nil {
+		return nil, err
+	}
+	g := &Grid{g: cg, compressed: true, workers: 1}
+	for _, o := range opts {
+		if err := o(g); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

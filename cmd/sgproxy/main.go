@@ -14,6 +14,8 @@
 //	POST /v1/eval        JSON single point; forwarded as a binary frame
 //	POST /v1/eval/batch  JSON batch; forwarded as a binary frame
 //	POST /v1/eval/bin    binary frame; forwarded verbatim (zero-copy route)
+//	POST /v1/grids/{name}/observe  online observations; relayed to the owning shard
+//	POST /v1/grids/{name}/refine   refine + hot-swap trigger; relayed to the owning shard
 //	GET  /v1/grids       relayed from the first healthy shard
 //	GET  /healthz        proxy + per-shard health detail (JSON)
 //	GET  /metrics        Prometheus text exposition (sgproxy_*)
@@ -25,7 +27,10 @@
 // Shard health is tracked actively (periodic /healthz probes) and
 // passively (a circuit breaker fed by request failures); an
 // evaluation that hits a dead shard is retried on the next replica —
-// evaluations are idempotent, so the retry is always safe. Replacing a
+// evaluations are idempotent, so the retry is always safe. Write
+// traffic (observe/refine) is NOT retried: it goes to the first
+// available owner exactly once and upstream errors relay to the
+// client, which owns the retry decision. Replacing a
 // dead shard is a POST /admin/topology with a bumped epoch; routing
 // rebalances atomically and surviving shards keep their warm
 // connection pools.

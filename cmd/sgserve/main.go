@@ -12,11 +12,24 @@
 //
 //	POST /v1/eval        {"grid":"field","point":[0.5,0.25]}   → {"value":…}
 //	POST /v1/eval/batch  {"grid":"field","points":[[…],[…]]}   → {"values":[…]}
-//	GET  /v1/grids       registered grids and shapes
+//	GET  /v1/grids       registered grids, shapes and versions
 //	GET  /healthz        liveness probe
 //	GET  /metrics        Prometheus text exposition
 //	GET  /debug/traces   recent request traces with per-stage timings (JSON)
 //	GET  /debug/pprof/*  runtime profiles (with -pprof)
+//
+// With -online, grids can also be GROWN at runtime from observed
+// function values (adaptive sparse-grid refinement, PAPER.md §5):
+//
+//	POST /v1/grids/{name}/observe  {"points":[[…]],"values":[…]} → ingest observations
+//	POST /v1/grids/{name}/refine   {}                            → refine, snapshot, hot-swap
+//
+// Each refine exports the model to a compact snapshot under
+// -snapshot-dir and atomically hot-swaps it into the registry under a
+// monotonically increasing version: in-flight batches finish on the
+// old version, which unmaps after its last lease releases.
+// -refine-interval additionally runs the refine step on a timer for
+// every model with unprocessed observations.
 //
 // Observability: every request gets a span with per-stage timings
 // (decode, validate, queue_wait, dispatch, eval, encode, plus cold
@@ -80,6 +93,14 @@ func run(args []string) error {
 	rateBurst := fs.Int("rate-burst", 0, "rate-limit burst capacity (0 = 2×rate, min 1)")
 	trustedProxies := fs.String("trusted-proxies", "", "comma-separated CIDRs whose X-Forwarded-For / X-Request-Id headers are trusted")
 	shardID := fs.String("shard-id", "", "shard identity when fronted by sgproxy (reported by /healthz?detail=1 and sgserve_shard_info)")
+	online := fs.Bool("online", false, "enable online refinement: POST /v1/grids/{name}/observe + /refine grow grids at runtime")
+	onlineInitLevel := fs.Int("online-init-level", 2, "initial regular level seeded into each online model")
+	onlineMaxLevel := fs.Int("online-max-level", 8, "refinement level cap per online model")
+	onlineEps := fs.Float64("online-refine-eps", 1e-3, "surplus threshold driving online refinement")
+	onlineRefineMax := fs.Int("online-refine-max", 1024, "max points added per refine step")
+	onlineMaxPoints := fs.Int("online-max-points", 1<<20, "total point cap per online model (observe answers 507 beyond)")
+	refineInterval := fs.Duration("refine-interval", 0, "background refine+hot-swap period for dirty online models (0 = only explicit POST /refine)")
+	snapshotDir := fs.String("snapshot-dir", "", "directory for online model snapshots (default: per-process dir under $TMPDIR)")
 	corsOrigin := fs.String("cors-origin", "", "comma-separated allowed CORS origins (\"*\" allows any; empty disables CORS)")
 	readTimeout := fs.Duration("read-timeout", 30*time.Second, "max time to read a full request including the body")
 	writeTimeout := fs.Duration("write-timeout", 0, "max time to write a response (0 = request timeout + 5s slack)")
@@ -95,8 +116,8 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if len(named) == 0 && fs.NArg() == 0 {
-		return errors.New("no grids: pass .sg/.sgs files or -grid name=path")
+	if len(named) == 0 && fs.NArg() == 0 && !*online {
+		return errors.New("no grids: pass .sg/.sgs files or -grid name=path (or -online to grow grids from observations)")
 	}
 
 	cfg := serve.Config{
@@ -112,6 +133,16 @@ func run(args []string) error {
 		TraceSample:    *traceSample,
 		ShardID:        *shardID,
 		ErrorLog:       slog.New(slog.NewJSONHandler(os.Stderr, nil)),
+		Online: serve.OnlineConfig{
+			Enabled:     *online,
+			InitLevel:   *onlineInitLevel,
+			MaxLevel:    *onlineMaxLevel,
+			RefineEps:   *onlineEps,
+			RefineMax:   *onlineRefineMax,
+			MaxPoints:   *onlineMaxPoints,
+			Interval:    *refineInterval,
+			SnapshotDir: *snapshotDir,
+		},
 	}
 	// Config treats 0 as "default ring"; the flag treats 0 as "off".
 	if *traceRing > 0 {
@@ -153,6 +184,15 @@ func run(args []string) error {
 		} else {
 			log.Printf("grid %q: registered (not resident)", gi.Name)
 		}
+	}
+
+	if *online {
+		dir := *snapshotDir
+		if dir == "" {
+			dir = "(per-process tmp dir)"
+		}
+		log.Printf("online refinement: init-level=%d max-level=%d eps=%g interval=%v snapshots=%s",
+			*onlineInitLevel, *onlineMaxLevel, *onlineEps, *refineInterval, dir)
 	}
 
 	handler := srv.Handler()

@@ -80,6 +80,7 @@ type config struct {
 	shardChaos bool
 	shardCount int
 	replicas   int
+	swapChaos  bool
 }
 
 func run(args []string) error {
@@ -105,6 +106,7 @@ func run(args []string) error {
 	fs.BoolVar(&cfg.shardChaos, "shard-chaos", false, "run the sharded-proxy chaos scenario instead: kill and replace a shard mid-traffic behind an in-process sgproxy")
 	fs.IntVar(&cfg.shardCount, "shard-count", 3, "shards behind the proxy in -shard-chaos")
 	fs.IntVar(&cfg.replicas, "replicas", 2, "replica assignment per grid name in -shard-chaos")
+	fs.BoolVar(&cfg.swapChaos, "swap-chaos", false, "run the online hot-swap chaos scenario instead: concurrent observe/refine/swap vs mixed-protocol eval traffic")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -113,6 +115,9 @@ func run(args []string) error {
 	}
 	if cfg.grids < 2 {
 		return fmt.Errorf("-grids must be at least 2 (one hot, one churning)")
+	}
+	if cfg.swapChaos {
+		return swapChaos(cfg)
 	}
 	if cfg.shardChaos {
 		if cfg.shardCount < 3 {

@@ -1,0 +1,341 @@
+package main
+
+// -swap-chaos: the online write-path scenario. One in-process server
+// runs with online refinement enabled while three populations collide:
+//
+//   - a steering goroutine observes values of a known target and
+//     triggers refine → snapshot export → registry hot-swap, over and
+//     over, so grid versions churn under live traffic,
+//   - a second observer feeds concurrent observation batches into the
+//     same model (dirty-counter and model-lock contention),
+//   - eval workers hammer the swapping grid over both wire protocols
+//     and verify every 200 against the reference decode of SOME
+//     version's snapshot file — a value from no installed version means
+//     a torn swap (reader saw half-installed state).
+//
+// Versions must be strictly monotonic, no goroutine may leak, and
+// every file mapping must drain after Close: the displaced versions'
+// mappings are allowed to live exactly as long as their last lease.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"compactsg"
+	"compactsg/internal/core"
+	"compactsg/internal/serve"
+)
+
+// versionTable is the append-only ground truth: one reference grid per
+// successfully installed version, decoded from the snapshot file by
+// copy (never the server's own mapping).
+type versionTable struct {
+	mu   sync.RWMutex
+	vers []uint64
+	refs []*compactsg.Grid
+}
+
+func (vt *versionTable) add(v uint64, g *compactsg.Grid) error {
+	vt.mu.Lock()
+	defer vt.mu.Unlock()
+	if n := len(vt.vers); n > 0 && v <= vt.vers[n-1] {
+		return fmt.Errorf("version went backwards: %d after %d", v, vt.vers[n-1])
+	}
+	vt.vers = append(vt.vers, v)
+	vt.refs = append(vt.refs, g)
+	return nil
+}
+
+func (vt *versionTable) len() int {
+	vt.mu.RLock()
+	defer vt.mu.RUnlock()
+	return len(vt.vers)
+}
+
+// match reports whether got agrees with any installed version at x.
+// Old versions stay acceptable: a response that raced a swap was
+// legitimately served by a still-leased displaced instance.
+func (vt *versionTable) match(x []float64, got float64) bool {
+	vt.mu.RLock()
+	defer vt.mu.RUnlock()
+	for _, ref := range vt.refs {
+		want, err := ref.Evaluate(x)
+		if err == nil && math.Abs(got-want) <= 1e-9 {
+			return true
+		}
+	}
+	return false
+}
+
+func swapChaos(cfg config) error {
+	goroutinesBefore := runtime.NumGoroutine()
+	dir, err := os.MkdirTemp("", "sgstress-swap")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	const name = "live"
+	srv := serve.New(serve.Config{
+		Workers:        cfg.workers,
+		Coalesce:       true,
+		MaxBatch:       cfg.maxBatch,
+		BatchWait:      cfg.batchWait,
+		RequestTimeout: cfg.timeout,
+		Online: serve.OnlineConfig{
+			Enabled:     true,
+			InitLevel:   2,
+			MaxLevel:    cfg.level,
+			RefineEps:   1e-9, // refine everything the budget allows
+			RefineMax:   512,
+			SnapshotDir: dir,
+		},
+	})
+	h := srv.Handler()
+
+	f := func(x []float64) float64 {
+		p := 1.0
+		for _, v := range x {
+			p *= 4 * v * (1 - v)
+		}
+		return p
+	}
+	// Every lattice point of the level cap's regular grid is a valid
+	// observation target for the model.
+	desc, err := core.NewDescriptor(cfg.dim, cfg.level)
+	if err != nil {
+		return err
+	}
+	var validPts [][]float64
+	desc.VisitPoints(func(_ int64, l, i []int32) {
+		x := make([]float64, cfg.dim)
+		core.Coords(l, i, x)
+		validPts = append(validPts, x)
+	})
+
+	vt := &versionTable{}
+	fail := &firstErr{}
+	var observed, swaps, evals atomic.Uint64
+
+	postJSON := func(url string, body any) *httptest.ResponseRecorder {
+		raw, _ := json.Marshal(body)
+		req := httptest.NewRequest("POST", url, strings.NewReader(string(raw)))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+	observeBatch := func(rng *rand.Rand, n int) error {
+		pts := make([][]float64, n)
+		vals := make([]float64, n)
+		for k := range pts {
+			pts[k] = validPts[rng.Intn(len(validPts))]
+			vals[k] = f(pts[k])
+		}
+		rec := postJSON("/v1/grids/"+name+"/observe", map[string]any{"points": pts, "values": vals})
+		if rec.Code != http.StatusOK {
+			return fmt.Errorf("observe: status %d body %s", rec.Code, strings.TrimSpace(rec.Body.String()))
+		}
+		observed.Add(uint64(n))
+		return nil
+	}
+
+	ctx, stop := context.WithTimeout(context.Background(), cfg.duration)
+	defer stop()
+	var wg sync.WaitGroup
+
+	// Steering: observe → refine → verify the swap → decode the new
+	// snapshot into the ground-truth table.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(cfg.seed))
+		var lastVersion uint64
+		for ctx.Err() == nil {
+			if err := observeBatch(rng, 32); err != nil {
+				fail.set(fmt.Errorf("steering: %w", err))
+				return
+			}
+			rec := postJSON("/v1/grids/"+name+"/refine", struct{}{})
+			if rec.Code != http.StatusOK {
+				fail.set(fmt.Errorf("steering: refine status %d body %s", rec.Code, strings.TrimSpace(rec.Body.String())))
+				return
+			}
+			var rr struct {
+				Swapped bool   `json:"swapped"`
+				Version uint64 `json:"version"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &rr); err != nil {
+				fail.set(fmt.Errorf("steering: refine body %q: %w", rec.Body, err))
+				return
+			}
+			if !rr.Swapped {
+				continue
+			}
+			if rr.Version <= lastVersion {
+				fail.set(fmt.Errorf("steering: swap version %d not after %d", rr.Version, lastVersion))
+				return
+			}
+			lastVersion = rr.Version
+			// Decode the fresh snapshot by copy — an independent read of
+			// the same bytes the server just mapped.
+			snap := filepath.Join(dir, fmt.Sprintf("%s.v%d.sg", name, rr.Version))
+			sf, err := os.Open(snap)
+			if err != nil {
+				fail.set(fmt.Errorf("steering: swapped snapshot missing: %w", err))
+				return
+			}
+			ref, err := compactsg.LoadAny(sf)
+			sf.Close()
+			if err != nil {
+				fail.set(fmt.Errorf("steering: decoding %s: %w", snap, err))
+				return
+			}
+			if err := vt.add(rr.Version, ref); err != nil {
+				fail.set(err)
+				return
+			}
+			swaps.Add(1)
+		}
+	}()
+
+	// Concurrent observer: keeps the model's write side contended while
+	// refines run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(cfg.seed + 500))
+		for ctx.Err() == nil {
+			if err := observeBatch(rng, 16); err != nil {
+				fail.set(fmt.Errorf("observer: %w", err))
+				return
+			}
+		}
+	}()
+
+	// Eval workers: mixed protocol, every answer must be some installed
+	// version's value.
+	evalWorkers := cfg.hot + cfg.cold
+	for w := 0; w < evalWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + 1000 + int64(w)))
+			for ctx.Err() == nil {
+				if vt.len() == 0 {
+					// Nothing installed yet; the grid may not exist.
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				x := make([]float64, cfg.dim)
+				for t := range x {
+					x[t] = rng.Float64()
+				}
+				var got float64
+				if rng.Intn(2) == 1 {
+					req := httptest.NewRequest("POST", "/v1/eval/bin",
+						strings.NewReader(string(serve.AppendEvalFrame(nil, name, [][]float64{x}))))
+					req.Header.Set("Content-Type", serve.BinContentType)
+					rec := httptest.NewRecorder()
+					h.ServeHTTP(rec, req)
+					if rec.Code != http.StatusOK {
+						fail.set(fmt.Errorf("eval worker %d: bin status %d body %s", w, rec.Code, strings.TrimSpace(rec.Body.String())))
+						return
+					}
+					vals, err := serve.ParseValuesFrame(rec.Body.Bytes())
+					if err != nil || len(vals) != 1 {
+						fail.set(fmt.Errorf("eval worker %d: bad values frame: %v", w, err))
+						return
+					}
+					got = vals[0]
+				} else {
+					rec := postJSON("/v1/eval", map[string]any{"grid": name, "point": x})
+					if rec.Code != http.StatusOK {
+						fail.set(fmt.Errorf("eval worker %d: status %d body %s", w, rec.Code, strings.TrimSpace(rec.Body.String())))
+						return
+					}
+					var resp struct {
+						Value float64 `json:"value"`
+					}
+					if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+						fail.set(fmt.Errorf("eval worker %d: bad body %q: %v", w, rec.Body, err))
+						return
+					}
+					got = resp.Value
+				}
+				evals.Add(1)
+				if !vt.match(x, got) {
+					// A fresh swap can serve before the steering goroutine
+					// (which learns the version from the refine response)
+					// has decoded its snapshot into the table. Give the
+					// table a moment to catch up before calling it torn.
+					deadline := time.Now().Add(2 * time.Second)
+					for !vt.match(x, got) {
+						if time.Now().After(deadline) {
+							fail.set(fmt.Errorf("eval worker %d: value %g at %v matches NO installed version (torn swap?)", w, got, x))
+							return
+						}
+						time.Sleep(2 * time.Millisecond)
+					}
+				}
+			}
+		}(w)
+	}
+
+	wg.Wait()
+	stop()
+
+	mrec := httptest.NewRecorder()
+	h.ServeHTTP(mrec, httptest.NewRequest("GET", "/metrics", nil))
+	mtext := mrec.Body.String()
+
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	leak := checkGoroutines(goroutinesBefore)
+	var mapLeak error
+	if n := settleMappings(); n != 0 {
+		mapLeak = fmt.Errorf("closed server leaked %d snapshot mappings", n)
+	}
+
+	fmt.Printf("sgstress: swap-chaos %s, dim=%d level-cap=%d, GOMAXPROCS=%d\n",
+		cfg.duration, cfg.dim, cfg.level, runtime.GOMAXPROCS(0))
+	fmt.Printf("  observed=%d evals=%d swaps=%d (metrics: observations=%s swaps=%s version=%s)\n",
+		observed.Load(), evals.Load(), swaps.Load(),
+		metricValueOr(mtext, "sgserve_observations_total", "0"),
+		metricValueOr(mtext, "sgserve_grid_swaps_total", "0"),
+		metricValueOr(mtext, fmt.Sprintf("sgserve_grid_version{grid=%q}", name), "0"))
+
+	if err := fail.get(); err != nil {
+		return err
+	}
+	if leak != nil {
+		return leak
+	}
+	if mapLeak != nil {
+		return mapLeak
+	}
+	if swaps.Load() == 0 {
+		return fmt.Errorf("no hot-swap happened; the scenario did not run (raise -duration)")
+	}
+	if evals.Load() == 0 {
+		return fmt.Errorf("no evaluation was verified against an installed version")
+	}
+	if got := metricValueOr(mtext, "sgserve_grid_swaps_total", "0"); got != fmt.Sprint(swaps.Load()) {
+		return fmt.Errorf("sgserve_grid_swaps_total = %s, but the harness saw %d swaps", got, swaps.Load())
+	}
+	fmt.Println("  PASS")
+	return nil
+}

@@ -78,4 +78,58 @@ func main() {
 		fmt.Printf("regular level %d: %6d points, max error %.2e\n", level, g.Points(), maxErr)
 	}
 	fmt.Println("\nthe adaptive grid holds accuracy with a fraction of the points while the feature moves.")
+
+	// Observed mode: the same refinement with NO captive function — the
+	// grid asks for values (NeedValues), the simulation answers
+	// (Observe), and each round the refined state could be exported and
+	// hot-swapped into a serving registry (this is exactly what sgserve
+	// -online does over HTTP). The error-vs-observations trajectory is
+	// the online-refinement scenario recorded in EXPERIMENTS.md.
+	fmt.Println("\nonline (observation-fed) refinement of the stationary front:")
+	fmt.Println("round  observations  points  max error (500 probes)")
+	og, err := compactsg.NewAdaptiveObserved(2, 3, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	totalObs := 0
+	for round := 1; round <= 8; round++ {
+		// Answer everything the grid is waiting on, then commit.
+		for {
+			need := og.NeedValues(4096)
+			if len(need) == 0 {
+				break
+			}
+			for _, x := range need {
+				if err := og.Observe(x, f(x)); err != nil {
+					log.Fatal(err)
+				}
+			}
+			totalObs += len(need)
+			og.Commit()
+		}
+		maxErr := 0.0
+		for k := 0; k < 500; k++ {
+			x := []float64{float64(k%25)/24.0*0.98 + 0.01, float64(k/25)/19.0*0.98 + 0.01}
+			y, err := og.Evaluate(x)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if e := math.Abs(y - f(x)); e > maxErr {
+				maxErr = e
+			}
+		}
+		fmt.Printf("%5d  %12d  %6d  %.2e\n", round, totalObs, og.Points(), maxErr)
+		if st := og.RefineDetailed(5e-4, 2000); st.Added == 0 && st.Candidates > 0 {
+			break
+		}
+	}
+
+	// Export to the paper's compact layout: the artifact a server would
+	// snapshot and hot-swap.
+	eg, err := og.Export()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nexported for serving: regular level %d, %d slots for %d adaptive points (interpolant identical)\n",
+		eg.Level(), eg.Points(), og.Points())
 }

@@ -16,33 +16,91 @@
 //     order (same-group basis functions vanish at each other's centers).
 //
 // Refinement is surplus-driven: points whose |α| exceeds a threshold
-// get their 2d hierarchical children inserted, cap-limited.
+// get their 2d hierarchical children inserted, cap-limited. A point
+// whose children have all been inserted (or that sits at the level cap)
+// is settled and never re-examined, so a converged grid answers Refine
+// in O(1) instead of re-sorting every surplus each round.
+//
+// Grids come in two flavors. New captures a function f and computes
+// nodal values itself. NewObserved has no captive function: callers feed
+// nodal values with Observe/ObserveBatch, poll NeedValues for the points
+// the grid is still missing, and Commit assigns surpluses for every
+// point whose hierarchical ancestors are all valued — the level-group
+// commit order and the closure of the committed set are preserved, so a
+// partially observed grid is always a valid (coarser) interpolant.
+//
+// All exported methods are safe for concurrent use: Evaluate takes a
+// read lock and pooled scratch (zero allocations on the hot path), the
+// mutating calls serialize behind a write lock.
 package adaptive
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"sort"
+	"sync"
 
 	"compactsg/internal/basis"
 	"compactsg/internal/core"
 )
 
-// Grid is a spatially adaptive sparse grid for a fixed target function.
+// ErrCaptive is returned by Observe on a grid built with New: such a
+// grid computes its own nodal values from the captured function.
+var ErrCaptive = errors.New("adaptive: grid has a captive function; Observe requires NewObserved")
+
+// Grid is a spatially adaptive sparse grid for a fixed target function
+// (New) or an externally observed one (NewObserved).
 type Grid struct {
 	desc *core.Descriptor // enclosing regular grid (defines gp2idx keys)
 	dim  int
 	max  int // deepest usable level group = desc.Level()-1
 	f    func(x []float64) float64
 
+	mu sync.RWMutex
 	// surplus maps gp2idx keys to hierarchical surpluses.
 	surplus map[int64]float64
-	// nodal holds f(x_p) for points whose surplus is not yet assigned.
+	// pending holds nodal values f(x_p) for points whose surplus is not
+	// yet assigned.
 	pending map[int64]float64
+	// awaiting holds points inserted without a nodal value (observed
+	// grids only); Observe moves them to pending.
+	awaiting map[int64]struct{}
+	// settled marks points Refine is done with: their children are all
+	// inserted, or they sit at the level cap. Coarsen un-settles the
+	// parents of removed points.
+	settled map[int64]struct{}
+	// cappedTotal counts candidates ever blocked at the level cap.
+	cappedTotal int
+
+	scratch sync.Pool // *evalScratch
 }
 
-// New creates an adaptive grid for f with an initial regular level and
-// a maximum refinement level (the key space bound).
-func New(dim, initialLevel, maxLevel int, f func(x []float64) float64) (*Grid, error) {
+// evalScratch is the per-call working set of Evaluate: the (l, i)
+// cursor of the recursive descent and the save buffers prefixExists
+// restores from. Pooled so the serve hot path does zero allocations.
+type evalScratch struct {
+	l, i         []int32
+	saveL, saveI []int32
+}
+
+// RefineStats reports what one refinement round did.
+type RefineStats struct {
+	// Added is the number of points inserted (closure parents count).
+	Added int
+	// Capped counts candidates skipped because their children would
+	// exceed MaxLevel. A nonzero Capped with zero Added means the grid
+	// is budget-blocked at the cap, not converged.
+	Capped int
+	// Candidates is the number of unsettled points with |α| > eps that
+	// were examined. Zero means the round did no candidate work at all.
+	Candidates int
+	// Committed is the number of pending points whose surplus was
+	// assigned this round.
+	Committed int
+}
+
+func newGrid(dim, initialLevel, maxLevel int, f func(x []float64) float64) (*Grid, error) {
 	if initialLevel < 1 || initialLevel > maxLevel {
 		return nil, fmt.Errorf("adaptive: initial level %d out of range [1, %d]", initialLevel, maxLevel)
 	}
@@ -51,12 +109,22 @@ func New(dim, initialLevel, maxLevel int, f func(x []float64) float64) (*Grid, e
 		return nil, err
 	}
 	g := &Grid{
-		desc:    desc,
-		dim:     dim,
-		max:     maxLevel - 1,
-		f:       f,
-		surplus: make(map[int64]float64),
-		pending: make(map[int64]float64),
+		desc:     desc,
+		dim:      dim,
+		max:      maxLevel - 1,
+		f:        f,
+		surplus:  make(map[int64]float64),
+		pending:  make(map[int64]float64),
+		awaiting: make(map[int64]struct{}),
+		settled:  make(map[int64]struct{}),
+	}
+	g.scratch.New = func() any {
+		return &evalScratch{
+			l:     make([]int32, dim),
+			i:     make([]int32, dim),
+			saveL: make([]int32, dim),
+			saveI: make([]int32, dim),
+		}
 	}
 	// Seed with the regular grid of the initial level.
 	init, err := core.NewDescriptor(dim, initialLevel)
@@ -70,14 +138,59 @@ func New(dim, initialLevel, maxLevel int, f func(x []float64) float64) (*Grid, e
 	return g, nil
 }
 
-// Points returns the number of grid points.
-func (g *Grid) Points() int { return len(g.surplus) + len(g.pending) }
+// New creates an adaptive grid for f with an initial regular level and
+// a maximum refinement level (the key space bound).
+func New(dim, initialLevel, maxLevel int, f func(x []float64) float64) (*Grid, error) {
+	if f == nil {
+		return nil, errors.New("adaptive: nil function; use NewObserved for observation-fed grids")
+	}
+	return newGrid(dim, initialLevel, maxLevel, f)
+}
+
+// NewObserved creates an observation-fed adaptive grid: no function is
+// captured, the seed points of the initial level start out awaiting
+// values. Feed them with Observe/ObserveBatch (NeedValues lists what is
+// missing), then Commit assigns surpluses.
+func NewObserved(dim, initialLevel, maxLevel int) (*Grid, error) {
+	return newGrid(dim, initialLevel, maxLevel, nil)
+}
+
+// Observed reports whether the grid is observation-fed.
+func (g *Grid) Observed() bool { return g.f == nil }
+
+// Points returns the number of grid points (committed, valued-pending
+// and awaiting observation).
+func (g *Grid) Points() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.pointsLocked()
+}
+
+func (g *Grid) pointsLocked() int {
+	return len(g.surplus) + len(g.pending) + len(g.awaiting)
+}
+
+// Counts returns the number of committed points, valued points waiting
+// for Commit, and points awaiting an observed value.
+func (g *Grid) Counts() (committed, pending, awaiting int) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.surplus), len(g.pending), len(g.awaiting)
+}
 
 // Dim returns the dimensionality.
 func (g *Grid) Dim() int { return g.dim }
 
 // MaxLevel returns the deepest admissible refinement level.
 func (g *Grid) MaxLevel() int { return g.max + 1 }
+
+// CappedTotal returns the cumulative number of refinement candidates
+// that were blocked at the level cap across all Refine calls.
+func (g *Grid) CappedTotal() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.cappedTotal
+}
 
 // MemoryBytes models the storage: hash entries of key+value plus
 // container overhead, as in the paper's enhanced hash table.
@@ -86,15 +199,20 @@ func (g *Grid) MemoryBytes() int64 {
 	return int64(g.Points()) * (perEntry + 16)
 }
 
-// insert adds the point (l, i) with its nodal value, recursively adding
-// missing hierarchical ancestors first (closure). Existing points are
-// left untouched.
+// insert adds the point (l, i), recursively adding missing hierarchical
+// ancestors first (closure). Captive-function grids compute the nodal
+// value on the spot; observed grids park the point in awaiting.
+// Existing points are left untouched. Callers hold the write lock (or
+// are constructing the grid).
 func (g *Grid) insert(l, i []int32) {
 	key := g.desc.GP2Idx(l, i)
 	if _, ok := g.surplus[key]; ok {
 		return
 	}
 	if _, ok := g.pending[key]; ok {
+		return
+	}
+	if _, ok := g.awaiting[key]; ok {
 		return
 	}
 	for t := 0; t < g.dim; t++ {
@@ -109,46 +227,257 @@ func (g *Grid) insert(l, i []int32) {
 			l[t], i[t] = sl, si
 		}
 	}
+	if g.f == nil {
+		g.awaiting[key] = struct{}{}
+		return
+	}
 	x := make([]float64, g.dim)
 	core.Coords(l, i, x)
 	g.pending[key] = g.f(x)
 }
 
-// commit assigns surpluses to all pending points in ascending
-// level-group order: α_p = f(x_p) − I(x_p), where I already contains
-// every coarser point (including same-batch ones).
-func (g *Grid) commit() {
+// commit assigns surpluses to pending points in ascending level-group
+// order: α_p = f(x_p) − I(x_p), where I already contains every coarser
+// point (including same-batch ones). A point commits only when all its
+// hierarchical parents are committed, so the committed set stays closed
+// even when some ancestors are still awaiting observation; blocked
+// points stay pending for a later round. Callers hold the write lock.
+// Returns the number of points committed.
+func (g *Grid) commit() int {
 	if len(g.pending) == 0 {
-		return
+		return 0
 	}
 	keys := make([]int64, 0, len(g.pending))
 	for k := range g.pending {
 		keys = append(keys, k)
 	}
-	// gp2idx orders by level group first, so key order is group order.
+	// gp2idx orders by level group first, so key order is group order;
+	// parents have strictly smaller keys and commit first in this pass.
 	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
 	l := make([]int32, g.dim)
 	i := make([]int32, g.dim)
 	x := make([]float64, g.dim)
+	sc := g.getScratch()
+	defer g.putScratch(sc)
+	n := 0
 	for _, key := range keys {
 		g.desc.Idx2GP(key, l, i)
+		if !g.parentsCommitted(l, i) {
+			continue
+		}
 		core.Coords(l, i, x)
-		g.surplus[key] = g.pending[key] - g.Evaluate(x)
+		g.surplus[key] = g.pending[key] - g.evalLocked(sc, x)
 		delete(g.pending, key)
+		n++
 	}
+	return n
 }
 
-// Refine inserts the hierarchical children of every point whose |α|
-// exceeds eps, stopping once maxNew new points were created (closure
-// parents count). It returns the number of points added; zero means
-// the grid is converged for this threshold.
+// parentsCommitted reports whether every hierarchical parent of (l, i)
+// has a committed surplus. Closure makes the direct-parent check
+// sufficient: committed parents had their own parents committed first.
+func (g *Grid) parentsCommitted(l, i []int32) bool {
+	for t := 0; t < g.dim; t++ {
+		for _, dir := range []core.ParentDir{core.LeftParent, core.RightParent} {
+			pl, pi, ok := core.Parent1D(l[t], i[t], dir)
+			if !ok {
+				continue
+			}
+			sl, si := l[t], i[t]
+			l[t], i[t] = pl, pi
+			_, committed := g.surplus[g.desc.GP2Idx(l, i)]
+			l[t], i[t] = sl, si
+			if !committed {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Commit assigns surpluses for every valued point whose hierarchical
+// ancestors are all committed, in ascending level-group order. It
+// returns the number of points committed. Captive-function grids commit
+// inside Refine automatically; observed grids call this after feeding
+// values (the serve layer does it before every refinement round).
+func (g *Grid) Commit() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.commit()
+}
+
+// canonPoint maps x onto the deepest-level lattice of the enclosing
+// descriptor and reduces it to canonical (level, index) form in each
+// dimension. Coordinates must lie strictly inside (0, 1) and within
+// 1e-9 of a lattice point.
+func (g *Grid) canonPoint(x []float64, l, i []int32) (int64, error) {
+	scale := float64(int64(1) << uint(g.max+1))
+	for t, v := range x {
+		if math.IsNaN(v) || v <= 0 || v >= 1 {
+			return 0, fmt.Errorf("adaptive: coordinate %d = %v outside (0, 1)", t, v)
+		}
+		k := math.Round(v * scale)
+		if math.Abs(v-k/scale) > 1e-9 {
+			return 0, fmt.Errorf("adaptive: coordinate %d = %v is not on the level-%d lattice", t, v, g.max+1)
+		}
+		ki := int64(k)
+		if ki <= 0 || ki >= int64(scale) {
+			return 0, fmt.Errorf("adaptive: coordinate %d = %v snaps to the boundary", t, v)
+		}
+		lev := int32(g.max)
+		for ki%2 == 0 {
+			ki >>= 1
+			lev--
+		}
+		l[t], i[t] = lev, int32(ki)
+	}
+	if s := core.LevelSum(l[:len(x)]); s > g.max {
+		return 0, fmt.Errorf("adaptive: point at level group %d outside the level-%d sparse grid", s, g.max+1)
+	}
+	return g.desc.GP2Idx(l, i), nil
+}
+
+// Observe feeds one nodal value y = f(x) to an observation-fed grid.
+// x must be a grid point of the enclosing lattice (strictly inside the
+// unit cube, on the deepest level's lattice). Points the grid asked for
+// (NeedValues) become valued; a point not yet in the grid is inserted
+// (its closure ancestors start awaiting values); re-observing a
+// committed point adjusts its surplus in place so the interpolant
+// matches the new value at x exactly.
+func (g *Grid) Observe(x []float64, y float64) error {
+	if g.f != nil {
+		return ErrCaptive
+	}
+	if len(x) != g.dim {
+		return fmt.Errorf("adaptive: point has %d coordinates, grid is %d-dimensional", len(x), g.dim)
+	}
+	if math.IsNaN(y) || math.IsInf(y, 0) {
+		return fmt.Errorf("adaptive: observed value %v is not finite", y)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.observeLocked(x, y)
+}
+
+func (g *Grid) observeLocked(x []float64, y float64) error {
+	sc := g.getScratch()
+	defer g.putScratch(sc)
+	key, err := g.canonPoint(x, sc.l, sc.i)
+	if err != nil {
+		return err
+	}
+	if _, ok := g.surplus[key]; ok {
+		// Deeper basis functions vanish at strictly coarser lattice
+		// points, so I(x) here is ancestors + α_key: shifting α by the
+		// residual restores exact interpolation of y at x.
+		sc2 := g.getScratch()
+		delta := y - g.evalLocked(sc2, x)
+		g.putScratch(sc2)
+		g.surplus[key] += delta
+		return nil
+	}
+	if _, ok := g.pending[key]; ok {
+		g.pending[key] = y
+		return nil
+	}
+	if _, ok := g.awaiting[key]; ok {
+		delete(g.awaiting, key)
+		g.pending[key] = y
+		return nil
+	}
+	// New point: insert with closure (ancestors start awaiting), then
+	// value it.
+	g.insert(sc.l, sc.i)
+	delete(g.awaiting, key)
+	g.pending[key] = y
+	return nil
+}
+
+// ObserveBatch feeds len(xs) observations. Each point is applied
+// independently: malformed points (off-lattice, boundary, wrong
+// dimension, non-finite value) are counted in rejected and skipped,
+// everything else lands atomically under one lock. A length mismatch
+// between xs and ys rejects the whole batch.
+func (g *Grid) ObserveBatch(xs [][]float64, ys []float64) (applied, rejected int, err error) {
+	if g.f != nil {
+		return 0, 0, ErrCaptive
+	}
+	if len(xs) != len(ys) {
+		return 0, 0, fmt.Errorf("adaptive: %d points with %d values", len(xs), len(ys))
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for n, x := range xs {
+		if len(x) != g.dim || math.IsNaN(ys[n]) || math.IsInf(ys[n], 0) {
+			rejected++
+			continue
+		}
+		if g.observeLocked(x, ys[n]) != nil {
+			rejected++
+			continue
+		}
+		applied++
+	}
+	return applied, rejected, nil
+}
+
+// NeedValues returns the coordinates of up to limit points that are
+// awaiting an observed value, coarsest level groups first (their values
+// unblock the most committals). limit ≤ 0 returns all of them. The
+// returned slices are freshly allocated.
+func (g *Grid) NeedValues(limit int) [][]float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if len(g.awaiting) == 0 {
+		return nil
+	}
+	keys := make([]int64, 0, len(g.awaiting))
+	for k := range g.awaiting {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	if limit > 0 && len(keys) > limit {
+		keys = keys[:limit]
+	}
+	l := make([]int32, g.dim)
+	i := make([]int32, g.dim)
+	out := make([][]float64, len(keys))
+	for n, key := range keys {
+		g.desc.Idx2GP(key, l, i)
+		x := make([]float64, g.dim)
+		core.Coords(l, i, x)
+		out[n] = x
+	}
+	return out
+}
+
+// Refine inserts the hierarchical children of every unsettled point
+// whose |α| exceeds eps, stopping once maxNew new points were created
+// (closure parents count). It returns the number of points added; zero
+// means the grid is converged for this threshold (check RefineDetailed
+// to distinguish convergence from a level-cap block).
 func (g *Grid) Refine(eps float64, maxNew int) int {
+	return g.RefineDetailed(eps, maxNew).Added
+}
+
+// RefineDetailed is Refine with full accounting: candidates examined,
+// points added, candidates blocked at the level cap, pending points
+// committed. Settled points — children already inserted, or capped —
+// are skipped without a sort slot, so back-to-back calls on an
+// unchanged grid examine zero candidates.
+func (g *Grid) RefineDetailed(eps float64, maxNew int) RefineStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var st RefineStats
 	type cand struct {
 		key int64
 		mag float64
 	}
 	var cands []cand
 	for key, a := range g.surplus {
+		if _, done := g.settled[key]; done {
+			continue
+		}
 		if a < 0 {
 			a = -a
 		}
@@ -156,6 +485,7 @@ func (g *Grid) Refine(eps float64, maxNew int) int {
 			cands = append(cands, cand{key, a})
 		}
 	}
+	st.Candidates = len(cands)
 	// Largest surpluses first: spend the point budget where it matters.
 	sort.Slice(cands, func(a, b int) bool {
 		if cands[a].mag != cands[b].mag {
@@ -163,16 +493,24 @@ func (g *Grid) Refine(eps float64, maxNew int) int {
 		}
 		return cands[a].key < cands[b].key
 	})
-	before := g.Points()
+	before := g.pointsLocked()
 	l := make([]int32, g.dim)
 	i := make([]int32, g.dim)
 	for _, c := range cands {
-		if g.Points()-before >= maxNew {
+		if g.pointsLocked()-before >= maxNew {
+			// Budget exhausted: remaining candidates stay unsettled and
+			// are retried next round.
 			break
 		}
 		g.desc.Idx2GP(c.key, l, i)
 		if core.LevelSum(l) >= g.max {
-			continue // at the level cap
+			// Children would exceed the level cap; the point can never
+			// refine, so it settles — but the caller learns it was
+			// capacity, not convergence.
+			g.settled[c.key] = struct{}{}
+			st.Capped++
+			g.cappedTotal++
+			continue
 		}
 		for t := 0; t < g.dim; t++ {
 			for _, dir := range []core.ParentDir{core.LeftParent, core.RightParent} {
@@ -183,32 +521,49 @@ func (g *Grid) Refine(eps float64, maxNew int) int {
 				l[t], i[t] = sl, si
 			}
 		}
+		g.settled[c.key] = struct{}{}
 	}
-	g.commit()
-	return g.Points() - before
+	st.Committed = g.commit()
+	st.Added = g.pointsLocked() - before
+	return st
 }
+
+// getScratch and putScratch manage the pooled Evaluate working set.
+func (g *Grid) getScratch() *evalScratch   { return g.scratch.Get().(*evalScratch) }
+func (g *Grid) putScratch(sc *evalScratch) { g.scratch.Put(sc) }
 
 // Evaluate interpolates the adaptive grid at x: a recursive descent per
 // dimension over the existing points. Closure guarantees that a chain
 // prefix exists whenever any of its descendants does, so pruning on a
-// missing root-completion is exact.
+// missing root-completion is exact. Safe for concurrent use; does not
+// allocate.
 func (g *Grid) Evaluate(x []float64) float64 {
-	l := make([]int32, g.dim)
-	i := make([]int32, g.dim)
-	for t := range i {
-		i[t] = 1
-	}
-	return g.evalRec(l, i, x, 0, 1.0)
+	sc := g.getScratch()
+	g.mu.RLock()
+	v := g.evalLocked(sc, x)
+	g.mu.RUnlock()
+	g.putScratch(sc)
+	return v
 }
 
-func (g *Grid) evalRec(l, i []int32, x []float64, t int, prod float64) float64 {
+// evalLocked evaluates with the caller holding at least a read lock,
+// using sc as the descent cursor.
+func (g *Grid) evalLocked(sc *evalScratch, x []float64) float64 {
+	for t := 0; t < g.dim; t++ {
+		sc.l[t], sc.i[t] = 0, 1
+	}
+	return g.evalRec(sc, x, 0, 1.0)
+}
+
+func (g *Grid) evalRec(sc *evalScratch, x []float64, t int, prod float64) float64 {
+	l, i := sc.l, sc.i
 	// Start the dimension-t chain at its root.
 	l[t], i[t] = 0, 1
 	res := 0.0
 	for {
 		// Prune: if the prefix completed with roots does not exist, no
 		// descendant of this prefix exists either (closure).
-		if !g.prefixExists(l, i, t) {
+		if !g.prefixExists(sc, t) {
 			break
 		}
 		phi := basis.Eval1D(l[t], i[t], x[t])
@@ -219,7 +574,7 @@ func (g *Grid) evalRec(l, i []int32, x []float64, t int, prod float64) float64 {
 					res += p * a
 				}
 			} else {
-				res += g.evalRec(l, i, x, t+1, p)
+				res += g.evalRec(sc, x, t+1, p)
 			}
 		}
 		if int(l[t]) >= g.max {
@@ -235,18 +590,19 @@ func (g *Grid) evalRec(l, i []int32, x []float64, t int, prod float64) float64 {
 	return res
 }
 
-// prefixExists reports whether the point formed by dims 0..t of (l, i)
-// and roots elsewhere is present.
-func (g *Grid) prefixExists(l, i []int32, t int) bool {
-	saveL := make([]int32, g.dim-t-1)
-	saveI := make([]int32, g.dim-t-1)
+// prefixExists reports whether the point formed by dims 0..t of the
+// descent cursor and roots elsewhere is present. The save buffers in sc
+// are free at every call site: each invocation restores them before
+// returning and the recursion never holds one across a deeper call.
+func (g *Grid) prefixExists(sc *evalScratch, t int) bool {
+	l, i := sc.l, sc.i
 	for k := t + 1; k < g.dim; k++ {
-		saveL[k-t-1], saveI[k-t-1] = l[k], i[k]
+		sc.saveL[k], sc.saveI[k] = l[k], i[k]
 		l[k], i[k] = 0, 1
 	}
 	_, ok := g.surplus[g.desc.GP2Idx(l, i)]
 	for k := t + 1; k < g.dim; k++ {
-		l[k], i[k] = saveL[k-t-1], saveI[k-t-1]
+		l[k], i[k] = sc.saveL[k], sc.saveI[k]
 	}
 	return ok
 }
@@ -254,10 +610,13 @@ func (g *Grid) prefixExists(l, i []int32, t int) bool {
 // Coarsen removes leaf points (no hierarchical children present) whose
 // |surplus| ≤ eps — the inverse of Refine, used to shrink a grid after
 // the target function's rough region moved. Only leaves are removed so
-// the closure invariant survives; repeated calls peel deeper. It
-// returns the number of removed points and the L∞ error bound of the
-// removal (Σ of removed |α|).
+// the closure invariant survives; repeated calls peel deeper. Parents
+// of removed points are un-settled so a later Refine can regrow them.
+// It returns the number of removed points and the L∞ error bound of
+// the removal (Σ of removed |α|).
 func (g *Grid) Coarsen(eps float64) (removed int, errorBound float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	l := make([]int32, g.dim)
 	i := make([]int32, g.dim)
 	var victims []int64
@@ -280,11 +639,28 @@ func (g *Grid) Coarsen(eps float64) (removed int, errorBound float64) {
 	}
 	for _, key := range victims {
 		delete(g.surplus, key)
+		delete(g.settled, key)
+		// The victim's parents lost a child: let Refine regrow them.
+		g.desc.Idx2GP(key, l, i)
+		for t := 0; t < g.dim; t++ {
+			for _, dir := range []core.ParentDir{core.LeftParent, core.RightParent} {
+				pl, pi, ok := core.Parent1D(l[t], i[t], dir)
+				if !ok {
+					continue
+				}
+				sl, si := l[t], i[t]
+				l[t], i[t] = pl, pi
+				delete(g.settled, g.desc.GP2Idx(l, i))
+				l[t], i[t] = sl, si
+			}
+		}
 	}
 	return len(victims), errorBound
 }
 
-// hasChild reports whether any hierarchical child of (l, i) is present.
+// hasChild reports whether any hierarchical child of (l, i) is present
+// in any state (committed, valued-pending, or awaiting observation) —
+// removing the parent of an uncommitted child would orphan it.
 func (g *Grid) hasChild(l, i []int32) bool {
 	for t := 0; t < g.dim; t++ {
 		if int(l[t]) >= g.max {
@@ -294,7 +670,14 @@ func (g *Grid) hasChild(l, i []int32) bool {
 			cl, ci := core.Child1D(l[t], i[t], dir)
 			sl, si := l[t], i[t]
 			l[t], i[t] = cl, ci
-			_, ok := g.surplus[g.desc.GP2Idx(l, i)]
+			key := g.desc.GP2Idx(l, i)
+			_, ok := g.surplus[key]
+			if !ok {
+				_, ok = g.pending[key]
+			}
+			if !ok {
+				_, ok = g.awaiting[key]
+			}
 			l[t], i[t] = sl, si
 			if ok {
 				return true
@@ -307,6 +690,8 @@ func (g *Grid) hasChild(l, i []int32) bool {
 // MaxSurplusAboveLevel returns the largest |α| among points with
 // |l|₁ ≥ group — a convergence indicator for refinement loops.
 func (g *Grid) MaxSurplusAboveLevel(group int) float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	l := make([]int32, g.dim)
 	i := make([]int32, g.dim)
 	max := 0.0
@@ -323,4 +708,35 @@ func (g *Grid) MaxSurplusAboveLevel(group int) float64 {
 		}
 	}
 	return max
+}
+
+// ExportCompact materializes the committed surpluses into the paper's
+// compact regular-grid layout: a core.Grid of the smallest regular
+// level that contains every committed group, with absent points left at
+// zero surplus. The regular interpolant of the exported grid is
+// pointwise identical to the adaptive interpolant, so a snapshot of it
+// serves the same model. Points still pending or awaiting observation
+// are not exported — Commit first.
+func (g *Grid) ExportCompact() (*core.Grid, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	l := make([]int32, g.dim)
+	i := make([]int32, g.dim)
+	maxGroup := 0
+	for key := range g.surplus {
+		g.desc.Idx2GP(key, l, i)
+		if s := core.LevelSum(l); s > maxGroup {
+			maxGroup = s
+		}
+	}
+	desc, err := core.NewDescriptor(g.dim, maxGroup+1)
+	if err != nil {
+		return nil, err
+	}
+	out := core.NewGrid(desc)
+	for key, a := range g.surplus {
+		g.desc.Idx2GP(key, l, i)
+		out.Data[desc.GP2Idx(l, i)] = a
+	}
+	return out, nil
 }

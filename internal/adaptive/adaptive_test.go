@@ -339,3 +339,45 @@ func TestCoarsenRefineRoundTrip(t *testing.T) {
 		t.Errorf("after coarsen+refine, error %g at the peak", e)
 	}
 }
+
+func TestExportCompactMatchesAdaptiveInterpolant(t *testing.T) {
+	// The exported regular grid carries the committed surpluses at their
+	// (level, index) slots with absent points at zero, so its regular
+	// interpolant is pointwise identical to the adaptive one.
+	ag, err := New(2, 2, 7, peak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		ag.Refine(1e-3, 300)
+	}
+	cg, err := ag.ExportCompact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lvl := cg.Desc().Level(); lvl < 2 || lvl > 7 {
+		t.Fatalf("export level %d outside [initial, max]", lvl)
+	}
+	rng := rand.New(rand.NewSource(11))
+	x := make([]float64, 2)
+	for k := 0; k < 200; k++ {
+		x[0], x[1] = rng.Float64(), rng.Float64()
+		a := ag.Evaluate(x)
+		b := eval.Iterative(cg, x)
+		if math.Abs(a-b) > 1e-12*(1+math.Abs(a)) {
+			t.Fatalf("at %v: adaptive %g vs exported %g", x, a, b)
+		}
+	}
+	// An empty observed grid exports the trivial level-1 zero grid.
+	og, _ := NewObserved(2, 2, 5)
+	zg, err := og.ExportCompact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zg.Desc().Level() != 1 {
+		t.Fatalf("empty export level %d, want 1", zg.Desc().Level())
+	}
+	if got := eval.Iterative(zg, []float64{0.3, 0.7}); got != 0 {
+		t.Fatalf("empty export evaluates to %g", got)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package adaptive
+
+const raceEnabled = false

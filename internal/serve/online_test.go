@@ -1,0 +1,485 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"compactsg"
+	"compactsg/internal/core"
+)
+
+// writeScaledGrid writes a compressed grid file of scale·(x0+x1+…) so
+// swapped versions are distinguishable by value.
+func writeScaledGrid(t *testing.T, dir, name string, dim, level int, scale float64) (string, *compactsg.Grid) {
+	t.Helper()
+	g, err := compactsg.New(dim, level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Compress(func(x []float64) float64 {
+		s := 0.0
+		for _, v := range x {
+			s += v
+		}
+		return scale * s
+	})
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, g
+}
+
+func TestSwapInstallsNewVersionAndRejectsStale(t *testing.T) {
+	dir := t.TempDir()
+	p1, ref1 := writeScaledGrid(t, dir, "v1.sg", 2, 3, 1)
+	p2, ref2 := writeScaledGrid(t, dir, "v2.sg", 2, 3, 2)
+
+	s := NewGridSet(4)
+	var swaps []uint64
+	s.OnSwap = func(name string, v uint64) { swaps = append(swaps, v) }
+	if err := s.Add("g", p1); err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.25, 0.5}
+	g, err := s.Get("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want, _ := ref1.Evaluate(x); mustEval(t, g, x) != want {
+		t.Fatal("initial load serves wrong file")
+	}
+	if v := s.Version("g"); v != 0 {
+		t.Fatalf("static version = %d, want 0", v)
+	}
+
+	// Auto-bump swap installs version 1 and the new values serve.
+	v, err := s.Swap("g", p2, 0)
+	if err != nil || v != 1 {
+		t.Fatalf("Swap = %d, %v; want 1, nil", v, err)
+	}
+	g, err = s.Get("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want, _ := ref2.Evaluate(x); mustEval(t, g, x) != want {
+		t.Fatal("swap did not install the new file")
+	}
+
+	// Stale explicit versions are rejected and change nothing.
+	if _, err := s.Swap("g", p1, 1); !errors.Is(err, ErrStaleSwap) {
+		t.Fatalf("re-swap version 1: err = %v, want ErrStaleSwap", err)
+	}
+	if v := s.Version("g"); v != 1 {
+		t.Fatalf("version after stale swap = %d, want 1", v)
+	}
+	// A gap is fine; monotonicity is all that matters.
+	if v, err := s.Swap("g", p1, 7); err != nil || v != 7 {
+		t.Fatalf("Swap(7) = %d, %v", v, err)
+	}
+	// Swap may register brand-new names.
+	if v, err := s.Swap("fresh", p2, 0); err != nil || v != 1 {
+		t.Fatalf("Swap(fresh) = %d, %v", v, err)
+	}
+	if _, err := s.Get("fresh"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Versions(); got["g"] != 7 || got["fresh"] != 1 {
+		t.Fatalf("Versions() = %v", got)
+	}
+	if len(swaps) != 3 {
+		t.Fatalf("OnSwap fired %d times, want 3", len(swaps))
+	}
+	// A bad file never displaces the serving version.
+	bad := filepath.Join(dir, "bad.sg")
+	os.WriteFile(bad, []byte("junk"), 0o644)
+	if _, err := s.Swap("g", bad, 0); err == nil {
+		t.Fatal("swap of a corrupt file succeeded")
+	}
+	if v := s.Version("g"); v != 7 {
+		t.Fatalf("version after failed swap = %d, want 7", v)
+	}
+	s.Purge()
+}
+
+func mustEval(t *testing.T, g *compactsg.Grid, x []float64) float64 {
+	t.Helper()
+	v, err := g.Evaluate(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestSwapOldVersionServesLeases: a lease acquired before the swap
+// keeps reading the old instance, and the old instance retires (and
+// unmaps) only after that lease releases.
+func TestSwapOldVersionServesLeases(t *testing.T) {
+	baseline := core.ActiveMappings()
+	dir := t.TempDir()
+	p1, ref1 := writeScaledGrid(t, dir, "v1.sg", 2, 3, 1)
+	p2, ref2 := writeScaledGrid(t, dir, "v2.sg", 2, 3, 2)
+
+	s := NewGridSet(4)
+	retired := make(chan string, 4)
+	s.OnRetire = func(name string, _ *compactsg.Grid) { retired <- name }
+	if err := s.Add("g", p1); err != nil {
+		t.Fatal(err)
+	}
+	lease, err := s.Acquire(t.Context(), "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Swap("g", p2, 0); err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.75, 0.25}
+	// The lease still reads version 0's values...
+	if want, _ := ref1.Evaluate(x); mustEval(t, lease.Grid(), x) != want {
+		t.Fatal("leased instance changed under the swap")
+	}
+	// ...while new acquires see version 1.
+	if g, _ := s.Get("g"); mustEval(t, g, x) != mustEvalRef(t, ref2, x) {
+		t.Fatal("fresh Get still serves the displaced version")
+	}
+	select {
+	case name := <-retired:
+		t.Fatalf("instance %q retired while leased", name)
+	case <-time.After(20 * time.Millisecond):
+	}
+	lease.Release()
+	select {
+	case <-retired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("displaced instance never retired after the last release")
+	}
+	s.Purge()
+	if n := core.ActiveMappings(); n != baseline {
+		t.Fatalf("%d file mappings leaked", n-baseline)
+	}
+}
+
+func mustEvalRef(t *testing.T, g *compactsg.Grid, x []float64) float64 {
+	t.Helper()
+	v, err := g.Evaluate(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestSwapDiscardsSupersededInflightLoad closes the load/swap race: a
+// singleflight load that was reading the old file when a swap installed
+// a newer version must discard its result instead of rolling back.
+func TestSwapDiscardsSupersededInflightLoad(t *testing.T) {
+	baseline := core.ActiveMappings()
+	dir := t.TempDir()
+	p1, _ := writeScaledGrid(t, dir, "v1.sg", 2, 3, 1)
+	p2, ref2 := writeScaledGrid(t, dir, "v2.sg", 2, 3, 2)
+
+	s := NewGridSet(4)
+	if err := s.Add("g", p1); err != nil {
+		t.Fatal(err)
+	}
+	// Gate only the FIRST load (the Acquire below); the swap's own load
+	// must pass straight through.
+	gate := make(chan struct{})
+	first := true
+	var mu sync.Mutex
+	s.LoadHook = func(string) error {
+		mu.Lock()
+		isFirst := first
+		first = false
+		mu.Unlock()
+		if isFirst {
+			<-gate
+		}
+		return nil
+	}
+
+	type got struct {
+		v   float64
+		err error
+	}
+	done := make(chan got, 1)
+	go func() {
+		g, err := s.Get("g") // leads the load of p1, parked on the gate
+		if err != nil {
+			done <- got{0, err}
+			return
+		}
+		v, err := g.Evaluate([]float64{0.25, 0.5})
+		done <- got{v, err}
+	}()
+	// Wait until that load is in flight, then swap.
+	for {
+		s.mu.RLock()
+		_, inflight := s.loading["g"]
+		s.mu.RUnlock()
+		if inflight {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := s.Swap("g", p2, 0); err != nil {
+		t.Fatal(err)
+	}
+	close(gate) // release the superseded load
+
+	res := <-done
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if want := mustEvalRef(t, ref2, []float64{0.25, 0.5}); res.v != want {
+		t.Fatalf("Get after racing swap = %g, want the swapped version's %g", res.v, want)
+	}
+	if v := s.Version("g"); v != 1 {
+		t.Fatalf("version = %d, want 1", v)
+	}
+	s.Purge()
+	if n := core.ActiveMappings(); n != baseline {
+		t.Fatalf("%d file mappings leaked (superseded load not closed?)", n-baseline)
+	}
+}
+
+// TestOnlineObserveRefineSwapEndToEnd drives the full write path over
+// HTTP: observations build a model, refine exports + hot-swaps it, and
+// subsequent evals serve the new version.
+func TestOnlineObserveRefineSwapEndToEnd(t *testing.T) {
+	baseline := core.ActiveMappings()
+	dir := t.TempDir()
+	s := New(Config{
+		Coalesce:  true,
+		BatchWait: time.Millisecond,
+		Online: OnlineConfig{
+			Enabled:     true,
+			InitLevel:   2,
+			MaxLevel:    6,
+			RefineEps:   1e-6,
+			RefineMax:   256,
+			SnapshotDir: dir,
+		},
+	})
+	defer s.Close()
+	h := s.Handler()
+	f := func(x []float64) float64 { return x[0] + 2*x[1] }
+
+	// Round 1: observe the root point only. It commits alone (no
+	// parents) and version 1 installs.
+	rec := postJSON(t, h, "/v1/grids/live/observe", observeRequest{
+		Points: [][]float64{{0.5, 0.5}},
+		Values: []float64{f([]float64{0.5, 0.5})},
+	})
+	if rec.Code != 200 {
+		t.Fatalf("observe status %d: %s", rec.Code, rec.Body)
+	}
+	var or observeResponse
+	json.Unmarshal(rec.Body.Bytes(), &or)
+	if or.Applied != 1 || or.Awaiting != 4 {
+		t.Fatalf("observe response %+v: want applied 1, the 4 level-1 seeds awaiting", or)
+	}
+
+	rec = postJSON(t, h, "/v1/grids/live/refine", struct{}{})
+	if rec.Code != 200 {
+		t.Fatalf("refine status %d: %s", rec.Code, rec.Body)
+	}
+	var rr RefineResult
+	json.Unmarshal(rec.Body.Bytes(), &rr)
+	if !rr.Swapped || rr.Version != 1 || rr.Committed != 1 {
+		t.Fatalf("refine round 1 = %+v; want swapped version 1", rr)
+	}
+	if len(rr.Need) != 4 {
+		t.Fatalf("need = %v, want the 4 awaiting seeds", rr.Need)
+	}
+
+	// The served interpolant now matches the model at the center.
+	var er evalResponse
+	rec = postJSON(t, h, "/v1/eval", evalRequest{Grid: "live", Point: []float64{0.5, 0.5}})
+	if rec.Code != 200 {
+		t.Fatalf("eval status %d: %s", rec.Code, rec.Body)
+	}
+	json.Unmarshal(rec.Body.Bytes(), &er)
+	if want := f([]float64{0.5, 0.5}); math.Abs(er.Value-want) > 1e-12 {
+		t.Fatalf("eval after v1 = %g, want %g", er.Value, want)
+	}
+
+	// Round 2: answer the steering list; version 2 must serve the full
+	// level-2 interpolant.
+	vals := make([]float64, len(rr.Need))
+	for k, x := range rr.Need {
+		vals[k] = f(x)
+	}
+	rec = postJSON(t, h, "/v1/grids/live/observe", observeRequest{Points: rr.Need, Values: vals})
+	if rec.Code != 200 {
+		t.Fatalf("observe status %d: %s", rec.Code, rec.Body)
+	}
+	rec = postJSON(t, h, "/v1/grids/live/refine", struct{}{})
+	json.Unmarshal(rec.Body.Bytes(), &rr)
+	if !rr.Swapped || rr.Version != 2 {
+		t.Fatalf("refine round 2 = %+v; want swapped version 2", rr)
+	}
+	for _, x := range [][]float64{{0.25, 0.5}, {0.75, 0.5}, {0.5, 0.25}, {0.5, 0.75}} {
+		rec = postJSON(t, h, "/v1/eval", evalRequest{Grid: "live", Point: x})
+		json.Unmarshal(rec.Body.Bytes(), &er)
+		if want := f(x); math.Abs(er.Value-want) > 1e-12 {
+			t.Fatalf("eval(%v) after v2 = %g, want %g", x, er.Value, want)
+		}
+	}
+
+	// An idle refine (nothing observed, nothing committed) must NOT
+	// burn a version.
+	rec = postJSON(t, h, "/v1/grids/live/refine", struct{}{})
+	json.Unmarshal(rec.Body.Bytes(), &rr)
+	if rr.Swapped || rr.Version != 2 {
+		t.Fatalf("idle refine = %+v; want no swap, version 2", rr)
+	}
+
+	// Version surfaces in /v1/grids and /healthz?detail=1.
+	req := httptest_Get(t, h, "/v1/grids")
+	var gr gridsResponse
+	json.Unmarshal(req.Body.Bytes(), &gr)
+	found := false
+	for _, gi := range gr.Grids {
+		if gi.Name == "live" {
+			found = true
+			if gi.Version != 2 {
+				t.Fatalf("/v1/grids version = %d, want 2", gi.Version)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("live grid missing from /v1/grids")
+	}
+	hz := httptest_Get(t, h, "/healthz?detail=1")
+	var hd struct {
+		Online   bool              `json:"online"`
+		Versions map[string]uint64 `json:"versions"`
+	}
+	json.Unmarshal(hz.Body.Bytes(), &hd)
+	if !hd.Online || hd.Versions["live"] != 2 {
+		t.Fatalf("healthz detail = %s", hz.Body)
+	}
+
+	// Re-observing the center with a new value and refining installs
+	// version 3 whose interpolant reflects it.
+	rec = postJSON(t, h, "/v1/grids/live/observe", observeRequest{
+		Points: [][]float64{{0.5, 0.5}},
+		Values: []float64{9.0},
+	})
+	if rec.Code != 200 {
+		t.Fatalf("re-observe status %d: %s", rec.Code, rec.Body)
+	}
+	rec = postJSON(t, h, "/v1/grids/live/refine", struct{}{})
+	json.Unmarshal(rec.Body.Bytes(), &rr)
+	if !rr.Swapped || rr.Version != 3 {
+		t.Fatalf("refine round 3 = %+v; want swapped version 3", rr)
+	}
+	rec = postJSON(t, h, "/v1/eval", evalRequest{Grid: "live", Point: []float64{0.5, 0.5}})
+	json.Unmarshal(rec.Body.Bytes(), &er)
+	if math.Abs(er.Value-9.0) > 1e-12 {
+		t.Fatalf("eval after v3 = %g, want the re-observed 9.0", er.Value)
+	}
+
+	// Only the current snapshot file remains in the dir (displaced
+	// versions are pruned; their mappings survived until retirement).
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "live.v3.sg" {
+		names := make([]string, len(ents))
+		for k, e := range ents {
+			names[k] = e.Name()
+		}
+		t.Fatalf("snapshot dir holds %v, want [live.v3.sg]", names)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for core.ActiveMappings() != baseline {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d file mappings leaked after Close", core.ActiveMappings()-baseline)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestOnlineValidation(t *testing.T) {
+	s := New(Config{Online: OnlineConfig{Enabled: true, InitLevel: 2, MaxLevel: 4, SnapshotDir: t.TempDir(), MaxPoints: 64}})
+	defer s.Close()
+	h := s.Handler()
+
+	cases := []struct {
+		name   string
+		url    string
+		body   any
+		status int
+	}{
+		{"bad name", "/v1/grids/..sneaky/observe", observeRequest{Points: [][]float64{{0.5}}, Values: []float64{1}}, 400},
+		{"bad char", "/v1/grids/a%2Fb/observe", observeRequest{Points: [][]float64{{0.5}}, Values: []float64{1}}, 400},
+		{"no points", "/v1/grids/m/observe", observeRequest{}, 400},
+		{"count mismatch", "/v1/grids/m/observe", observeRequest{Points: [][]float64{{0.5}}, Values: []float64{1, 2}}, 400},
+		{"refine unknown", "/v1/grids/nope/refine", struct{}{}, 404},
+	}
+	for _, c := range cases {
+		rec := postJSON(t, h, c.url, c.body)
+		if rec.Code != c.status {
+			t.Errorf("%s: status %d, want %d (body %s)", c.name, rec.Code, c.status, rec.Body)
+		}
+	}
+
+	// Model dimensionality is pinned by the first observation.
+	rec := postJSON(t, h, "/v1/grids/m/observe", observeRequest{Points: [][]float64{{0.5, 0.5}}, Values: []float64{1}})
+	if rec.Code != 200 {
+		t.Fatalf("observe: %d %s", rec.Code, rec.Body)
+	}
+	rec = postJSON(t, h, "/v1/grids/m/observe", observeRequest{Points: [][]float64{{0.5, 0.5, 0.5}}, Values: []float64{1}})
+	if rec.Code != 400 {
+		t.Fatalf("dim change accepted: %d %s", rec.Code, rec.Body)
+	}
+
+	// The point cap answers 507.
+	big := make([][]float64, 70)
+	vals := make([]float64, 70)
+	for k := range big {
+		big[k] = []float64{0.5, 0.5}
+		vals[k] = 1
+	}
+	rec = postJSON(t, h, "/v1/grids/m/observe", observeRequest{Points: big, Values: vals})
+	if rec.Code != 507 {
+		t.Fatalf("cap overflow: status %d, want 507 (body %s)", rec.Code, rec.Body)
+	}
+
+	// Observe/refine are 404 when online mode is off.
+	off := New(Config{})
+	defer off.Close()
+	rec = postJSON(t, off.Handler(), "/v1/grids/m/observe", observeRequest{Points: [][]float64{{0.5}}, Values: []float64{1}})
+	if rec.Code != 404 {
+		t.Fatalf("observe on offline server: status %d, want 404", rec.Code)
+	}
+}
+
+// httptest_Get issues a GET against the handler.
+func httptest_Get(t *testing.T, h http.Handler, url string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+	return rec
+}

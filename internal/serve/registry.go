@@ -24,6 +24,17 @@ import (
 // ErrUnknownGrid is returned for names never registered with Add.
 var ErrUnknownGrid = fmt.Errorf("serve: unknown grid")
 
+// ErrStaleSwap is returned by Swap when the explicit version is not
+// strictly newer than the installed one — the same ordering rule the
+// sharding proxy applies to topology epochs.
+var ErrStaleSwap = errors.New("serve: stale swap: version not newer than installed")
+
+// errStaleLoad marks a singleflight load whose source was swapped while
+// the file read was in flight; the result is discarded and Acquire
+// retries against the freshly installed version. Never escapes the
+// registry.
+var errStaleLoad = errors.New("serve: load superseded by swap")
+
 // GridSet is a name → compressed-grid registry. Grids are loaded
 // lazily from their files on first use and at most MaxResident stay in
 // memory; least-recently-used grids are evicted when the bound is hit
@@ -69,11 +80,14 @@ type GridSet struct {
 	// (never for resident grids, which always hold the registry's own
 	// reference); the grid's file mapping, if any, is unmapped right
 	// after OnRetire returns.
+	// OnSwap fires after Swap installed a new version under a name, with
+	// no lock held and before the displaced entry's eviction hooks run.
 	OnLoad     func(name string, mode compactsg.LoadMode, took time.Duration)
 	OnLoadFail func(name string, err error)
 	OnLoadWait func(name string)
 	OnEvict    func(name string, g *compactsg.Grid)
 	OnRetire   func(name string, g *compactsg.Grid)
+	OnSwap     func(name string, version uint64)
 
 	// LoadHook, if set, runs inside every file load (no locks held),
 	// before the file is opened. It exists for tests and the sgstress
@@ -92,6 +106,10 @@ type source struct {
 	level  int
 	points int64
 	bytes  int64
+	// version is the per-name monotonic swap counter: 0 for a static
+	// registration, bumped by every successful Swap. Guarded by
+	// GridSet.mu.
+	version uint64
 }
 
 // entry is one resident (or recently evicted but still leased) grid.
@@ -173,6 +191,105 @@ func (s *GridSet) Add(name, path string) error {
 	return nil
 }
 
+// Swap atomically installs path as a strictly newer version of name,
+// registering the name first if it was unknown. version 0 means "next"
+// (installed version + 1); an explicit version must be greater than the
+// installed one or the swap is rejected with ErrStaleSwap — late
+// retries of an old snapshot can never roll a grid back, mirroring the
+// proxy's topology-epoch rule. The file is loaded and validated before
+// the registry changes, so a bad snapshot leaves the old version
+// serving.
+//
+// The displaced instance follows the normal eviction path: in-flight
+// leases (and the batches riding them) finish on the old version, and
+// its file mapping is unmapped only after the last lease releases.
+// Returns the version now installed.
+func (s *GridSet) Swap(name, path string, version uint64) (uint64, error) {
+	if name == "" {
+		return 0, fmt.Errorf("serve: empty grid name")
+	}
+	og, err := s.load(name, path)
+	if err != nil {
+		return 0, err
+	}
+	g := og.Grid
+
+	var victims []*entry
+	s.mu.Lock()
+	src, ok := s.sources[name]
+	if !ok {
+		src = &source{name: name, path: path}
+		s.sources[name] = src
+	}
+	if version == 0 {
+		version = src.version + 1
+	} else if version <= src.version {
+		installed := src.version
+		s.mu.Unlock()
+		og.Close()
+		return installed, fmt.Errorf("%w: version %d <= installed %d for %q", ErrStaleSwap, version, installed, name)
+	}
+	src.path = path
+	src.version = version
+	src.known = true
+	src.dim, src.level = g.Dim(), g.Level()
+	src.points, src.bytes = g.Points(), g.MemoryBytes()
+	e := &entry{name: src.name, grid: g, open: og}
+	e.refs.Store(1) // the registry's reference; no lease handed out
+	old := s.resident[name]
+	s.resident[name] = e
+	s.lruMu.Lock()
+	if old != nil {
+		s.lru.Remove(old.el)
+	}
+	e.el = s.lru.PushFront(e)
+	for s.lru.Len() > s.maxResident {
+		back := s.lru.Back()
+		v := back.Value.(*entry)
+		s.lru.Remove(back)
+		delete(s.resident, v.name)
+		victims = append(victims, v)
+	}
+	s.lruMu.Unlock()
+	s.mu.Unlock()
+
+	if s.OnSwap != nil {
+		s.OnSwap(src.name, version)
+	}
+	if old != nil {
+		s.finishEvict(old)
+	}
+	for _, v := range victims {
+		s.finishEvict(v)
+	}
+	return version, nil
+}
+
+// Version returns the monotonic swap counter installed under name: 0
+// for static registrations (and unknown names), ≥ 1 once Swap has run.
+func (s *GridSet) Version(name string) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if src, ok := s.sources[name]; ok {
+		return src.version
+	}
+	return 0
+}
+
+// Versions returns the swap counter of every grid that has one
+// (version ≥ 1), name → version.
+func (s *GridSet) Versions() map[string]uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]uint64)
+	for name, src := range s.sources {
+		if src.version > 0 {
+			out[name] = src.version
+		}
+	}
+	return out
+}
+
 // CanonicalName maps a grid name given as raw bytes (the binary wire
 // protocol's name field) to the registry's own interned string for it.
 // The map lookup with a string(b) key does not allocate, which keeps
@@ -225,6 +342,8 @@ type GridInfo struct {
 	Level       int   `json:"level,omitempty"`
 	Points      int64 `json:"points,omitempty"`
 	MemoryBytes int64 `json:"memoryBytes,omitempty"`
+	// Version is the hot-swap counter; 0 means statically registered.
+	Version uint64 `json:"version,omitempty"`
 }
 
 // Info lists every registered grid, sorted by name.
@@ -239,6 +358,7 @@ func (s *GridSet) Info() []GridInfo {
 		if src.known {
 			gi.Dim, gi.Level, gi.Points, gi.MemoryBytes = src.dim, src.level, src.points, src.bytes
 		}
+		gi.Version = src.version
 		out = append(out, gi)
 	}
 	s.mu.RUnlock()
@@ -295,6 +415,9 @@ func (s *GridSet) Acquire(ctx context.Context, name string) (*Lease, error) {
 
 		if !inflight {
 			lease, joined, err := s.lead(sp, name)
+			if errors.Is(err, errStaleLoad) {
+				continue // a Swap won the race; pick up its entry
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -315,6 +438,9 @@ func (s *GridSet) Acquire(ctx context.Context, name string) (*Lease, error) {
 			return nil, ctx.Err()
 		}
 		if lc.err != nil {
+			if errors.Is(lc.err, errStaleLoad) {
+				continue // a Swap won the race; pick up its entry
+			}
 			return nil, lc.err
 		}
 		// Loaded; loop to pick it up (or reload if it was already
@@ -350,6 +476,7 @@ func (s *GridSet) lead(sp *obs.Span, name string) (*Lease, *loadCall, error) {
 	lc := &loadCall{done: make(chan struct{})}
 	s.loading[name] = lc
 	path := src.path
+	version := src.version
 	s.mu.Unlock()
 
 	// The file read happens here, with no registry lock held: a cold
@@ -362,8 +489,16 @@ func (s *GridSet) lead(sp *obs.Span, name string) (*Lease, *loadCall, error) {
 	var g *compactsg.Grid
 	var victims []*entry
 	var lease *Lease
+	var stale *compactsg.OpenGrid
 	s.mu.Lock()
 	delete(s.loading, name)
+	if err == nil && src.version != version {
+		// The source was swapped while this load was reading the old
+		// file: installing it would roll the name back. Discard and let
+		// every waiter retry against the swapped-in entry.
+		stale, og = og, nil
+		err = errStaleLoad
+	}
 	if err == nil {
 		g = og.Grid
 		src.known = true
@@ -388,7 +523,13 @@ func (s *GridSet) lead(sp *obs.Span, name string) (*Lease, *loadCall, error) {
 	s.mu.Unlock()
 	close(lc.done)
 
+	if stale != nil {
+		stale.Close()
+	}
 	if err != nil {
+		if errors.Is(err, errStaleLoad) {
+			return nil, nil, err // not a failure: the swap's entry serves
+		}
 		if s.OnLoadFail != nil {
 			s.OnLoadFail(name, err)
 		}

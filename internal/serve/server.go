@@ -72,6 +72,9 @@ type Config struct {
 	// ErrorLog receives handler panic reports (message + stack).
 	// Default slog.Default().
 	ErrorLog *slog.Logger
+	// Online configures the write path (observation-fed models with
+	// refine-and-hot-swap); see OnlineConfig. Disabled by default.
+	Online OnlineConfig
 }
 
 func (c *Config) fill() {
@@ -105,6 +108,9 @@ func (c *Config) fill() {
 	if c.ErrorLog == nil {
 		c.ErrorLog = slog.Default()
 	}
+	if c.Online.Enabled {
+		c.Online.fill()
+	}
 }
 
 // Server is the HTTP evaluation service: routes, grid registry,
@@ -124,6 +130,7 @@ type Server struct {
 	grids  *GridSet
 	mux    *http.ServeMux
 	tracer *obs.Tracer
+	online *onlineSet // nil unless cfg.Online.Enabled
 
 	mu       sync.Mutex
 	batchers map[string]*gridBatcher
@@ -165,6 +172,11 @@ type serverMetrics struct {
 	panics      *metrics.Counter
 	writeErrs   *metrics.Counter
 	openConns   *metrics.Gauge
+	// Write-path metrics (observe/refine/hot-swap).
+	observations *metrics.Counter
+	refines      *metrics.Counter
+	swaps        *metrics.Counter
+	gridVersion  *metrics.GaugeVec
 	// stageSecs holds the sgserve_stage_seconds children pre-resolved
 	// per stage so the per-request observation path takes no vec-map
 	// lock.
@@ -196,6 +208,10 @@ func New(cfg Config) *Server {
 		s.met.resident.Set(float64(s.grids.ResidentCount()))
 		s.dropBatcherForGrid(name, g)
 	}
+	s.grids.OnSwap = func(name string, version uint64) {
+		s.met.swaps.Inc()
+		s.met.gridVersion.With(name).Set(float64(version))
+	}
 
 	r := metrics.NewRegistry()
 	s.met = serverMetrics{
@@ -217,6 +233,11 @@ func New(cfg Config) *Server {
 		panics:      r.NewCounter("sgserve_panics_total", "Handler panics recovered by the instrumentation wrapper (each answered with a 500)."),
 		writeErrs:   r.NewCounter("sgserve_write_errors_total", "Response bodies that failed mid-write (client gone, connection reset): the client saw a truncated response despite the logged status."),
 		openConns:   r.NewGauge("sgserve_open_connections", "TCP connections currently open on the server (accepted and not yet closed or hijacked); wire http.Server.ConnState to Server.ConnState to feed it."),
+
+		observations: r.NewCounter("sgserve_observations_total", "Nodal observations applied to online adaptive models."),
+		refines:      r.NewCounter("sgserve_refines_total", "Refinement rounds run on online adaptive models (swapped or not)."),
+		swaps:        r.NewCounter("sgserve_grid_swaps_total", "Grid hot-swaps installed (a strictly newer version replacing the resident instance)."),
+		gridVersion:  r.NewGaugeVec("sgserve_grid_version", "Installed hot-swap version per grid (absent for statically registered grids).", "grid"),
 	}
 	if cfg.ShardID != "" {
 		r.NewGaugeVec("sgserve_shard_info",
@@ -238,6 +259,11 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/eval", s.instrument("eval", s.handleEval))
 	mux.HandleFunc("POST /v1/eval/batch", s.instrument("batch", s.handleEvalBatch))
 	mux.HandleFunc("POST /v1/eval/bin", s.instrumentRaw("eval_bin", "bin", s.handleEvalBin))
+	if cfg.Online.Enabled {
+		s.online = newOnlineSet(s, cfg.Online)
+		mux.HandleFunc("POST /v1/grids/{name}/observe", s.instrument("observe", s.handleObserve))
+		mux.HandleFunc("POST /v1/grids/{name}/refine", s.instrument("refine", s.handleRefine))
+	}
 	s.mux = mux
 	return s
 }
@@ -252,16 +278,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 		return
 	}
+	versions := s.grids.Versions()
+	if len(versions) == 0 {
+		versions = nil
+	}
 	s.writeJSON(w, http.StatusOK, struct {
-		Status   string `json:"status"`
-		ShardID  string `json:"shard_id,omitempty"`
-		Resident int    `json:"resident"`
-		Grids    int    `json:"grids"`
+		Status   string            `json:"status"`
+		ShardID  string            `json:"shard_id,omitempty"`
+		Resident int               `json:"resident"`
+		Grids    int               `json:"grids"`
+		Online   bool              `json:"online,omitempty"`
+		Versions map[string]uint64 `json:"versions,omitempty"`
 	}{
 		Status:   "ok",
 		ShardID:  s.cfg.ShardID,
 		Resident: s.grids.ResidentCount(),
 		Grids:    len(s.grids.Info()),
+		Online:   s.online != nil,
+		Versions: versions,
 	})
 }
 
@@ -311,6 +345,9 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	if s.online != nil {
+		defer s.online.close()
+	}
 	bs := make([]*gridBatcher, 0, len(s.batchers))
 	for _, gb := range s.batchers {
 		bs = append(bs, gb)

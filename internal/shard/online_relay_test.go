@@ -1,0 +1,175 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"compactsg/internal/serve"
+)
+
+// startOnlineShards brings up n real sgserve instances with online
+// refinement enabled and no static grids.
+func startOnlineShards(t *testing.T, n int) []*testShard {
+	t.Helper()
+	shards := make([]*testShard, n)
+	for i := range shards {
+		srv := serve.New(serve.Config{
+			ShardID: fmt.Sprintf("s%d", i),
+			Online: serve.OnlineConfig{
+				Enabled:     true,
+				InitLevel:   2,
+				MaxLevel:    6,
+				RefineEps:   1e-6,
+				RefineMax:   256,
+				SnapshotDir: t.TempDir(),
+			},
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln) //nolint:errcheck
+		shards[i] = &testShard{id: fmt.Sprintf("s%d", i), addr: ln.Addr().String(), srv: srv, hs: hs}
+		t.Cleanup(shards[i].kill)
+	}
+	return shards
+}
+
+// TestProxyRelaysObserveAndRefine: the write path must reach the shard
+// that owns the grid name, so observations, the refined model, and the
+// swapped snapshot all land where evaluations route.
+func TestProxyRelaysObserveAndRefine(t *testing.T) {
+	shards := startOnlineShards(t, 3)
+	p := newTestProxy(t, shards, Config{})
+	f := func(x []float64) float64 { return 3*x[0] + x[1] }
+
+	center := []float64{0.5, 0.5}
+	body, _ := json.Marshal(map[string]any{
+		"points": [][]float64{center},
+		"values": []float64{f(center)},
+	})
+	rec := proxyPost(p, "/v1/grids/live/observe", "application/json", "", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("observe via proxy: status %d body %s", rec.Code, rec.Body)
+	}
+	var or struct {
+		Applied  int `json:"applied"`
+		Awaiting int `json:"awaiting"`
+	}
+	json.Unmarshal(rec.Body.Bytes(), &or)
+	if or.Applied != 1 {
+		t.Fatalf("observe applied %d, want 1 (body %s)", or.Applied, rec.Body)
+	}
+
+	rec = proxyPost(p, "/v1/grids/live/refine", "application/json", "", []byte("{}"))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("refine via proxy: status %d body %s", rec.Code, rec.Body)
+	}
+	var rr struct {
+		Swapped bool        `json:"swapped"`
+		Version uint64      `json:"version"`
+		Need    [][]float64 `json:"need"`
+	}
+	json.Unmarshal(rec.Body.Bytes(), &rr)
+	if !rr.Swapped || rr.Version != 1 {
+		t.Fatalf("refine via proxy = %s; want swapped version 1", rec.Body)
+	}
+
+	// The eval path routes by the same name → same shard → the swapped
+	// snapshot answers.
+	body, _ = json.Marshal(map[string]any{"grid": "live", "point": center})
+	rec = proxyPost(p, "/v1/eval", "application/json", "", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("eval via proxy: status %d body %s", rec.Code, rec.Body)
+	}
+	var er struct {
+		Value float64 `json:"value"`
+	}
+	json.Unmarshal(rec.Body.Bytes(), &er)
+	if want := f(center); math.Abs(er.Value-want) > 1e-12 {
+		t.Fatalf("eval via proxy = %g, want %g", er.Value, want)
+	}
+
+	// Second round sticks to the same owner: the steering list answers
+	// and the version advances instead of restarting at 1.
+	pts, vals := rr.Need, make([]float64, len(rr.Need))
+	if len(pts) == 0 {
+		t.Fatal("refine answered no steering points")
+	}
+	for k, x := range pts {
+		vals[k] = f(x)
+	}
+	body, _ = json.Marshal(map[string]any{"points": pts, "values": vals})
+	if rec = proxyPost(p, "/v1/grids/live/observe", "application/json", "", body); rec.Code != http.StatusOK {
+		t.Fatalf("observe round 2: status %d body %s", rec.Code, rec.Body)
+	}
+	rec = proxyPost(p, "/v1/grids/live/refine", "application/json", "", []byte("{}"))
+	json.Unmarshal(rec.Body.Bytes(), &rr)
+	if !rr.Swapped || rr.Version != 2 {
+		t.Fatalf("refine round 2 via proxy = %s; want swapped version 2", rec.Body)
+	}
+
+	// Exactly one shard holds the model; the owner serves version 2.
+	owners := 0
+	for _, s := range shards {
+		if v := s.srv.Grids().Version("live"); v > 0 {
+			owners++
+			if v != 2 {
+				t.Fatalf("owning shard at version %d, want 2", v)
+			}
+		}
+	}
+	if owners != 1 {
+		t.Fatalf("%d shards hold the online model, want exactly 1", owners)
+	}
+
+	// Upstream errors relay verbatim — a malformed body is the shard's
+	// 400, not a proxy 502.
+	rec = proxyPost(p, "/v1/grids/live/observe", "application/json", "", []byte("{"))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed observe: status %d, want 400 (body %s)", rec.Code, rec.Body)
+	}
+}
+
+// TestProxyRelayWriteOwnerDown: a write whose owning shard dies
+// must NOT fail over to a replica — the client gets the
+// error and decides; retrying non-idempotent traffic is its call.
+func TestProxyRelayWriteOwnerDown(t *testing.T) {
+	shards := startOnlineShards(t, 2)
+	p := newTestProxy(t, shards, Config{UpstreamTimeout: 2 * time.Second})
+
+	// Find which shard owns "live" and kill it before any write.
+	rs := p.state.Load()
+	owners := rs.ring.OwnersInto(nil, []byte("live"), 1)
+	if len(owners) == 0 {
+		t.Fatal("no owner for live")
+	}
+	downID := rs.ups[owners[0]].shard.ID
+	for _, s := range shards {
+		if s.id == downID {
+			s.kill()
+		}
+	}
+
+	// With the primary dead but not yet marked unhealthy, the single
+	// write attempt fails and relays a 502 — no silent replica retry
+	// that could double-apply observations.
+	body := []byte(`{"points":[[0.5,0.5]],"values":[1]}`)
+	rec := proxyPost(p, "/v1/grids/live/observe", "application/json", "", body)
+	if rec.Code != http.StatusBadGateway {
+		t.Fatalf("observe with dead owner: status %d, want 502 (body %s)", rec.Code, rec.Body)
+	}
+	// Once health marks the owner down, the next available replica
+	// takes the write role and observations land there.
+	p.pollHealth()
+	rec = proxyPost(p, "/v1/grids/live/observe", "application/json", "", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("observe after failover: status %d body %s", rec.Code, rec.Body)
+	}
+}

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -119,6 +120,7 @@ type Proxy struct {
 	mux    *http.ServeMux
 	tracer *obs.Tracer
 	httpc  *http.Client // health probes and /v1/grids fan-out (not the hot path)
+	writec *http.Client // observe/refine relay; longer timeout than probes
 
 	healthStop chan struct{}
 	healthDone chan struct{}
@@ -156,6 +158,7 @@ func New(cfg Config, t Topology) (*Proxy, error) {
 		healthStop: make(chan struct{}),
 		healthDone: make(chan struct{}),
 		httpc:      &http.Client{Timeout: cfg.HealthTimeout},
+		writec:     &http.Client{Timeout: cfg.UpstreamTimeout},
 	}
 
 	r := metrics.NewRegistry()
@@ -186,6 +189,8 @@ func New(cfg Config, t Topology) (*Proxy, error) {
 	mux.HandleFunc("POST /v1/eval", p.instrument("eval", "json", p.handleEvalJSON))
 	mux.HandleFunc("POST /v1/eval/batch", p.instrument("batch", "json", p.handleBatchJSON))
 	mux.HandleFunc("POST /v1/eval/bin", p.instrument("eval_bin", "bin", p.handleEvalBin))
+	mux.HandleFunc("POST /v1/grids/{name}/observe", p.instrument("observe", "json", p.handleObserveRelay))
+	mux.HandleFunc("POST /v1/grids/{name}/refine", p.instrument("refine", "json", p.handleRefineRelay))
 	mux.HandleFunc("GET /admin/topology", p.handleTopologyGet)
 	mux.HandleFunc("POST /admin/topology", p.handleTopologySet)
 	p.mux = mux
@@ -772,6 +777,103 @@ func (p *Proxy) handleGrids(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusBadGateway, errorResponse{Error: "no shard answered /v1/grids"})
+}
+
+// ---------------------------------------------------------------------
+// online write-path relay
+
+// handleObserveRelay / handleRefineRelay forward online write traffic
+// (observations and refine/swap triggers) to the shard that OWNS the
+// grid name — the same ring owner evaluations route to, so a model's
+// observations, refinement state, and swapped snapshots all live on
+// one shard. Unlike evaluations, writes are not idempotent: exactly
+// one upstream attempt is made (the first available owner) and its
+// answer — success or failure — is relayed verbatim, never retried on
+// a replica.
+func (p *Proxy) handleObserveRelay(w http.ResponseWriter, r *http.Request) error {
+	return p.relayWrite(w, r, "observe")
+}
+
+func (p *Proxy) handleRefineRelay(w http.ResponseWriter, r *http.Request) error {
+	return p.relayWrite(w, r, "refine")
+}
+
+func (p *Proxy) relayWrite(w http.ResponseWriter, r *http.Request, verb string) error {
+	sp := obs.FromContext(r.Context())
+	name := r.PathValue("name")
+	if name == "" {
+		return errorf(http.StatusBadRequest, "missing grid name")
+	}
+	sp.SetGrid(name)
+
+	sp.Begin(obs.StageDecode)
+	r.Body = http.MaxBytesReader(nil, r.Body, p.cfg.MaxBodyBytes)
+	body, err := io.ReadAll(r.Body)
+	sp.End(obs.StageDecode)
+	if err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			return errorf(http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", maxErr.Limit)
+		}
+		return errorf(http.StatusBadRequest, "reading request body: %v", err)
+	}
+
+	rs := p.state.Load()
+	owners := rs.ring.OwnersInto(nil, []byte(name), p.cfg.Replicas)
+	if len(owners) == 0 {
+		return errorf(http.StatusServiceUnavailable, "no shard available for grid %q", name)
+	}
+	// The first available owner is the write primary; with every owner
+	// sidelined, fall back to the ring primary so the client gets the
+	// real upstream error rather than a synthesized one.
+	now := time.Now()
+	u := rs.ups[owners[0]]
+	for _, idx := range owners {
+		if rs.ups[idx].available(now) {
+			u = rs.ups[idx]
+			break
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), p.cfg.UpstreamTimeout)
+	defer cancel()
+	url := "http://" + u.shard.Addr + "/v1/grids/" + name + "/" + verb
+	req, err := http.NewRequestWithContext(ctx, "POST", url, bytes.NewReader(body))
+	if err != nil {
+		return errorf(http.StatusInternalServerError, "building upstream request: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if id := r.Header.Get("X-Request-Id"); id != "" {
+		req.Header.Set("X-Request-Id", id)
+	}
+	u.metReq.Inc()
+	sp.Begin(obs.StageDispatch)
+	resp, err := p.writec.Do(req)
+	sp.End(obs.StageDispatch)
+	if err != nil {
+		u.metFail.Inc()
+		return errorf(http.StatusBadGateway, "shard %s did not answer %s for grid %q: %v", u.shard.ID, verb, name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 500 {
+		u.metFail.Inc()
+	}
+	if resp.StatusCode >= 400 {
+		// Relayed errors return nil below and skip instrument's error
+		// path; count them here like relayUpstream does.
+		p.met.errors.With(verb).Inc()
+	}
+	sp.SetStatus(resp.StatusCode)
+	sp.Begin(obs.StageEncode)
+	ct := resp.Header.Get("Content-Type")
+	if ct == "" {
+		ct = "application/json; charset=utf-8"
+	}
+	w.Header().Set("Content-Type", ct)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	sp.End(obs.StageEncode)
+	return nil
 }
 
 func (p *Proxy) handleTopologyGet(w http.ResponseWriter, _ *http.Request) {

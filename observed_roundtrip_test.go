@@ -1,0 +1,86 @@
+package compactsg_test
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"compactsg"
+)
+
+// TestObservedExportRoundTrip drives the public steering API end to
+// end: observations in, refinement, export to the compact layout, a
+// save/load round trip, and bit-identical evaluation throughout.
+func TestObservedExportRoundTrip(t *testing.T) {
+	// Boundary-vanishing target: the basis has no boundary points, so
+	// only such functions are representable to high accuracy.
+	f := func(x []float64) float64 {
+		bump := 16 * x[0] * (1 - x[0]) * x[1] * (1 - x[1])
+		return bump * math.Exp(-8*(x[0]-0.4)*(x[0]-0.4))
+	}
+	a, err := compactsg.NewAdaptiveObserved(2, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Observed() {
+		t.Fatal("Observed() = false on an observed grid")
+	}
+
+	// Steering loop: answer whatever the grid asks for, then refine.
+	for round := 0; round < 6; round++ {
+		for {
+			need := a.NeedValues(256)
+			if len(need) == 0 {
+				break
+			}
+			for _, x := range need {
+				if err := a.Observe(x, f(x)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			a.Commit()
+		}
+		st := a.RefineDetailed(1e-4, 512)
+		if st.Added == 0 && st.Candidates == 0 && round > 0 {
+			break
+		}
+	}
+
+	g, err := a.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := compactsg.LoadAny(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for k := 0; k < 100; k++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		want, err := a.Evaluate(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ge, err := g.Evaluate(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		le, err := loaded.Evaluate(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ge-want) > 1e-12 || le != ge {
+			t.Fatalf("eval(%v): adaptive %g, exported %g, loaded %g", x, want, ge, le)
+		}
+		// The interpolant is genuinely useful, not just self-consistent.
+		if math.Abs(want-f(x)) > 0.05 {
+			t.Fatalf("interpolation error %g at %v after refinement", math.Abs(want-f(x)), x)
+		}
+	}
+}
