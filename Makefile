@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-all bench-coldload experiments examples smoke serve-demo trace-demo proxy-demo swap-demo staticcheck stress fuzz clean
+.PHONY: all build vet test race bench bench-all bench-coldload experiments examples smoke serve-demo trace-demo proxy-demo swap-demo store-demo staticcheck stress fuzz clean
 
 # Per-target budget for `make fuzz` (go's -fuzztime syntax).
 FUZZTIME ?= 30s
@@ -19,7 +19,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/par/ ./internal/hier/ ./internal/eval/ ./internal/boundary/ ./internal/gpusim/ ./internal/kernels/ ./internal/obs/ ./internal/adaptive/ ./internal/serve/ ./internal/shard/ .
+	$(GO) test -race ./internal/par/ ./internal/hier/ ./internal/eval/ ./internal/boundary/ ./internal/gpusim/ ./internal/kernels/ ./internal/obs/ ./internal/adaptive/ ./internal/serve/ ./internal/shard/ ./internal/store/ .
 
 # End-to-end smoke of the evaluation server (build, serve, curl, drain).
 smoke:
@@ -50,6 +50,13 @@ proxy-demo:
 swap-demo:
 	bash scripts/swap_demo.sh
 
+# Tiered snapshot store end to end with real binaries: a blob-tier
+# sgserve, six grids published by content address over HTTP, a
+# store-backed sgserve with a cache cap smaller than the catalog —
+# asserts the miss/hit/eviction counters and zero client errors.
+store-demo:
+	bash scripts/store_demo.sh
+
 # Race-hunting chaos run of the serving layer: concurrent eval across
 # more grids than resident slots, random cancellations, mid-flight
 # registry churn, inflated loads, goroutine-leak check. The median
@@ -59,6 +66,7 @@ stress:
 	$(GO) run -race ./cmd/sgstress -duration 3s -load-delay 25ms -assert-hot-p50 20ms
 	$(GO) run -race ./cmd/sgstress -shard-chaos -duration 3s
 	$(GO) run -race ./cmd/sgstress -swap-chaos -duration 3s
+	$(GO) run -race ./cmd/sgstress -store-chaos -duration 3s
 
 # Optional: requires staticcheck on PATH (honnef.co/go/tools).
 staticcheck:
@@ -78,6 +86,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzParallelHierIdentity$$' -fuzztime $(FUZZTIME) ./internal/hier
 	$(GO) test -run '^$$' -fuzz '^FuzzBinaryFrame$$' -fuzztime $(FUZZTIME) ./internal/serve
 	$(GO) test -run '^$$' -fuzz '^FuzzAdaptiveInvariants$$' -fuzztime $(FUZZTIME) ./internal/adaptive
+	$(GO) test -run '^$$' -fuzz '^FuzzStoreCacheIndex$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 20x ./internal/store
 
 # Kernel hot-path benchmarks -> BENCH_kernels.json (baseline vs current;
 # see scripts/bench_kernels.sh for BENCHTIME/--as-baseline knobs).

@@ -20,6 +20,7 @@ import (
 	"compactsg/internal/core"
 	"compactsg/internal/grids"
 	"compactsg/internal/report"
+	"compactsg/internal/store"
 )
 
 func main() {
@@ -34,8 +35,20 @@ func run(args []string, w io.Writer) error {
 	dim := fs.Int("dim", 0, "dimensionality (shape mode)")
 	level := fs.Int("level", 0, "refinement level (shape mode)")
 	in := fs.String("i", "", "compressed grid file (file mode)")
+	keyOnly := fs.Bool("key", false, "with -i: print only the SGC2 content address (the tiered-store key) and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *keyOnly {
+		if *in == "" {
+			return fmt.Errorf("-key needs -i file.sg")
+		}
+		key, err := store.KeyOfFile(*in)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, key)
+		return nil
 	}
 
 	var desc *core.Descriptor
@@ -135,6 +148,7 @@ func printContainer(w io.Writer, path string) error {
 			info.Count, report.Bytes(info.PayloadBytes()), info.PayloadOffset, aligned)
 		fmt.Fprintf(w, "checksums: header CRC32-C %08x (verified), payload CRC32-C %08x (verified at load)\n",
 			info.HeaderCRC, info.PayloadCRC)
+		fmt.Fprintf(w, "store key: %s (content address for sgserve -grid name=store:KEY)\n", store.KeyOf(info))
 	case "SGS1":
 		fmt.Fprintf(w, "container: SGS1 sparse (nonzeros only), no checksum\n")
 	default:

@@ -17,6 +17,17 @@
 //	GET  /metrics        Prometheus text exposition
 //	GET  /debug/traces   recent request traces with per-stage timings (JSON)
 //	GET  /debug/pprof/*  runtime profiles (with -pprof)
+//	GET/PUT /v1/blobs/{key}  content-addressed snapshot blobs (with -blob-dir)
+//
+// With -store-dir the registry's cold loads go through a tiered
+// snapshot store: a size-capped content-addressed cache (-store-cap)
+// over a remote blob tier (-remote, an HTTP base URL or directory).
+// Grids registered as -grid name=store:KEY are fetched by SGC2
+// content address on first use, so the catalog a node can serve is no
+// longer bounded by its local disk:
+//
+//	sgserve -store-dir /nvme/cache -store-cap 64000000000 \
+//	        -remote http://blobs:8177/v1/blobs -grid vol=store:8f3a...
 //
 // With -online, grids can also be GROWN at runtime from observed
 // function values (adaptive sparse-grid refinement, PAPER.md §5):
@@ -62,6 +73,7 @@ import (
 
 	"compactsg/internal/serve"
 	"compactsg/internal/serve/middleware"
+	"compactsg/internal/store"
 )
 
 func main() {
@@ -102,11 +114,15 @@ func run(args []string) error {
 	refineInterval := fs.Duration("refine-interval", 0, "background refine+hot-swap period for dirty online models (0 = only explicit POST /refine)")
 	snapshotDir := fs.String("snapshot-dir", "", "directory for online model snapshots (default: per-process dir under $TMPDIR)")
 	corsOrigin := fs.String("cors-origin", "", "comma-separated allowed CORS origins (\"*\" allows any; empty disables CORS)")
+	storeDir := fs.String("store-dir", "", "local snapshot cache directory; enables the tiered store (-grid name=store:KEY, remote fetch on miss)")
+	storeCap := fs.Int64("store-cap", 0, "cache capacity in bytes for -store-dir (0 = unlimited); LRU whole-file eviction beyond it")
+	remote := fs.String("remote", "", "remote blob tier behind the cache: http(s) base URL (e.g. http://host:8177/v1/blobs) or a local directory")
+	blobDir := fs.String("blob-dir", "", "serve this directory as an HTTP blob tier at /v1/blobs/{key} (the remote other nodes point -remote at)")
 	readTimeout := fs.Duration("read-timeout", 30*time.Second, "max time to read a full request including the body")
 	writeTimeout := fs.Duration("write-timeout", 0, "max time to write a response (0 = request timeout + 5s slack)")
 	idleTimeout := fs.Duration("idle-timeout", 120*time.Second, "max keep-alive idle time per connection")
 	var named []string
-	fs.Func("grid", "grid as name=path (repeatable); bare arguments use the file basename", func(v string) error {
+	fs.Func("grid", "grid as name=path or name=store:KEY (repeatable); bare arguments use the file basename", func(v string) error {
 		if !strings.Contains(v, "=") {
 			return fmt.Errorf("-grid wants name=path, got %q", v)
 		}
@@ -116,8 +132,29 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if len(named) == 0 && fs.NArg() == 0 && !*online {
-		return errors.New("no grids: pass .sg/.sgs files or -grid name=path (or -online to grow grids from observations)")
+	if len(named) == 0 && fs.NArg() == 0 && !*online && *blobDir == "" {
+		return errors.New("no grids: pass .sg/.sgs files or -grid name=path (or -online to grow grids from observations, or -blob-dir to serve blobs only)")
+	}
+
+	// Tiered snapshot store: content-addressed local cache (optionally
+	// size-capped) over a remote blob tier.
+	var st *store.Store
+	if *storeDir != "" {
+		var rem store.Remote
+		if *remote != "" {
+			if strings.HasPrefix(*remote, "http://") || strings.HasPrefix(*remote, "https://") {
+				rem = &store.HTTPRemote{Base: strings.TrimRight(*remote, "/")}
+			} else {
+				rem = &store.FSRemote{Dir: *remote}
+			}
+		}
+		var err error
+		if st, err = store.Open(store.Config{Dir: *storeDir, CapBytes: *storeCap, Remote: rem}); err != nil {
+			return fmt.Errorf("-store-dir: %w", err)
+		}
+		defer st.Close()
+	} else if *remote != "" {
+		return errors.New("-remote requires -store-dir")
 	}
 
 	cfg := serve.Config{
@@ -144,6 +181,8 @@ func run(args []string) error {
 			SnapshotDir: *snapshotDir,
 		},
 	}
+	cfg.Store = st
+	cfg.BlobDir = *blobDir
 	// Config treats 0 as "default ring"; the flag treats 0 as "off".
 	if *traceRing > 0 {
 		cfg.TraceRing = *traceRing
@@ -158,6 +197,15 @@ func run(args []string) error {
 
 	for _, nv := range named {
 		name, path, _ := strings.Cut(nv, "=")
+		if key, ok := strings.CutPrefix(path, "store:"); ok {
+			if st == nil {
+				return fmt.Errorf("-grid %s=store:...: store-backed grids need -store-dir", name)
+			}
+			if err := srv.AddStoredGrid(name, key); err != nil {
+				return err
+			}
+			continue
+		}
 		if err := srv.AddGrid(name, path); err != nil {
 			return err
 		}
@@ -184,6 +232,15 @@ func run(args []string) error {
 		} else {
 			log.Printf("grid %q: registered (not resident)", gi.Name)
 		}
+	}
+
+	if st != nil {
+		stats := st.Stats()
+		log.Printf("tiered store: dir=%s cap=%d bytes, %d cached objects (%d bytes), remote=%q",
+			*storeDir, *storeCap, stats.Objects, stats.SizeBytes, *remote)
+	}
+	if *blobDir != "" {
+		log.Printf("blob tier: serving %s at /v1/blobs/{key}", *blobDir)
 	}
 
 	if *online {

@@ -81,6 +81,7 @@ type config struct {
 	shardCount int
 	replicas   int
 	swapChaos  bool
+	storeChaos bool
 }
 
 func run(args []string) error {
@@ -107,6 +108,7 @@ func run(args []string) error {
 	fs.IntVar(&cfg.shardCount, "shard-count", 3, "shards behind the proxy in -shard-chaos")
 	fs.IntVar(&cfg.replicas, "replicas", 2, "replica assignment per grid name in -shard-chaos")
 	fs.BoolVar(&cfg.swapChaos, "swap-chaos", false, "run the online hot-swap chaos scenario instead: concurrent observe/refine/swap vs mixed-protocol eval traffic")
+	fs.BoolVar(&cfg.storeChaos, "store-chaos", false, "run the tiered-store chaos scenario instead: cache cap < catalog under hot/cold traffic with remote latency/error injection and one corrupted blob")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -115,6 +117,12 @@ func run(args []string) error {
 	}
 	if cfg.grids < 2 {
 		return fmt.Errorf("-grids must be at least 2 (one hot, one churning)")
+	}
+	if cfg.storeChaos {
+		if cfg.grids < 4 {
+			return fmt.Errorf("-store-chaos needs at least 4 grids (hot + cold pool + poisoned)")
+		}
+		return storeChaos(cfg)
 	}
 	if cfg.swapChaos {
 		return swapChaos(cfg)

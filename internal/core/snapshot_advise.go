@@ -1,0 +1,71 @@
+package core
+
+import "os"
+
+// Advice is a page-level access hint for a mapped snapshot payload,
+// mirroring the posix_madvise vocabulary. Hints are best-effort: on
+// platforms without madvise (or for copied payloads) they are no-ops.
+type Advice int
+
+const (
+	// AdviseNormal restores the kernel's default readahead.
+	AdviseNormal Advice = iota
+	// AdviseSequential requests aggressive readahead for sequential
+	// payload scans (hierarchize, whole-subspace walks).
+	AdviseSequential
+	// AdviseWillNeed asks the kernel to start faulting the payload in
+	// now — the prefetch issued right after a cold-load mmap.
+	AdviseWillNeed
+	// AdviseDontNeed drops the payload's resident pages. For a
+	// read-only file mapping the pages are clean and simply refault
+	// from the file on next touch, so this is the page-granular
+	// eviction knob: memory pressure sheds pages, not whole grids.
+	AdviseDontNeed
+)
+
+// Advise applies a page-level access hint to the mapped payload.
+// Copied (non-mmap) snapshots and empty payloads ignore it.
+func (s *Snapshot) Advise(a Advice) error {
+	b := s.payloadRegion()
+	if b == nil {
+		return nil
+	}
+	return madviseRegion(b, a)
+}
+
+// ResidentBytes estimates how many bytes of the mapped payload are
+// currently resident in physical memory (mincore). For copied
+// snapshots it returns the full payload size — the copy is always
+// resident; the mapping-backed estimate is what makes page-level
+// eviction observable.
+func (s *Snapshot) ResidentBytes() (int64, error) {
+	if s.mapped == nil {
+		return s.info.PayloadBytes(), nil
+	}
+	b := s.payloadRegion()
+	if b == nil {
+		return 0, nil
+	}
+	return residentBytes(b)
+}
+
+// payloadRegion returns the page-aligned slice of the mapping that
+// covers the payload, or nil when there is nothing to advise on. The
+// writer places the payload at a page boundary (SnapshotAlign), so
+// rounding the start down never reaches back into the header's page
+// for canonical files.
+func (s *Snapshot) payloadRegion() []byte {
+	if s.mapped == nil || s.info.PayloadBytes() == 0 {
+		return nil
+	}
+	ps := int64(os.Getpagesize())
+	start := s.info.PayloadOffset &^ (ps - 1)
+	end := s.info.PayloadOffset + s.info.PayloadBytes()
+	if end > int64(len(s.mapped)) {
+		end = int64(len(s.mapped))
+	}
+	if start >= end {
+		return nil
+	}
+	return s.mapped[start:end]
+}

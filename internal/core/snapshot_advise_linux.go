@@ -1,0 +1,51 @@
+//go:build linux
+
+package core
+
+import (
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// madviseRegion applies the hint to a page-aligned mapped region.
+func madviseRegion(b []byte, a Advice) error {
+	var flag int
+	switch a {
+	case AdviseSequential:
+		flag = syscall.MADV_SEQUENTIAL
+	case AdviseWillNeed:
+		flag = syscall.MADV_WILLNEED
+	case AdviseDontNeed:
+		flag = syscall.MADV_DONTNEED
+	default:
+		flag = syscall.MADV_NORMAL
+	}
+	return syscall.Madvise(b, flag)
+}
+
+// residentBytes counts the bytes of b resident in physical memory via
+// mincore. b must start page-aligned (payloadRegion guarantees it).
+func residentBytes(b []byte) (int64, error) {
+	if len(b) == 0 {
+		return 0, nil
+	}
+	ps := os.Getpagesize()
+	vec := make([]byte, (len(b)+ps-1)/ps)
+	_, _, errno := syscall.Syscall(syscall.SYS_MINCORE,
+		uintptr(unsafe.Pointer(&b[0])), uintptr(len(b)), uintptr(unsafe.Pointer(&vec[0])))
+	if errno != 0 {
+		return 0, errno
+	}
+	var pages int64
+	for _, v := range vec {
+		if v&1 != 0 {
+			pages++
+		}
+	}
+	n := pages * int64(ps)
+	if n > int64(len(b)) {
+		n = int64(len(b))
+	}
+	return n, nil
+}

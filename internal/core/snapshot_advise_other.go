@@ -1,0 +1,11 @@
+//go:build !linux
+
+package core
+
+// Without madvise the hints degrade to no-ops and the resident-set
+// estimate assumes the whole payload is resident — conservative for a
+// memory gauge, and mmap itself is already platform-gated.
+
+func madviseRegion(b []byte, a Advice) error { return nil }
+
+func residentBytes(b []byte) (int64, error) { return int64(len(b)), nil }

@@ -18,7 +18,9 @@ import (
 	"time"
 
 	"compactsg"
+	"compactsg/internal/core"
 	"compactsg/internal/obs"
+	"compactsg/internal/store"
 )
 
 // ErrUnknownGrid is returned for names never registered with Add.
@@ -89,15 +91,30 @@ type GridSet struct {
 	OnRetire   func(name string, g *compactsg.Grid)
 	OnSwap     func(name string, version uint64)
 
+	// OnPublish fires after Swap tried to publish the new snapshot into
+	// the tiered store (only when a store is configured), with the
+	// content key on success or the publish error. Best-effort: a failed
+	// publish never fails the swap.
+	OnPublish func(name, key string, err error)
+
 	// LoadHook, if set, runs inside every file load (no locks held),
 	// before the file is opened. It exists for tests and the sgstress
 	// chaos harness to inflate or fail loads deterministically.
 	LoadHook func(name string) error
+
+	// store, when set, backs the cold-load path of key-registered
+	// sources: cache hit → mmap, miss → fetch → verify → cache → mmap.
+	// Set once via SetStore before the registry sees traffic.
+	store *store.Store
 }
 
 type source struct {
 	name string // the registry's own copy of the key (see CanonicalName)
 	path string
+	// key, when non-empty, is the SGC2 content address the grid loads
+	// from through the tiered store (it wins over path). Guarded by
+	// GridSet.mu.
+	key string
 	// Metadata cached from the first successful load so /v1/grids can
 	// describe evicted grids without touching the file again. Guarded
 	// by GridSet.mu.
@@ -191,6 +208,44 @@ func (s *GridSet) Add(name, path string) error {
 	return nil
 }
 
+// SetStore wires a tiered snapshot store behind the cold-load path.
+// Must be called before the registry sees traffic.
+func (s *GridSet) SetStore(st *store.Store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.store = st
+}
+
+// Store returns the configured tiered store, or nil.
+func (s *GridSet) Store() *store.Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.store
+}
+
+// AddStored registers a grid that loads from the tiered store by SGC2
+// content address instead of a file path: a cache hit mmaps the cached
+// object, a miss fetches it from the remote tier (verified end to end)
+// first. Requires SetStore.
+func (s *GridSet) AddStored(name, key string) error {
+	if name == "" {
+		return fmt.Errorf("serve: empty grid name")
+	}
+	if err := store.ValidateKey(key); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.store == nil {
+		return fmt.Errorf("serve: grid %q is store-backed but no store is configured", name)
+	}
+	if _, dup := s.sources[name]; dup {
+		return fmt.Errorf("serve: grid %q registered twice", name)
+	}
+	s.sources[name] = &source{name: name, key: key}
+	return nil
+}
+
 // Swap atomically installs path as a strictly newer version of name,
 // registering the name first if it was unknown. version 0 means "next"
 // (installed version + 1); an explicit version must be greater than the
@@ -208,7 +263,7 @@ func (s *GridSet) Swap(name, path string, version uint64) (uint64, error) {
 	if name == "" {
 		return 0, fmt.Errorf("serve: empty grid name")
 	}
-	og, err := s.load(name, path)
+	og, err := s.load(name, path, "")
 	if err != nil {
 		return 0, err
 	}
@@ -230,6 +285,7 @@ func (s *GridSet) Swap(name, path string, version uint64) (uint64, error) {
 		return installed, fmt.Errorf("%w: version %d <= installed %d for %q", ErrStaleSwap, version, installed, name)
 	}
 	src.path = path
+	src.key = "" // the fresh file is the truth until Publish re-keys it
 	src.version = version
 	src.known = true
 	src.dim, src.level = g.Dim(), g.Level()
@@ -261,6 +317,22 @@ func (s *GridSet) Swap(name, path string, version uint64) (uint64, error) {
 	}
 	for _, v := range victims {
 		s.finishEvict(v)
+	}
+	// Publish the installed snapshot into the tiered store so
+	// post-eviction reloads hit the cache (and other nodes can fetch
+	// it). Best-effort: the swap already succeeded.
+	if st := s.Store(); st != nil {
+		key, perr := st.Publish(context.Background(), path)
+		if perr == nil {
+			s.mu.Lock()
+			if src, ok := s.sources[name]; ok && src.version == version {
+				src.key = key
+			}
+			s.mu.Unlock()
+		}
+		if s.OnPublish != nil {
+			s.OnPublish(name, key, perr)
+		}
 	}
 	return version, nil
 }
@@ -476,13 +548,14 @@ func (s *GridSet) lead(sp *obs.Span, name string) (*Lease, *loadCall, error) {
 	lc := &loadCall{done: make(chan struct{})}
 	s.loading[name] = lc
 	path := src.path
+	key := src.key
 	version := src.version
 	s.mu.Unlock()
 
 	// The file read happens here, with no registry lock held: a cold
 	// load of one grid never blocks Acquire/Get on any other.
 	start := time.Now()
-	og, err := s.load(name, path)
+	og, err := s.load(name, path, key)
 	took := time.Since(start)
 	sp.Add(obs.StageLoad, took)
 
@@ -595,6 +668,47 @@ func (s *GridSet) Purge() {
 	}
 }
 
+// DropPages sheds the resident pages of name's mapped payload
+// (MADV_DONTNEED): the grid stays registered, resident and serving —
+// its pages refault from the snapshot file on next touch. This is the
+// page-granular eviction knob for memory pressure, as opposed to the
+// whole-grid LRU eviction of the resident bound.
+func (s *GridSet) DropPages(name string) error {
+	s.mu.RLock()
+	e, ok := s.resident[name]
+	if ok {
+		e.refs.Add(1)
+	}
+	s.mu.RUnlock()
+	if !ok {
+		return nil // cold grids hold no pages
+	}
+	err := e.open.DropPages()
+	s.releaseEntry(e)
+	return err
+}
+
+// ResidentPayloadBytes estimates the physical memory currently held by
+// resident grid payloads (mincore over each mapping; full payload size
+// for copy loads). It is the gauge behind sgserve_mapped_resident_bytes.
+func (s *GridSet) ResidentPayloadBytes() int64 {
+	s.mu.RLock()
+	es := make([]*entry, 0, len(s.resident))
+	for _, e := range s.resident {
+		e.refs.Add(1)
+		es = append(es, e)
+	}
+	s.mu.RUnlock()
+	var sum int64
+	for _, e := range es {
+		if n, err := e.open.ResidentBytes(); err == nil {
+			sum += n
+		}
+		s.releaseEntry(e)
+	}
+	return sum
+}
+
 // IsCurrent reports whether g is the instance currently resident under
 // name. The server uses it to close the create-after-evict race when
 // wiring batchers to freshly acquired leases.
@@ -626,23 +740,66 @@ func (s *GridSet) Preload() error {
 	return errors.Join(errs...)
 }
 
-// load reads and validates one grid file through compactsg.Open, so
-// SGC2 snapshots arrive zero-copy (memory-mapped) where the platform
-// allows and everything else goes through the copying decoders. No
+// load reads and validates one grid through compactsg.Open, so SGC2
+// snapshots arrive zero-copy (memory-mapped) where the platform allows
+// and everything else goes through the copying decoders. When key is
+// set the file comes out of the tiered store instead of a fixed path:
+// cache hit → mmap, miss → remote fetch → verify → cache → mmap. No
 // registry lock is held.
-func (s *GridSet) load(name, path string) (*compactsg.OpenGrid, error) {
+func (s *GridSet) load(name, path, key string) (*compactsg.OpenGrid, error) {
 	if s.LoadHook != nil {
 		if err := s.LoadHook(name); err != nil {
-			return nil, fmt.Errorf("serve: loading %s: %w", path, err)
+			return nil, fmt.Errorf("serve: loading %s: %w", sourceDesc(path, key), err)
 		}
 	}
-	og, err := compactsg.Open(path, s.opts...)
+	desc := sourceDesc(path, key)
+	var og *compactsg.OpenGrid
+	var err error
+	if key != "" {
+		st := s.Store()
+		if st == nil {
+			return nil, fmt.Errorf("serve: loading %s: no store configured", desc)
+		}
+		var obj *store.Object
+		obj, err = st.Get(context.Background(), key)
+		if err != nil {
+			return nil, fmt.Errorf("serve: loading %s: %w", desc, err)
+		}
+		// The pin covers exactly the Open window; once mmap'd, the
+		// payload survives the cache evicting (unlinking) the file.
+		og, err = compactsg.Open(obj.Path(), s.opts...)
+		obj.Release()
+		if err != nil {
+			// A cached object corrupt at open time (disk rot after
+			// admission) is dropped so the next load refetches it.
+			var ce *core.CorruptError
+			if errors.As(err, &ce) {
+				st.Drop(key)
+			}
+		}
+	} else {
+		og, err = compactsg.Open(path, s.opts...)
+	}
 	if err != nil {
-		return nil, fmt.Errorf("serve: loading %s: %w", path, err)
+		return nil, fmt.Errorf("serve: loading %s: %w", desc, err)
 	}
 	if !og.Compressed() {
 		og.Close()
-		return nil, fmt.Errorf("serve: %s holds nodal values, not hierarchical coefficients; compress it first", path)
+		return nil, fmt.Errorf("serve: %s holds nodal values, not hierarchical coefficients; compress it first", desc)
+	}
+	if og.Mode == compactsg.LoadMmap {
+		// Start faulting the payload in now: a cold-loaded grid is about
+		// to be evaluated, and for store-backed grids the pages were just
+		// written, so they are still dirty in the page cache anyway.
+		og.Advise(compactsg.AdviseWillNeed)
 	}
 	return og, nil
+}
+
+// sourceDesc names a load source for error messages.
+func sourceDesc(path, key string) string {
+	if key != "" {
+		return "store:" + key
+	}
+	return path
 }

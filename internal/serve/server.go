@@ -17,6 +17,7 @@ import (
 	"compactsg"
 	"compactsg/internal/obs"
 	"compactsg/internal/serve/metrics"
+	"compactsg/internal/store"
 )
 
 // Config tunes a Server. The zero value is usable; zero fields take
@@ -75,6 +76,16 @@ type Config struct {
 	// Online configures the write path (observation-fed models with
 	// refine-and-hot-swap); see OnlineConfig. Disabled by default.
 	Online OnlineConfig
+	// Store, when non-nil, backs the registry's cold-load path with a
+	// tiered snapshot store (content-addressed local cache + remote
+	// tier). Grids registered with AddStoredGrid load through it, and
+	// Swap publishes exported snapshots into it. The server also
+	// exports sgserve_store_* gauges refreshed on every /metrics scrape.
+	Store *store.Store
+	// BlobDir, when non-empty, serves that directory as an HTTP blob
+	// tier at /v1/blobs/{key} (GET/HEAD/PUT, uploads fully verified) —
+	// the server half other nodes point -remote at.
+	BlobDir string
 }
 
 func (c *Config) fill() {
@@ -177,6 +188,11 @@ type serverMetrics struct {
 	refines      *metrics.Counter
 	swaps        *metrics.Counter
 	gridVersion  *metrics.GaugeVec
+	// Tiered-store gauges, refreshed from store.Stats() on every
+	// /metrics scrape (the metrics package is push-only); nil without a
+	// store. residentBytes is always present.
+	storeGauges   map[string]*metrics.Gauge
+	residentBytes *metrics.Gauge
 	// stageSecs holds the sgserve_stage_seconds children pre-resolved
 	// per stage so the per-request observation path takes no vec-map
 	// lock.
@@ -250,10 +266,48 @@ func New(cfg Config) *Server {
 	for st := obs.Stage(0); st < obs.NumStages; st++ {
 		s.met.stageSecs[st] = stageVec.With(st.Name())
 	}
+	s.met.residentBytes = r.NewGauge("sgserve_mapped_resident_bytes",
+		"Estimated physical memory held by resident grid payloads (mincore over mmap'd snapshots; full size for copy loads). Refreshed at scrape.")
+	if cfg.Store != nil {
+		s.grids.SetStore(cfg.Store)
+		s.grids.OnPublish = func(name, key string, err error) {
+			if err != nil {
+				cfg.ErrorLog.Warn("store publish failed", "grid", name, "err", err)
+				return
+			}
+			cfg.ErrorLog.Info("snapshot published to store", "grid", name, "key", key)
+		}
+		s.met.storeGauges = make(map[string]*metrics.Gauge)
+		for _, g := range []struct{ name, help string }{
+			{"sgserve_store_hits", "Store cache hits (cold loads served from the local cache)."},
+			{"sgserve_store_misses", "Store cache misses (cold loads that consulted the remote tier)."},
+			{"sgserve_store_fills", "Objects fetched, verified and admitted into the local cache."},
+			{"sgserve_store_evictions", "Cached objects evicted (whole-file LRU) to respect the cache cap."},
+			{"sgserve_store_uncached", "Fetches served as uncached temp files because pinned objects filled the cap."},
+			{"sgserve_store_fetch_failures", "Remote fetches that failed (transport error, 5xx, truncation, size cap)."},
+			{"sgserve_store_verify_failures", "Fetched blobs rejected by checksum or content-address mismatch (never cached, never served)."},
+			{"sgserve_store_fetch_bytes", "Total bytes downloaded from the remote tier."},
+			{"sgserve_store_fetch_seconds", "Total wall time spent downloading from the remote tier."},
+			{"sgserve_store_objects", "Objects currently in the local cache."},
+			{"sgserve_store_size_bytes", "Bytes currently in the local cache (<= sgserve_store_cap_bytes when capped)."},
+			{"sgserve_store_cap_bytes", "Configured local cache capacity in bytes (0 = unlimited)."},
+		} {
+			s.met.storeGauges[g.name] = r.NewGauge(g.name, g.help+" Refreshed at scrape.")
+		}
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.Handle("GET /metrics", r.Handler())
+	mux.Handle("GET /metrics", http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		s.refreshStoreMetrics()
+		r.Handler().ServeHTTP(w, req)
+	}))
+	if cfg.BlobDir != "" {
+		bh := store.BlobHandler(cfg.BlobDir)
+		mux.Handle("GET /v1/blobs/{key}", bh)
+		mux.Handle("HEAD /v1/blobs/{key}", bh)
+		mux.Handle("PUT /v1/blobs/{key}", bh)
+	}
 	mux.Handle("GET /debug/traces", s.tracer.Handler())
 	mux.HandleFunc("GET /v1/grids", s.instrument("grids", s.handleGrids))
 	mux.HandleFunc("POST /v1/eval", s.instrument("eval", s.handleEval))
@@ -314,6 +368,36 @@ func (s *Server) ConnState(_ net.Conn, st http.ConnState) {
 
 // AddGrid registers a compressed grid file under name.
 func (s *Server) AddGrid(name, path string) error { return s.grids.Add(name, path) }
+
+// AddStoredGrid registers a grid that loads through the tiered store
+// by SGC2 content address (requires Config.Store).
+func (s *Server) AddStoredGrid(name, key string) error { return s.grids.AddStored(name, key) }
+
+// refreshStoreMetrics copies the store counters and the resident-page
+// estimate into their gauges; runs on every /metrics scrape.
+func (s *Server) refreshStoreMetrics() {
+	s.met.residentBytes.Set(float64(s.grids.ResidentPayloadBytes()))
+	if s.met.storeGauges == nil {
+		return
+	}
+	st := s.cfg.Store.Stats()
+	for name, v := range map[string]float64{
+		"sgserve_store_hits":            float64(st.Hits),
+		"sgserve_store_misses":          float64(st.Misses),
+		"sgserve_store_fills":           float64(st.Fills),
+		"sgserve_store_evictions":       float64(st.Evictions),
+		"sgserve_store_uncached":        float64(st.Uncached),
+		"sgserve_store_fetch_failures":  float64(st.FetchFailures),
+		"sgserve_store_verify_failures": float64(st.VerifyFailures),
+		"sgserve_store_fetch_bytes":     float64(st.FetchBytes),
+		"sgserve_store_fetch_seconds":   st.FetchSeconds,
+		"sgserve_store_objects":         float64(st.Objects),
+		"sgserve_store_size_bytes":      float64(st.SizeBytes),
+		"sgserve_store_cap_bytes":       float64(st.CapBytes),
+	} {
+		s.met.storeGauges[name].Set(v)
+	}
+}
 
 // Preload eagerly loads registered grids up to the resident bound.
 // Per-grid failures do not abort the pass; they come back joined.

@@ -1,0 +1,8 @@
+package store
+
+import "io"
+
+// SetWrapFill installs a writer interposer on the cache-fill path so
+// fault tests can inject disk-full errors mid-spool. Test-only; set
+// before the store sees traffic.
+func (s *Store) SetWrapFill(f func(io.Writer) io.Writer) { s.wrapFill = f }

@@ -1,0 +1,325 @@
+package store
+
+// Fault injection for the remote tier, mirroring internal/serve's
+// fault suite: every failure mode — truncated fetch, bit-flipped
+// payload, remote 5xx, timeout mid-fetch, disk full mid-fill — must
+// surface a typed error, cache nothing, leave no partial or temp file
+// visible, keep mappings and goroutines at baseline, and bump the
+// right failure counter. After the fault heals, the same key must
+// fetch, verify, cache and serve. Run under -race in CI.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"syscall"
+	"testing"
+	"time"
+
+	"compactsg"
+	"compactsg/internal/core"
+)
+
+// flipPayloadByte corrupts one payload byte of a snapshot image.
+func flipPayloadByte(raw []byte) []byte {
+	out := bytes.Clone(raw)
+	out[core.SnapshotAlign+7] ^= 0x40
+	return out
+}
+
+func TestRemoteFaultInjection(t *testing.T) {
+	base := t.TempDir()
+	path, key, size := writeSnap(t, base, 2, 4, 1)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The healthy remote used for the recovery phase of every case.
+	healthy := remoteFunc(func(ctx context.Context, k string) (io.ReadCloser, error) {
+		if k != key {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, k)
+		}
+		return io.NopCloser(bytes.NewReader(raw)), nil
+	})
+
+	cases := []struct {
+		name    string
+		remote  remoteFunc
+		wrap    func(io.Writer) io.Writer
+		wantErr error
+		// which Stats counter must be 1 after the failed Get
+		failures func(Stats) uint64
+	}{
+		{
+			name: "truncated fetch",
+			remote: remoteFunc(func(ctx context.Context, k string) (io.ReadCloser, error) {
+				return io.NopCloser(bytes.NewReader(raw[:len(raw)/2])), nil
+			}),
+			wantErr:  core.ErrChecksum, // truncation surfaces as CorruptError(unexpected EOF) — checked via As below
+			failures: func(s Stats) uint64 { return s.VerifyFailures },
+		},
+		{
+			name: "bit-flipped payload",
+			remote: remoteFunc(func(ctx context.Context, k string) (io.ReadCloser, error) {
+				return io.NopCloser(bytes.NewReader(flipPayloadByte(raw))), nil
+			}),
+			wantErr:  core.ErrChecksum,
+			failures: func(s Stats) uint64 { return s.VerifyFailures },
+		},
+		{
+			name: "fetch error mid-stream",
+			remote: remoteFunc(func(ctx context.Context, k string) (io.ReadCloser, error) {
+				return io.NopCloser(io.MultiReader(bytes.NewReader(raw[:1024]),
+					errReader{errors.New("connection reset")})), nil
+			}),
+			failures: func(s Stats) uint64 { return s.FetchFailures },
+		},
+		{
+			name: "disk full during cache fill",
+			remote: remoteFunc(func(ctx context.Context, k string) (io.ReadCloser, error) {
+				return io.NopCloser(bytes.NewReader(raw)), nil
+			}),
+			wrap:     func(w io.Writer) io.Writer { return &shortWriter{w: w, n: 2048} },
+			wantErr:  syscall.ENOSPC,
+			failures: func(s Stats) uint64 { return s.FetchFailures },
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mapBaseline := core.ActiveMappings()
+			dir := t.TempDir()
+			s, err := Open(Config{Dir: dir, Remote: tc.remote})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.wrap != nil {
+				s.SetWrapFill(tc.wrap)
+			}
+			_, err = s.Get(context.Background(), key)
+			if err == nil {
+				t.Fatal("Get succeeded through the fault")
+			}
+			if tc.wantErr != nil && !errors.Is(err, tc.wantErr) {
+				var ce *core.CorruptError
+				if !errors.As(err, &ce) {
+					t.Fatalf("got %v, want %v (or CorruptError)", err, tc.wantErr)
+				}
+			}
+			if s.Contains(key) {
+				t.Fatal("faulty blob was cached")
+			}
+			assertNoPartialFiles(t, dir)
+			if _, err := os.Stat(filepath.Join(dir, key+".sg")); !errors.Is(err, os.ErrNotExist) {
+				t.Fatal("an object file is visible after a failed fill")
+			}
+			st := s.Stats()
+			if got := tc.failures(st); got != 1 {
+				t.Fatalf("failure counter = %d, want 1 (stats %+v)", got, st)
+			}
+			if st.Fills != 0 || st.Hits != 0 {
+				t.Fatalf("failed fetch counted as fill/hit: %+v", st)
+			}
+			if got := core.ActiveMappings(); got != mapBaseline {
+				t.Fatalf("failed fetch leaked a mapping: %d != %d", got, mapBaseline)
+			}
+
+			// Heal: the same store, pointed at a healthy remote, must
+			// recover (counters keep history; the key must now cache).
+			s.remote = healthy
+			s.SetWrapFill(nil)
+			obj, err := s.Get(context.Background(), key)
+			if err != nil {
+				t.Fatalf("recovery Get: %v", err)
+			}
+			if !obj.Cached() || obj.Size() != size {
+				t.Fatalf("recovery object: cached=%v size=%d", obj.Cached(), obj.Size())
+			}
+			og, err := compactsg.Open(obj.Path())
+			if err != nil {
+				t.Fatalf("recovery open: %v", err)
+			}
+			if v, err := og.Evaluate([]float64{0.5, 0.5}); err != nil || v != 1 {
+				t.Fatalf("recovery evaluate: %v %v", v, err)
+			}
+			og.Close()
+			obj.Release()
+			waitMappings(t, mapBaseline)
+		})
+	}
+}
+
+func TestHTTPRemoteFaults(t *testing.T) {
+	base := t.TempDir()
+	path, key, _ := writeSnap(t, base, 2, 4, 1)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("remote 500", func(t *testing.T) {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "shard down", http.StatusInternalServerError)
+		}))
+		defer ts.Close()
+		s, err := Open(Config{Dir: t.TempDir(), Remote: &HTTPRemote{Base: ts.URL}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = s.Get(context.Background(), key)
+		if err == nil || !strings500(err) {
+			t.Fatalf("got %v, want a 500-status error", err)
+		}
+		if st := s.Stats(); st.FetchFailures != 1 || s.Contains(key) {
+			t.Fatalf("500 stats: %+v contains=%v", st, s.Contains(key))
+		}
+	})
+
+	t.Run("remote 404 is ErrNotFound", func(t *testing.T) {
+		ts := httptest.NewServer(http.HandlerFunc(http.NotFound))
+		defer ts.Close()
+		s, err := Open(Config{Dir: t.TempDir(), Remote: &HTTPRemote{Base: ts.URL}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err = s.Get(context.Background(), key); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("got %v, want ErrNotFound", err)
+		}
+	})
+
+	t.Run("timeout mid-fetch", func(t *testing.T) {
+		goroutines := runtime.NumGoroutine()
+		stall := make(chan struct{})
+		defer close(stall)
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Length", fmt.Sprint(len(raw)))
+			w.WriteHeader(http.StatusOK)
+			w.Write(raw[:1024])
+			w.(http.Flusher).Flush()
+			select {
+			case <-stall:
+			case <-r.Context().Done():
+			}
+		}))
+		defer ts.Close()
+		s, err := Open(Config{Dir: t.TempDir(), Remote: &HTTPRemote{Base: ts.URL, Client: ts.Client()}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+		defer cancel()
+		_, err = s.Get(ctx, key)
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("got %v, want deadline exceeded", err)
+		}
+		if st := s.Stats(); st.FetchFailures != 1 || s.Contains(key) {
+			t.Fatalf("timeout stats: %+v", st)
+		}
+		assertNoPartialFiles(t, s.Dir())
+		// The fetch goroutine must not leak once the server unblocks.
+		waitGoroutines(t, goroutines)
+	})
+
+	t.Run("blob handler round trip with verified put", func(t *testing.T) {
+		blobDir := t.TempDir()
+		mux := http.NewServeMux()
+		bh := BlobHandler(blobDir)
+		mux.Handle("GET /v1/blobs/{key}", bh)
+		mux.Handle("PUT /v1/blobs/{key}", bh)
+		ts := httptest.NewServer(mux)
+		defer ts.Close()
+		rem := &HTTPRemote{Base: ts.URL + "/v1/blobs", Client: ts.Client()}
+
+		// A corrupt upload must be rejected and never become fetchable.
+		bad := flipPayloadByte(raw)
+		if err := rem.Put(context.Background(), key, bytes.NewReader(bad), int64(len(bad))); err == nil {
+			t.Fatal("corrupt PUT accepted")
+		}
+		if _, err := rem.Fetch(context.Background(), key); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("corrupt blob became fetchable: %v", err)
+		}
+		// A mislabeled upload (valid snapshot, wrong key) is rejected too.
+		if err := rem.Put(context.Background(), "00000000000000aa", bytes.NewReader(raw), int64(len(raw))); err == nil {
+			t.Fatal("mislabeled PUT accepted")
+		}
+		// The genuine article uploads and fetches byte-identically.
+		if err := rem.Put(context.Background(), key, bytes.NewReader(raw), int64(len(raw))); err != nil {
+			t.Fatal(err)
+		}
+		rc, err := rem.Fetch(context.Background(), key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := io.ReadAll(rc)
+		rc.Close()
+		if err != nil || !bytes.Equal(back, raw) {
+			t.Fatalf("fetched blob differs from upload (err %v)", err)
+		}
+	})
+}
+
+// errReader fails every Read with err.
+type errReader struct{ err error }
+
+func (r errReader) Read([]byte) (int, error) { return 0, r.err }
+
+// shortWriter writes through until n bytes, then reports ENOSPC.
+type shortWriter struct {
+	w       io.Writer
+	n       int
+	written int
+}
+
+func (s *shortWriter) Write(p []byte) (int, error) {
+	if s.written+len(p) > s.n {
+		room := s.n - s.written
+		if room > 0 {
+			s.w.Write(p[:room])
+			s.written = s.n
+		}
+		return room, fmt.Errorf("injected disk full: %w", syscall.ENOSPC)
+	}
+	m, err := s.w.Write(p)
+	s.written += m
+	return m, err
+}
+
+func strings500(err error) bool {
+	return err != nil && (errors.Is(err, ErrNotFound) == false) &&
+		bytes.Contains([]byte(err.Error()), []byte("500"))
+}
+
+// waitMappings polls core.ActiveMappings until it returns to want.
+func waitMappings(t testing.TB, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if core.ActiveMappings() == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("mappings stuck at %d, want %d", core.ActiveMappings(), want)
+}
+
+// waitGoroutines polls until the goroutine count drops back to at most
+// base (other tests may run in parallel, so only gross leaks trip it).
+func waitGoroutines(t testing.TB, base int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base+2 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutines %d, baseline %d", runtime.NumGoroutine(), base)
+}

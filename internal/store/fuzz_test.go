@@ -1,0 +1,162 @@
+package store
+
+// FuzzStoreCacheIndex hammers the two trust boundaries of the cache
+// tier. First the INDEX codec: whatever bytes land in <dir>/INDEX —
+// torn writes, hostile names, duplicate keys claiming the same
+// checksum for distinct content — decodeIndex must reject or produce
+// entries that survive an exact encode/decode round trip. Second the
+// store itself: leftover fuzz bytes drive concurrent fill/evict/drop
+// interleavings against a tiny-cap store whose remote serves one
+// poisoned key, asserting the counter algebra and the cap invariant
+// hold on every schedule. Run with `go test -fuzz FuzzStoreCacheIndex`;
+// the seed corpus runs in every ordinary test invocation.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"testing"
+)
+
+func FuzzStoreCacheIndex(f *testing.F) {
+	// Build three genuine snapshots once; per-iteration work only
+	// touches the index codec and a tempdir-backed store.
+	base := f.TempDir()
+	var keys []string
+	blobs := map[string][]byte{}
+	for i, scale := range []float64{1, 2, 3} {
+		path, key, _ := writeSnap(f, base, 2, 3+i%2, scale)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		keys = append(keys, key)
+		blobs[key] = raw
+	}
+	// The poisoned key: a syntactically valid address whose remote
+	// bytes are another snapshot — a checksum collision as far as the
+	// index is concerned, a verify failure once fetched.
+	poison := "00000000000000ab"
+	blobs[poison] = blobs[keys[0]]
+	remote := remoteFunc(func(ctx context.Context, k string) (io.ReadCloser, error) {
+		raw, ok := blobs[k]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, k)
+		}
+		return io.NopCloser(bytes.NewReader(raw)), nil
+	})
+
+	f.Add(encodeIndex([]indexEntry{
+		{Key: keys[0], Size: 4096, ATime: 1},
+		{Key: keys[1], Size: 8192, ATime: 2},
+	}))
+	f.Add(encodeIndex(nil))
+	f.Add([]byte("sgstore-index v1\n" + keys[0] + " 10 1\n" + keys[0] + " 20 2\n")) // dup key
+	f.Add([]byte("sgstore-index v1\n../../etc/passwd 10 1\n"))
+	f.Add([]byte("sgstore-index v1\nDEADBEEFDEADBEEF 10 1\n")) // uppercase hex
+	f.Add([]byte("sgstore-index v1\n" + keys[0] + " -5 1\n"))
+	f.Add([]byte("sgstore-index v1\n" + keys[0] + " 010 1\n")) // non-canonical int
+	f.Add([]byte("bogus magic\n"))
+	f.Add([]byte{0x00, 0xff, '\n'})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Codec: decode must never panic; accepted input must round-trip
+		// exactly and contain only validated, unique keys.
+		if entries, err := decodeIndex(data); err == nil {
+			seen := map[string]bool{}
+			for _, e := range entries {
+				if ValidateKey(e.Key) != nil {
+					t.Fatalf("decodeIndex admitted invalid key %q", e.Key)
+				}
+				if seen[e.Key] {
+					t.Fatalf("decodeIndex admitted duplicate key %q", e.Key)
+				}
+				seen[e.Key] = true
+				if e.Size < 0 || e.ATime < 0 {
+					t.Fatalf("decodeIndex admitted negative field: %+v", e)
+				}
+			}
+			again, err := decodeIndex(encodeIndex(entries))
+			if err != nil {
+				t.Fatalf("re-decode of canonical encoding failed: %v", err)
+			}
+			if len(again) != len(entries) {
+				t.Fatalf("round trip changed entry count: %d != %d", len(again), len(entries))
+			}
+			for i := range entries {
+				if again[i] != entries[i] {
+					t.Fatalf("round trip changed entry %d: %+v != %+v", i, again[i], entries[i])
+				}
+			}
+		}
+
+		// Interpreter: remaining bytes schedule concurrent fill/evict/
+		// drop against a cap that holds roughly one object, so every
+		// iteration exercises eviction under contention.
+		ops := data
+		if len(ops) > 24 {
+			ops = ops[:24]
+		}
+		if len(ops) == 0 {
+			return
+		}
+		s, err := Open(Config{Dir: t.TempDir(), CapBytes: int64(len(blobs[keys[0]])) + 512, Remote: remote})
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(ops []byte) {
+			for _, b := range ops {
+				switch b % 4 {
+				case 0, 1:
+					k := keys[int(b>>2)%len(keys)]
+					if obj, err := s.Get(context.Background(), k); err == nil {
+						obj.Release()
+					} else {
+						t.Errorf("Get(%s): %v", k, err)
+					}
+				case 2:
+					if _, err := s.Get(context.Background(), poison); err == nil {
+						t.Error("poisoned key served")
+					}
+				case 3:
+					s.Drop(keys[int(b>>2)%len(keys)]) // ErrPinned/no-op both fine
+				}
+			}
+		}
+		var wg sync.WaitGroup
+		half := len(ops) / 2
+		for _, part := range [][]byte{ops[:half], ops[half:]} {
+			wg.Add(1)
+			go func(p []byte) { defer wg.Done(); run(p) }(part)
+		}
+		wg.Wait()
+
+		st := s.Stats()
+		attempts := st.Fills + st.Uncached + st.FetchFailures + st.VerifyFailures
+		if st.Misses != attempts {
+			t.Fatalf("counter algebra broken: misses %d != attempts %d (%+v)", st.Misses, attempts, st)
+		}
+		if s.cap > 0 && st.SizeBytes > s.cap {
+			t.Fatalf("cache size %d exceeds cap %d", st.SizeBytes, s.cap)
+		}
+		if s.Contains(poison) {
+			t.Fatal("poisoned key was cached")
+		}
+		assertNoPartialFiles(t, s.Dir())
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// The persisted index must reopen cleanly and readopt every
+		// cached object.
+		s2, err := Open(Config{Dir: s.Dir(), CapBytes: s.cap, Remote: remote})
+		if err != nil {
+			t.Fatalf("reopen after fuzz schedule: %v", err)
+		}
+		if got := s2.Stats().SizeBytes; got != st.SizeBytes {
+			t.Fatalf("reopen lost bytes: %d != %d", got, st.SizeBytes)
+		}
+	})
+}

@@ -1,0 +1,137 @@
+// Package store is the tiered snapshot store behind the serving
+// registry's cold-load path: a content-addressed local disk cache
+// (size-capped, whole-file LRU eviction, atomic tmp+rename fills) in
+// front of a pluggable remote blob tier, with every fetched blob
+// re-verified against both SGC2 CRC32-C checksums before it becomes
+// visible to Open.
+//
+// Content addressing uses the checksums the SGC2 container already
+// carries: an object's key is the header CRC32-C concatenated with the
+// payload CRC32-C, 16 lowercase hex characters. The header CRC covers
+// the shape, flags and the payload CRC field, so the key binds both
+// the payload bytes and the grid's declared shape; VerifySnapshotFile
+// additionally rejects trailing garbage, making the keyed encoding
+// canonical. A remote that returns different bytes under a key —
+// corruption, a CRC collision between distinct contents, or a lying
+// server — fails admission and is never cached or served.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"compactsg/internal/core"
+)
+
+// KeyLen is the length of a content address: 8 hex chars of header
+// CRC32-C followed by 8 of payload CRC32-C.
+const KeyLen = 16
+
+// indexMagic is the first line of the on-disk cache index (manifest).
+const indexMagic = "sgstore-index v1"
+
+// KeyOf returns the content address of a snapshot with the given
+// parsed header.
+func KeyOf(info *core.SnapshotInfo) string {
+	return fmt.Sprintf("%08x%08x", info.HeaderCRC, info.PayloadCRC)
+}
+
+// KeyOfFile returns the content address of the snapshot at path from
+// its header alone (the header CRC is verified; the payload is not
+// read). Use VerifySnapshotFile before trusting untrusted bytes.
+func KeyOfFile(path string) (string, error) {
+	info, err := core.ReadSnapshotInfoFile(path)
+	if err != nil {
+		return "", err
+	}
+	return KeyOf(info), nil
+}
+
+// ValidateKey rejects anything that is not exactly KeyLen lowercase
+// hex characters. Every external key — remote fetches, blob-handler
+// URLs, index lines, registry registrations — passes through here, so
+// a hostile name can never become a path component.
+func ValidateKey(key string) error {
+	if len(key) != KeyLen {
+		return fmt.Errorf("store: key %q is %d chars, want %d", key, len(key), KeyLen)
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return fmt.Errorf("store: key %q has non-hex char at %d", key, i)
+		}
+	}
+	return nil
+}
+
+// indexEntry is one cached object in the persisted cache index,
+// most-recently-used entries first.
+type indexEntry struct {
+	Key   string
+	Size  int64
+	ATime int64 // unix seconds of last use; informational
+}
+
+// encodeIndex renders entries in the on-disk index format. The output
+// of encodeIndex always round-trips through decodeIndex.
+func encodeIndex(entries []indexEntry) []byte {
+	var b bytes.Buffer
+	b.WriteString(indexMagic)
+	b.WriteByte('\n')
+	for _, e := range entries {
+		fmt.Fprintf(&b, "%s %d %d\n", e.Key, e.Size, e.ATime)
+	}
+	return b.Bytes()
+}
+
+// decodeIndex parses an on-disk cache index. It is strict: a bad
+// magic line, malformed field, invalid key, negative size or duplicate
+// key rejects the whole index (the store then falls back to a
+// directory scan, so a mangled index costs order information, never
+// correctness).
+func decodeIndex(data []byte) ([]indexEntry, error) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("store: index missing magic line")
+	}
+	if sc.Text() != indexMagic {
+		return nil, fmt.Errorf("store: index magic %q, want %q", sc.Text(), indexMagic)
+	}
+	var entries []indexEntry
+	seen := make(map[string]bool)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			return nil, fmt.Errorf("store: blank index line")
+		}
+		fields := strings.Split(line, " ")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("store: index line has %d fields, want 3", len(fields))
+		}
+		key := fields[0]
+		if err := ValidateKey(key); err != nil {
+			return nil, err
+		}
+		if seen[key] {
+			return nil, fmt.Errorf("store: duplicate index key %s", key)
+		}
+		seen[key] = true
+		size, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil || size < 0 || fields[1] != strconv.FormatInt(size, 10) {
+			return nil, fmt.Errorf("store: bad index size %q", fields[1])
+		}
+		atime, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil || atime < 0 || fields[2] != strconv.FormatInt(atime, 10) {
+			return nil, fmt.Errorf("store: bad index atime %q", fields[2])
+		}
+		entries = append(entries, indexEntry{Key: key, Size: size, ATime: atime})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("store: reading index: %w", err)
+	}
+	return entries, nil
+}

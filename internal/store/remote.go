@@ -1,0 +1,226 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"compactsg/internal/core"
+)
+
+// ErrNotFound is returned by a Remote when the key has no blob.
+var ErrNotFound = errors.New("store: blob not found")
+
+// Remote is the blob tier behind the cache: an immutable
+// content-addressed GET. Implementations must return ErrNotFound
+// (possibly wrapped) for absent keys.
+type Remote interface {
+	Fetch(ctx context.Context, key string) (io.ReadCloser, error)
+}
+
+// Putter is the optional upload half of a Remote; Publish uses it to
+// push exported snapshots.
+type Putter interface {
+	Put(ctx context.Context, key string, r io.Reader, size int64) error
+}
+
+// FSRemote is the in-tree loopback remote: blobs are files named
+// <key>.sg under Dir. It exists for tests, demos and single-host
+// tiering (e.g. cache on local NVMe, remote on network storage).
+type FSRemote struct {
+	Dir string
+}
+
+// Fetch opens the blob file for key.
+func (r *FSRemote) Fetch(ctx context.Context, key string) (io.ReadCloser, error) {
+	if err := ValidateKey(key); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(filepath.Join(r.Dir, key+".sg"))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	return f, err
+}
+
+// Put writes the blob atomically (tmp+rename).
+func (r *FSRemote) Put(ctx context.Context, key string, src io.Reader, size int64) error {
+	if err := ValidateKey(key); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(r.Dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(r.Dir, "put-*.tmp")
+	if err != nil {
+		return err
+	}
+	tmpPath := tmp.Name()
+	if _, err := io.Copy(tmp, src); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	return os.Rename(tmpPath, filepath.Join(r.Dir, key+".sg"))
+}
+
+// HTTPRemote speaks the blob protocol served by BlobHandler: GET/PUT
+// <Base>/<key>. Base is e.g. "http://host:8177/v1/blobs".
+type HTTPRemote struct {
+	Base   string
+	Client *http.Client // nil: a private client with a 60s timeout
+}
+
+func (r *HTTPRemote) client() *http.Client {
+	if r.Client != nil {
+		return r.Client
+	}
+	return &http.Client{Timeout: 60 * time.Second}
+}
+
+// Fetch GETs the blob; a 404 maps to ErrNotFound, any other non-200
+// status is an error (the body is never trusted on error).
+func (r *HTTPRemote) Fetch(ctx context.Context, key string) (io.ReadCloser, error) {
+	if err := ValidateKey(key); err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.Base+"/"+key, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return resp.Body, nil
+	case http.StatusNotFound:
+		resp.Body.Close()
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	default:
+		resp.Body.Close()
+		return nil, fmt.Errorf("store: remote returned %s for %s", resp.Status, key)
+	}
+}
+
+// Put PUTs the blob; the server re-verifies it before admission.
+func (r *HTTPRemote) Put(ctx context.Context, key string, src io.Reader, size int64) error {
+	if err := ValidateKey(key); err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, r.Base+"/"+key, src)
+	if err != nil {
+		return err
+	}
+	req.ContentLength = size
+	resp, err := r.client().Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("store: remote returned %s putting %s", resp.Status, key)
+	}
+	return nil
+}
+
+// BlobHandler serves a directory of content-addressed snapshots over
+// HTTP — the server half of HTTPRemote. Mount it under Go 1.22
+// patterns with a {key} path value, e.g.:
+//
+//	h := store.BlobHandler(dir)
+//	mux.Handle("GET /v1/blobs/{key}", h)
+//	mux.Handle("HEAD /v1/blobs/{key}", h)
+//	mux.Handle("PUT /v1/blobs/{key}", h)
+//
+// PUT uploads are spooled, fully verified (both CRCs + key match) and
+// renamed into place atomically; a corrupt or mislabeled upload never
+// becomes fetchable.
+func BlobHandler(dir string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		key := req.PathValue("key")
+		if err := ValidateKey(key); err != nil {
+			http.Error(w, "invalid blob key", http.StatusBadRequest)
+			return
+		}
+		path := filepath.Join(dir, key+".sg")
+		switch req.Method {
+		case http.MethodGet, http.MethodHead:
+			f, err := os.Open(path)
+			if errors.Is(err, os.ErrNotExist) {
+				http.Error(w, "no such blob", http.StatusNotFound)
+				return
+			} else if err != nil {
+				http.Error(w, "blob open failed", http.StatusInternalServerError)
+				return
+			}
+			defer f.Close()
+			st, err := f.Stat()
+			if err != nil {
+				http.Error(w, "blob stat failed", http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Length", strconv.FormatInt(st.Size(), 10))
+			if req.Method == http.MethodHead {
+				return
+			}
+			io.Copy(w, f)
+		case http.MethodPut:
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				http.Error(w, "blob dir unavailable", http.StatusInternalServerError)
+				return
+			}
+			tmp, err := os.CreateTemp(dir, "put-*.tmp")
+			if err != nil {
+				http.Error(w, "blob spool failed", http.StatusInternalServerError)
+				return
+			}
+			tmpPath := tmp.Name()
+			n, err := io.Copy(tmp, io.LimitReader(req.Body, maxBlobBytes()+1))
+			if cerr := tmp.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil || n > maxBlobBytes() {
+				os.Remove(tmpPath)
+				http.Error(w, "blob upload failed", http.StatusBadRequest)
+				return
+			}
+			if key2, err := verifiedKeyOfFile(tmpPath); err != nil || key2 != key {
+				os.Remove(tmpPath)
+				http.Error(w, "blob fails verification against its key", http.StatusUnprocessableEntity)
+				return
+			}
+			if err := os.Rename(tmpPath, path); err != nil {
+				os.Remove(tmpPath)
+				http.Error(w, "blob install failed", http.StatusInternalServerError)
+				return
+			}
+			w.WriteHeader(http.StatusCreated)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+}
+
+// verifiedKeyOfFile fully verifies the snapshot at path and returns
+// its content address.
+func verifiedKeyOfFile(path string) (string, error) {
+	info, err := core.VerifySnapshotFile(path)
+	if err != nil {
+		return "", err
+	}
+	return KeyOf(info), nil
+}

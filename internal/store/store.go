@@ -1,0 +1,578 @@
+package store
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"compactsg/internal/core"
+)
+
+// maxBlobBytes caps how many bytes a single remote fetch will spool to
+// disk: the payload decode cap plus the maximum payload offset the
+// header parser admits. A remote streaming garbage forever costs at
+// most this much temp space before verification rejects it.
+func maxBlobBytes() int64 { return core.MaxDecodeBytes + 1<<30 + core.SnapshotHeaderSize }
+
+var (
+	// ErrNoRemote is returned by Get on a cache miss when no remote
+	// tier is configured.
+	ErrNoRemote = errors.New("store: no remote tier configured")
+	// ErrKeyMismatch is returned when a fetched blob verifies as a
+	// well-formed snapshot but hashes to a different content address
+	// than requested — wrong bytes under the key (corrupt remote, or a
+	// CRC collision between distinct contents). The blob is discarded,
+	// never cached.
+	ErrKeyMismatch = errors.New("store: fetched blob does not match its content address")
+	// ErrTooLarge is returned when a remote blob exceeds maxBlobBytes.
+	ErrTooLarge = errors.New("store: remote blob exceeds size cap")
+	// ErrPinned is returned by Drop for an object currently pinned by
+	// an unreleased Object handle.
+	ErrPinned = errors.New("store: object is pinned")
+)
+
+// Config configures a Store.
+type Config struct {
+	// Dir is the local cache directory (created if absent).
+	Dir string
+	// CapBytes bounds the total size of cached objects; <= 0 means
+	// unlimited. The cap is enforced at admission: unpinned LRU
+	// objects are evicted first, and a fill that still cannot fit is
+	// handed to the caller as an uncached temp file, so the cache
+	// never exceeds the cap.
+	CapBytes int64
+	// Remote is the blob tier consulted on cache miss; nil for a
+	// cache-only store.
+	Remote Remote
+}
+
+// Store is a content-addressed snapshot cache over a remote blob tier.
+type Store struct {
+	dir    string
+	cap    int64
+	remote Remote
+
+	mu      sync.Mutex
+	entries map[string]*centry
+	lru     *list.List // front = most recently used *centry
+	size    int64      // sum of cached object sizes
+	loading map[string]*fetchCall
+
+	indexMu sync.Mutex // serializes index persistence
+
+	// wrapFill interposes on the cache-fill writer; tests use it to
+	// inject disk-full failures mid-fill.
+	wrapFill func(io.Writer) io.Writer
+
+	hits, misses, fills, evictions, uncached atomic.Uint64
+	fetchFailures, verifyFailures            atomic.Uint64
+	fetchBytes, fetchNanos                   atomic.Uint64
+}
+
+type centry struct {
+	key  string
+	size int64
+	el   *list.Element
+	pins int // guarded by Store.mu; pinned entries are never evicted
+}
+
+// fetchCall is the per-key singleflight slot: one leader fetches,
+// waiters block on done and then re-check the cache.
+type fetchCall struct {
+	done chan struct{}
+	err  error
+}
+
+// Stats is a point-in-time snapshot of the store's counters.
+type Stats struct {
+	Hits           uint64 // Get served from the local cache
+	Misses         uint64 // Get that had to consult the remote tier
+	Fills          uint64 // objects admitted into the cache
+	Evictions      uint64 // objects evicted to make room
+	Uncached       uint64 // fetches served as uncached temp files (pin pressure)
+	FetchFailures  uint64 // remote fetch / spool errors
+	VerifyFailures uint64 // fetched blobs rejected by checksum or key mismatch
+	FetchBytes     uint64 // total bytes downloaded from the remote
+	FetchSeconds   float64
+	Objects        int   // objects currently cached
+	SizeBytes      int64 // bytes currently cached (always <= CapBytes when capped)
+	CapBytes       int64
+}
+
+// Open opens (creating if needed) the cache directory and reconciles
+// the persisted index against the files actually present: index
+// entries without a file are dropped, files without an index entry are
+// adopted (oldest-first), stale fill temp files are removed.
+func Open(cfg Config) (*Store, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("store: Config.Dir is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:     cfg.Dir,
+		cap:     cfg.CapBytes,
+		remote:  cfg.Remote,
+		entries: make(map[string]*centry),
+		lru:     list.New(),
+		loading: make(map[string]*fetchCall),
+	}
+	if err := s.scan(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// scan rebuilds the in-memory index from the index file + directory.
+func (s *Store) scan() error {
+	var persisted []indexEntry
+	if raw, err := os.ReadFile(s.indexPath()); err == nil {
+		// A corrupt index is not fatal: order is lost, objects are not.
+		persisted, _ = decodeIndex(raw)
+	}
+	onDisk := make(map[string]int64)
+	des, err := os.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() {
+			continue
+		}
+		if strings.HasPrefix(name, "fill-") && strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(s.dir, name)) // stale partial fill
+			continue
+		}
+		key, ok := strings.CutSuffix(name, ".sg")
+		if !ok || ValidateKey(key) != nil {
+			continue // not ours; leave it alone
+		}
+		st, err := de.Info()
+		if err != nil {
+			continue
+		}
+		onDisk[key] = st.Size()
+	}
+	// Adopt persisted order first (most recent first), then strays.
+	for _, pe := range persisted {
+		size, ok := onDisk[pe.Key]
+		if !ok {
+			continue
+		}
+		delete(onDisk, pe.Key)
+		e := &centry{key: pe.Key, size: size}
+		e.el = s.lru.PushBack(e)
+		s.entries[pe.Key] = e
+		s.size += size
+	}
+	strays := make([]string, 0, len(onDisk))
+	for key := range onDisk {
+		strays = append(strays, key)
+	}
+	sort.Strings(strays)
+	for _, key := range strays {
+		e := &centry{key: key, size: onDisk[key]}
+		e.el = s.lru.PushBack(e)
+		s.entries[key] = e
+		s.size += onDisk[key]
+	}
+	// Re-enforce the cap in case it shrank between runs.
+	s.mu.Lock()
+	s.fitLocked(0)
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *Store) indexPath() string { return filepath.Join(s.dir, "INDEX") }
+
+func (s *Store) objectPath(key string) string { return filepath.Join(s.dir, key+".sg") }
+
+// Dir returns the cache directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Contains reports whether key is currently cached.
+func (s *Store) Contains(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[key]
+	return ok
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	objects, size := len(s.entries), s.size
+	s.mu.Unlock()
+	return Stats{
+		Hits:           s.hits.Load(),
+		Misses:         s.misses.Load(),
+		Fills:          s.fills.Load(),
+		Evictions:      s.evictions.Load(),
+		Uncached:       s.uncached.Load(),
+		FetchFailures:  s.fetchFailures.Load(),
+		VerifyFailures: s.verifyFailures.Load(),
+		FetchBytes:     s.fetchBytes.Load(),
+		FetchSeconds:   float64(s.fetchNanos.Load()) / 1e9,
+		Objects:        objects,
+		SizeBytes:      size,
+		CapBytes:       s.cap,
+	}
+}
+
+// An Object is a pinned handle on a store object: Path is guaranteed
+// to exist until Release. Pin the object only for the window between
+// Get and opening the file — once mmap'd (or read), the payload
+// survives eviction's unlink, so handles should be released promptly.
+type Object struct {
+	s        *Store
+	e        *centry // nil for an uncached (cap-pressure) temp object
+	path     string
+	size     int64
+	released atomic.Bool
+}
+
+// Path returns the on-disk location of the verified snapshot.
+func (o *Object) Path() string { return o.path }
+
+// Size returns the object's byte size.
+func (o *Object) Size() int64 { return o.size }
+
+// Cached reports whether the object lives in the cache (false for a
+// temp object handed out when the cache could not admit it).
+func (o *Object) Cached() bool { return o.e != nil }
+
+// Release unpins the object; idempotent. Uncached temp objects are
+// deleted here (any live mapping of the file survives the unlink).
+func (o *Object) Release() {
+	if !o.released.CompareAndSwap(false, true) {
+		return
+	}
+	if o.e == nil {
+		os.Remove(o.path)
+		return
+	}
+	o.s.mu.Lock()
+	o.e.pins--
+	o.s.mu.Unlock()
+}
+
+// Get returns a pinned handle on the object for key, fetching it from
+// the remote tier on a cache miss. Concurrent Gets for the same key
+// share one fetch (per-key singleflight); the serving registry's
+// per-name singleflight sits above this, so a burst of cold loads for
+// one grid costs exactly one remote fetch end to end.
+func (s *Store) Get(ctx context.Context, key string) (*Object, error) {
+	if err := ValidateKey(key); err != nil {
+		return nil, err
+	}
+	for {
+		s.mu.Lock()
+		if e, ok := s.entries[key]; ok {
+			e.pins++
+			s.lru.MoveToFront(e.el)
+			s.mu.Unlock()
+			s.hits.Add(1)
+			return &Object{s: s, e: e, path: s.objectPath(key), size: e.size}, nil
+		}
+		if fc, ok := s.loading[key]; ok {
+			s.mu.Unlock()
+			select {
+			case <-fc.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if fc.err != nil {
+				return nil, fc.err
+			}
+			continue // leader cached it; pick it up (or re-fetch if already evicted)
+		}
+		fc := &fetchCall{done: make(chan struct{})}
+		s.loading[key] = fc
+		s.mu.Unlock()
+
+		s.misses.Add(1)
+		obj, err := s.fill(ctx, key)
+		s.mu.Lock()
+		delete(s.loading, key)
+		s.mu.Unlock()
+		fc.err = err
+		close(fc.done)
+		return obj, err
+	}
+}
+
+// fill downloads, verifies and (cap permitting) admits key. The blob
+// is spooled to a temp file and renamed into place only after both
+// checksums and the content address check out — a partial or corrupt
+// file is never visible at an object path.
+func (s *Store) fill(ctx context.Context, key string) (*Object, error) {
+	if s.remote == nil {
+		return nil, fmt.Errorf("%w (cache miss for %s)", ErrNoRemote, key)
+	}
+	start := time.Now()
+	rc, err := s.remote.Fetch(ctx, key)
+	if err != nil {
+		s.fetchFailures.Add(1)
+		return nil, fmt.Errorf("store: fetching %s: %w", key, err)
+	}
+	tmp, err := os.CreateTemp(s.dir, "fill-*.tmp")
+	if err != nil {
+		rc.Close()
+		s.fetchFailures.Add(1)
+		return nil, err
+	}
+	tmpPath := tmp.Name()
+	fail := func(counter *atomic.Uint64, err error) (*Object, error) {
+		tmp.Close()
+		os.Remove(tmpPath)
+		counter.Add(1)
+		return nil, err
+	}
+	var w io.Writer = tmp
+	if s.wrapFill != nil {
+		w = s.wrapFill(w)
+	}
+	n, err := io.Copy(w, io.LimitReader(rc, maxBlobBytes()+1))
+	rc.Close()
+	if err != nil {
+		return fail(&s.fetchFailures, fmt.Errorf("store: fetching %s: %w", key, err))
+	}
+	if n > maxBlobBytes() {
+		return fail(&s.fetchFailures, fmt.Errorf("%w: %s", ErrTooLarge, key))
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(&s.fetchFailures, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		s.fetchFailures.Add(1)
+		return nil, err
+	}
+	s.fetchBytes.Add(uint64(n))
+	s.fetchNanos.Add(uint64(time.Since(start).Nanoseconds()))
+
+	info, err := core.VerifySnapshotFile(tmpPath)
+	if err != nil {
+		os.Remove(tmpPath)
+		s.verifyFailures.Add(1)
+		return nil, fmt.Errorf("store: verifying fetched %s: %w", key, err)
+	}
+	if got := KeyOf(info); got != key {
+		os.Remove(tmpPath)
+		s.verifyFailures.Add(1)
+		return nil, fmt.Errorf("%w: requested %s, content is %s", ErrKeyMismatch, key, got)
+	}
+	return s.admit(key, tmpPath, n, true)
+}
+
+// admit moves a verified temp file into the cache under key. When the
+// cap cannot make room (everything is pinned, or the object alone
+// exceeds the cap) and pin is set, the caller gets the temp file as an
+// uncached object instead — availability over caching, and the cache
+// size invariant holds unconditionally.
+func (s *Store) admit(key, tmpPath string, size int64, pin bool) (*Object, error) {
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok { // raced with Publish: keep the incumbent
+		if pin {
+			e.pins++
+			s.lru.MoveToFront(e.el)
+		}
+		s.mu.Unlock()
+		os.Remove(tmpPath)
+		if !pin {
+			return nil, nil
+		}
+		return &Object{s: s, e: e, path: s.objectPath(key), size: e.size}, nil
+	}
+	if !s.fitLocked(size) {
+		s.mu.Unlock()
+		s.uncached.Add(1)
+		if !pin {
+			os.Remove(tmpPath)
+			return nil, nil
+		}
+		return &Object{s: s, path: tmpPath, size: size}, nil
+	}
+	if err := os.Rename(tmpPath, s.objectPath(key)); err != nil {
+		s.mu.Unlock()
+		os.Remove(tmpPath)
+		return nil, err
+	}
+	e := &centry{key: key, size: size}
+	if pin {
+		e.pins = 1
+	}
+	e.el = s.lru.PushFront(e)
+	s.entries[key] = e
+	s.size += size
+	s.mu.Unlock()
+	s.fills.Add(1)
+	s.persistIndex()
+	if !pin {
+		return nil, nil
+	}
+	return &Object{s: s, e: e, path: s.objectPath(key), size: size}, nil
+}
+
+// fitLocked evicts unpinned LRU objects until incoming fits under the
+// cap; it reports whether it does. Caller holds s.mu.
+func (s *Store) fitLocked(incoming int64) bool {
+	if s.cap <= 0 {
+		return true
+	}
+	for s.size+incoming > s.cap {
+		var victim *centry
+		for el := s.lru.Back(); el != nil; el = el.Prev() {
+			if e := el.Value.(*centry); e.pins == 0 {
+				victim = e
+				break
+			}
+		}
+		if victim == nil {
+			return false
+		}
+		s.removeLocked(victim)
+		s.evictions.Add(1)
+	}
+	return true
+}
+
+// removeLocked drops e from the index and unlinks its file. Any live
+// mapping of the file keeps its pages until munmap.
+func (s *Store) removeLocked(e *centry) {
+	s.lru.Remove(e.el)
+	delete(s.entries, e.key)
+	s.size -= e.size
+	os.Remove(s.objectPath(e.key))
+}
+
+// Drop removes key from the cache (no-op if absent). It fails with
+// ErrPinned while an Object handle is outstanding. The next Get will
+// re-fetch — the registry uses this to heal a cache object that turns
+// out corrupt at open time.
+func (s *Store) Drop(key string) error {
+	if err := ValidateKey(key); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if ok && e.pins > 0 {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrPinned, key)
+	}
+	if ok {
+		s.removeLocked(e)
+	}
+	s.mu.Unlock()
+	if ok {
+		s.persistIndex()
+	}
+	return nil
+}
+
+// Publish verifies the snapshot at path, admits it into the local
+// cache under its content address, and uploads it to the remote tier
+// when the remote supports Put. It returns the key. Cache admission is
+// best-effort under cap pressure; the upload error, if any, is
+// returned (the local admit alone does not fail a publish).
+func (s *Store) Publish(ctx context.Context, path string) (string, error) {
+	info, err := core.VerifySnapshotFile(path)
+	if err != nil {
+		return "", err
+	}
+	key := KeyOf(info)
+	size := info.PayloadOffset + info.PayloadBytes()
+	if !s.Contains(key) {
+		if tmpPath, err := s.spoolLocal(path); err == nil {
+			// admit consumes the temp file either way.
+			if _, err := s.admit(key, tmpPath, size, false); err != nil {
+				os.Remove(tmpPath)
+			}
+		}
+	}
+	if p, ok := s.remote.(Putter); ok {
+		f, err := os.Open(path)
+		if err != nil {
+			return key, err
+		}
+		defer f.Close()
+		if err := p.Put(ctx, key, f, size); err != nil {
+			return key, fmt.Errorf("store: uploading %s: %w", key, err)
+		}
+	}
+	return key, nil
+}
+
+// spoolLocal stages a copy (hard link when possible) of path as a
+// fill temp file inside the cache directory.
+func (s *Store) spoolLocal(path string) (string, error) {
+	tmp, err := os.CreateTemp(s.dir, "fill-*.tmp")
+	if err != nil {
+		return "", err
+	}
+	tmpPath := tmp.Name()
+	tmp.Close()
+	os.Remove(tmpPath)
+	if err := os.Link(path, tmpPath); err == nil {
+		return tmpPath, nil
+	}
+	src, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer src.Close()
+	dst, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return "", err
+	}
+	if _, err := io.Copy(dst, src); err != nil {
+		dst.Close()
+		os.Remove(tmpPath)
+		return "", err
+	}
+	if err := dst.Close(); err != nil {
+		os.Remove(tmpPath)
+		return "", err
+	}
+	return tmpPath, nil
+}
+
+// persistIndex writes the cache index atomically (tmp+rename),
+// best-effort: losing it costs LRU order on the next Open, nothing
+// else.
+func (s *Store) persistIndex() {
+	s.mu.Lock()
+	now := time.Now().Unix()
+	entries := make([]indexEntry, 0, s.lru.Len())
+	for el := s.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*centry)
+		entries = append(entries, indexEntry{Key: e.key, Size: e.size, ATime: now})
+	}
+	s.mu.Unlock()
+
+	s.indexMu.Lock()
+	defer s.indexMu.Unlock()
+	tmp := s.indexPath() + ".tmp"
+	if err := os.WriteFile(tmp, encodeIndex(entries), 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, s.indexPath())
+}
+
+// Close persists the index. The store holds no goroutines or
+// descriptors between calls, so Close is cheap and optional.
+func (s *Store) Close() error {
+	s.persistIndex()
+	return nil
+}

@@ -1,0 +1,366 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"compactsg"
+	"compactsg/internal/workload"
+)
+
+// writeSnap compresses the given workload into an SGC2 file and
+// returns its path, content key and byte size.
+func writeSnap(t testing.TB, dir string, dim, level int, scale float64) (path, key string, size int64) {
+	t.Helper()
+	g, err := compactsg.New(dim, level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Compress(func(x []float64) float64 { return scale * workload.Parabola.F(x) })
+	path = filepath.Join(dir, fmt.Sprintf("d%dl%ds%g.sg", dim, level, scale))
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key, err = KeyOfFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path, key, st.Size()
+}
+
+// seedRemote copies a snapshot into an FSRemote dir under its key.
+func seedRemote(t testing.TB, remoteDir, path, key string) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(remoteDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(remoteDir, key+".sg"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateKey(t *testing.T) {
+	good := "0123456789abcdef"
+	if err := ValidateKey(good); err != nil {
+		t.Fatal(err)
+	}
+	bad := []string{"", "short", strings.Repeat("a", 17), "0123456789ABCDEF",
+		"../../../../etcpw", "0123456789abcde/", "0123456789abcde."}
+	for _, k := range bad {
+		if err := ValidateKey(k); err == nil {
+			t.Errorf("ValidateKey(%q) accepted", k)
+		}
+	}
+}
+
+func TestKeyBindsContent(t *testing.T) {
+	dir := t.TempDir()
+	_, k1, _ := writeSnap(t, dir, 2, 3, 1)
+	_, k2, _ := writeSnap(t, dir, 2, 3, 2)
+	_, k3, _ := writeSnap(t, dir, 3, 3, 1)
+	if k1 == k2 || k1 == k3 || k2 == k3 {
+		t.Fatalf("distinct contents share a key: %s %s %s", k1, k2, k3)
+	}
+	// Same content → same key.
+	p, k1b, _ := writeSnap(t, t.TempDir(), 2, 3, 1)
+	if k1 != k1b {
+		t.Fatalf("same content keyed %s then %s (%s)", k1, k1b, p)
+	}
+}
+
+func TestGetMissFillsThenHits(t *testing.T) {
+	base := t.TempDir()
+	path, key, size := writeSnap(t, base, 2, 4, 1)
+	remote := filepath.Join(base, "remote")
+	seedRemote(t, remote, path, key)
+
+	s, err := Open(Config{Dir: filepath.Join(base, "cache"), Remote: &FSRemote{Dir: remote}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := s.Get(context.Background(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !obj.Cached() || obj.Size() != size {
+		t.Fatalf("miss fill: cached=%v size=%d want %d", obj.Cached(), obj.Size(), size)
+	}
+	// The fetched object must open and evaluate like the original.
+	og, err := compactsg.Open(obj.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := og.Evaluate([]float64{0.5, 0.5})
+	if err != nil || got != 1 {
+		t.Fatalf("evaluate fetched object: %v %v", got, err)
+	}
+	og.Close()
+	obj.Release()
+
+	obj2, err := s.Get(context.Background(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj2.Release()
+	st := s.Stats()
+	if st.Misses != 1 || st.Hits != 1 || st.Fills != 1 {
+		t.Fatalf("stats after miss+hit: %+v", st)
+	}
+	if st.FetchBytes != uint64(size) {
+		t.Fatalf("fetch bytes %d, want %d", st.FetchBytes, size)
+	}
+}
+
+func TestGetSingleflight(t *testing.T) {
+	base := t.TempDir()
+	path, key, _ := writeSnap(t, base, 2, 4, 1)
+	remote := filepath.Join(base, "remote")
+	seedRemote(t, remote, path, key)
+
+	var fetches atomic.Int64
+	gate := make(chan struct{})
+	rem := remoteFunc(func(ctx context.Context, k string) (io.ReadCloser, error) {
+		fetches.Add(1)
+		<-gate
+		return (&FSRemote{Dir: remote}).Fetch(ctx, k)
+	})
+	s, err := Open(Config{Dir: filepath.Join(base, "cache"), Remote: rem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			obj, err := s.Get(context.Background(), key)
+			errs[i] = err
+			if err == nil {
+				obj.Release()
+			}
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+	}
+	if got := fetches.Load(); got != 1 {
+		t.Fatalf("%d concurrent gets made %d remote fetches, want 1", n, got)
+	}
+	st := s.Stats()
+	if st.Misses != 1 || st.Hits != n-1 {
+		t.Fatalf("singleflight stats: %+v", st)
+	}
+}
+
+func TestEvictionRespectsCapAndPins(t *testing.T) {
+	base := t.TempDir()
+	remote := filepath.Join(base, "remote")
+	type snap struct {
+		key  string
+		size int64
+	}
+	var snaps []snap
+	for i := 0; i < 4; i++ {
+		p, k, sz := writeSnap(t, base, 2, 4, float64(i+1))
+		seedRemote(t, remote, p, k)
+		snaps = append(snaps, snap{k, sz})
+	}
+	// Cap fits exactly two objects.
+	capBytes := snaps[0].size * 2
+	s, err := Open(Config{Dir: filepath.Join(base, "cache"), CapBytes: capBytes, Remote: &FSRemote{Dir: remote}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sn := range snaps {
+		obj, err := s.Get(context.Background(), sn.key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj.Release()
+		if st := s.Stats(); st.SizeBytes > capBytes {
+			t.Fatalf("cache size %d exceeds cap %d", st.SizeBytes, capBytes)
+		}
+	}
+	st := s.Stats()
+	if st.Evictions != 2 || st.Objects != 2 {
+		t.Fatalf("after 4 fills at cap 2: %+v", st)
+	}
+	// LRU: the two oldest are gone, the two newest cached.
+	if s.Contains(snaps[0].key) || s.Contains(snaps[1].key) {
+		t.Fatal("oldest objects were not evicted")
+	}
+	if !s.Contains(snaps[2].key) || !s.Contains(snaps[3].key) {
+		t.Fatal("newest objects were evicted")
+	}
+
+	// All-pinned: a fill that cannot fit is served uncached; the cap
+	// still holds.
+	o2, _ := s.Get(context.Background(), snaps[2].key)
+	o3, _ := s.Get(context.Background(), snaps[3].key)
+	o0, err := s.Get(context.Background(), snaps[0].key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o0.Cached() {
+		t.Fatal("fill under full pin pressure should be uncached")
+	}
+	if st := s.Stats(); st.SizeBytes > capBytes || st.Uncached != 1 {
+		t.Fatalf("pinned-full stats: %+v", st)
+	}
+	tmpPath := o0.Path()
+	o0.Release()
+	if _, err := os.Stat(tmpPath); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("uncached temp object not deleted on release")
+	}
+	o2.Release()
+	o3.Release()
+}
+
+func TestKeyMismatchNeverCached(t *testing.T) {
+	base := t.TempDir()
+	remote := filepath.Join(base, "remote")
+	pa, ka, _ := writeSnap(t, base, 2, 4, 1)
+	_, kb, _ := writeSnap(t, base, 2, 4, 2)
+	// Poison: the remote serves content A under key B — a checksum
+	// collision / wrong-bytes scenario.
+	seedRemote(t, remote, pa, kb)
+	s, err := Open(Config{Dir: filepath.Join(base, "cache"), Remote: &FSRemote{Dir: remote}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Get(context.Background(), kb)
+	if !errors.Is(err, ErrKeyMismatch) {
+		t.Fatalf("got %v, want ErrKeyMismatch", err)
+	}
+	if s.Contains(kb) || s.Contains(ka) {
+		t.Fatal("mismatched blob was cached")
+	}
+	if st := s.Stats(); st.VerifyFailures != 1 || st.Fills != 0 {
+		t.Fatalf("mismatch stats: %+v", st)
+	}
+	assertNoPartialFiles(t, s.Dir())
+}
+
+func TestPublishAndReopen(t *testing.T) {
+	base := t.TempDir()
+	remote := filepath.Join(base, "remote")
+	path, key, _ := writeSnap(t, base, 2, 4, 1)
+	cacheDir := filepath.Join(base, "cache")
+	s, err := Open(Config{Dir: cacheDir, Remote: &FSRemote{Dir: remote}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotKey, err := s.Publish(context.Background(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotKey != key {
+		t.Fatalf("publish keyed %s, want %s", gotKey, key)
+	}
+	if !s.Contains(key) {
+		t.Fatal("publish did not cache locally")
+	}
+	// FSRemote supports Put: the blob must now be remote too.
+	if _, err := os.Stat(filepath.Join(remote, key+".sg")); err != nil {
+		t.Fatalf("publish did not upload: %v", err)
+	}
+	s.Close()
+
+	// Reopen: the persisted index readopts the cached object, so the
+	// first Get is a pure local hit.
+	s2, err := Open(Config{Dir: cacheDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := s2.Get(context.Background(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj.Release()
+	if st := s2.Stats(); st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("reopened stats: %+v", st)
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	entries := []indexEntry{
+		{Key: "0123456789abcdef", Size: 12345, ATime: 1700000000},
+		{Key: "fedcba9876543210", Size: 0, ATime: 0},
+	}
+	back, err := decodeIndex(encodeIndex(entries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(entries) {
+		t.Fatalf("round trip lost entries: %d != %d", len(back), len(entries))
+	}
+	for i := range back {
+		if back[i] != entries[i] {
+			t.Fatalf("entry %d: %+v != %+v", i, back[i], entries[i])
+		}
+	}
+	// Hostile inputs must reject, not panic.
+	for _, raw := range []string{
+		"",
+		"garbage\n",
+		"sgstore-index v1\n../../etc/passwd 1 1\n",
+		"sgstore-index v1\n0123456789abcdef -1 0\n",
+		"sgstore-index v1\n0123456789abcdef 1\n",
+		"sgstore-index v1\n0123456789abcdef 1 1\n0123456789abcdef 1 1\n",
+		"sgstore-index v1\n0123456789ABCDEF 1 1\n",
+	} {
+		if _, err := decodeIndex([]byte(raw)); err == nil {
+			t.Errorf("decodeIndex accepted %q", raw)
+		}
+	}
+}
+
+// remoteFunc adapts a function to the Remote interface.
+type remoteFunc func(ctx context.Context, key string) (io.ReadCloser, error)
+
+func (f remoteFunc) Fetch(ctx context.Context, key string) (io.ReadCloser, error) {
+	return f(ctx, key)
+}
+
+// assertNoPartialFiles fails if the cache dir holds any temp spool
+// file — after any failure, nothing partial may be visible.
+func assertNoPartialFiles(t testing.TB, dir string) {
+	t.Helper()
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range des {
+		if strings.HasPrefix(de.Name(), "fill-") || strings.HasPrefix(de.Name(), "put-") {
+			t.Fatalf("partial spool file left behind: %s", de.Name())
+		}
+	}
+}

@@ -49,6 +49,48 @@ func (o *OpenGrid) Close() error {
 	return nil
 }
 
+// Advice is a page-level access hint for a LoadMmap payload. The
+// ordinals mirror core.Advice.
+type Advice int
+
+const (
+	// AdviseNormal restores the kernel's default readahead.
+	AdviseNormal Advice = iota
+	// AdviseSequential requests aggressive readahead for sequential
+	// payload scans.
+	AdviseSequential
+	// AdviseWillNeed starts faulting the payload in now (prefetch).
+	AdviseWillNeed
+	// AdviseDontNeed drops the payload's resident pages; a read-only
+	// file mapping refaults them from disk on next touch.
+	AdviseDontNeed
+)
+
+// Advise applies a page-level access hint to a LoadMmap payload.
+// Copy-loaded grids and platforms without madvise ignore it.
+func (o *OpenGrid) Advise(a Advice) error {
+	if o.snap == nil {
+		return nil
+	}
+	return o.snap.Advise(core.Advice(a))
+}
+
+// DropPages sheds the resident pages of a LoadMmap payload
+// (AdviseDontNeed): the grid stays open and serving, pages refault
+// from the snapshot file on demand. This is eviction at page
+// granularity — memory pressure costs latency, not availability.
+func (o *OpenGrid) DropPages() error { return o.Advise(AdviseDontNeed) }
+
+// ResidentBytes estimates the physical memory held by the payload:
+// the mincore resident-page count for LoadMmap grids, the full
+// payload size for copies.
+func (o *OpenGrid) ResidentBytes() (int64, error) {
+	if o.snap == nil {
+		return o.Points() * 8, nil
+	}
+	return o.snap.ResidentBytes()
+}
+
 // Open loads the grid artifact at path, preferring the zero-copy path:
 // SGC2 snapshots with a page-aligned payload are memory-mapped in place
 // (on platforms with mmap and little-endian byte order), so the cold

@@ -5,12 +5,15 @@ set -euo pipefail
 # first evaluation) for the three dense-container routes and emit
 # BENCH_coldload.json:
 #
-#   V1Copy  legacy SGC1 stream, decoded and copied into fresh arrays
-#   V2Copy  SGC2 snapshot read through the copying decoder
-#   V2Mmap  SGC2 snapshot mapped read-only in place (zero copy)
+#   V1Copy     legacy SGC1 stream, decoded and copied into fresh arrays
+#   V2Copy     SGC2 snapshot read through the copying decoder
+#   V2Mmap     SGC2 snapshot mapped read-only in place (zero copy)
+#   StoreHit   tiered store, local cache hit (lookup + pin + mmap)
+#   StoreMiss  tiered store, remote fetch + verify + cache fill + mmap
 #
 # plus the headline "speedup_mmap_vs_v1" ratio the serving layer banks
-# on. The grid is the level-10 d=5 compressed snapshot (~554k points,
+# on and the store's hit-vs-miss spread ("speedup_storehit_vs_miss"),
+# which is what the local cache tier buys on every re-load. The grid is the level-10 d=5 compressed snapshot (~554k points,
 # ~4.4 MB) — big enough that payload I/O dominates the header work.
 #
 # Usage:
@@ -47,8 +50,8 @@ results=$(awk '
     }
 ' "$raw" | jq -s .)
 
-if [ "$(jq 'length' <<<"$results")" -lt 3 ]; then
-    echo "bench_coldload.sh: expected the V1Copy/V2Copy/V2Mmap sub-benchmarks, parsed $(jq 'length' <<<"$results")" >&2
+if [ "$(jq 'length' <<<"$results")" -lt 5 ]; then
+    echo "bench_coldload.sh: expected the V1Copy/V2Copy/V2Mmap/StoreHit/StoreMiss sub-benchmarks, parsed $(jq 'length' <<<"$results")" >&2
     exit 1
 fi
 
@@ -60,6 +63,8 @@ ns_of() {
 v1=$(ns_of V1Copy)
 v2copy=$(ns_of V2Copy)
 v2mmap=$(ns_of V2Mmap)
+storehit=$(ns_of StoreHit)
+storemiss=$(ns_of StoreMiss)
 
 jq -n \
     --arg go "$(go env GOVERSION)" \
@@ -69,10 +74,13 @@ jq -n \
     --argjson cpus "$(nproc)" \
     --argjson results "$results" \
     --argjson v1 "$v1" --argjson v2copy "$v2copy" --argjson v2mmap "$v2mmap" \
+    --argjson storehit "$storehit" --argjson storemiss "$storemiss" \
     '{schema: 1, go: $go, platform: $platform, benchtime: $benchtime, date: $date, cpus: $cpus,
       grid: {dim: 5, level: 10},
       results: $results,
       speedup_mmap_vs_v1: (if $v2mmap > 0 then ($v1 / $v2mmap * 100 | round / 100) else null end),
-      speedup_mmap_vs_v2copy: (if $v2mmap > 0 then ($v2copy / $v2mmap * 100 | round / 100) else null end)}' > "$OUT"
+      speedup_mmap_vs_v2copy: (if $v2mmap > 0 then ($v2copy / $v2mmap * 100 | round / 100) else null end),
+      overhead_storehit_vs_mmap: (if $v2mmap > 0 then ($storehit / $v2mmap * 100 | round / 100) else null end),
+      speedup_storehit_vs_miss: (if $storehit > 0 then ($storemiss / $storehit * 100 | round / 100) else null end)}' > "$OUT"
 
-echo "wrote $OUT (mmap vs v1 copy: $(jq '.speedup_mmap_vs_v1' "$OUT")x, vs v2 copy: $(jq '.speedup_mmap_vs_v2copy' "$OUT")x)"
+echo "wrote $OUT (mmap vs v1 copy: $(jq '.speedup_mmap_vs_v1' "$OUT")x, vs v2 copy: $(jq '.speedup_mmap_vs_v2copy' "$OUT")x, store hit vs miss: $(jq '.speedup_storehit_vs_miss' "$OUT")x)"

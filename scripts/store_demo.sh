@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# Tiered snapshot store, end to end with the real binaries: one sgserve
+# runs as a blob server (-blob-dir), six compressed grids are published
+# into it over HTTP by content address, and a second sgserve serves all
+# six as -grid name=store:KEY through a local cache capped at ~3 files
+# — so driving every grid forces remote fetches AND evictions mid-run.
+# Asserts: every upload lands (201), sgload sees zero client errors,
+# and /metrics shows misses >= 6, evictions >= 1, hits >= 1, with the
+# cache size never above the cap. Recorded analysis: EXPERIMENTS.md
+# §"Serving: tiered snapshot store".
+set -euo pipefail
+
+workdir=$(mktemp -d)
+blob_port=${SGBLOB_PORT:-8179}
+serve_port=${SGSERVE_PORT:-8180}
+blob_base="http://localhost:$blob_port"
+serve_base="http://localhost:$serve_port"
+grids=6
+blob_pid=""
+serve_pid=""
+trap 'kill "$blob_pid" "$serve_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/sgserve" ./cmd/sgserve
+go build -o "$workdir/sgload" ./cmd/sgload
+go build -o "$workdir/sginfo" ./cmd/sginfo
+
+wait_http() {
+    for i in $(seq 1 50); do
+        curl -sf "$1" >/dev/null 2>&1 && return
+        sleep 0.2
+    done
+    echo "store_demo.sh: $1 did not come up" >&2; exit 1
+}
+
+echo "compressing $grids demo grids (d=3, level=5)…"
+keys=()
+for i in $(seq 0 $((grids - 1))); do
+    # Distinct (function, level) pairs -> distinct payloads -> distinct
+    # content keys.
+    fn=gaussian; [ $((i % 2)) -eq 1 ] && fn=parabola
+    go run ./cmd/sgcompress -dim 3 -level $((5 + i / 2)) -fn "$fn" -direct -q -o "$workdir/g$i.sg"
+    keys+=("$("$workdir/sginfo" -i "$workdir/g$i.sg" -key)")
+done
+# Same-shape duplicates would collapse to one key; demand 6 distinct.
+distinct=$(printf '%s\n' "${keys[@]}" | sort -u | wc -l)
+if [ "$distinct" -ne "$grids" ]; then
+    echo "store_demo.sh: expected $grids distinct content keys, got $distinct" >&2; exit 1
+fi
+
+echo "== blob tier: sgserve -blob-dir on :$blob_port =="
+mkdir -p "$workdir/blobs"
+"$workdir/sgserve" -addr ":$blob_port" -blob-dir "$workdir/blobs" >/dev/null 2>&1 &
+blob_pid=$!
+wait_http "$blob_base/healthz"
+
+for i in $(seq 0 $((grids - 1))); do
+    code=$(curl -s -o /dev/null -w '%{http_code}' -X PUT --data-binary "@$workdir/g$i.sg" "$blob_base/v1/blobs/${keys[$i]}")
+    if [ "$code" != 201 ]; then
+        echo "store_demo.sh: PUT g$i -> $code, want 201" >&2; exit 1
+    fi
+done
+echo "published $grids blobs by content address"
+
+echo "== serving tier: store-backed sgserve, cache cap < catalog =="
+# Cap sized to hold the last four files of the sweep plus slack: the
+# first two must be evicted, the last four must survive as hits.
+cap=$(( $(wc -c < "$workdir/g2.sg") + $(wc -c < "$workdir/g3.sg") \
+     + $(wc -c < "$workdir/g4.sg") + $(wc -c < "$workdir/g5.sg") \
+     + $(wc -c < "$workdir/g0.sg") / 2 ))
+grid_flags=()
+for i in $(seq 0 $((grids - 1))); do
+    grid_flags+=(-grid "g$i=store:${keys[$i]}")
+done
+# -max-grids 2: the registry's own LRU stays small, so re-loading a
+# grid actually exercises the store tier instead of a resident mmap.
+"$workdir/sgserve" -addr ":$serve_port" -max-grids 2 \
+    -store-dir "$workdir/cache" -store-cap "$cap" \
+    -remote "$blob_base/v1/blobs" \
+    "${grid_flags[@]}" >/dev/null 2>&1 &
+serve_pid=$!
+wait_http "$serve_base/healthz"
+
+# prime forces a cold load (sgload needs the shape advertised on
+# /v1/grids, which the server only knows once loaded) and asserts the
+# store-backed load path answered 200.
+prime() {
+    code=$(curl -s -o /dev/null -w '%{http_code}' -H 'Content-Type: application/json' \
+        -d "{\"grid\":\"g$1\",\"point\":[0.5,0.5,0.5]}" "$serve_base/v1/eval")
+    [ "$code" = 200 ] || { echo "store_demo.sh: cold eval of g$1 -> $code" >&2; exit 1; }
+}
+
+echo "== cold sweep: every grid once (fetch + verify + fill + evict) =="
+for i in $(seq 0 $((grids - 1))); do
+    prime "$i"
+    out=$("$workdir/sgload" -url "$serve_base" -grid "g$i" -c 4 -n 200)
+    echo "$out" | grep -q " 0 errors " || { echo "store_demo.sh: client errors on g$i:"; echo "$out"; exit 1; }
+done
+echo "== re-loads: recently filled grids come back from the local cache =="
+for i in 3 2; do
+    prime "$i"
+    out=$("$workdir/sgload" -url "$serve_base" -grid "g$i" -c 4 -n 200)
+    echo "$out" | grep -q " 0 errors " || { echo "store_demo.sh: client errors on rehit g$i:"; echo "$out"; exit 1; }
+done
+
+metrics=$(curl -sf "$serve_base/metrics")
+metric() { awk -v m="$1" '$1 == m { print int($2); exit }' <<<"$metrics"; }
+misses=$(metric sgserve_store_misses)
+hits=$(metric sgserve_store_hits)
+evictions=$(metric sgserve_store_evictions)
+size=$(metric sgserve_store_size_bytes)
+cap_seen=$(metric sgserve_store_cap_bytes)
+echo "store counters: misses=$misses hits=$hits evictions=$evictions size=$size cap=$cap_seen"
+
+[ "$misses" -ge "$grids" ] || { echo "store_demo.sh: expected >= $grids misses, got $misses" >&2; exit 1; }
+[ "$evictions" -ge 1 ] || { echo "store_demo.sh: expected evictions under a $cap-byte cap, got $evictions" >&2; exit 1; }
+[ "$hits" -ge 1 ] || { echo "store_demo.sh: expected cache hits on the re-loads, got $hits" >&2; exit 1; }
+[ "$size" -le "$cap" ] || { echo "store_demo.sh: cache size $size exceeds cap $cap" >&2; exit 1; }
+[ "$cap_seen" -eq "$cap" ] || { echo "store_demo.sh: /metrics cap $cap_seen != configured $cap" >&2; exit 1; }
+
+echo "store demo PASS: $grids grids through a $cap-byte cache, $misses misses / $hits hits / $evictions evictions, zero client errors"
